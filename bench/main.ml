@@ -1,0 +1,129 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 6) on the simulated machine and prints measured
+   slowdowns next to the paper's reported values.
+
+   Usage:
+     dune exec bench/main.exe                  # everything, paper scale
+     dune exec bench/main.exe -- fig12 fig13   # selected experiments
+     dune exec bench/main.exe -- --scale 0.2   # quick pass
+     dune exec bench/main.exe -- --full-wordcount  # 1M/2M-word inputs
+     dune exec bench/main.exe -- bechamel      # host-time micro-benchmarks *)
+
+open Nvmpi_experiments
+
+let usage () =
+  print_endline
+    "usage: main.exe [--scale F] [--full-wordcount] [experiment ...]\n\
+     experiments: fig12 payload table1 fig13 fig14 regions fig15 breakdown \
+     ablations bechamel all";
+  exit 1
+
+(* Bechamel micro-benchmarks: host-side cost of one simulated pointer
+   load under each representation (one Test.make per representation),
+   and of one traversal per structure. These measure the simulator
+   itself, complementing the cycle-model numbers above. *)
+let bechamel_suite () =
+  let open Bechamel in
+  let module Machine = Core.Machine in
+  let module Region = Core.Region in
+  let load_test kind =
+    let store = Core.Store.create () in
+    let m = Machine.create ~seed:1 ~store () in
+    let r = Machine.open_region m (Machine.create_region m ~size:(1 lsl 20)) in
+    if kind = Core.Repr.Based then Machine.set_based_region m (Region.rid r);
+    let (module P) = Core.Repr.m kind in
+    let holder = Region.alloc r P.slot_size in
+    let target = Region.alloc r 64 in
+    P.store m ~holder target;
+    Test.make ~name:(Core.Repr.to_string kind)
+      (Staged.stage (fun () -> ignore (P.load m ~holder)))
+  in
+  let traverse_test structure =
+    let store = Core.Store.create () in
+    let m = Machine.create ~seed:1 ~store () in
+    let r = Machine.open_region m (Machine.create_region m ~size:(1 lsl 24)) in
+    let node =
+      Nvmpi_structures.Node.make m
+        ~mode:(Nvmpi_structures.Node.Plain [| r |])
+        ~payload:32
+    in
+    let inst = Instance.create structure Core.Repr.Riv node ~name:"bench" in
+    Array.iter (fun k -> inst.Instance.insert k) (Workload.keys ~n:1000 ~seed:3);
+    Test.make
+      ~name:("traverse-" ^ Instance.structure_name structure)
+      (Staged.stage (fun () -> ignore (inst.Instance.traverse ())))
+  in
+  let tests =
+    [
+      Test.make_grouped ~name:"pointer-load" ~fmt:"%s/%s"
+        (List.map load_test Core.Repr.all);
+      Test.make_grouped ~name:"riv-traversal" ~fmt:"%s/%s"
+        (List.map traverse_test Instance.structures);
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Bechamel.Measure.run |]
+  in
+  Printf.printf "\n== Bechamel micro-benchmarks (host ns per simulated op) ==\n";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) analyzed [] in
+      List.iter
+        (fun (name, ols_result) ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-36s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "  %-36s (no estimate)\n" name)
+        (List.sort compare rows))
+    tests;
+  print_newline ()
+
+let () =
+  let scale = ref 1.0 in
+  let full_wordcount = ref false in
+  let picked = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0.0 -> scale := f
+        | _ -> usage ());
+        parse rest
+    | "--full-wordcount" :: rest ->
+        full_wordcount := true;
+        parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | name :: rest ->
+        picked := name :: !picked;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let picked = if !picked = [] then [ "all" ] else List.rev !picked in
+  let scale = !scale in
+  let run_one = function
+    | "fig12" -> Table.print (Figures.fig12 ~scale ())
+    | "payload" -> Table.print (Figures.payload_sweep ~scale ())
+    | "table1" -> Table.print (Figures.table1 ~scale ())
+    | "fig13" -> Table.print (Figures.fig13 ~scale ())
+    | "fig14" -> Table.print (Figures.fig14 ~scale ())
+    | "regions" -> Table.print (Figures.regions_sweep ~scale ())
+    | "fig15" -> Table.print (Figures.fig15 ~scale ~full:!full_wordcount ())
+    | "breakdown" -> Table.print (Figures.breakdown ~scale ())
+    | "ablations" -> List.iter Table.print (Ablations.all ~scale ())
+    | "bechamel" -> bechamel_suite ()
+    | "all" ->
+        List.iter Table.print
+          (Figures.all ~scale ~wordcount_full:!full_wordcount ());
+        List.iter Table.print (Ablations.all ~scale ());
+        bechamel_suite ()
+    | other ->
+        Printf.eprintf "unknown experiment %S\n" other;
+        usage ()
+  in
+  List.iter run_one picked

@@ -1,0 +1,180 @@
+(* nvmpi: command-line front end.
+
+   - [nvmpi bench ...]    regenerate the paper's tables/figures
+   - [nvmpi run FILE]     compile and run an NVC program against a
+                          (optionally file-backed) NVM store
+   - [nvmpi inspect FILE] list the regions and roots of a store image
+   - [nvmpi layout]       print the NV-space layout parameters *)
+
+open Cmdliner
+
+let experiments =
+  [ "fig12"; "payload"; "table1"; "fig13"; "fig14"; "regions"; "fig15";
+    "breakdown"; "ablations"; "all" ]
+
+(* bench *)
+
+let bench_cmd =
+  let names =
+    Arg.(value & pos_all (enum (List.map (fun e -> (e, e)) experiments)) [ "all" ]
+         & info [] ~docv:"EXPERIMENT")
+  in
+  let scale =
+    Arg.(value & opt float 1.0
+         & info [ "scale" ] ~doc:"Scale factor on workload sizes.")
+  in
+  let full =
+    Arg.(value & flag
+         & info [ "full-wordcount" ]
+             ~doc:"Run wordcount at the paper's 1M/2M-word sizes.")
+  in
+  let run names scale full =
+    let open Nvmpi_experiments in
+    let one = function
+      | "fig12" -> Table.print (Figures.fig12 ~scale ())
+      | "payload" -> Table.print (Figures.payload_sweep ~scale ())
+      | "table1" -> Table.print (Figures.table1 ~scale ())
+      | "fig13" -> Table.print (Figures.fig13 ~scale ())
+      | "fig14" -> Table.print (Figures.fig14 ~scale ())
+      | "regions" -> Table.print (Figures.regions_sweep ~scale ())
+      | "fig15" -> Table.print (Figures.fig15 ~scale ~full ())
+      | "breakdown" -> Table.print (Figures.breakdown ~scale ())
+      | "ablations" -> List.iter Table.print (Ablations.all ~scale ())
+      | "all" ->
+          List.iter Table.print (Figures.all ~scale ~wordcount_full:full ());
+          List.iter Table.print (Ablations.all ~scale ())
+      | _ -> assert false
+    in
+    List.iter one names
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Regenerate the paper's evaluation tables/figures.")
+    Term.(const run $ names $ scale $ full)
+
+(* run *)
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE.nvc" ~doc:"NVC source file.")
+  in
+  let store_path =
+    Arg.(value & opt (some string) None
+         & info [ "store" ]
+             ~doc:"NVM store image to load (created if missing) and save \
+                   back after the run — regions persist across invocations.")
+  in
+  let seed =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~doc:"Fix region placement (default: randomized).")
+  in
+  let entry =
+    Arg.(value & opt string "main" & info [ "entry" ] ~doc:"Entry function.")
+  in
+  let args =
+    Arg.(value & opt (list int) [] & info [ "args" ] ~doc:"Integer arguments.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "v"; "verbose" ] ~doc:"Log region open/close events.")
+  in
+  let run file store_path seed entry args verbose =
+    if verbose then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Debug)
+    end;
+    let store =
+      match store_path with
+      | Some p when Sys.file_exists p -> Nvmpi_nvregion.Store.load_file p
+      | _ -> Nvmpi_nvregion.Store.create ()
+    in
+    let machine = Core.Machine.create ?seed ~store () in
+    let src = In_channel.with_open_text file In_channel.input_all in
+    match Nvmpi_lang.Lang.run_string machine ~entry ~args src with
+    | Error msg ->
+        prerr_endline msg;
+        exit 1
+    | Ok { Nvmpi_lang.Lang.Eval.result; output } ->
+        print_string output;
+        Core.Machine.close_all machine;
+        (match store_path with
+        | Some p -> Nvmpi_nvregion.Store.save_file store p
+        | None -> ());
+        (match result with
+        | Some v -> Printf.printf "-> %d\n" v
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Compile and run an NVC program on the simulated machine.")
+    Term.(const run $ file $ store_path $ seed $ entry $ args $ verbose)
+
+(* inspect *)
+
+let inspect_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"STORE" ~doc:"Store image written by 'run --store'.")
+  in
+  let run file =
+    let store = Nvmpi_nvregion.Store.load_file file in
+    let machine = Core.Machine.create ~seed:1 ~store () in
+    let ids = Nvmpi_nvregion.Store.ids store in
+    Printf.printf "store %s: %d region(s)\n" file (List.length ids);
+    List.iter
+      (fun rid ->
+        let r = Core.Machine.open_region machine rid in
+        let module R = Nvmpi_nvregion.Region in
+        Printf.printf "  region %d: %d bytes, heap top 0x%x, %d root(s)\n" rid
+          (R.size r) (R.heap_top r)
+          (List.length (R.roots r));
+        List.iter
+          (fun (name, addr) ->
+            Printf.printf "    root %-24s offset 0x%x\n" name
+              (R.offset_of_addr r addr))
+          (R.roots r);
+        (* If the region hosts a transactional object store, validate its
+           heap and report occupancy. *)
+        if List.mem_assoc "__objstore" (R.roots r) then begin
+          match Nvmpi_tx.Objstore.attach machine r with
+          | os ->
+              Printf.printf
+                "    object store: %d object(s) alive, %d pending undo \
+                 record(s)\n"
+                (Nvmpi_tx.Objstore.objects_alive os)
+                (Nvmpi_tx.Objstore.log_entries os)
+          | exception Failure msg ->
+              Printf.printf "    object store: CORRUPT (%s)\n" msg
+        end)
+      ids
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"List the regions and roots of a store image.")
+    Term.(const run $ file)
+
+(* layout *)
+
+let layout_cmd =
+  let run () =
+    let l = Core.Layout.default in
+    Format.printf "layout: %a@." Core.Layout.pp l;
+    Format.printf "  NV space starts at 0x%x@." (Core.Layout.nv_start l);
+    Format.printf "  segment size: %d MiB@."
+      (Core.Layout.segment_size l / 1024 / 1024);
+    Format.printf "  usable data segments: %d@." (Core.Layout.usable_segments l);
+    Format.printf "  max region id: %d@." (Core.Layout.max_rid l);
+    Format.printf "  table virtual footprint: %d MiB@."
+      (Core.Layout.table_virtual_bytes l / 1024 / 1024);
+    Format.printf "  physical table bytes for 20 open regions: %d@."
+      (Core.Layout.physical_overhead_bytes l ~regions:20)
+  in
+  Cmd.v
+    (Cmd.info "layout" ~doc:"Print the NV-space layout parameters.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "position-independent pointers on simulated NVM (MICRO'17)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "nvmpi" ~doc)
+          [ bench_cmd; run_cmd; inspect_cmd; layout_cmd ]))

@@ -1,0 +1,62 @@
+(* Quickstart: position-independent pointers in five minutes.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   The scenario the paper opens with (Figure 1): a linked structure is
+   written to NVM in one run and mapped at a different virtual address
+   in the next. Normal pointers dangle; off-holder and RIV pointers keep
+   working. *)
+
+module Machine = Core.Machine
+module Region = Core.Region
+module Store = Core.Store
+module Memsim = Core.Memsim
+
+let build_pair (module P : Core.Repr_sig.S) store name =
+  (* Run 1: create a region, store a value, point at it. *)
+  let m = Machine.create ~seed:1 ~store () in
+  let rid = Machine.create_region m ~size:65536 in
+  let r = Machine.open_region m rid in
+  let holder = Region.alloc r P.slot_size in
+  let target = Region.alloc r 8 in
+  Memsim.store64 m.Machine.mem target 4242;
+  P.store m ~holder target;
+  Region.set_root r "holder" holder;
+  Printf.printf "  run 1 (%s): region %d mapped at 0x%x, target holds 4242\n"
+    name rid (Region.base r);
+  Machine.close_region m rid;
+  rid
+
+let reopen_pair (module P : Core.Repr_sig.S) store name rid =
+  (* Run 2: same store, new address space, different placement. *)
+  let m = Machine.create ~seed:99 ~store () in
+  let r = Machine.open_region m rid in
+  Printf.printf "  run 2 (%s): region %d now mapped at 0x%x\n" name rid
+    (Region.base r);
+  let holder = Option.get (Region.root r "holder") in
+  match P.load m ~holder with
+  | target -> begin
+      match Memsim.load64 m.Machine.mem target with
+      | 4242 -> Printf.printf "  run 2 (%s): pointer resolved, read 4242  OK\n" name
+      | v -> Printf.printf "  run 2 (%s): pointer dangles, read %d  BROKEN\n" name v
+      | exception Memsim.Fault _ ->
+          Printf.printf "  run 2 (%s): pointer dangles (segfault)  BROKEN\n" name
+    end
+  | exception Memsim.Fault _ ->
+      Printf.printf "  run 2 (%s): pointer dangles (segfault)  BROKEN\n" name
+
+let demo kind =
+  let name = Core.Repr.to_string kind in
+  Printf.printf "== %s pointers ==\n" name;
+  let store = Store.create () in
+  let rid = build_pair (Core.Repr.m kind) store name in
+  reopen_pair (Core.Repr.m kind) store name rid;
+  print_newline ()
+
+let () =
+  print_endline "Position independence on (simulated) NVM\n";
+  List.iter demo [ Core.Repr.Normal; Core.Repr.Off_holder; Core.Repr.Riv ];
+  print_endline
+    "off-holder stores target-minus-holder; RIV packs {region ID | offset}\n\
+     and resolves through two direct-mapped tables. Both survive the remap;\n\
+     the normal pointer still holds the old virtual address."

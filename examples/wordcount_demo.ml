@@ -1,0 +1,62 @@
+(* The paper's wordcount application (Section 6.3, Figure 15): count
+   word frequencies of a text stream in a BST that lives on NVM, under
+   several pointer representations, and compare their simulated
+   execution times.
+
+   Run with:  dune exec examples/wordcount_demo.exe *)
+
+module Machine = Core.Machine
+module Region = Core.Region
+module Store = Core.Store
+module Node = Nvmpi_structures.Node
+module Text_gen = Nvmpi_apps.Text_gen
+module Wordcount = Nvmpi_apps.Wordcount
+module Clock = Core.Clock
+
+let nwords = 50_000
+let vocab = 5_000
+
+let run_one repr stream =
+  let store = Store.create () in
+  let m = Machine.create ~seed:3 ~store () in
+  let r = Machine.open_region m (Machine.create_region m ~size:(1 lsl 22)) in
+  if repr = Core.Repr.Based then Machine.set_based_region m (Region.rid r);
+  let node = Node.make m ~mode:(Node.Plain [| r |]) ~payload:32 in
+  let result, cycles =
+    Clock.delta m.Machine.clock (fun () ->
+        Wordcount.count_words node ~repr ~name:"wc" stream)
+  in
+  (result, cycles, node)
+
+let () =
+  Printf.printf "wordcount: %d words, %d-word Zipf vocabulary\n\n" nwords vocab;
+  let stream = Text_gen.words ~n:nwords ~vocab ~seed:17 in
+  let reference = Text_gen.reference_counts stream in
+  let baseline = ref 0 in
+  List.iter
+    (fun repr ->
+      let result, cycles, node = run_one repr stream in
+      if repr = Core.Repr.Normal then baseline := cycles;
+      (* Validate against a host-side count: same distinct words and
+         identical per-word counts. *)
+      assert (result.Wordcount.distinct = List.length reference);
+      List.iteri
+        (fun i (w, c) ->
+          if i < 5 then
+            assert (Wordcount.lookup node ~repr ~name:"wc" w = c))
+        reference;
+      Printf.printf "  %-12s %10.3f ms   (%.2fx normal)\n"
+        (Core.Repr.to_string repr)
+        (Clock.seconds_of_cycles cycles *. 1000.0)
+        (float_of_int cycles /. float_of_int !baseline))
+    [ Core.Repr.Normal; Core.Repr.Based; Core.Repr.Off_holder; Core.Repr.Riv;
+      Core.Repr.Fat_cached; Core.Repr.Fat ];
+  let _, _, node = run_one Core.Repr.Riv stream in
+  let top =
+    List.sort (fun (_, a) (_, b) -> compare b a)
+      (Wordcount.counts node ~repr:Core.Repr.Riv ~name:"wc")
+  in
+  print_endline "\n  most frequent words:";
+  List.iteri
+    (fun i (w, c) -> if i < 5 then Printf.printf "    %-16s %d\n" w c)
+    top

@@ -1,0 +1,43 @@
+let ceil_div a b =
+  if a < 0 || b <= 0 then invalid_arg "Bitops.ceil_div";
+  (a + b - 1) / b
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let next_pow2 n =
+  if n < 1 then invalid_arg "Bitops.next_pow2";
+  let rec go p = if p >= n then p else go (p lsl 1) in
+  go 1
+
+let log2_exact n =
+  if not (is_pow2 n) then invalid_arg "Bitops.log2_exact";
+  let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let ceil_log2 n = log2_exact (next_pow2 n)
+
+let mask k =
+  if k < 0 || k > 62 then invalid_arg "Bitops.mask";
+  (1 lsl k) - 1
+
+let extract v ~lo ~len = (v lsr lo) land mask len
+
+let deposit v ~lo ~len ~field =
+  let m = mask len in
+  v land lnot (m lsl lo) lor ((field land m) lsl lo)
+
+let align_up v a =
+  if not (is_pow2 a) then invalid_arg "Bitops.align_up";
+  (v + a - 1) land lnot (a - 1)
+
+let is_aligned v a =
+  if not (is_pow2 a) then invalid_arg "Bitops.is_aligned";
+  v land (a - 1) = 0
+
+let popcount v =
+  if v < 0 then invalid_arg "Bitops.popcount";
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+  go v 0
+
+let pp_hex ppf v = Format.fprintf ppf "0x%x" v
+let to_hex v = Printf.sprintf "0x%x" v

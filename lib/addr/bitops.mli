@@ -1,0 +1,52 @@
+(** Bit-level utilities used by the NV-space layout and the pointer
+    representations.
+
+    All functions operate on non-negative OCaml [int] values unless stated
+    otherwise. The simulated machine word is narrower than 63 bits, so every
+    quantity of interest fits in a native [int]. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [a / b] rounded towards positive infinity.
+    Requires [a >= 0] and [b > 0]. *)
+
+val is_pow2 : int -> bool
+(** [is_pow2 n] is [true] iff [n] is a positive power of two. *)
+
+val next_pow2 : int -> int
+(** [next_pow2 n] is the smallest power of two [>= n]. Requires [n >= 1]. *)
+
+val log2_exact : int -> int
+(** [log2_exact n] is [log2 n] for a positive power of two [n].
+    @raise Invalid_argument if [n] is not a positive power of two. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is the smallest [k] with [2^k >= n]. Requires [n >= 1]. *)
+
+val mask : int -> int
+(** [mask k] is a value with the low [k] bits set ([0 <= k <= 62]). *)
+
+val extract : int -> lo:int -> len:int -> int
+(** [extract v ~lo ~len] is the [len]-bit field of [v] starting at bit
+    [lo] (bit 0 is least significant). *)
+
+val deposit : int -> lo:int -> len:int -> field:int -> int
+(** [deposit v ~lo ~len ~field] overwrites the [len]-bit field of [v] at
+    [lo] with the low [len] bits of [field]. *)
+
+val align_up : int -> int -> int
+(** [align_up v a] rounds [v] up to the next multiple of [a], where [a]
+    is a power of two. *)
+
+val is_aligned : int -> int -> bool
+(** [is_aligned v a] is [true] iff [v] is a multiple of the power of two
+    [a]. *)
+
+val popcount : int -> int
+(** [popcount v] is the number of set bits in [v] (which must be
+    non-negative). *)
+
+val pp_hex : Format.formatter -> int -> unit
+(** Prints an address-like value as [0x%x]. *)
+
+val to_hex : int -> string
+(** [to_hex v] is [v] rendered as a [0x]-prefixed hexadecimal string. *)

@@ -1,0 +1,106 @@
+type t = {
+  word_bits : int;
+  l1 : int;
+  l2 : int;
+  l3 : int;
+  l4 : int;
+}
+
+let rid_entry_bytes t = Bitops.next_pow2 (Bitops.ceil_div t.l4 8)
+let base_entry_bytes t = Bitops.next_pow2 (Bitops.ceil_div t.l2 8)
+let s_r t = Bitops.log2_exact (rid_entry_bytes t)
+let s_b t = Bitops.log2_exact (base_entry_bytes t)
+
+(* Validity constraints. (3) and (4) are the paper's non-overlap conditions
+   restated for our concrete table placement:
+   - RID table occupies sub-offsets [0, 2^(l2 + s_r));
+   - base table occupies [2^(l4 + s_b), 2^(l4 + s_b + 1));
+   - data area starts at sub-offset 2^(l2 + l3 - 1) (leading nvbase flag
+     bit set). *)
+let check t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.word_bits < 16 || t.word_bits > 62 then
+    err "word_bits must be in [16, 62], got %d" t.word_bits
+  else if t.l1 < 1 || t.l2 < 3 || t.l3 < 4 || t.l4 < 1 then
+    err "field widths too small: l1=%d l2=%d l3=%d l4=%d" t.l1 t.l2 t.l3 t.l4
+  else if t.l1 + t.l2 + t.l3 <> t.word_bits then
+    err "l1 + l2 + l3 = %d, expected word_bits = %d" (t.l1 + t.l2 + t.l3)
+      t.word_bits
+  else if t.l4 < t.l2 then err "l4 (%d) must be >= l2 (%d)" t.l4 t.l2
+  else if t.l4 + s_b t < t.l2 + s_r t then
+    err "base table would overlap the RID table: l4 + s_b = %d < l2 + s_r = %d"
+      (t.l4 + s_b t) (t.l2 + s_r t)
+  else if t.l4 + s_b t + 1 > t.l2 + t.l3 - 1 then
+    err "base table would overlap the data area: l4 + s_b + 1 = %d > %d"
+      (t.l4 + s_b t + 1)
+      (t.l2 + t.l3 - 1)
+  else if t.l4 + t.l3 > t.word_bits then
+    err "a RIV value would not fit in a word: l4 + l3 = %d > %d" (t.l4 + t.l3)
+      t.word_bits
+  else Ok t
+
+let v ?(word_bits = 62) ~l1 ~l2 ~l3 ~l4 () =
+  check { word_bits; l1; l2; l3; l4 }
+
+let v_exn ?word_bits ~l1 ~l2 ~l3 ~l4 () =
+  match v ?word_bits ~l1 ~l2 ~l3 ~l4 () with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Layout.v_exn: " ^ msg)
+
+let default = v_exn ~l1:4 ~l2:26 ~l3:32 ~l4:30 ()
+let small = v_exn ~word_bits:30 ~l1:2 ~l2:8 ~l3:20 ~l4:10 ()
+let large_segments = v_exn ~l1:2 ~l2:24 ~l3:36 ~l4:26 ()
+
+let pp ppf t =
+  Format.fprintf ppf "{word=%d; l1=%d; l2=%d; l3=%d; l4=%d}" t.word_bits t.l1
+    t.l2 t.l3 t.l4
+
+let nv_bits t = t.word_bits - t.l1
+let nv_start t = Bitops.mask t.l1 lsl nv_bits t
+let segment_size t = 1 lsl t.l3
+let data_nvbase_min t = 1 lsl (t.l2 - 1)
+let usable_segments t = 1 lsl (t.l2 - 1)
+let max_rid t = Bitops.mask t.l4
+
+let table_virtual_bytes t =
+  ((1 lsl t.l4) * base_entry_bytes t) + ((1 lsl t.l2) * rid_entry_bytes t)
+
+let physical_overhead_bytes t ~regions =
+  regions * (rid_entry_bytes t + base_entry_bytes t)
+
+let in_nv_space t a = a lsr nv_bits t = Bitops.mask t.l1
+let is_volatile t a = not (in_nv_space t a)
+let sub t a = a land Bitops.mask (nv_bits t)
+let nvbase t a = Bitops.extract a ~lo:t.l3 ~len:t.l2
+let get_base t a = a land lnot ((1 lsl t.l3) - 1)
+let seg_offset t a = a land Bitops.mask t.l3
+let segment_base_of_nvbase t nb = nv_start t lor (nb lsl t.l3)
+let is_data_addr t a = in_nv_space t a && nvbase t a >= data_nvbase_min t
+
+let is_rid_table_addr t a =
+  in_nv_space t a
+  &&
+  let off = sub t a in
+  off >= data_nvbase_min t lsl s_r t && off < 1 lsl (t.l2 + s_r t)
+
+let is_base_table_addr t a =
+  in_nv_space t a
+  &&
+  let off = sub t a in
+  off >= 1 lsl (t.l4 + s_b t) && off < 1 lsl (t.l4 + s_b t + 1)
+
+let rid_entry_addr t a = nv_start t lor (nvbase t a lsl s_r t)
+
+let base_entry_addr t ~rid =
+  nv_start t lor (1 lsl (t.l4 + s_b t)) lor (rid lsl s_b t)
+
+let riv_null = 0
+
+let riv_pack t ~rid ~offset =
+  if rid < 1 || rid > max_rid t then invalid_arg "Layout.riv_pack: bad rid";
+  if offset < 0 || offset >= segment_size t then
+    invalid_arg "Layout.riv_pack: bad offset";
+  (rid lsl t.l3) lor offset
+
+let riv_rid t v = v lsr t.l3
+let riv_offset t v = v land Bitops.mask t.l3

@@ -1,0 +1,173 @@
+type cls = Small | Large
+
+type sub = { l2 : int; l3 : int }
+
+type t = { word_bits : int; l1 : int; l4 : int; small : sub; large : sub }
+
+let rid_entry_bytes t = Bitops.next_pow2 (Bitops.ceil_div t.l4 8)
+let base_entry_bytes sub = Bitops.next_pow2 (Bitops.ceil_div sub.l2 8)
+let s_r t = Bitops.log2_exact (rid_entry_bytes t)
+let s_b sub = Bitops.log2_exact (base_entry_bytes sub)
+
+(* Per-class validity. The base table must not overlap the RID table's
+   occupied entries: either it sits entirely above the whole RID table
+   (the single-level constraint) or entirely below its occupied half
+   (only data-area nvbases — leading flag bit set — have entries). In
+   both cases it must also sit below the data area. *)
+let check_sub t sub =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if sub.l2 < 3 then err "l2 = %d too small" sub.l2
+  else if sub.l3 < 4 then err "l3 = %d too small" sub.l3
+  else
+    let above = t.l4 + s_b sub >= sub.l2 + s_r t in
+    let below = t.l4 + s_b sub + 1 <= sub.l2 - 1 + s_r t in
+    if not (above || below) then
+      err "base table overlaps RID table (l4=%d l2=%d)" t.l4 sub.l2
+    else if t.l4 + s_b sub + 1 > sub.l2 + sub.l3 - 1 then
+      err "base table overlaps the data area"
+    else Ok ()
+
+let check t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let nv_bits = t.word_bits - t.l1 - 1 in
+  if t.word_bits < 24 || t.word_bits > 62 then err "bad word_bits"
+  else if t.l1 < 1 then err "bad l1"
+  else if t.small.l2 + t.small.l3 <> nv_bits then
+    err "small class: l2 + l3 = %d, expected %d" (t.small.l2 + t.small.l3)
+      nv_bits
+  else if t.large.l2 + t.large.l3 <> nv_bits then
+    err "large class: l2 + l3 = %d, expected %d" (t.large.l2 + t.large.l3)
+      nv_bits
+  else if t.large.l3 <= t.small.l3 then
+    err "large segments (2^%d) must exceed small segments (2^%d)" t.large.l3
+      t.small.l3
+  else if 1 + t.l4 + t.large.l3 > t.word_bits then
+    err "packed value does not fit: 1 + l4 + large.l3 = %d > %d"
+      (1 + t.l4 + t.large.l3)
+      t.word_bits
+  else
+    match check_sub t t.small with
+    | Error e -> err "small class: %s" e
+    | Ok () -> (
+        match check_sub t t.large with
+        | Error e -> err "large class: %s" e
+        | Ok () -> Ok t)
+
+let v ?(word_bits = 62) ~l1 ~l4 ~small_l3 ~large_l3 () =
+  let nv_bits = word_bits - l1 - 1 in
+  check
+    {
+      word_bits;
+      l1;
+      l4;
+      small = { l2 = nv_bits - small_l3; l3 = small_l3 };
+      large = { l2 = nv_bits - large_l3; l3 = large_l3 };
+    }
+
+let v_exn ?word_bits ~l1 ~l4 ~small_l3 ~large_l3 () =
+  match v ?word_bits ~l1 ~l4 ~small_l3 ~large_l3 () with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Two_level.v_exn: " ^ e)
+
+let default = v_exn ~l1:2 ~l4:26 ~small_l3:28 ~large_l3:34 ()
+
+let pp ppf t =
+  Format.fprintf ppf
+    "{word=%d; l1=%d; l0=1; l4=%d; small l2/l3=%d/%d; large l2/l3=%d/%d}"
+    t.word_bits t.l1 t.l4 t.small.l2 t.small.l3 t.large.l2 t.large.l3
+
+let nv_bits t = t.word_bits - t.l1
+let nv_start t = Bitops.mask t.l1 lsl nv_bits t
+let cls_bit_pos t = nv_bits t - 1
+let in_nv_space t a = a lsr nv_bits t = Bitops.mask t.l1
+
+let class_of t a =
+  if (a lsr cls_bit_pos t) land 1 = 1 then Large else Small
+
+let sub_of t = function Small -> t.small | Large -> t.large
+let cls_bit t = function Small -> 0 | Large -> 1 lsl cls_bit_pos t
+let segment_size t c = 1 lsl (sub_of t c).l3
+let usable_segments t c = 1 lsl ((sub_of t c).l2 - 1)
+let max_rid t = Bitops.mask t.l4
+let data_nvbase_min t c = 1 lsl ((sub_of t c).l2 - 1)
+
+let nvbase t a =
+  let sub = sub_of t (class_of t a) in
+  Bitops.extract a ~lo:sub.l3 ~len:sub.l2
+
+let seg_offset t a = a land Bitops.mask (sub_of t (class_of t a)).l3
+let get_base t a = a land lnot (Bitops.mask (sub_of t (class_of t a)).l3)
+
+let segment_base t c ~nvbase =
+  let sub = sub_of t c in
+  if nvbase < data_nvbase_min t c || nvbase > Bitops.mask sub.l2 then
+    invalid_arg "Two_level.segment_base: nvbase outside the data area";
+  nv_start t lor cls_bit t c lor (nvbase lsl sub.l3)
+
+let is_data_addr t a =
+  in_nv_space t a && nvbase t a >= data_nvbase_min t (class_of t a)
+
+let sub_offset t a =
+  (* offset within the class's half of the NV space *)
+  a land Bitops.mask (cls_bit_pos t)
+
+let is_rid_table_addr t a =
+  in_nv_space t a
+  &&
+  let c = class_of t a in
+  let sub = sub_of t c in
+  let off = sub_offset t a in
+  off >= data_nvbase_min t c lsl s_r t && off < 1 lsl (sub.l2 + s_r t)
+
+let is_base_table_addr t a =
+  in_nv_space t a
+  &&
+  let c = class_of t a in
+  let sub = sub_of t c in
+  let off = sub_offset t a in
+  off >= 1 lsl (t.l4 + s_b sub) && off < 1 lsl (t.l4 + s_b sub + 1)
+
+let rid_entry_addr t a =
+  let c = class_of t a in
+  nv_start t lor cls_bit t c lor (nvbase t a lsl s_r t)
+
+let base_entry_addr t c ~rid =
+  let sub = sub_of t c in
+  nv_start t lor cls_bit t c
+  lor (1 lsl (t.l4 + s_b sub))
+  lor (rid lsl s_b sub)
+
+(* Packed values: [class | rid | offset]; the class bit sits at the
+   fixed position [l4 + large.l3], above any offset of either class. *)
+let value_cls_pos t = t.l4 + t.large.l3
+
+let pack t c ~rid ~offset =
+  let sub = sub_of t c in
+  if rid < 1 || rid > max_rid t then invalid_arg "Two_level.pack: bad rid";
+  if offset < 0 || offset >= 1 lsl sub.l3 then
+    invalid_arg "Two_level.pack: bad offset";
+  ((match c with Small -> 0 | Large -> 1) lsl value_cls_pos t)
+  lor (rid lsl sub.l3) lor offset
+
+let unpack_cls t v =
+  if (v lsr value_cls_pos t) land 1 = 1 then Large else Small
+
+let unpack_rid t v =
+  let sub = sub_of t (unpack_cls t v) in
+  Bitops.extract v ~lo:sub.l3 ~len:t.l4
+
+let unpack_offset t v =
+  let sub = sub_of t (unpack_cls t v) in
+  v land Bitops.mask sub.l3
+
+let fits t c size = size > 0 && size <= segment_size t c
+
+let class_for_size t size =
+  if fits t Small size then Ok Small
+  else if fits t Large size then Ok Large
+  else
+    Error
+      (Printf.sprintf
+         "size %d exceeds even large segments (%d bytes); the region \
+          cannot be migrated"
+         size (segment_size t Large))

@@ -1,0 +1,105 @@
+(** Two-level NVRegions (the extension discussed at the end of
+    Section 4.3): one extra address bit (L0) splits the NV space into a
+    {e small}-region class and a {e large}-region class, each with its
+    own segment size and its own pair of direct-mapped tables, so a
+    system can host many small regions and a few very large ones at
+    once.
+
+    Address format: [ones(l1) | class(1) | nvbase(l2_c) | offset(l3_c)]
+    where the widths after the class bit depend on the class. Packed
+    two-level RIV values carry the class bit too:
+    [class(1) | rid(l4) | offset(l3_c)].
+
+    This module provides the complete address/table math and its
+    validity conditions; {!Nvmpi_addr.Layout} remains the single-level
+    layout the rest of the system uses by default. *)
+
+type cls = Small | Large
+
+type sub = { l2 : int; l3 : int }
+(** Field widths of one class; [l2 + l3 = word_bits - l1 - 1]. *)
+
+type t = private {
+  word_bits : int;
+  l1 : int;
+  l4 : int;  (** region-ID width, shared by both classes *)
+  small : sub;
+  large : sub;
+}
+
+val v :
+  ?word_bits:int -> l1:int -> l4:int -> small_l3:int -> large_l3:int ->
+  unit -> (t, string) result
+(** Builds and validates a two-level layout; each class must satisfy the
+    same non-overlap constraints as a single-level layout, and
+    [large_l3 > small_l3]. *)
+
+val v_exn :
+  ?word_bits:int -> l1:int -> l4:int -> small_l3:int -> large_l3:int ->
+  unit -> t
+
+val default : t
+(** 62-bit words, [l1 = 2], 26-bit region IDs; small segments of 256 MiB
+    and large segments of 16 GiB. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Address classification} *)
+
+val in_nv_space : t -> int -> bool
+val class_of : t -> int -> cls
+(** Class bit of an NV-space address. *)
+
+val sub_of : t -> cls -> sub
+val segment_size : t -> cls -> int
+val usable_segments : t -> cls -> int
+val max_rid : t -> int
+
+val is_data_addr : t -> int -> bool
+val is_rid_table_addr : t -> int -> bool
+val is_base_table_addr : t -> int -> bool
+
+(** {1 Segments} *)
+
+val segment_base : t -> cls -> nvbase:int -> int
+(** Base address of segment [nvbase] in the given class. The [nvbase]
+    must have its leading flag bit set (data area). *)
+
+val data_nvbase_min : t -> cls -> int
+val get_base : t -> int -> int
+(** Segment base of a data-area address (class-dependent mask). *)
+
+val nvbase : t -> int -> int
+val seg_offset : t -> int -> int
+
+(** {1 Tables}
+
+    Each class owns a RID table and a base table inside its own half of
+    the NV space; entry addresses are bit transformations exactly as in
+    the single-level design. *)
+
+val rid_entry_addr : t -> int -> int
+(** RID-table entry for the segment containing the given data-area
+    address. *)
+
+val base_entry_addr : t -> cls -> rid:int -> int
+
+(** {1 Packed values} *)
+
+val pack : t -> cls -> rid:int -> offset:int -> int
+val unpack_cls : t -> int -> cls
+val unpack_rid : t -> int -> int
+val unpack_offset : t -> int -> int
+
+(** {1 Migration support (Section 4.4)}
+
+    "If a tree grows too large to fit into a basic NVRegion, it could be
+    migrated to a higher-level larger NVRegion." *)
+
+val fits : t -> cls -> int -> bool
+(** Whether a region of the given byte size fits a segment of the
+    class. *)
+
+val class_for_size : t -> int -> (cls, string) result
+(** Smallest class whose segments hold the given size, or an error if
+    even large segments cannot. *)

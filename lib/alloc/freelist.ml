@@ -1,0 +1,197 @@
+module Memsim = Nvmpi_memsim.Memsim
+module Bitops = Nvmpi_addr.Bitops
+
+type t = { mem : Memsim.t; lo : int; hi : int }
+
+exception Out_of_memory of { requested : int; free : int }
+exception Corrupted of string
+
+let head_cell_bytes = 16
+let header_bytes = 16
+let min_block = 32 (* header + one payload word for the free-list link *)
+let st_free = 0
+let st_alloc = 1
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupted s)) fmt
+
+(* All persistent links are offsets from [lo]; 0 is the end of the list
+   (no block can start at offset 0, the head cell lives there). *)
+let abs t off = t.lo + off
+let off t a = a - t.lo
+let heap_size t = t.hi - t.lo
+let get_head t = Memsim.load64 t.mem t.lo
+let set_head t v = Memsim.store64 t.mem t.lo v
+let get_size t off = Memsim.load64 t.mem (abs t off)
+let set_size t off v = Memsim.store64 t.mem (abs t off) v
+let get_status t off = Memsim.load64 t.mem (abs t off + 8)
+let set_status t off v = Memsim.store64 t.mem (abs t off + 8) v
+let get_next t off = Memsim.load64 t.mem (abs t off + header_bytes)
+let set_next t off v = Memsim.store64 t.mem (abs t off + header_bytes) v
+
+let check_range mem ~lo ~hi =
+  if not (Bitops.is_aligned lo 8 && Bitops.is_aligned hi 8) then
+    invalid_arg "Freelist: range must be 8-aligned";
+  if hi - lo < head_cell_bytes + min_block + min_block then
+    invalid_arg "Freelist: range too small";
+  ignore mem
+
+let init mem ~lo ~hi =
+  check_range mem ~lo ~hi;
+  let t = { mem; lo; hi } in
+  let first = head_cell_bytes in
+  set_head t first;
+  set_size t first (heap_size t - head_cell_bytes);
+  set_status t first st_free;
+  set_next t first 0;
+  t
+
+let attach mem ~lo ~hi =
+  check_range mem ~lo ~hi;
+  { mem; lo; hi }
+
+let block_ok t o =
+  o >= head_cell_bytes && o + min_block <= heap_size t && o land 7 = 0
+
+let validate_block t o ctx =
+  if not (block_ok t o) then corrupt "%s: bad block offset 0x%x" ctx o;
+  let size = get_size t o in
+  if size < min_block || o + size > heap_size t || size land 7 <> 0 then
+    corrupt "%s: bad block size %d at 0x%x" ctx size o
+
+let alloc t n =
+  if n <= 0 then invalid_arg "Freelist.alloc: non-positive size";
+  let payload = max (Bitops.align_up n 8) (min_block - header_bytes) in
+  let need = payload + header_bytes in
+  (* First fit: [prev] is the offset of the block whose [next] points at
+     [cur] (0 when [cur] is the head). *)
+  let rec find prev cur =
+    if cur = 0 then None
+    else begin
+      validate_block t cur "alloc";
+      if get_status t cur <> st_free then
+        corrupt "alloc: block 0x%x on free list is not free" cur;
+      if get_size t cur >= need then Some (prev, cur)
+      else find cur (get_next t cur)
+    end
+  in
+  let set_link prev v = if prev = 0 then set_head t v else set_next t prev v in
+  match find 0 (get_head t) with
+  | None ->
+      let free =
+        let rec total cur acc =
+          if cur = 0 then acc
+          else total (get_next t cur) (acc + get_size t cur - header_bytes)
+        in
+        total (get_head t) 0
+      in
+      raise (Out_of_memory { requested = n; free })
+  | Some (prev, cur) ->
+      let size = get_size t cur in
+      let next = get_next t cur in
+      if size - need >= min_block then begin
+        (* Split: the tail remains free and takes [cur]'s place in the
+           address-ordered list. *)
+        let tail = cur + need in
+        set_size t tail (size - need);
+        set_status t tail st_free;
+        set_next t tail next;
+        set_link prev tail;
+        set_size t cur need
+      end
+      else set_link prev next;
+      set_status t cur st_alloc;
+      abs t cur + header_bytes
+
+let free t payload_addr =
+  let o = off t (payload_addr - header_bytes) in
+  validate_block t o "free";
+  if get_status t o <> st_alloc then
+    corrupt "free: block 0x%x is not allocated (double free?)" o;
+  set_status t o st_free;
+  (* Address-ordered insertion. *)
+  let rec find_spot prev cur =
+    if cur = 0 || cur > o then (prev, cur) else find_spot cur (get_next t cur)
+  in
+  let prev, next = find_spot 0 (get_head t) in
+  set_next t o next;
+  if prev = 0 then set_head t o else set_next t prev o;
+  (* Coalesce with the physical successor. *)
+  if next <> 0 && o + get_size t o = next then begin
+    set_size t o (get_size t o + get_size t next);
+    set_next t o (get_next t next)
+  end;
+  (* Coalesce with the physical predecessor. *)
+  if prev <> 0 && prev + get_size t prev = o then begin
+    set_size t prev (get_size t prev + get_size t o);
+    set_next t prev (get_next t o)
+  end
+
+let usable_size t payload_addr =
+  let o = off t (payload_addr - header_bytes) in
+  validate_block t o "usable_size";
+  if get_status t o <> st_alloc then corrupt "usable_size: block not allocated";
+  get_size t o - header_bytes
+
+let free_bytes t =
+  let rec go cur acc =
+    if cur = 0 then acc
+    else go (get_next t cur) (acc + get_size t cur - header_bytes)
+  in
+  go (get_head t) 0
+
+let iter_blocks t f =
+  let rec go o =
+    if o < heap_size t then begin
+      validate_block t o "iter_blocks";
+      let size = get_size t o in
+      f
+        ~addr:(abs t o + header_bytes)
+        ~size:(size - header_bytes)
+        ~free:(get_status t o = st_free);
+      go (o + size)
+    end
+  in
+  go head_cell_bytes
+
+let block_count t =
+  let a = ref 0 and f = ref 0 in
+  iter_blocks t (fun ~addr:_ ~size:_ ~free ->
+      if free then incr f else incr a);
+  (!a, !f)
+
+let check t =
+  (* Physical walk: sizes tile the heap exactly; statuses are sane; no
+     two adjacent free blocks (coalescing invariant). *)
+  let phys_free = ref [] in
+  let prev_free = ref false in
+  let last_end = ref head_cell_bytes in
+  iter_blocks t (fun ~addr ~size ~free ->
+      let o = off t (addr - header_bytes) in
+      if o <> !last_end then corrupt "check: block gap at 0x%x" o;
+      last_end := o + size + header_bytes;
+      let status = get_status t o in
+      if status <> st_free && status <> st_alloc then
+        corrupt "check: bad status %d at 0x%x" status o;
+      if free && !prev_free then corrupt "check: adjacent free blocks at 0x%x" o;
+      prev_free := free;
+      if free then phys_free := o :: !phys_free);
+  if !last_end <> heap_size t then
+    corrupt "check: heap walk ended at 0x%x, expected 0x%x" !last_end
+      (heap_size t);
+  let phys_free = List.rev !phys_free in
+  (* Free-list walk: sorted, acyclic, and exactly the physical free set. *)
+  let rec walk cur acc steps =
+    if cur = 0 then List.rev acc
+    else if steps > heap_size t then corrupt "check: free list cycle"
+    else begin
+      validate_block t cur "check";
+      (match acc with
+      | prev :: _ when prev >= cur -> corrupt "check: free list not sorted"
+      | _ -> ());
+      walk (get_next t cur) (cur :: acc) (steps + 1)
+    end
+  in
+  let list_free = walk (get_head t) [] 0 in
+  if list_free <> phys_free then
+    corrupt "check: free list (%d entries) disagrees with heap walk (%d)"
+      (List.length list_free) (List.length phys_free)

@@ -1,0 +1,57 @@
+(** A first-fit free-list allocator with splitting and physical
+    coalescing, whose entire state lives {e inside simulated memory} as
+    intra-range offsets.
+
+    Because every link is an offset from the managed range's base, the
+    allocator state is itself position independent: a region formatted
+    with this allocator can be closed, reopened at a different virtual
+    address, re-{!attach}ed and keep allocating — which the tests
+    exercise. This is the persistent-heap building block used by the
+    transactional object store.
+
+    Layout: the first 16 bytes of the managed range are the list head
+    cell; each block carries a 16-byte header [{size; status}] where
+    [size] includes the header. Free blocks keep their successor (an
+    offset, 0 = end of list) in the first payload word; the free list is
+    kept sorted by address so freeing can coalesce with both physical
+    neighbours. *)
+
+type t
+
+exception Out_of_memory of { requested : int; free : int }
+exception Corrupted of string
+
+val init : Nvmpi_memsim.Memsim.t -> lo:int -> hi:int -> t
+(** Formats the range [[lo, hi)] (both 8-aligned, at least 64 bytes) as
+    one big free block and returns a handle. *)
+
+val attach : Nvmpi_memsim.Memsim.t -> lo:int -> hi:int -> t
+(** Re-attaches to a previously formatted range, possibly mapped at a
+    different virtual address than when it was formatted. *)
+
+val alloc : t -> int -> int
+(** [alloc t n] returns the absolute address of an 8-aligned block of at
+    least [n] bytes. @raise Out_of_memory if no block fits. *)
+
+val free : t -> int -> unit
+(** Releases a block by its payload address, coalescing with adjacent
+    free blocks. @raise Corrupted if the address is not an allocated
+    block. *)
+
+val usable_size : t -> int -> int
+(** Payload capacity of the allocated block at the given address. *)
+
+val free_bytes : t -> int
+(** Total payload bytes on the free list. *)
+
+val block_count : t -> int * int
+(** [(allocated, free)] block counts from a full heap walk. *)
+
+val check : t -> unit
+(** Walks the heap and the free list and validates all invariants
+    (header sanity, no overlap, free list sorted and acyclic, no two
+    adjacent free blocks). @raise Corrupted on violation. *)
+
+val iter_blocks : t -> (addr:int -> size:int -> free:bool -> unit) -> unit
+(** Physical-order walk over all blocks; [addr]/[size] describe the
+    payload. *)

@@ -1,0 +1,186 @@
+module Machine = Core.Machine
+module Region = Nvmpi_nvregion.Region
+module Memsim = Nvmpi_memsim.Memsim
+module Objstore = Nvmpi_tx.Objstore
+module Tx = Nvmpi_tx.Tx
+module Repr = Core.Repr
+
+let kind_tag = 0x4B56 (* "KV" *)
+
+(* Meta block: [kind | buckets | table-offset | reserved].
+   Index entry: [next-slot | key (8) | value-slot]; the value slot
+   points at a [length | bytes] object. *)
+
+type t = {
+  os : Objstore.t;
+  tx : Tx.t;
+  repr : (module Core.Repr_sig.S);
+  meta : int;
+  table : int;
+  buckets : int;
+}
+
+let machine t = Objstore.machine t.os
+let memory t = (machine t).Machine.mem
+let slot t = let (module P) = t.repr in P.slot_size
+
+let load_slot t holder =
+  let (module P) = t.repr in
+  P.load (machine t) ~holder
+
+(* Index mutations are undo-logged before the representation writes the
+   slot, so an interrupted transaction restores the previous encoding
+   whatever the representation. *)
+let store_slot_tx t holder target =
+  let (module P) = t.repr in
+  Tx.add_range t.tx ~addr:holder ~len:P.slot_size;
+  P.store (machine t) ~holder target
+
+let store_slot_raw t holder target =
+  let (module P) = t.repr in
+  P.store (machine t) ~holder target
+
+let next_off = 0
+let key_off t = slot t
+let val_off t = slot t + 8
+let entry_size t = (2 * slot t) + 8
+
+let bucket_holder t i = t.table + (i * slot t)
+
+let hash t ~key =
+  Machine.alu (machine t) 4;
+  let h = key * 0x2545F4914F6CDD1 in
+  (h lxor (h lsr 31)) land max_int mod t.buckets
+
+let create os ~repr ~name ?(buckets = 256) () =
+  if buckets <= 0 then invalid_arg "Kvstore.create: buckets";
+  let machine = Objstore.machine os in
+  let region = Objstore.region os in
+  let (module P) = Repr.m repr in
+  let meta = Objstore.alloc os ~tag:kind_tag ~size:32 () in
+  let table = Objstore.alloc os ~tag:kind_tag ~size:(buckets * P.slot_size) () in
+  let t =
+    { os; tx = Tx.create os; repr = (module P); meta; table; buckets }
+  in
+  Memsim.store64 machine.Machine.mem meta kind_tag;
+  Memsim.store64 machine.Machine.mem (meta + 8) buckets;
+  Memsim.store64 machine.Machine.mem (meta + 16) (table - Region.base region);
+  Memsim.store64 machine.Machine.mem (meta + 24) 0;
+  for i = 0 to buckets - 1 do
+    store_slot_raw t (bucket_holder t i) 0
+  done;
+  Region.set_root region ~tag:kind_tag name meta;
+  t
+
+let attach os ~repr ~name =
+  let machine = Objstore.machine os in
+  let region = Objstore.region os in
+  match Region.root region name with
+  | None -> failwith (Printf.sprintf "Kvstore.attach: no root %S" name)
+  | Some meta ->
+      if Memsim.load64 machine.Machine.mem meta <> kind_tag then
+        failwith "Kvstore.attach: root is not a key-value store";
+      let buckets = Memsim.load64 machine.Machine.mem (meta + 8) in
+      let table =
+        Region.base region + Memsim.load64 machine.Machine.mem (meta + 16)
+      in
+      let (module P) = Repr.m repr in
+      { os; tx = Tx.create os; repr = (module P); meta; table; buckets }
+
+(* Locate the entry for [key]: [`Found (prev_holder, entry)] or
+   [`Missing last_holder]. *)
+let locate t ~key =
+  let rec go holder =
+    match load_slot t holder with
+    | 0 -> `Missing holder
+    | entry ->
+        Objstore.touch_read t.os;
+        if Memsim.load64 (memory t) (entry + key_off t) = key then
+          `Found (holder, entry)
+        else go (entry + next_off)
+  in
+  go (bucket_holder t (hash t ~key))
+
+let read_value t entry =
+  match load_slot t (entry + val_off t) with
+  | 0 -> ""
+  | v ->
+      let len = Memsim.load64 (memory t) v in
+      Bytes.to_string (Memsim.blit_to_bytes (memory t) ~addr:(v + 8) ~len)
+
+let alloc_value t data =
+  let len = String.length data in
+  let v = Objstore.alloc t.os ~tag:kind_tag ~size:(8 + len) () in
+  Memsim.store64 (memory t) v len;
+  if len > 0 then Memsim.blit_from_bytes (memory t) ~addr:(v + 8) (Bytes.of_string data);
+  v
+
+let put_body t ~key data =
+  let fresh_value = alloc_value t data in
+  match locate t ~key with
+  | `Found (_, entry) ->
+      let old = load_slot t (entry + val_off t) in
+      store_slot_tx t (entry + val_off t) fresh_value;
+      old
+  | `Missing holder ->
+      let entry = Objstore.alloc t.os ~tag:kind_tag ~size:(entry_size t) () in
+      store_slot_raw t (entry + next_off) 0;
+      Memsim.store64 (memory t) (entry + key_off t) key;
+      store_slot_raw t (entry + val_off t) fresh_value;
+      store_slot_tx t holder entry;
+      0
+
+let put t ~key data =
+  Tx.begin_tx t.tx;
+  let old = put_body t ~key data in
+  Tx.commit t.tx;
+  (* Reclaim the replaced value only after the commit is durable. *)
+  if old <> 0 then Objstore.free t.os old
+
+let simulate_crash_during_put t ~key data =
+  Tx.begin_tx t.tx;
+  ignore (put_body t ~key data);
+  Tx.simulate_crash t.tx
+
+let delete t ~key =
+  match locate t ~key with
+  | `Missing _ -> false
+  | `Found (prev_holder, entry) ->
+      Tx.begin_tx t.tx;
+      let next = load_slot t (entry + next_off) in
+      store_slot_tx t prev_holder next;
+      Tx.commit t.tx;
+      let v = load_slot t (entry + val_off t) in
+      if v <> 0 then Objstore.free t.os v;
+      Objstore.free t.os entry;
+      true
+
+let get t ~key =
+  match locate t ~key with
+  | `Missing _ -> None
+  | `Found (_, entry) -> Some (read_value t entry)
+
+let mem t ~key = match locate t ~key with `Found _ -> true | `Missing _ -> false
+
+let iter t f =
+  for i = 0 to t.buckets - 1 do
+    let rec go holder =
+      match load_slot t holder with
+      | 0 -> ()
+      | entry ->
+          f ~key:(Memsim.load64 (memory t) (entry + key_off t))
+            ~value:(read_value t entry);
+          go (entry + next_off)
+    in
+    go (bucket_holder t i)
+  done
+
+let size t =
+  let n = ref 0 in
+  iter t (fun ~key:_ ~value:_ -> incr n);
+  !n
+
+let keys t =
+  let out = ref [] in
+  iter t (fun ~key ~value:_ -> out := key :: !out);
+  List.sort compare !out

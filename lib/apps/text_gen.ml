@@ -1,0 +1,60 @@
+let syllables =
+  [| "ba"; "be"; "bi"; "bo"; "bu"; "da"; "de"; "di"; "do"; "du"; "fa"; "fe";
+     "ka"; "ke"; "ki"; "ko"; "ku"; "la"; "le"; "li"; "lo"; "lu"; "ma"; "me";
+     "na"; "ne"; "ni"; "no"; "nu"; "pa"; "pe"; "pi"; "po"; "pu"; "ra"; "re";
+     "sa"; "se"; "si"; "so"; "su"; "ta"; "te"; "ti"; "to"; "tu"; "va"; "ve";
+     "za"; "ze" |]
+
+let vocabulary ~size ~seed =
+  if size <= 0 then invalid_arg "Text_gen.vocabulary";
+  let st = Random.State.make [| seed; 0x7E57 |] in
+  let seen = Hashtbl.create size in
+  let out = Array.make size "" in
+  let count = ref 0 in
+  while !count < size do
+    let parts = 2 + Random.State.int st 3 in
+    let b = Buffer.create 8 in
+    for _ = 1 to parts do
+      Buffer.add_string b syllables.(Random.State.int st (Array.length syllables))
+    done;
+    let w = Buffer.contents b in
+    if not (Hashtbl.mem seen w) then begin
+      Hashtbl.add seen w ();
+      out.(!count) <- w;
+      incr count
+    end
+  done;
+  out
+
+let zipf_sampler ~n ~s ~seed =
+  if n <= 0 then invalid_arg "Text_gen.zipf_sampler";
+  let cumulative = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for k = 0 to n - 1 do
+    total := !total +. (1.0 /. Float.of_int (k + 1) ** s);
+    cumulative.(k) <- !total
+  done;
+  let st = Random.State.make [| seed; 0x21BF |] in
+  fun () ->
+    let u = Random.State.float st !total in
+    (* Binary search for the first cumulative weight >= u. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cumulative.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+let words ~n ~vocab ~seed =
+  let v = vocabulary ~size:vocab ~seed in
+  let sample = zipf_sampler ~n:vocab ~s:1.0 ~seed:(seed + 1) in
+  Array.init n (fun _ -> v.(sample ()))
+
+let reference_counts stream =
+  let tbl = Hashtbl.create 1024 in
+  Array.iter
+    (fun w ->
+      Hashtbl.replace tbl w (1 + Option.value ~default:0 (Hashtbl.find_opt tbl w)))
+    stream;
+  Hashtbl.fold (fun w c acc -> (w, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,21 @@
+(** Deterministic synthetic text corpus.
+
+    Stands in for the paper's English input files to {e wordcount}: a
+    syllable-built vocabulary of lowercase words with Zipf-distributed
+    frequencies, so the generated stream has the frequency skew real text
+    has (which is what drives the BST's insert/lookup mix). *)
+
+val vocabulary : size:int -> seed:int -> string array
+(** [vocabulary ~size ~seed] is [size] distinct lowercase words. *)
+
+val words : n:int -> vocab:int -> seed:int -> string array
+(** [words ~n ~vocab ~seed] is a stream of [n] word occurrences drawn
+    from a [vocab]-word vocabulary under a Zipf(1.0) distribution. *)
+
+val zipf_sampler : n:int -> s:float -> seed:int -> unit -> int
+(** [zipf_sampler ~n ~s ~seed] draws ranks in [[0, n)] with
+    P(k) proportional to 1/(k+1)^s. *)
+
+val reference_counts : string array -> (string * int) list
+(** Exact word counts of a stream, host-side, for validating the
+    NVM-resident wordcount. Sorted by word. *)

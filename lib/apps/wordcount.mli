@@ -1,0 +1,33 @@
+(** The paper's {e wordcount} application (Section 6.3, Figure 15): word
+    frequencies of an input stream accumulated in a binary search tree
+    that lives on an NVRegion, under any pointer representation.
+
+    Words are mapped to BST keys by an injective base-27 encoding (so no
+    two words collide), and each tree node's first payload word is the
+    occurrence counter. *)
+
+type result = {
+  distinct : int;  (** distinct words = BST nodes *)
+  total : int;  (** total occurrences counted *)
+}
+
+val key_of_word : string -> int
+(** Injective encoding of a lowercase word (at most 12 characters) into
+    a key. Preserves nothing but identity; the BST only needs a total
+    order. @raise Invalid_argument on empty/too-long/non-[a-z] words. *)
+
+val word_of_key : int -> string
+(** Inverse of {!key_of_word}. *)
+
+val count_words :
+  Nvmpi_structures.Node.t -> repr:Core.Repr.kind -> name:string -> string array -> result
+(** Builds (or extends) the frequency tree named [name] with every word
+    of the stream. *)
+
+val lookup : Nvmpi_structures.Node.t -> repr:Core.Repr.kind -> name:string -> string -> int
+(** Occurrence count recorded for a word (0 if never seen). *)
+
+val counts :
+  Nvmpi_structures.Node.t -> repr:Core.Repr.kind -> name:string -> (string * int) list
+(** All recorded [(word, count)] pairs, sorted by word — comparable to
+    {!Text_gen.reference_counts}. *)

@@ -1,0 +1,36 @@
+(** One level of a set-associative, write-back, write-allocate cache with
+    LRU replacement. Used as a building block by {!module:Timing}. *)
+
+type t
+
+type result =
+  | Hit
+  | Miss of { evicted_dirty : int option }
+      (** [evicted_dirty] is the line-aligned address of a dirty line that
+          had to be written back to make room, if any. *)
+
+val create : size_bytes:int -> ways:int -> line_bits:int -> t
+(** [create ~size_bytes ~ways ~line_bits] builds a cache of
+    [size_bytes / (ways * 2^line_bits)] sets. All parameters must be
+    powers of two and consistent. *)
+
+val access : t -> addr:int -> write:bool -> result
+(** Looks up the line containing [addr]; on a miss the line is filled
+    (allocated) and the LRU victim evicted. [write] marks the line
+    dirty. *)
+
+val flush_line : t -> addr:int -> bool
+(** [flush_line t ~addr] invalidates the line containing [addr] if
+    present, returning [true] iff it was present and dirty (i.e. a
+    write-back to memory is needed). *)
+
+val invalidate_all : t -> unit
+
+val sets : t -> int
+val ways : t -> int
+val line_bytes : t -> int
+
+type stats = { mutable hits : int; mutable misses : int }
+
+val stats : t -> stats
+val reset_stats : t -> unit

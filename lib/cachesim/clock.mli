@@ -1,0 +1,23 @@
+(** A cycle counter for the simulated machine.
+
+    All timing-model components charge cycles to a shared clock; the
+    experiment harness measures workloads as clock deltas. *)
+
+type t
+
+val create : unit -> t
+val tick : t -> int -> unit
+(** [tick t n] advances the clock by [n] cycles ([n >= 0]). *)
+
+val cycles : t -> int
+val reset : t -> unit
+
+val delta : t -> (unit -> 'a) -> 'a * int
+(** [delta t f] runs [f] and returns its result together with the number
+    of cycles it consumed. *)
+
+val to_seconds : ?ghz:float -> t -> float
+(** Wall-clock seconds at the given core frequency (default 2.6 GHz, the
+    PMEP clock used in the paper). *)
+
+val seconds_of_cycles : ?ghz:float -> int -> float

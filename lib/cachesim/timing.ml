@@ -1,0 +1,171 @@
+module Memsim = Nvmpi_memsim.Memsim
+
+type mem_stats = {
+  mutable dram_reads : int;
+  mutable dram_writes : int;
+  mutable nvm_reads : int;
+  mutable nvm_writes : int;
+  mutable flushes : int;
+  mutable fences : int;
+  mutable alu_cycles : int;
+}
+
+type t = {
+  cfg : Timing_config.t;
+  clock : Clock.t;
+  is_nvm : int -> bool;
+  l1 : Cache_level.t;
+  l2 : Cache_level.t;
+  l3 : Cache_level.t;
+  stats : mem_stats;
+}
+
+let create ?(cfg = Timing_config.default) ~clock ~is_nvm () =
+  let lvl size ways =
+    Cache_level.create ~size_bytes:size ~ways ~line_bits:cfg.line_bits
+  in
+  {
+    cfg;
+    clock;
+    is_nvm;
+    l1 = lvl cfg.l1_size cfg.l1_ways;
+    l2 = lvl cfg.l2_size cfg.l2_ways;
+    l3 = lvl cfg.l3_size cfg.l3_ways;
+    stats =
+      {
+        dram_reads = 0;
+        dram_writes = 0;
+        nvm_reads = 0;
+        nvm_writes = 0;
+        flushes = 0;
+        fences = 0;
+        alu_cycles = 0;
+      };
+  }
+
+let cfg t = t.cfg
+let clock t = t.clock
+let l1 t = t.l1
+let l2 t = t.l2
+let l3 t = t.l3
+let mem_stats t = t.stats
+
+let charge_mem_read t addr =
+  if t.is_nvm addr then begin
+    t.stats.nvm_reads <- t.stats.nvm_reads + 1;
+    Clock.tick t.clock t.cfg.nvm_read
+  end
+  else begin
+    t.stats.dram_reads <- t.stats.dram_reads + 1;
+    Clock.tick t.clock t.cfg.dram_read
+  end
+
+let charge_mem_write t addr =
+  if t.is_nvm addr then begin
+    t.stats.nvm_writes <- t.stats.nvm_writes + 1;
+    Clock.tick t.clock t.cfg.nvm_write
+  end
+  else begin
+    t.stats.dram_writes <- t.stats.dram_writes + 1;
+    Clock.tick t.clock t.cfg.dram_write
+  end
+
+(* A dirty line evicted from L3 is written back; lower-level dirty
+   evictions land in the next level (modelled by re-accessing it there). *)
+let rec access_level t level ~addr ~write =
+  match level with
+  | `L1 -> begin
+      match Cache_level.access t.l1 ~addr ~write with
+      | Cache_level.Hit -> Clock.tick t.clock t.cfg.l1_hit
+      | Cache_level.Miss { evicted_dirty } ->
+          Clock.tick t.clock t.cfg.l1_hit;
+          (match evicted_dirty with
+          | Some e -> access_level t `L2 ~addr:e ~write:true
+          | None -> ());
+          access_level t `L2 ~addr ~write:false
+    end
+  | `L2 -> begin
+      match Cache_level.access t.l2 ~addr ~write with
+      | Cache_level.Hit -> Clock.tick t.clock t.cfg.l2_hit
+      | Cache_level.Miss { evicted_dirty } ->
+          Clock.tick t.clock t.cfg.l2_hit;
+          (match evicted_dirty with
+          | Some e -> access_level t `L3 ~addr:e ~write:true
+          | None -> ());
+          access_level t `L3 ~addr ~write:false
+    end
+  | `L3 -> begin
+      match Cache_level.access t.l3 ~addr ~write with
+      | Cache_level.Hit -> Clock.tick t.clock t.cfg.l3_hit
+      | Cache_level.Miss { evicted_dirty } ->
+          Clock.tick t.clock t.cfg.l3_hit;
+          (match evicted_dirty with
+          | Some e -> charge_mem_write t e
+          | None -> ());
+          charge_mem_read t addr
+    end
+
+let access t ~addr ~size ~write =
+  let line = 1 lsl t.cfg.line_bits in
+  let first = addr land lnot (line - 1) in
+  let last = (addr + size - 1) land lnot (line - 1) in
+  let a = ref first in
+  while !a <= last do
+    access_level t `L1 ~addr:!a ~write;
+    a := !a + line
+  done
+
+let attach t mem =
+  Memsim.add_observer mem (fun (acc : Memsim.access) ->
+      access t ~addr:acc.addr ~size:acc.size
+        ~write:(match acc.op with Memsim.Store -> true | Memsim.Load -> false))
+
+let alu t n =
+  t.stats.alu_cycles <- t.stats.alu_cycles + n;
+  Clock.tick t.clock n
+
+let flush t ~addr =
+  t.stats.flushes <- t.stats.flushes + 1;
+  Clock.tick t.clock t.cfg.clflush;
+  let d1 = Cache_level.flush_line t.l1 ~addr in
+  let d2 = Cache_level.flush_line t.l2 ~addr in
+  let d3 = Cache_level.flush_line t.l3 ~addr in
+  if d1 || d2 || d3 then charge_mem_write t addr
+
+let fence t =
+  t.stats.fences <- t.stats.fences + 1;
+  Clock.tick t.clock t.cfg.wbarrier
+
+let reset_stats t =
+  Cache_level.reset_stats t.l1;
+  Cache_level.reset_stats t.l2;
+  Cache_level.reset_stats t.l3;
+  let s = t.stats in
+  s.dram_reads <- 0;
+  s.dram_writes <- 0;
+  s.nvm_reads <- 0;
+  s.nvm_writes <- 0;
+  s.flushes <- 0;
+  s.fences <- 0;
+  s.alu_cycles <- 0
+
+let invalidate_caches t =
+  Cache_level.invalidate_all t.l1;
+  Cache_level.invalidate_all t.l2;
+  Cache_level.invalidate_all t.l3
+
+let pp_stats ppf t =
+  let s = t.stats in
+  let lvl name c =
+    let st = Cache_level.stats c in
+    Format.fprintf ppf "%s: %d hits / %d misses@ " name st.Cache_level.hits
+      st.Cache_level.misses
+  in
+  Format.fprintf ppf "@[<v>";
+  lvl "L1" t.l1;
+  lvl "L2" t.l2;
+  lvl "L3" t.l3;
+  Format.fprintf ppf
+    "DRAM r/w: %d/%d; NVM r/w: %d/%d; flushes: %d; fences: %d; alu: %d@]"
+    s.dram_reads s.dram_writes s.nvm_reads s.nvm_writes s.flushes s.fences
+    s.alu_cycles

@@ -1,0 +1,69 @@
+(** The machine timing model: a three-level cache hierarchy in front of
+    DRAM and emulated NVM, driven by {!Memsim} access events.
+
+    Attach an instance to a {!Memsim.t} with {!attach}; from then on every
+    simulated load/store is charged to the shared {!Clock.t}:
+
+    - L1 hit: [l1_hit] cycles;
+    - L2/L3 hit: the corresponding hit latency;
+    - miss everywhere: the DRAM or NVM read latency, chosen by the
+      address classifier (the NV space is NVM, everything else DRAM);
+    - dirty evictions from L3 are charged the destination write latency.
+
+    The model also exposes explicit charges used by the pointer
+    representations and the transactional store: {!alu} for register
+    arithmetic, {!flush} for cache-line write-back ([clflush]) and
+    {!fence} for persist barriers ([wbarrier], 115 ns in the paper's PMEP
+    configuration). *)
+
+type t
+
+type mem_stats = {
+  mutable dram_reads : int;
+  mutable dram_writes : int;
+  mutable nvm_reads : int;
+  mutable nvm_writes : int;
+  mutable flushes : int;
+  mutable fences : int;
+  mutable alu_cycles : int;
+}
+
+val create :
+  ?cfg:Timing_config.t -> clock:Clock.t -> is_nvm:(int -> bool) -> unit -> t
+(** [create ~clock ~is_nvm ()] builds a timing model charging to [clock];
+    [is_nvm addr] decides whether a missed line is served by NVM or
+    DRAM. *)
+
+val attach : t -> Nvmpi_memsim.Memsim.t -> unit
+(** Registers the model as an access observer of the given memory. *)
+
+val cfg : t -> Timing_config.t
+val clock : t -> Clock.t
+
+val access : t -> addr:int -> size:int -> write:bool -> unit
+(** Charge one access explicitly (the observer calls this). *)
+
+val alu : t -> int -> unit
+(** [alu t n] charges [n] cycles of register-only computation. *)
+
+val flush : t -> addr:int -> unit
+(** Cache-line write-back of the line containing [addr] (clflush): the
+    line is invalidated in all levels and, if dirty, a memory write is
+    charged at the destination latency. *)
+
+val fence : t -> unit
+(** Persist barrier ([wbarrier]). *)
+
+val l1 : t -> Cache_level.t
+val l2 : t -> Cache_level.t
+val l3 : t -> Cache_level.t
+val mem_stats : t -> mem_stats
+
+val reset_stats : t -> unit
+(** Clears hit/miss and memory counters (does not touch the clock or the
+    cache contents). *)
+
+val invalidate_caches : t -> unit
+(** Empties all cache levels (simulates a cold start). *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+type t = {
+  line_bits : int;
+  l1_size : int;
+  l1_ways : int;
+  l1_hit : int;
+  l2_size : int;
+  l2_ways : int;
+  l2_hit : int;
+  l3_size : int;
+  l3_ways : int;
+  l3_hit : int;
+  dram_read : int;
+  dram_write : int;
+  nvm_read : int;
+  nvm_write : int;
+  wbarrier : int;
+  clflush : int;
+}
+
+let default =
+  {
+    line_bits = 6;
+    l1_size = 32 * 1024;
+    l1_ways = 8;
+    l1_hit = 4;
+    l2_size = 2 * 1024 * 1024;
+    l2_ways = 16;
+    l2_hit = 14;
+    l3_size = 32 * 1024 * 1024;
+    l3_ways = 16;
+    l3_hit = 42;
+    dram_read = 180;
+    dram_write = 180;
+    nvm_read = 300;
+    nvm_write = 500;
+    wbarrier = 300;
+    clflush = 60;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>L1 %dKiB/%d-way %dcyc; L2 %dKiB/%d-way %dcyc; L3 %dMiB/%d-way \
+     %dcyc;@ DRAM r%d/w%d; NVM r%d/w%d; wbarrier %d; clflush %d@]"
+    (t.l1_size / 1024) t.l1_ways t.l1_hit (t.l2_size / 1024) t.l2_ways t.l2_hit
+    (t.l3_size / 1024 / 1024)
+    t.l3_ways t.l3_hit t.dram_read t.dram_write t.nvm_read t.nvm_write
+    t.wbarrier t.clflush

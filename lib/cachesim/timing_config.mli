@@ -1,0 +1,32 @@
+(** Timing-model parameters: the simulated analogue of Intel PMEP.
+
+    PMEP partitions DRAM into a volatile range and an emulated-NVM range
+    with configurable latencies and a 115 ns write barrier; this record
+    captures the same knobs as core-cycle costs (2.6 GHz core as in the
+    paper, so 1 ns is 2.6 cycles). *)
+
+type t = {
+  line_bits : int;  (** cache line size, log2 bytes (6 = 64 B) *)
+  l1_size : int;
+  l1_ways : int;
+  l1_hit : int;  (** L1 hit latency, cycles *)
+  l2_size : int;
+  l2_ways : int;
+  l2_hit : int;
+  l3_size : int;
+  l3_ways : int;
+  l3_hit : int;
+  dram_read : int;  (** DRAM miss latency, cycles *)
+  dram_write : int;
+  nvm_read : int;  (** emulated-NVM read latency, cycles *)
+  nvm_write : int;
+  wbarrier : int;  (** persist fence; paper sets 115 ns ~= 300 cycles *)
+  clflush : int;  (** optimized cache-line flush issue cost *)
+}
+
+val default : t
+(** PMEP-like defaults: 32 KiB/8-way L1 (4 cyc), 2 MiB/16-way L2
+    (14 cyc), 32 MiB/16-way L3 (42 cyc), DRAM 180 cyc, NVM read 300 cyc,
+    NVM write 500 cyc, wbarrier 300 cyc, clflush 60 cyc. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** Based pointers (Section 5, Microsoft C++ [__based]): the slot stores
+    the offset from a base variable that names one region and lives in a
+    register, so a dereference costs one add. Fastest after normal
+    pointers, but confined to the single region the base names, with the
+    usability problems Section 5 catalogues. *)
+
+let name = "based"
+let slot_size = 8
+let cross_region = false
+let position_independent = true
+
+let base_of m ~holder ~target =
+  let b = m.Machine.based_base in
+  if b = 0 then failwith "based pointer used with no based region set";
+  ignore holder;
+  ignore target;
+  b
+
+let store m ~holder target =
+  let b = base_of m ~holder ~target in
+  if target = 0 then Machine.store64 m holder 0
+  else begin
+    (match Machine.region_of_addr m target with
+    | Some r when Nvmpi_nvregion.Region.base r = b -> ()
+    | _ -> raise (Machine.Cross_region_store { holder; target; repr = name }));
+    Machine.alu m 1;
+    Machine.store64 m holder (target - b)
+  end
+
+let load m ~holder =
+  let b = base_of m ~holder ~target:0 in
+  let v = Machine.load64 m holder in
+  Machine.alu m 1;
+  if v = 0 then 0 else b + v

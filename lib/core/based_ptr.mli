@@ -1,0 +1,17 @@
+(** Based pointers (Section 5): offsets from a register-resident base
+    variable naming one region ({!Machine.set_based_region}). Fast but
+    intra-region only, with the usability pitfalls Section 5 and
+    Figure 11 catalogue. Satisfies {!Repr_sig.S}. *)
+
+val name : string
+val slot_size : int
+val cross_region : bool
+val position_independent : bool
+
+val store : Machine.t -> holder:int -> int -> unit
+(** [store m ~holder target] encodes a pointer to [target] into the
+    slot at [holder] (0 stores null). *)
+
+val load : Machine.t -> holder:int -> int
+(** [load m ~holder] decodes the slot and returns the absolute target
+    address (0 for null). *)

@@ -1,0 +1,37 @@
+(** Fat pointers (Section 5): a two-word [{regionID; offset}] struct, as
+    used by PMEM.IO's PMEMoid and NV-Heaps' smart pointers. Every
+    dereference pays a hashtable lookup from region ID to base address;
+    every assignment pays a reverse search from address to region. *)
+
+module Layout = Nvmpi_addr.Layout
+
+let name = "fat"
+let slot_size = 16
+let cross_region = true
+let position_independent = true
+
+let store m ~holder target =
+  if target = 0 then begin
+    Machine.store64 m holder 0;
+    Machine.store64 m (holder + 8) 0
+  end
+  else begin
+    let rid = Fat_table.rid_of_addr m.Machine.fat target in
+    Machine.alu m 1;
+    let offset = Layout.seg_offset m.Machine.layout target in
+    Machine.store64 m holder rid;
+    Machine.store64 m (holder + 8) offset
+  end
+
+let load m ~holder =
+  let rid = Machine.load64 m holder in
+  if rid = 0 then begin
+    Fat_table.charge_null_lookup m.Machine.fat;
+    0
+  end
+  else begin
+    let offset = Machine.load64 m (holder + 8) in
+    let base = Fat_table.lookup m.Machine.fat rid in
+    Machine.alu m 1;
+    base + offset
+  end

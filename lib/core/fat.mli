@@ -1,0 +1,17 @@
+(** Fat pointers (Section 5): a two-word [{regionID; offset}] struct as
+    in PMEM.IO/NV-Heaps; dereferences pay a hashtable lookup, stores a
+    reverse region search. Satisfies {!Repr_sig.S} (with
+    [slot_size = 16]). *)
+
+val name : string
+val slot_size : int
+val cross_region : bool
+val position_independent : bool
+
+val store : Machine.t -> holder:int -> int -> unit
+(** [store m ~holder target] encodes a pointer to [target] into the
+    slot at [holder] (0 stores null). *)
+
+val load : Machine.t -> holder:int -> int
+(** [load m ~holder] decodes the slot and returns the absolute target
+    address (0 for null). *)

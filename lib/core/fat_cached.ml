@@ -1,0 +1,36 @@
+(** Fat pointers with the one-entry software cache of Section 6.3: two
+    globals, [lastID] and [lastAddr], short-circuit the hashtable lookup
+    when consecutive dereferences hit the same region. Effective with a
+    single region; defeated when accesses alternate between regions. *)
+
+module Layout = Nvmpi_addr.Layout
+
+let name = "fat-cached"
+let slot_size = 16
+let cross_region = true
+let position_independent = true
+
+let store = Fat.store
+
+let load m ~holder =
+  let rid = Machine.load64 m holder in
+  if rid = 0 then begin
+    Fat_table.charge_null_lookup m.Machine.fat;
+    0
+  end
+  else begin
+    let offset = Machine.load64 m (holder + 8) in
+    let last_id = Machine.load64 m (Machine.lastid_addr m) in
+    Machine.alu m 1;
+    let base =
+      if last_id = rid then Machine.load64 m (Machine.lastaddr_addr m)
+      else begin
+        let b = Fat_table.lookup m.Machine.fat rid in
+        Machine.store64 m (Machine.lastid_addr m) rid;
+        Machine.store64 m (Machine.lastaddr_addr m) b;
+        b
+      end
+    in
+    Machine.alu m 1;
+    base + offset
+  end

@@ -1,0 +1,16 @@
+(** Fat pointers with the one-entry [lastID]/[lastAddr] software cache
+    of Section 6.3: effective with one region, defeated when accesses
+    alternate regions. Satisfies {!Repr_sig.S}. *)
+
+val name : string
+val slot_size : int
+val cross_region : bool
+val position_independent : bool
+
+val store : Machine.t -> holder:int -> int -> unit
+(** [store m ~holder target] encodes a pointer to [target] into the
+    slot at [holder] (0 stores null). *)
+
+val load : Machine.t -> holder:int -> int
+(** [load m ~holder] decodes the slot and returns the absolute target
+    address (0 for null). *)

@@ -1,0 +1,49 @@
+(** The fat-pointer runtime, as used by PMEM.IO-style persistent object
+    libraries: a hashtable mapping region ID to base address (consulted
+    on every fat-pointer dereference) and a base-sorted region list
+    (consulted when an absolute address must be turned back into a
+    [{regionID; offset}] pair on a fat-pointer assignment).
+
+    Both structures live in {e simulated DRAM}, so every probe is a real
+    simulated memory access charged by the cache model — the hashtable's
+    cost disadvantage against RIV's direct-mapped tables is measured, not
+    asserted. *)
+
+type t
+
+exception Unknown_region of { rid : int }
+exception No_region_for_addr of { addr : int }
+
+val create :
+  mem:Nvmpi_memsim.Memsim.t ->
+  timing:Nvmpi_cachesim.Timing.t ->
+  layout:Nvmpi_addr.Layout.t ->
+  table_base:int ->
+  slots:int ->
+  list_base:int ->
+  list_cap:int ->
+  t
+(** [slots] must be a power of two; the caller provides DRAM placement
+    for the [slots * 16]-byte hashtable and the [list_cap * 16]-byte
+    region list. *)
+
+val put : t -> rid:int -> base:int -> unit
+(** Registers an opened region (hashtable insert + sorted-list insert). *)
+
+val remove : t -> rid:int -> unit
+
+val charge_null_lookup : t -> unit
+(** Charges the cost of testing a fat pointer for null (PMEM.IO's
+    [TOID_IS_NULL]: an inlined two-field comparison, no library call). *)
+
+val lookup : t -> int -> int
+(** [lookup t rid] is the base address of region [rid]: hash (6 ALU) +
+    linear probing with one 8-byte load per probe.
+    @raise Unknown_region when absent. *)
+
+val rid_of_addr : t -> int -> int
+(** [rid_of_addr t a] finds the region containing [a] by binary search
+    over the base-sorted region list (2 ALU + one load per step).
+    @raise No_region_for_addr when no open region contains [a]. *)
+
+val count : t -> int

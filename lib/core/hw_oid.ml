@@ -1,0 +1,51 @@
+(** A hypothetical hardware-assisted representation, modelling the
+    related work the paper contrasts with (Wang et al., MICRO 2017:
+    hardware support for persistent-object address translation) and its
+    own future-work note on combining the software methods with hardware
+    support.
+
+    Stored format is identical to RIV ([{region ID | offset}]); the
+    difference is that the ID-to-base translation is performed by a
+    dedicated hardware table, charged at a fixed {!translation_cycles}
+    (a TLB-like hit) instead of a memory load through the cache
+    hierarchy. Comparing it against RIV in the ablation benchmarks
+    bounds how much headroom hardware support leaves over the paper's
+    pure-software tables. *)
+
+module Layout = Nvmpi_addr.Layout
+
+let name = "hw-oid"
+let slot_size = 8
+let cross_region = true
+let position_independent = true
+
+let translation_cycles = 2
+(** Hardware translation-table hit latency. *)
+
+(* The hardware table is backed by the same software state (the
+   NV-space base table contents) so correctness is identical; only the
+   charged cost differs. *)
+
+let store m ~holder target =
+  if target = 0 then Machine.store64 m holder 0
+  else begin
+    let rid = Machine.rid_of_addr_exn m target in
+    Machine.alu m translation_cycles;
+    let v =
+      Layout.riv_pack m.Machine.layout ~rid
+        ~offset:(Layout.seg_offset m.Machine.layout target)
+    in
+    Machine.store64 m holder v
+  end
+
+let load m ~holder =
+  let v = Machine.load64 m holder in
+  if v = 0 then 0
+  else begin
+    Machine.alu m translation_cycles;
+    let rid = Layout.riv_rid m.Machine.layout v in
+    match Machine.region m rid with
+    | Some r ->
+        Nvmpi_nvregion.Region.base r lor Layout.riv_offset m.Machine.layout v
+    | None -> raise (Nvspace.Unknown_region { rid })
+  end

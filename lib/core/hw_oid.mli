@@ -1,0 +1,20 @@
+(** Hypothetical hardware-assisted translation (the related work of
+    Wang et al., MICRO 2017): RIV's format with the ID-to-base
+    translation charged at a fixed {!translation_cycles} instead of a
+    memory access. Bounds the headroom hardware leaves over the paper's
+    software tables. Satisfies {!Repr_sig.S}. *)
+
+val translation_cycles : int
+
+val name : string
+val slot_size : int
+val cross_region : bool
+val position_independent : bool
+
+val store : Machine.t -> holder:int -> int -> unit
+(** [store m ~holder target] encodes a pointer to [target] into the
+    slot at [holder] (0 stores null). *)
+
+val load : Machine.t -> holder:int -> int
+(** [load m ~holder] decodes the slot and returns the absolute target
+    address (0 for null). *)

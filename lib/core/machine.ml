@@ -1,0 +1,124 @@
+module Layout = Nvmpi_addr.Layout
+module Memsim = Nvmpi_memsim.Memsim
+module Clock = Nvmpi_cachesim.Clock
+module Timing = Nvmpi_cachesim.Timing
+module Timing_config = Nvmpi_cachesim.Timing_config
+module Manager = Nvmpi_nvregion.Manager
+module Region = Nvmpi_nvregion.Region
+module Store = Nvmpi_nvregion.Store
+
+type t = {
+  layout : Layout.t;
+  mem : Memsim.t;
+  clock : Clock.t;
+  timing : Timing.t;
+  manager : Manager.t;
+  nvspace : Nvspace.t;
+  fat : Fat_table.t;
+  mutable based_base : int;
+  mutable dram_cursor : int;
+  dram_limit : int;
+}
+
+exception Cross_region_store of { holder : int; target : int; repr : string }
+
+(* Fixed carve-outs in the simulated DRAM (volatile) address range. *)
+let dram_base = 0x10_0000 (* 1 MiB *)
+let fat_table_off = 0
+let fat_slots = 4096
+let fat_list_off = fat_slots * 16
+let fat_list_cap = 4096
+let globals_off = fat_list_off + (fat_list_cap * 16)
+let heap_off = globals_off + 4096
+let dram_size = 512 * 1024 * 1024
+
+let create ?(layout = Layout.default) ?cfg ?seed ~store () =
+  let mem = Memsim.create () in
+  let clock = Clock.create () in
+  let timing =
+    Timing.create ?cfg ~clock ~is_nvm:(fun a -> Layout.in_nv_space layout a) ()
+  in
+  Timing.attach timing mem;
+  Memsim.map mem ~addr:dram_base ~size:dram_size;
+  let manager = Manager.create ?seed ~layout ~mem ~store () in
+  let nvspace = Nvspace.create ~layout ~mem ~timing in
+  let fat =
+    Fat_table.create ~mem ~timing ~layout
+      ~table_base:(dram_base + fat_table_off)
+      ~slots:fat_slots
+      ~list_base:(dram_base + fat_list_off)
+      ~list_cap:fat_list_cap
+  in
+  {
+    layout;
+    mem;
+    clock;
+    timing;
+    manager;
+    nvspace;
+    fat;
+    based_base = 0;
+    dram_cursor = dram_base + heap_off;
+    dram_limit = dram_base + dram_size;
+  }
+
+let create_region t ~size = Manager.create_region t.manager ~size
+
+let open_region ?at_nvbase t rid =
+  let r = Manager.open_region ?at_nvbase t.manager rid in
+  Nvspace.register_region t.nvspace ~rid ~base:(Region.base r);
+  Fat_table.put t.fat ~rid ~base:(Region.base r);
+  r
+
+let close_region t rid =
+  let r = Manager.region_exn t.manager rid in
+  let base = Region.base r in
+  Manager.close_region t.manager rid;
+  Nvspace.unregister_region t.nvspace ~rid ~base;
+  Fat_table.remove t.fat ~rid;
+  if t.based_base = base then t.based_base <- 0
+
+(* Section 4.4's migration to a larger region: persist, grow the image,
+   remap. All position-independent contents survive the move. *)
+let migrate_region t rid ~size =
+  let was_based =
+    match Manager.region t.manager rid with
+    | Some r -> t.based_base = Region.base r
+    | None -> false
+  in
+  if Manager.region t.manager rid <> None then close_region t rid;
+  Store.grow (Manager.store t.manager) ~rid ~size;
+  let r = open_region t rid in
+  if was_based then t.based_base <- Region.base r;
+  r
+
+let close_all t =
+  List.iter (fun r -> close_region t (Region.rid r))
+    (Manager.open_regions t.manager)
+
+let region t rid = Manager.region t.manager rid
+let region_exn t rid = Manager.region_exn t.manager rid
+let region_of_addr t a = Manager.region_of_addr t.manager a
+
+let rid_of_addr_exn t a =
+  match region_of_addr t a with
+  | Some r -> Region.rid r
+  | None -> invalid_arg (Printf.sprintf "no open region contains 0x%x" a)
+
+let set_based_region t rid = t.based_base <- Region.base (region_exn t rid)
+
+let dram_alloc t ?(align = 8) n =
+  if n <= 0 then invalid_arg "Machine.dram_alloc";
+  let a = Nvmpi_addr.Bitops.align_up t.dram_cursor align in
+  if a + n > t.dram_limit then failwith "Machine.dram_alloc: out of DRAM";
+  t.dram_cursor <- a + n;
+  a
+
+let lastid_addr t = ignore t; dram_base + globals_off
+let lastaddr_addr t = ignore t; dram_base + globals_off + 8
+
+let load64 t a = Memsim.load64 t.mem a
+let store64 t a v = Memsim.store64 t.mem a v
+let alu t n = Timing.alu t.timing n
+let cycles t = Clock.cycles t.clock
+let is_nvm t a = Layout.in_nv_space t.layout a

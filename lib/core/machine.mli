@@ -1,0 +1,92 @@
+(** The simulated machine: one virtual address space ("one run") wired to
+    the NVM device, the timing model and the runtime state that the
+    pointer representations need.
+
+    A machine bundles:
+    - a {!Nvmpi_memsim.Memsim.t} address space with the NV space mapped
+      per a {!Nvmpi_addr.Layout.t};
+    - a {!Nvmpi_cachesim.Timing.t} cycle model attached to it;
+    - a {!Nvmpi_nvregion.Manager.t} that opens NVRegions from a shared
+      {!Nvmpi_nvregion.Store.t} at randomized segments;
+    - the RIV lookup tables ({!Nvspace}), populated on region open;
+    - the fat-pointer runtime ({!Fat_table}: ID-to-base hashtable and
+      base-sorted region list, both living in simulated DRAM);
+    - the one-entry fat-pointer cache ([lastID]/[lastAddr] globals in
+      simulated DRAM) and the based-pointer base register.
+
+    Creating a second machine over the same store and re-opening the
+    regions models a new run in which every region lands at a different
+    virtual address. *)
+
+type t = {
+  layout : Nvmpi_addr.Layout.t;
+  mem : Nvmpi_memsim.Memsim.t;
+  clock : Nvmpi_cachesim.Clock.t;
+  timing : Nvmpi_cachesim.Timing.t;
+  manager : Nvmpi_nvregion.Manager.t;
+  nvspace : Nvspace.t;
+  fat : Fat_table.t;
+  mutable based_base : int;  (** base register for based pointers; 0 = unset *)
+  mutable dram_cursor : int;
+  dram_limit : int;
+}
+
+exception Cross_region_store of { holder : int; target : int; repr : string }
+(** Raised when an intra-region-only representation (off-holder, based)
+    is asked to store a pointer whose target lives in a different region
+    than the holder. *)
+
+val create :
+  ?layout:Nvmpi_addr.Layout.t ->
+  ?cfg:Nvmpi_cachesim.Timing_config.t ->
+  ?seed:int ->
+  store:Nvmpi_nvregion.Store.t ->
+  unit ->
+  t
+(** A fresh address space over [store]. [seed] fixes region placement
+    (tests); without it placement is randomized per machine. *)
+
+(** {1 Regions} *)
+
+val create_region : t -> size:int -> int
+val open_region : ?at_nvbase:int -> t -> int -> Nvmpi_nvregion.Region.t
+(** Opens the region, places it at a (random) NV segment, and registers
+    it with the RIV tables and the fat-pointer runtime. *)
+
+val migrate_region : t -> int -> size:int -> Nvmpi_nvregion.Region.t
+(** Section 4.4's migration: grows the region's image to [size] bytes
+    and remaps it (at a fresh segment). Only position-independent
+    contents survive, which is the point: off-holder/RIV structures keep
+    working after migration, absolute pointers would dangle.
+    @raise Invalid_argument if [size] does not exceed the current size
+    or exceeds a segment. *)
+
+val close_region : t -> int -> unit
+val close_all : t -> unit
+val region : t -> int -> Nvmpi_nvregion.Region.t option
+val region_exn : t -> int -> Nvmpi_nvregion.Region.t
+val region_of_addr : t -> int -> Nvmpi_nvregion.Region.t option
+val rid_of_addr_exn : t -> int -> int
+(** Region ID of the open region containing the address.
+    @raise Invalid_argument if no open region contains it. *)
+
+val set_based_region : t -> int -> unit
+(** Selects the region whose base the based-pointer representation uses
+    as its (register-resident) base variable. *)
+
+(** {1 Simulated DRAM} *)
+
+val dram_alloc : t -> ?align:int -> int -> int
+(** Bump-allocates volatile simulated memory (never persisted). *)
+
+val lastid_addr : t -> int
+val lastaddr_addr : t -> int
+(** DRAM addresses of the fat-pointer-cache globals. *)
+
+(** {1 Shorthands} *)
+
+val load64 : t -> int -> int
+val store64 : t -> int -> int -> unit
+val alu : t -> int -> unit
+val cycles : t -> int
+val is_nvm : t -> int -> bool

@@ -1,0 +1,10 @@
+(** Normal (volatile) pointers: the absolute virtual address is stored
+    verbatim. This is the paper's baseline — fastest, but not position
+    independent: after a region is remapped, stored targets are dangling. *)
+
+let name = "normal"
+let slot_size = 8
+let cross_region = true
+let position_independent = false
+let store m ~holder target = Machine.store64 m holder target
+let load m ~holder = Machine.load64 m holder

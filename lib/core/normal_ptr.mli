@@ -1,0 +1,16 @@
+(** Normal (volatile) pointers: the absolute virtual address stored
+    verbatim. The paper's baseline — fastest, but a stored target
+    dangles once its region is remapped. Satisfies {!Repr_sig.S}. *)
+
+val name : string
+val slot_size : int
+val cross_region : bool
+val position_independent : bool
+
+val store : Machine.t -> holder:int -> int -> unit
+(** [store m ~holder target] encodes a pointer to [target] into the
+    slot at [holder] (0 stores null). *)
+
+val load : Machine.t -> holder:int -> int
+(** [load m ~holder] decodes the slot and returns the absolute target
+    address (0 for null). *)

@@ -1,0 +1,130 @@
+module Layout = Nvmpi_addr.Layout
+module Bitops = Nvmpi_addr.Bitops
+module Memsim = Nvmpi_memsim.Memsim
+module Timing = Nvmpi_cachesim.Timing
+module Clock = Nvmpi_cachesim.Clock
+
+type phases = {
+  mutable extract_cycles : int;
+  mutable id2addr_cycles : int;
+  mutable final_cycles : int;
+}
+
+type t = {
+  layout : Layout.t;
+  mem : Memsim.t;
+  timing : Timing.t;
+  rid_entry : int; (* entry sizes in bytes *)
+  base_entry : int;
+  phases : phases;
+}
+
+exception Unknown_region of { rid : int }
+exception Not_nv_data of { addr : int }
+
+let create ~layout ~mem ~timing =
+  let rid_entry = Layout.rid_entry_bytes layout in
+  let base_entry = Layout.base_entry_bytes layout in
+  (* Map the two table areas. Entries exist only for data-area segment
+     bases / valid region IDs, so the mapped ranges below cover every
+     entry either table can contain. *)
+  let s_r = Bitops.log2_exact rid_entry in
+  let s_b = Bitops.log2_exact base_entry in
+  let nv = Layout.nv_start layout in
+  let rid_lo = nv + (Layout.data_nvbase_min layout lsl s_r) in
+  let rid_size = Layout.data_nvbase_min layout lsl s_r in
+  Memsim.map mem ~addr:rid_lo ~size:rid_size;
+  let base_lo = nv + (1 lsl (layout.Layout.l4 + s_b)) in
+  let base_size = 1 lsl (layout.Layout.l4 + s_b) in
+  Memsim.map mem ~addr:base_lo ~size:base_size;
+  {
+    layout;
+    mem;
+    timing;
+    rid_entry;
+    base_entry;
+    phases = { extract_cycles = 0; id2addr_cycles = 0; final_cycles = 0 };
+  }
+
+let layout t = t.layout
+let phases t = t.phases
+
+let reset_phases t =
+  t.phases.extract_cycles <- 0;
+  t.phases.id2addr_cycles <- 0;
+  t.phases.final_cycles <- 0
+
+let register_region t ~rid ~base =
+  let l = t.layout in
+  if not (Layout.is_data_addr l base) then raise (Not_nv_data { addr = base });
+  Memsim.store_sized t.mem ~size:t.rid_entry (Layout.rid_entry_addr l base) rid;
+  Memsim.store_sized t.mem ~size:t.base_entry
+    (Layout.base_entry_addr l ~rid)
+    (Layout.nvbase l base)
+
+let unregister_region t ~rid ~base =
+  let l = t.layout in
+  Memsim.store_sized t.mem ~size:t.rid_entry (Layout.rid_entry_addr l base) 0;
+  Memsim.store_sized t.mem ~size:t.base_entry (Layout.base_entry_addr l ~rid) 0
+
+let id2addr t rid =
+  let l = t.layout in
+  Timing.alu t.timing 2;
+  let entry = Layout.base_entry_addr l ~rid in
+  let nvbase = Memsim.load_sized t.mem ~size:t.base_entry entry in
+  if nvbase = 0 then raise (Unknown_region { rid });
+  Timing.alu t.timing 1;
+  Layout.segment_base_of_nvbase l nvbase
+
+let addr2id t a =
+  let l = t.layout in
+  if not (Layout.is_data_addr l a) then raise (Not_nv_data { addr = a });
+  Timing.alu t.timing 2;
+  let entry = Layout.rid_entry_addr l a in
+  let rid = Memsim.load_sized t.mem ~size:t.rid_entry entry in
+  if rid = 0 then raise (Unknown_region { rid = 0 });
+  rid
+
+let get_base t a =
+  Timing.alu t.timing 1;
+  Layout.get_base t.layout a
+
+(* The three phases of a RIV read are timed separately so the breakdown
+   experiment (Section 6.2) can report their shares. *)
+let x2p t v =
+  if v = 0 then begin
+    Timing.alu t.timing 2;
+    0
+  end
+  else begin
+    let l = t.layout in
+    let clock = Timing.clock t.timing in
+    let c0 = Clock.cycles clock in
+    Timing.alu t.timing 3;
+    let rid = Layout.riv_rid l v in
+    let offset = Layout.riv_offset l v in
+    let c1 = Clock.cycles clock in
+    Timing.alu t.timing 3;
+    let entry = Layout.base_entry_addr l ~rid in
+    let c2 = Clock.cycles clock in
+    let nvbase = Memsim.load_sized t.mem ~size:t.base_entry entry in
+    if nvbase = 0 then raise (Unknown_region { rid });
+    Timing.alu t.timing 2;
+    let addr = Layout.segment_base_of_nvbase l nvbase lor offset in
+    let c3 = Clock.cycles clock in
+    t.phases.extract_cycles <- t.phases.extract_cycles + c1 - c0;
+    t.phases.id2addr_cycles <- t.phases.id2addr_cycles + c2 - c1;
+    t.phases.final_cycles <- t.phases.final_cycles + c3 - c2;
+    addr
+  end
+
+let p2x t a =
+  if a = 0 then 0
+  else begin
+    let l = t.layout in
+    let rid = addr2id t a in
+    Timing.alu t.timing 2;
+    let offset = Layout.seg_offset l a in
+    Timing.alu t.timing 1;
+    Layout.riv_pack l ~rid ~offset
+  end

@@ -1,0 +1,71 @@
+(** The RIV runtime: the two direct-mapped lookup tables of Section 4.3.
+
+    Table entries live in simulated NV-space memory at addresses computed
+    by pure bit transformations ({!Nvmpi_addr.Layout.rid_entry_addr} and
+    {!Nvmpi_addr.Layout.base_entry_addr}); a conversion is therefore a
+    couple of ALU operations plus one table load, which is exactly the
+    cost profile the paper claims for RIV.
+
+    ALU work is charged explicitly to the timing model; the table loads
+    and stores are charged organically by the attached cache model. *)
+
+type t
+
+exception Unknown_region of { rid : int }
+exception Not_nv_data of { addr : int }
+
+val create :
+  layout:Nvmpi_addr.Layout.t ->
+  mem:Nvmpi_memsim.Memsim.t ->
+  timing:Nvmpi_cachesim.Timing.t ->
+  t
+(** Creates the runtime and maps the two table areas (demand-paged, so
+    only touched entries consume backing memory). *)
+
+val layout : t -> Nvmpi_addr.Layout.t
+
+val register_region : t -> rid:int -> base:int -> unit
+(** Called when a region is opened at segment base [base]: writes the
+    RID-table entry (segment base -> ID) and the base-table entry
+    (ID -> nvbase). *)
+
+val unregister_region : t -> rid:int -> base:int -> unit
+(** Zeroes both entries when the region is closed. *)
+
+val id2addr : t -> int -> int
+(** [id2addr t rid] is the base address of the open region [rid]
+    (Figure 5 (b)). Charges: entry-address computation (2 ALU) + one
+    table load + nothing else.
+    @raise Unknown_region if the table holds no entry for [rid]. *)
+
+val addr2id : t -> int -> int
+(** [addr2id t a] is the region ID owning data-area address [a]
+    (Figure 5 (c)). Charges: 2 ALU + one table load.
+    @raise Not_nv_data if [a] is not a data-area address.
+    @raise Unknown_region if the segment has no registered region. *)
+
+val get_base : t -> int -> int
+(** [get_base t a] masks the low [l3] bits of [a] (1 ALU). *)
+
+val x2p : t -> int -> int
+(** [x2p t v] converts a packed RIV value to an absolute address:
+    unpack (2 ALU), {!id2addr}, add (1 ALU). [0] maps to [0] (null). *)
+
+val p2x : t -> int -> int
+(** [p2x t a] converts an absolute address to a packed RIV value:
+    {!addr2id}, offset extraction (1 ALU), pack (2 ALU). [0] maps to
+    [0]. *)
+
+(** {1 Cost-phase instrumentation}
+
+    Used by the RIV overhead-breakdown experiment (Section 6.2): cycles
+    spent in each of the three phases of a RIV read. *)
+
+type phases = {
+  mutable extract_cycles : int;  (** getting ID and offset fields *)
+  mutable id2addr_cycles : int;  (** computing the base-table entry address *)
+  mutable final_cycles : int;  (** reading the base and adding the offset *)
+}
+
+val phases : t -> phases
+val reset_phases : t -> unit

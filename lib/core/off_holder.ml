@@ -1,0 +1,27 @@
+(** Off-holder (Section 4.2): the slot stores the difference between the
+    target address and the slot's own address. Zero space overhead; the
+    conversion is a single add/subtract against an address the CPU
+    already has (the holder's). Intra-region only: a cross-region
+    difference would depend on where both regions happen to be mapped. *)
+
+let name = "off-holder"
+let slot_size = 8
+let cross_region = false
+let position_independent = true
+
+(* A stored 0 encodes null: no live pointer can point at its own slot. *)
+
+let store m ~holder target =
+  if target = 0 then Machine.store64 m holder 0
+  else begin
+    (match Machine.region_of_addr m holder with
+    | Some r when Nvmpi_nvregion.Region.contains r target -> ()
+    | _ -> raise (Machine.Cross_region_store { holder; target; repr = name }));
+    Machine.alu m 2;
+    Machine.store64 m holder (target - holder)
+  end
+
+let load m ~holder =
+  let v = Machine.load64 m holder in
+  Machine.alu m 2;
+  if v = 0 then 0 else v + holder

@@ -1,0 +1,18 @@
+(** Off-holder pointers (Section 4.2): the slot stores
+    [target - holder]. Zero space overhead, one add per dereference,
+    intra-region only — a cross-region store raises
+    {!Machine.Cross_region_store} (the dynamic check of Section 4.4).
+    Satisfies {!Repr_sig.S}. *)
+
+val name : string
+val slot_size : int
+val cross_region : bool
+val position_independent : bool
+
+val store : Machine.t -> holder:int -> int -> unit
+(** [store m ~holder target] encodes a pointer to [target] into the
+    slot at [holder] (0 stores null). *)
+
+val load : Machine.t -> holder:int -> int
+(** [load m ~holder] decodes the slot and returns the absolute target
+    address (0 for null). *)

@@ -1,0 +1,45 @@
+(** The strawman from the paper's introduction: "Concatenating the two
+    fields of a fat pointer (regionID and offset) into one 64-bit word
+    ... can make the pointer self contained. But it would still require
+    translations between the regionID and the address of the region at
+    runtime, which, without a careful implementation, could easily incur
+    large overhead."
+
+    Same stored format as RIV ([{region ID | offset}]), but translated
+    through the fat-pointer hashtable instead of the direct-mapped
+    NV-space tables. The ablation benchmark compares it against RIV to
+    isolate how much of RIV's win comes from the table design. *)
+
+module Layout = Nvmpi_addr.Layout
+
+let name = "packed-fat"
+let slot_size = 8
+let cross_region = true
+let position_independent = true
+
+let store m ~holder target =
+  if target = 0 then Machine.store64 m holder 0
+  else begin
+    let rid = Fat_table.rid_of_addr m.Machine.fat target in
+    Machine.alu m 3;
+    let v =
+      Layout.riv_pack m.Machine.layout ~rid
+        ~offset:(Layout.seg_offset m.Machine.layout target)
+    in
+    Machine.store64 m holder v
+  end
+
+let load m ~holder =
+  let v = Machine.load64 m holder in
+  if v = 0 then begin
+    Fat_table.charge_null_lookup m.Machine.fat;
+    0
+  end
+  else begin
+    Machine.alu m 2;
+    let rid = Layout.riv_rid m.Machine.layout v in
+    let offset = Layout.riv_offset m.Machine.layout v in
+    let base = Fat_table.lookup m.Machine.fat rid in
+    Machine.alu m 1;
+    base + offset
+  end

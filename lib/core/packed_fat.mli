@@ -1,0 +1,17 @@
+(** The introduction's strawman: RIV's packed single-word format, but
+    translated through the fat-pointer hashtable instead of the
+    direct-mapped tables. Used by the ablation benchmarks to isolate
+    where RIV's win comes from. Satisfies {!Repr_sig.S}. *)
+
+val name : string
+val slot_size : int
+val cross_region : bool
+val position_independent : bool
+
+val store : Machine.t -> holder:int -> int -> unit
+(** [store m ~holder target] encodes a pointer to [target] into the
+    slot at [holder] (0 stores null). *)
+
+val load : Machine.t -> holder:int -> int
+(** [load m ~holder] decodes the slot and returns the absolute target
+    address (0 for null). *)

@@ -1,0 +1,71 @@
+(** Registry of all pointer representations evaluated in the paper. *)
+
+type kind =
+  | Normal  (** absolute virtual addresses (baseline) *)
+  | Off_holder  (** self-relative offsets (Section 4.2) *)
+  | Riv  (** region ID in value (Section 4.3) *)
+  | Fat  (** [{regionID; offset}] struct + hashtable *)
+  | Fat_cached  (** fat pointer with [lastID]/[lastAddr] cache *)
+  | Based  (** offset from a register-resident base variable *)
+  | Swizzle  (** swizzled at load, unswizzled at close *)
+  | Packed_fat
+      (** the intro's strawman: RIV's packed format translated through
+          the fat-pointer hashtable instead of direct-mapped tables *)
+  | Hw_oid
+      (** hypothetical hardware-assisted translation (related work:
+          Wang et al., MICRO 2017), charged at a fixed TLB-like hit *)
+
+let all = [ Normal; Off_holder; Riv; Fat; Fat_cached; Based; Swizzle;
+            Packed_fat; Hw_oid ]
+
+let to_string = function
+  | Normal -> "normal"
+  | Off_holder -> "off-holder"
+  | Riv -> "riv"
+  | Fat -> "fat"
+  | Fat_cached -> "fat-cached"
+  | Based -> "based"
+  | Swizzle -> "swizzle"
+  | Packed_fat -> "packed-fat"
+  | Hw_oid -> "hw-oid"
+
+let of_string = function
+  | "normal" -> Some Normal
+  | "off-holder" | "offholder" | "off_holder" -> Some Off_holder
+  | "riv" -> Some Riv
+  | "fat" -> Some Fat
+  | "fat-cached" | "fat_cached" -> Some Fat_cached
+  | "based" -> Some Based
+  | "swizzle" | "swizzling" -> Some Swizzle
+  | "packed-fat" | "packed_fat" -> Some Packed_fat
+  | "hw-oid" | "hw_oid" -> Some Hw_oid
+  | _ -> None
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)
+
+let m : kind -> (module Repr_sig.S) = function
+  | Normal -> (module Normal_ptr)
+  | Off_holder -> (module Off_holder)
+  | Riv -> (module Riv)
+  | Fat -> (module Fat)
+  | Fat_cached -> (module Fat_cached)
+  | Based -> (module Based_ptr)
+  | Swizzle -> (module Swizzle)
+  | Packed_fat -> (module Packed_fat)
+  | Hw_oid -> (module Hw_oid)
+
+let slot_size k = let (module R) = m k in R.slot_size
+let cross_region k = let (module R) = m k in R.cross_region
+let position_independent k = let (module R) = m k in R.position_independent
+
+(** Representations whose persisted image survives remapping without any
+    load-time pass. *)
+let self_contained k = position_independent k
+
+(** Implicit self-contained representations per Section 4.1: position
+    independent, no larger than a normal pointer, usable like a normal
+    pointer. *)
+let implicit_self_contained k =
+  position_independent k && slot_size k = 8
+  && match k with Based -> false (* needs an external base variable *)
+     | _ -> true

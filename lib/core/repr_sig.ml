@@ -1,0 +1,42 @@
+(** The implicit-self-contained pointer interface (Section 4.1).
+
+    A representation is a pair of [store]/[load] operations over a
+    {e holder} — the memory slot where the pointer value lives. Data
+    structures are functorized over this signature, so the same list,
+    tree, hash set and trie code runs under every representation.
+
+    Conventions common to all representations:
+    - a target address of [0] is the null pointer, and [load] returns
+      [0] for a stored null;
+    - [slot_size] is the number of bytes a stored pointer occupies
+      (8 for every implicit self-contained representation as required by
+      the concept's first condition, 16 for fat pointers);
+    - [store]/[load] charge their conversion work to the machine's
+      timing model: ALU operations explicitly, memory accesses through
+      the cache simulator. *)
+
+module type S = sig
+  val name : string
+
+  val slot_size : int
+  (** Bytes occupied by a stored pointer. *)
+
+  val cross_region : bool
+  (** Whether the representation supports targets in a different
+      NVRegion than the holder. *)
+
+  val position_independent : bool
+  (** Whether a stored pointer survives the region being remapped at a
+      different base address. Normal pointers (and swizzled pointers in
+      their in-memory form) are not position independent. *)
+
+  val store : Machine.t -> holder:int -> int -> unit
+  (** [store m ~holder target] writes a pointer to absolute address
+      [target] into the slot at [holder].
+      @raise Machine.Cross_region_store if the representation is
+      intra-region-only and [target] lies outside the holder's region. *)
+
+  val load : Machine.t -> holder:int -> int
+  (** [load m ~holder] reads the slot and returns the absolute target
+      address (0 for null). *)
+end

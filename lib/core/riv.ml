@@ -1,0 +1,16 @@
+(** Region-ID-in-Value (Section 4.3): the slot stores
+    [{region ID | offset}] packed into one word. Conversions go through
+    the direct-mapped RID and base tables maintained by {!Nvspace} —
+    a few bit transformations plus one table load each way. Supports
+    both intra- and cross-region targets. *)
+
+let name = "riv"
+let slot_size = 8
+let cross_region = true
+let position_independent = true
+
+let store m ~holder target =
+  Machine.store64 m holder (Nvspace.p2x m.Machine.nvspace target)
+
+let load m ~holder =
+  Nvspace.x2p m.Machine.nvspace (Machine.load64 m holder)

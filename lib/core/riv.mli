@@ -1,0 +1,17 @@
+(** Region-ID-in-Value pointers (Section 4.3): the slot stores
+    [{region ID | offset}]; conversions go through the direct-mapped
+    NV-space tables of {!Nvspace}. Supports intra- and cross-region
+    targets. Satisfies {!Repr_sig.S}. *)
+
+val name : string
+val slot_size : int
+val cross_region : bool
+val position_independent : bool
+
+val store : Machine.t -> holder:int -> int -> unit
+(** [store m ~holder target] encodes a pointer to [target] into the
+    slot at [holder] (0 stores null). *)
+
+val load : Machine.t -> holder:int -> int
+(** [load m ~holder] decodes the slot and returns the absolute target
+    address (0 for null). *)

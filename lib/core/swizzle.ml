@@ -1,0 +1,46 @@
+(** Pointer swizzling (Section 5): pointers are persisted in a
+    position-independent packed [{regionID | offset}] form; when a data
+    structure is loaded, a one-time pass converts every slot in place to
+    an absolute address (swizzling), and a closing pass converts them
+    back (unswizzling). Between the two passes, dereferences are as fast
+    as normal pointers — but the passes traverse the whole structure, and
+    a crash between them leaves the structure position-dependent.
+
+    The conversion passes use the direct-mapped NV-space tables for the
+    ID/base translations (the cheapest mapping available); the cost that
+    makes swizzling expensive is structural — every slot is read,
+    converted and written once per direction.
+
+    [store]/[load] are the steady-state (swizzled) operations; the
+    per-slot conversion passes are driven by each data structure's
+    walker. *)
+
+let name = "swizzle"
+let slot_size = 8
+let cross_region = true
+let position_independent = false (* in its in-memory, swizzled form *)
+
+let store m ~holder target = Machine.store64 m holder target
+let load m ~holder = Machine.load64 m holder
+
+(** [store_packed m ~holder target] writes the persisted (unswizzled)
+    form directly; used when producing the on-NVM form a freshly opened
+    structure starts from. *)
+let store_packed m ~holder target =
+  Machine.store64 m holder (Nvspace.p2x m.Machine.nvspace target)
+
+(** [swizzle_slot m ~holder] converts the packed slot at [holder] to an
+    absolute address in place and returns that address (0 for null). *)
+let swizzle_slot m ~holder =
+  let v = Machine.load64 m holder in
+  let a = Nvspace.x2p m.Machine.nvspace v in
+  Machine.store64 m holder a;
+  a
+
+(** [unswizzle_slot m ~holder] converts the absolute slot at [holder]
+    back to the packed persisted form and returns the absolute target it
+    held (so a walker can keep traversing). *)
+let unswizzle_slot m ~holder =
+  let a = Machine.load64 m holder in
+  Machine.store64 m holder (Nvspace.p2x m.Machine.nvspace a);
+  a

@@ -1,0 +1,30 @@
+(** Pointer swizzling (Section 5): pointers persist in a packed
+    position-independent form; a load-time pass converts every slot of a
+    structure to an absolute address in place, and a closing pass
+    converts them back. Between the passes, [load]/[store] behave like
+    normal pointers — and the structure's on-NVM image is position
+    {e dependent}, which is why a crash in that window is unrecoverable
+    (see [examples/crash_recovery.ml]). The per-slot passes are driven
+    by each data structure's walker. Satisfies {!Repr_sig.S}. *)
+
+val name : string
+val slot_size : int
+val cross_region : bool
+val position_independent : bool
+
+val store : Machine.t -> holder:int -> int -> unit
+(** Steady-state (swizzled) store: the absolute address. *)
+
+val load : Machine.t -> holder:int -> int
+(** Steady-state (swizzled) load. *)
+
+val store_packed : Machine.t -> holder:int -> int -> unit
+(** Writes the persisted (unswizzled) form directly. *)
+
+val swizzle_slot : Machine.t -> holder:int -> int
+(** Converts the packed slot to an absolute address in place and
+    returns that address (0 for null). *)
+
+val unswizzle_slot : Machine.t -> holder:int -> int
+(** Converts the absolute slot back to packed form and returns the
+    absolute target it held, so a walker can keep traversing. *)

@@ -1,0 +1,28 @@
+(** Ablation studies for the design choices DESIGN.md calls out. Not
+    figures from the paper — they answer "which part of the design buys
+    the win?" questions the paper argues qualitatively.
+
+    - {!translation}: isolates RIV's direct-mapped tables by comparing
+      RIV against the packed-fat strawman from the paper's introduction
+      (same 8-byte self-contained format, hashtable translation instead).
+    - {!latency_sweep}: overheads as the emulated NVM read latency
+      varies, showing the conclusions are not an artifact of one PMEP
+      latency point.
+    - {!cache_pressure}: off-holder/RIV/fat at growing element counts,
+      showing how fat pointers' doubled slot size spills working sets
+      out of cache earlier. *)
+
+val translation : ?scale:float -> unit -> Table.t
+val latency_sweep : ?scale:float -> unit -> Table.t
+val cache_pressure : ?scale:float -> unit -> Table.t
+
+val cache_stats : ?scale:float -> unit -> Table.t
+(** Memory-system behaviour per representation on one workload: cache
+    hit rates per level, NVM reads and ALU cycles of the measured phase,
+    and absolute cycles per traversal. *)
+
+val extension_structures : ?scale:float -> unit -> Table.t
+(** The Figure 12 experiment on the structures this library adds beyond
+    the paper's four (doubly linked list, graph, B+ tree). *)
+
+val all : ?scale:float -> unit -> Table.t list

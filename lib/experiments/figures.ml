@@ -1,0 +1,466 @@
+module Repr = Core.Repr
+module Clock = Nvmpi_cachesim.Clock
+module Machine = Core.Machine
+module Region = Nvmpi_nvregion.Region
+module Store = Nvmpi_nvregion.Store
+module Node = Nvmpi_structures.Node
+module Wordcount = Nvmpi_apps.Wordcount
+module Text_gen = Nvmpi_apps.Text_gen
+
+let scaled scale n = max 100 (int_of_float (float_of_int n *. scale))
+
+(* Run one structure under a list of representations against a shared
+   normal-pointer baseline, verifying that every representation produces
+   the baseline's traversal checksum.
+
+   Swizzling is measured at a single use (swizzle + 1 traversal +
+   unswizzle against 1 normal traversal), matching the paper's Figure 12
+   setting: "traversals ... are subject to 3-4X slowdowns with the use
+   of swizzling at the loading time and unswizzling at the end"; its
+   amortization over repeated traversals is Table 1's subject. *)
+let slowdowns ?(swizzle_single_use = false) cfg reprs =
+  let base = Runner.run { cfg with Runner.repr = Repr.Normal } in
+  let swizzle_base =
+    lazy
+      (Runner.run { cfg with Runner.repr = Repr.Normal; traversals = 1 })
+  in
+  List.map
+    (fun repr ->
+      if not (Runner.applicable repr ~regions:cfg.Runner.regions) then
+        (repr, None)
+      else if
+        repr = Repr.Swizzle && swizzle_single_use && cfg.Runner.traversals > 1
+      then begin
+        let m =
+          Runner.run { cfg with Runner.repr = repr; traversals = 1 }
+        in
+        let base = Lazy.force swizzle_base in
+        ( repr,
+          Some
+            (float_of_int m.Runner.measured_cycles
+            /. float_of_int base.Runner.measured_cycles) )
+      end
+      else begin
+        let m = Runner.run { cfg with Runner.repr = repr } in
+        if cfg.Runner.traversals > 0 && m.Runner.checksum <> base.Runner.checksum
+        then
+          failwith
+            (Printf.sprintf "checksum mismatch: %s on %s"
+               (Repr.to_string repr)
+               (Instance.structure_name cfg.Runner.structure));
+        ( repr,
+          Some
+            (float_of_int m.Runner.measured_cycles
+            /. float_of_int base.Runner.measured_cycles) )
+      end)
+    reprs
+
+let meas_vs_paper meas paper =
+  match (meas, paper) with
+  | None, _ -> "-"
+  | Some m, Some p -> Printf.sprintf "%.2f (%.2f)" m p
+  | Some m, None -> Printf.sprintf "%.2f" m
+
+(* Figure 12 ------------------------------------------------------- *)
+
+let fig12_reprs = [ Repr.Swizzle; Repr.Fat; Repr.Riv; Repr.Off_holder; Repr.Based ]
+
+(* Paper values: per-structure swizzling numbers from Table 1; the other
+   methods are the averages quoted in Section 6.2. *)
+let fig12_paper structure repr =
+  match (repr, structure) with
+  | Repr.Swizzle, Instance.List -> Some 3.76
+  | Repr.Swizzle, Instance.Btree -> Some 3.85
+  | Repr.Swizzle, Instance.Hashset -> Some 3.07
+  | Repr.Swizzle, Instance.Trie -> Some 3.67
+  | Repr.Fat, _ -> Some 3.6
+  | Repr.Riv, _ -> Some 1.24
+  | Repr.Off_holder, _ -> Some 1.13
+  | Repr.Based, _ -> Some 1.03
+  | _ -> None
+
+let fig12 ?(scale = 1.0) () =
+  let cfg =
+    { Runner.default with Runner.elems = scaled scale 10_000; traversals = 10 }
+  in
+  let rows =
+    List.map
+      (fun structure ->
+        let cfg = { cfg with Runner.structure } in
+        let results = slowdowns ~swizzle_single_use:true cfg fig12_reprs in
+        Instance.structure_name structure
+        :: List.map
+             (fun (repr, v) -> meas_vs_paper v (fig12_paper structure repr))
+             results)
+      Instance.structures
+  in
+  {
+    Table.title =
+      "Figure 12: slowdown vs normal pointers (non-transactional, 1 \
+       NVRegion, 32 B payload)";
+    header =
+      "structure" :: List.map Repr.to_string fig12_reprs;
+    rows;
+    notes =
+      [
+        "cells are measured (paper); paper per-structure values only \
+         published for swizzling";
+        Printf.sprintf "traversal workload, 10 repetitions, %d elements"
+          (scaled scale 10_000);
+      ];
+  }
+
+(* Payload sweep ---------------------------------------------------- *)
+
+let payload_paper payload repr =
+  match (payload, repr) with
+  | 32, r -> fig12_paper Instance.List r
+  | 256, Repr.Riv -> Some 1.15
+  | 256, Repr.Off_holder -> Some 1.07
+  | 256, Repr.Based -> Some 1.01
+  | 256, Repr.Fat -> Some 3.0
+  | 256, Repr.Swizzle -> Some 3.0
+  | _ -> None
+
+let payload_sweep ?(scale = 1.0) () =
+  let payloads = [ 32; 256 ] in
+  let rows =
+    List.map
+      (fun payload ->
+        let cfg =
+          {
+            Runner.default with
+            Runner.elems = scaled scale 10_000;
+            traversals = 10;
+            payload;
+          }
+        in
+        (* Average across the four structures, as the paper reports. *)
+        let sums = Hashtbl.create 8 in
+        List.iter
+          (fun structure ->
+            List.iter
+              (fun (repr, v) ->
+                match v with
+                | Some v ->
+                    let s, n =
+                      Option.value ~default:(0.0, 0)
+                        (Hashtbl.find_opt sums repr)
+                    in
+                    Hashtbl.replace sums repr (s +. v, n + 1)
+                | None -> ())
+              (slowdowns ~swizzle_single_use:true
+                 { cfg with Runner.structure } fig12_reprs))
+          Instance.structures;
+        string_of_int payload
+        :: List.map
+             (fun repr ->
+               let avg =
+                 Option.map
+                   (fun (s, n) -> s /. float_of_int n)
+                   (Hashtbl.find_opt sums repr)
+               in
+               meas_vs_paper avg (payload_paper payload repr))
+             fig12_reprs)
+      payloads
+  in
+  {
+    Table.title = "Section 6.2: average slowdown vs payload size";
+    header = "payload" :: List.map Repr.to_string fig12_reprs;
+    rows;
+    notes =
+      [ "averages over list/btree/hashset/trie; cells are measured (paper)" ];
+  }
+
+(* Table 1 ----------------------------------------------------------- *)
+
+let table1_paper =
+  [
+    (Instance.List, [ 3.76; 1.29; 1.05 ]);
+    (Instance.Btree, [ 3.85; 1.34; 1.06 ]);
+    (Instance.Hashset, [ 3.07; 1.20; 1.01 ]);
+    (Instance.Trie, [ 3.67; 1.30; 1.04 ]);
+  ]
+
+let table1 ?(scale = 1.0) () =
+  let traversal_counts = [ 1; 10; 100 ] in
+  let rows =
+    List.map
+      (fun structure ->
+        let paper = List.assoc structure table1_paper in
+        let cells =
+          List.map2
+            (fun traversals paper ->
+              let cfg =
+                {
+                  Runner.default with
+                  Runner.structure;
+                  elems = scaled scale 10_000;
+                  traversals;
+                }
+              in
+              match slowdowns cfg [ Repr.Swizzle ] with
+              | [ (_, v) ] -> meas_vs_paper v (Some paper)
+              | _ -> assert false)
+            traversal_counts paper
+        in
+        Instance.structure_name structure :: cells)
+      Instance.structures
+  in
+  {
+    Table.title = "Table 1: pointer-swizzling overhead vs number of traversals";
+    header =
+      "structure"
+      :: List.map (fun k -> Printf.sprintf "x%d" k) traversal_counts;
+    rows;
+    notes =
+      [
+        "swizzle + k traversals + unswizzle, normalized to k normal \
+         traversals; measured (paper)";
+      ];
+  }
+
+(* Figures 13 and 14 ------------------------------------------------- *)
+
+(* Swizzling is omitted as in the paper's Figures 13/14 ("as swizzling
+   shows large slowdowns as in the non-transactional cases, for
+   legibility, we omit its bars"). *)
+let tx_reprs =
+  [ Repr.Fat; Repr.Fat_cached; Repr.Riv; Repr.Off_holder; Repr.Based ]
+
+let fig13_paper repr =
+  match repr with
+  | Repr.Fat -> Some 3.0
+  | Repr.Fat_cached -> Some 1.11
+  | Repr.Riv -> Some 1.15
+  | Repr.Off_holder -> Some 1.13
+  | Repr.Based -> Some 1.06
+  | _ -> None
+
+let fig14_paper repr =
+  match repr with
+  | Repr.Fat -> Some 2.65
+  | Repr.Fat_cached -> Some 2.2
+  | Repr.Riv -> Some 1.4
+  | _ -> None
+
+let tx_figure ~title ~regions ~paper ~scale ~notes =
+  let elems = scaled scale 10_000 in
+  let workloads =
+    [ ("traverse", 10, 0); ("search", 0, scaled scale 10_000) ]
+  in
+  let rows =
+    List.concat_map
+      (fun structure ->
+        List.map
+          (fun (wname, traversals, searches) ->
+            let cfg =
+              {
+                Runner.default with
+                Runner.structure;
+                elems;
+                regions;
+                mode = Runner.Tx;
+                traversals;
+                searches;
+              }
+            in
+            let results = slowdowns cfg tx_reprs in
+            (Instance.structure_name structure ^ " " ^ wname)
+            :: List.map (fun (repr, v) -> meas_vs_paper v (paper repr)) results)
+          workloads)
+      Instance.structures
+  in
+  {
+    Table.title = title;
+    header = "workload" :: List.map Repr.to_string tx_reprs;
+    rows;
+    notes;
+  }
+
+let fig13 ?(scale = 1.0) () =
+  tx_figure
+    ~title:
+      "Figure 13: slowdown vs normal pointers (transactional object store, \
+       1 NVRegion)"
+    ~regions:1 ~paper:fig13_paper ~scale
+    ~notes:
+      [
+        "PMEM.IO-like store: 128 B wrapped objects, read-accessor \
+         bookkeeping; paper averages in parens";
+      ]
+
+let fig14 ?(scale = 1.0) () =
+  tx_figure
+    ~title:
+      "Figure 14: slowdown vs normal pointers (transactional, 10 NVRegions, \
+       round-robin)"
+    ~regions:10 ~paper:fig14_paper ~scale
+    ~notes:
+      [
+        "off-holder and based pointers are intra-region only: not \
+         applicable (-)";
+        "the fat-pointer cache is defeated because consecutive accesses \
+         alternate regions";
+      ]
+
+(* Region-count sweep ------------------------------------------------ *)
+
+let regions_sweep ?(scale = 1.0) () =
+  let counts = [ 1; 2; 4; 8; 10 ] in
+  let reprs = [ Repr.Fat; Repr.Fat_cached; Repr.Riv ] in
+  let rows =
+    List.map
+      (fun regions ->
+        let cfg =
+          {
+            Runner.default with
+            Runner.elems = scaled scale 10_000;
+            regions;
+            mode = Runner.Tx;
+            traversals = 10;
+          }
+        in
+        let results = slowdowns cfg reprs in
+        string_of_int regions
+        :: List.map
+             (fun (repr, v) ->
+               let paper =
+                 match (regions, repr) with
+                 | 1, r -> fig13_paper r
+                 | _, Repr.Fat -> Some 2.65
+                 | _, Repr.Fat_cached -> Some 2.3
+                 | _, Repr.Riv -> Some 1.4
+                 | _ -> None
+               in
+               meas_vs_paper v paper)
+             results)
+      counts
+  in
+  {
+    Table.title =
+      "Section 6.3: slowdown vs number of NVRegions (transactional list \
+       traversal)";
+    header = "regions" :: List.map Repr.to_string reprs;
+    rows;
+    notes =
+      [
+        "paper: cached fat 2.1-2.5x and uncached 2.3-3x for 2-10 regions; \
+         RIV much lower";
+      ];
+  }
+
+(* Figure 15: wordcount ---------------------------------------------- *)
+
+let fig15_reprs =
+  [ Repr.Normal; Repr.Fat; Repr.Fat_cached; Repr.Riv; Repr.Off_holder;
+    Repr.Based ]
+
+(* Paper Figure 15 reports absolute times; the reproducible shape is the
+   ratio to the fat-pointer version. *)
+let fig15_paper_vs_fat = function
+  | Repr.Off_holder -> Some 0.5
+  | Repr.Based -> Some 0.5
+  | Repr.Riv -> Some 0.67
+  | _ -> None
+
+let wordcount_run ~repr ~nwords ~vocab =
+  let store = Store.create () in
+  let machine = Machine.create ~seed:7 ~store () in
+  let slot = Repr.slot_size repr in
+  let size = (vocab * ((2 * slot) + 8 + 32 + 64) * 2) + (1 lsl 20) in
+  let r = Machine.open_region machine (Machine.create_region machine ~size) in
+  if repr = Repr.Based then Machine.set_based_region machine (Region.rid r);
+  let node = Node.make machine ~mode:(Node.Plain [| r |]) ~payload:32 in
+  let stream = Text_gen.words ~n:nwords ~vocab ~seed:11 in
+  let result, cycles =
+    Clock.delta machine.Machine.clock (fun () ->
+        Wordcount.count_words node ~repr ~name:"wordcount" stream)
+  in
+  (result, cycles)
+
+let fig15 ?(scale = 1.0) ?(full = false) () =
+  let sizes =
+    if full then [ 1_000_000; 2_000_000 ]
+    else [ scaled scale 200_000; scaled scale 400_000 ]
+  in
+  let vocab = 20_000 in
+  let rows =
+    List.map
+      (fun nwords ->
+        let results =
+          List.map
+            (fun repr ->
+              let _, cycles = wordcount_run ~repr ~nwords ~vocab in
+              (repr, cycles))
+            fig15_reprs
+        in
+        let fat_cycles = List.assoc Repr.Fat results in
+        Printf.sprintf "%d words" nwords
+        :: List.map
+             (fun (repr, cycles) ->
+               let secs = Clock.seconds_of_cycles cycles in
+               let vs_fat = float_of_int cycles /. float_of_int fat_cycles in
+               match fig15_paper_vs_fat repr with
+               | Some p -> Printf.sprintf "%.3fs %.2fxFat (%.2f)" secs vs_fat p
+               | None -> Printf.sprintf "%.3fs %.2fxFat" secs vs_fat)
+             results)
+      sizes
+  in
+  {
+    Table.title = "Figure 15: wordcount execution time (BST on one NVRegion)";
+    header = "input" :: List.map Repr.to_string fig15_reprs;
+    rows;
+    notes =
+      [
+        "seconds are simulated cycles at 2.6 GHz; parenthesized values are \
+         the paper's time ratio to the fat-pointer version";
+        "paper uses 1M/2M-word English inputs; default here is a scaled \
+         Zipf corpus (use the full flag for 1M/2M)";
+      ];
+  }
+
+(* RIV read-cost breakdown ------------------------------------------- *)
+
+let breakdown ?(scale = 1.0) () =
+  let cfg =
+    {
+      Runner.default with
+      Runner.repr = Repr.Riv;
+      elems = scaled scale 10_000;
+      traversals = 10;
+    }
+  in
+  let m = Runner.run cfg in
+  let p = Core.Nvspace.phases m.Runner.machine.Machine.nvspace in
+  let total =
+    p.Core.Nvspace.extract_cycles + p.Core.Nvspace.id2addr_cycles
+    + p.Core.Nvspace.final_cycles
+  in
+  let pct v = 100.0 *. float_of_int v /. float_of_int (max 1 total) in
+  {
+    Table.title = "Section 6.2: RIV read-overhead breakdown";
+    header = [ "phase"; "measured"; "paper" ];
+    rows =
+      [
+        [ "(1) extract ID and offset fields";
+          Printf.sprintf "%.0f%%" (pct p.Core.Nvspace.extract_cycles); "32%" ];
+        [ "(2) compute base address from ID";
+          Printf.sprintf "%.0f%%" (pct p.Core.Nvspace.id2addr_cycles); "23%" ];
+        [ "(3) read base, add offset";
+          Printf.sprintf "%.0f%%" (pct p.Core.Nvspace.final_cycles); "48%" ];
+      ];
+    notes = [ "shares of the cycles spent inside RIV-to-pointer conversion" ];
+  }
+
+let all ?(scale = 1.0) ?(wordcount_full = false) () =
+  [
+    fig12 ~scale ();
+    payload_sweep ~scale ();
+    table1 ~scale ();
+    fig13 ~scale ();
+    fig14 ~scale ();
+    regions_sweep ~scale ();
+    fig15 ~scale ~full:wordcount_full ();
+    breakdown ~scale ();
+  ]

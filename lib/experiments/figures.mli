@@ -1,0 +1,60 @@
+(** One harness per table/figure of the paper's evaluation (Section 6).
+
+    Every function runs the corresponding experiment on the simulated
+    machine and renders a table of measured slowdowns next to the
+    paper's reported values. [scale] shrinks element counts for quick
+    runs; [1.0] reproduces the paper's sizes (10 000 elements; the
+    wordcount defaults are scaled down from the paper's 1M/2M words —
+    pass [wordcount_full:true] for the full sizes).
+
+    The paper's numbers come from PMEP hardware; ours from a cache/cycle
+    model, so the claim being reproduced is the {e shape}: which method
+    wins, by roughly what factor, and where the crossovers fall. *)
+
+val slowdowns :
+  ?swizzle_single_use:bool ->
+  Runner.config -> Core.Repr.kind list -> (Core.Repr.kind * float option) list
+(** Runs one configuration under each representation against a shared
+    normal-pointer baseline; [None] marks representations inapplicable
+    to the configuration (intra-region-only methods with several
+    regions). Verifies every representation reproduces the baseline's
+    traversal checksum.
+
+    With [swizzle_single_use] (Figure 12's setting), the swizzle
+    representation is measured at one use — swizzle + 1 traversal +
+    unswizzle against 1 normal traversal — regardless of the config's
+    traversal count; Table 1 keeps the default and sweeps the
+    amortization instead. *)
+
+val fig12 : ?scale:float -> unit -> Table.t
+(** Figure 12: non-transactional traversal slowdowns, one NVRegion,
+    32-byte payload, for the four data structures. *)
+
+val payload_sweep : ?scale:float -> unit -> Table.t
+(** Section 6.2's payload experiment: average slowdown per method at 32-
+    and 256-byte payloads. *)
+
+val table1 : ?scale:float -> unit -> Table.t
+(** Table 1: pointer-swizzling overhead after 1, 10 and 100 traversals. *)
+
+val fig13 : ?scale:float -> unit -> Table.t
+(** Figure 13: transactional (PMEM.IO-like object store), one NVRegion,
+    traversal and random-search workloads. *)
+
+val fig14 : ?scale:float -> unit -> Table.t
+(** Figure 14: transactional, elements striped over 10 NVRegions. *)
+
+val regions_sweep : ?scale:float -> unit -> Table.t
+(** Section 6.3's region-count sweep (2/4/8/10 regions). *)
+
+val fig15 : ?scale:float -> ?full:bool -> unit -> Table.t
+(** Figure 15: wordcount execution times at two input sizes.
+    [full] uses the paper's 1M/2M-word inputs (slow). *)
+
+val breakdown : ?scale:float -> unit -> Table.t
+(** Section 6.2's RIV read-cost breakdown: share of cycles spent
+    extracting fields, computing the base address, and finishing the
+    read. *)
+
+val all : ?scale:float -> ?wordcount_full:bool -> unit -> Table.t list
+(** Every experiment, in paper order. *)

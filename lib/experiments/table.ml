@@ -1,0 +1,34 @@
+type t = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let cell_f v = Printf.sprintf "%.2f" v
+let cell_opt = function None -> "-" | Some v -> cell_f v
+
+let render ppf t =
+  let all = t.header :: t.rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m row ->
+        match List.nth_opt row c with
+        | Some s -> max m (String.length s)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let print_row row =
+    let cells = List.mapi (fun c s -> pad s (List.nth widths c)) row in
+    Format.fprintf ppf "  %s@." (String.concat "  " cells)
+  in
+  Format.fprintf ppf "@.== %s ==@." t.title;
+  print_row t.header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row t.rows;
+  List.iter (fun n -> Format.fprintf ppf "  note: %s@." n) t.notes
+
+let print t = render Format.std_formatter t

@@ -1,0 +1,18 @@
+(** Minimal fixed-width table rendering for experiment reports. *)
+
+type t = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val cell_f : float -> string
+(** Formats a ratio/overhead with two decimals ("1.24"). *)
+
+val cell_opt : float option -> string
+(** "-" for [None]. *)
+
+val render : Format.formatter -> t -> unit
+val print : t -> unit
+(** Renders to stdout. *)

@@ -1,0 +1,80 @@
+(** Untyped abstract syntax of the NVC mini-language: a C subset
+    extended with the paper's pointer qualifiers ([persistentI],
+    [persistentX], [persistent]) and NVM builtins. *)
+
+type ptr_class =
+  | Normal  (** plain volatile pointer *)
+  | Persistent  (** volatile pointer to a persistent location (Section 4.4) *)
+  | PersistentI  (** off-holder, intra-region (the paper's [persistentI]) *)
+  | PersistentX  (** RIV, cross-region capable (the paper's [persistentX]) *)
+
+type ty =
+  | Tint
+  | Tstruct of string
+  | Tptr of ptr_class * ty
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | And
+  | Or
+
+type unop = Neg | Not
+
+type expr =
+  | Int of int
+  | Str of string  (** only valid as a root-name builtin argument *)
+  | Null
+  | Var of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Deref of expr
+  | AddrOf of expr
+  | Arrow of expr * string
+  | Call of string * expr list
+  | New of expr * ty  (** [new(region_id, struct S)] *)
+  | NewArray of expr * ty * expr
+      (** [new(region_id, T, count)]: a zeroed array of [count]
+          elements; the NVSet-style "array elements reached through
+          regular strides" *)
+
+type stmt =
+  | Decl of ty * string * expr option
+  | Assign of expr * expr  (** lvalue = expr *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Expr of expr
+  | Print of expr
+
+type func = {
+  fname : string;
+  params : (ty * string) list;
+  ret : ty option;  (** [None] = void *)
+  body : stmt list;
+}
+
+type struct_def = { sname : string; fields : (ty * string) list }
+
+type program = { structs : struct_def list; funcs : func list }
+
+let class_name = function
+  | Normal -> "normal"
+  | Persistent -> "persistent"
+  | PersistentI -> "persistentI"
+  | PersistentX -> "persistentX"
+
+let rec ty_to_string = function
+  | Tint -> "int"
+  | Tstruct s -> "struct " ^ s
+  | Tptr (Normal, t) -> ty_to_string t ^ "*"
+  | Tptr (c, t) -> class_name c ^ " " ^ ty_to_string t ^ "*"

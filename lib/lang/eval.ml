@@ -1,0 +1,216 @@
+module Machine = Core.Machine
+module Region = Nvmpi_nvregion.Region
+module Memsim = Nvmpi_memsim.Memsim
+
+exception Runtime_error of string
+
+type outcome = { result : int option; output : string }
+
+exception Return_exn of int option
+
+let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+type ctx = {
+  machine : Machine.t;
+  funcs : (string, Ir.func) Hashtbl.t;
+  out : Buffer.t;
+}
+
+let truthy v = v <> 0
+
+let slot_load ctx cls holder =
+  if holder = 0 then err "null dereference (pointer slot load)";
+  match cls with
+  | Ast.Normal | Ast.Persistent -> Core.Normal_ptr.load ctx.machine ~holder
+  | Ast.PersistentI -> Core.Off_holder.load ctx.machine ~holder
+  | Ast.PersistentX -> Core.Riv.load ctx.machine ~holder
+
+let slot_store ctx cls holder value =
+  if holder = 0 then err "null dereference (pointer slot store)";
+  try
+    match cls with
+    | Ast.Normal | Ast.Persistent -> Core.Normal_ptr.store ctx.machine ~holder value
+    | Ast.PersistentI -> Core.Off_holder.store ctx.machine ~holder value
+    | Ast.PersistentX -> Core.Riv.store ctx.machine ~holder value
+  with
+  | Machine.Cross_region_store { holder; target; _ } ->
+      err
+        "dynamic check failed: persistentI slot at 0x%x cannot point to \
+         0x%x (different NVRegion)"
+        holder target
+  | Core.Nvspace.Not_nv_data { addr } ->
+      err "persistentX slot cannot point to non-NVM address 0x%x" addr
+
+let rec eval ctx frame (e : Ir.expr) : int =
+  match e with
+  | Ir.Const n -> n
+  | Ir.LocalGet x -> begin
+      match Hashtbl.find_opt frame x with
+      | Some v -> v
+      | None -> err "unbound local %s" x
+    end
+  | Ir.LoadInt a ->
+      let addr = eval ctx frame a in
+      if addr = 0 then err "null dereference (int load)";
+      Memsim.load64 ctx.machine.Machine.mem addr
+  | Ir.SlotLoad (cls, a) -> slot_load ctx cls (eval ctx frame a)
+  | Ir.Bin (op, a, b) -> begin
+      match op with
+      | Ast.And -> if truthy (eval ctx frame a) then
+            (if truthy (eval ctx frame b) then 1 else 0)
+          else 0
+      | Ast.Or ->
+          if truthy (eval ctx frame a) then 1
+          else if truthy (eval ctx frame b) then 1
+          else 0
+      | _ ->
+          let x = eval ctx frame a in
+          let y = eval ctx frame b in
+          (match op with
+          | Ast.Add -> x + y
+          | Ast.Sub -> x - y
+          | Ast.Mul -> x * y
+          | Ast.Div -> if y = 0 then err "division by zero" else x / y
+          | Ast.Mod -> if y = 0 then err "modulo by zero" else x mod y
+          | Ast.Eq -> if x = y then 1 else 0
+          | Ast.Neq -> if x <> y then 1 else 0
+          | Ast.Lt -> if x < y then 1 else 0
+          | Ast.Gt -> if x > y then 1 else 0
+          | Ast.Le -> if x <= y then 1 else 0
+          | Ast.Ge -> if x >= y then 1 else 0
+          | Ast.And | Ast.Or -> assert false)
+    end
+  | Ir.Un (Ast.Neg, e) -> -eval ctx frame e
+  | Ir.Un (Ast.Not, e) -> if truthy (eval ctx frame e) then 0 else 1
+  | Ir.Call (name, args) -> begin
+      let vals = List.map (eval ctx frame) args in
+      match call ctx name vals with
+      | Some v -> v
+      | None -> err "void function %s used as a value" name
+    end
+  | Ir.RegionCreate size ->
+      let size = eval ctx frame size in
+      if size <= 0 then err "region_create: non-positive size %d" size;
+      Machine.create_region ctx.machine ~size
+  | Ir.RegionOpen rid -> begin
+      let rid = eval ctx frame rid in
+      try Region.rid (Machine.open_region ctx.machine rid)
+      with Invalid_argument m | Failure m -> err "region_open: %s" m
+    end
+  | Ir.RootGet (rid, name) -> begin
+      let rid = eval ctx frame rid in
+      match Machine.region ctx.machine rid with
+      | None -> err "root_get: region %d is not open" rid
+      | Some r -> (
+          match Region.root r name with
+          | Some a -> a
+          | None -> err "root_get: region %d has no root %S" rid name)
+    end
+  | Ir.RegionMigrate (rid, size) -> begin
+      let rid = eval ctx frame rid in
+      let size = eval ctx frame size in
+      try Region.rid (Machine.migrate_region ctx.machine rid ~size)
+      with Invalid_argument m | Failure m -> err "region_migrate: %s" m
+    end
+  | Ir.NewArray (rid, elem_size, count) ->
+      let count = eval ctx frame count in
+      if count <= 0 then err "new: non-positive array length %d" count;
+      alloc_zeroed ctx frame rid (elem_size * count)
+  | Ir.New (rid, size) -> alloc_zeroed ctx frame rid size
+
+and alloc_zeroed ctx frame rid size =
+  begin
+      let rid = eval ctx frame rid in
+      match Machine.region ctx.machine rid with
+      | None -> err "new: region %d is not open" rid
+      | Some r ->
+          let a =
+            try Region.alloc r size
+            with Region.Out_of_region_memory _ ->
+              err "new: region %d is out of memory" rid
+          in
+          (* Zero-initialize so pointer fields start null. *)
+          let w = ref 0 in
+          while !w < size do
+            Memsim.store64 ctx.machine.Machine.mem (a + !w) 0;
+            w := !w + 8
+          done;
+          a
+    end
+
+and exec ctx frame (s : Ir.stmt) : unit =
+  match s with
+  | Ir.Let (x, e) | Ir.SetLocal (x, e) ->
+      Hashtbl.replace frame x (eval ctx frame e)
+  | Ir.StoreInt { addr; value } ->
+      let a = eval ctx frame addr in
+      if a = 0 then err "null dereference (int store)";
+      let v = eval ctx frame value in
+      Memsim.store64 ctx.machine.Machine.mem a v
+  | Ir.SlotStore { cls; holder; value } ->
+      let h = eval ctx frame holder in
+      let v = eval ctx frame value in
+      slot_store ctx cls h v
+  | Ir.RegionClose rid -> begin
+      let rid = eval ctx frame rid in
+      try Machine.close_region ctx.machine rid
+      with Invalid_argument m -> err "region_close: %s" m
+    end
+  | Ir.RootSet { rid; name; value } -> begin
+      let rid = eval ctx frame rid in
+      let v = eval ctx frame value in
+      match Machine.region ctx.machine rid with
+      | None -> err "root_set: region %d is not open" rid
+      | Some r -> (
+          try Region.set_root r name v
+          with Invalid_argument m -> err "root_set: %s" m)
+    end
+  | Ir.If (c, t, e) ->
+      if truthy (eval ctx frame c) then exec_block ctx frame t
+      else exec_block ctx frame e
+  | Ir.While (c, body) ->
+      while truthy (eval ctx frame c) do
+        exec_block ctx frame body
+      done
+  | Ir.Return None -> raise (Return_exn None)
+  | Ir.Return (Some e) -> raise (Return_exn (Some (eval ctx frame e)))
+  | Ir.ExprStmt e -> begin
+      (* Void calls execute for effect; other expressions for their
+         (charged) evaluation. *)
+      match e with
+      | Ir.Call (name, args) ->
+          let vals = List.map (eval ctx frame) args in
+          ignore (call ctx name vals)
+      | _ -> ignore (eval ctx frame e)
+    end
+  | Ir.Print e ->
+      Buffer.add_string ctx.out (string_of_int (eval ctx frame e));
+      Buffer.add_char ctx.out '\n'
+
+and exec_block ctx frame stmts = List.iter (exec ctx frame) stmts
+
+and call ctx name vals : int option =
+  match Hashtbl.find_opt ctx.funcs name with
+  | None -> err "unknown function %s" name
+  | Some f ->
+      if List.length vals <> List.length f.Ir.params then
+        err "%s expects %d arguments, got %d" name (List.length f.Ir.params)
+          (List.length vals);
+      let frame = Hashtbl.create 16 in
+      List.iter2 (fun p v -> Hashtbl.replace frame p v) f.Ir.params vals;
+      (try
+         exec_block ctx frame f.Ir.body;
+         None
+       with Return_exn v -> v)
+
+let run machine (p : Ir.program) ?(entry = "main") ?(args = []) () =
+  let funcs = Hashtbl.create 16 in
+  List.iter (fun (name, f) -> Hashtbl.replace funcs name f) p.Ir.funcs;
+  if not (Hashtbl.mem funcs entry) then err "no entry function %s" entry;
+  let ctx = { machine; funcs; out = Buffer.create 256 } in
+  let result =
+    try call ctx entry args
+    with Memsim.Fault { addr; _ } ->
+      err "invalid memory access at 0x%x (dangling or null pointer)" addr
+  in
+  { result; output = Buffer.contents ctx.out }

@@ -1,0 +1,23 @@
+(** IR evaluator: executes a lowered NVC program against a simulated
+    machine.
+
+    Pointer-slot accesses use the core representations directly —
+    [persistentI] slots decode/encode through {!Core.Off_holder},
+    [persistentX] through {!Core.Riv} (so their conversion costs are
+    charged to the machine's timing model), and the dynamic same-region
+    checks of risky conversions surface as {!Runtime_error}. *)
+
+exception Runtime_error of string
+
+type outcome = {
+  result : int option;  (** the entry function's return value *)
+  output : string;  (** everything [print] produced, one value per line *)
+}
+
+val run :
+  Core.Machine.t -> Ir.program -> ?entry:string -> ?args:int list -> unit ->
+  outcome
+(** Runs [entry] (default ["main"]) with the given integer arguments.
+    @raise Runtime_error on null dereference, cross-region violation,
+    bad region/root operations, missing entry point, or arity
+    mismatch. *)

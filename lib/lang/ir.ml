@@ -1,0 +1,117 @@
+(** Lowered intermediate representation.
+
+    The type checker erases the surface type system into explicit
+    conversion points: every pointer held in a local or passed between
+    functions is an {e absolute address}; a [SlotLoad]/[SlotStore] with
+    a pointer class is the explicit decode/encode the compiler generates
+    at each access of a [persistentI]/[persistentX] slot (Figure 8's
+    evaluation rules). A [SlotStore] into a [PersistentI] slot performs
+    the dynamic same-region check of Section 4.4. *)
+
+type expr =
+  | Const of int
+  | LocalGet of string
+  | LoadInt of expr  (** 8-byte integer load *)
+  | SlotLoad of Ast.ptr_class * expr
+      (** decode the pointer slot at the address: off-holder add for
+          [PersistentI], RIV [x2p] for [PersistentX], plain load
+          otherwise *)
+  | Bin of Ast.binop * expr * expr
+  | Un of Ast.unop * expr
+  | Call of string * expr list
+  | RegionCreate of expr  (** size -> region id *)
+  | RegionOpen of expr  (** region id -> region id *)
+  | RegionMigrate of expr * expr
+      (** region id, new size -> region id (Section 4.4 migration) *)
+  | RootGet of expr * string  (** region id, root name -> address *)
+  | New of expr * int  (** region id, byte size -> zeroed allocation *)
+  | NewArray of expr * int * expr
+      (** region id, element byte size, element count *)
+
+type stmt =
+  | Let of string * expr
+  | SetLocal of string * expr
+  | StoreInt of { addr : expr; value : expr }
+  | SlotStore of { cls : Ast.ptr_class; holder : expr; value : expr }
+      (** encode an absolute address into the slot; the inverse
+          conversions of [SlotLoad] *)
+  | RegionClose of expr
+  | RootSet of { rid : expr; name : string; value : expr }
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | ExprStmt of expr
+  | Print of expr
+
+type func = { name : string; params : string list; body : stmt list }
+
+type program = { funcs : (string * func) list }
+
+(* Pretty-printing, used by tests to assert which conversions the
+   lowering inserted. *)
+
+let rec pp_expr ppf = function
+  | Const n -> Format.fprintf ppf "%d" n
+  | LocalGet x -> Format.fprintf ppf "%s" x
+  | LoadInt e -> Format.fprintf ppf "load[%a]" pp_expr e
+  | SlotLoad (c, e) ->
+      Format.fprintf ppf "slotload<%s>[%a]" (Ast.class_name c) pp_expr e
+  | Bin (op, a, b) ->
+      let s =
+        match op with
+        | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/"
+        | Ast.Mod -> "%" | Ast.Eq -> "==" | Ast.Neq -> "!=" | Ast.Lt -> "<"
+        | Ast.Gt -> ">" | Ast.Le -> "<=" | Ast.Ge -> ">=" | Ast.And -> "&&"
+        | Ast.Or -> "||"
+      in
+      Format.fprintf ppf "(%a %s %a)" pp_expr a s pp_expr b
+  | Un (Ast.Neg, e) -> Format.fprintf ppf "(-%a)" pp_expr e
+  | Un (Ast.Not, e) -> Format.fprintf ppf "(!%a)" pp_expr e
+  | Call (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_expr)
+        args
+  | RegionCreate e -> Format.fprintf ppf "region_create(%a)" pp_expr e
+  | RegionOpen e -> Format.fprintf ppf "region_open(%a)" pp_expr e
+  | RegionMigrate (e, s) ->
+      Format.fprintf ppf "region_migrate(%a, %a)" pp_expr e pp_expr s
+  | RootGet (e, n) -> Format.fprintf ppf "root_get(%a, %S)" pp_expr e n
+  | New (e, sz) -> Format.fprintf ppf "new(%a, %d)" pp_expr e sz
+  | NewArray (e, sz, n) ->
+      Format.fprintf ppf "new_array(%a, %d, %a)" pp_expr e sz pp_expr n
+
+let rec pp_stmt ppf = function
+  | Let (x, e) -> Format.fprintf ppf "let %s = %a" x pp_expr e
+  | SetLocal (x, e) -> Format.fprintf ppf "%s = %a" x pp_expr e
+  | StoreInt { addr; value } ->
+      Format.fprintf ppf "store[%a] = %a" pp_expr addr pp_expr value
+  | SlotStore { cls; holder; value } ->
+      Format.fprintf ppf "slotstore<%s>[%a] = %a" (Ast.class_name cls)
+        pp_expr holder pp_expr value
+  | RegionClose e -> Format.fprintf ppf "region_close(%a)" pp_expr e
+  | RootSet { rid; name; value } ->
+      Format.fprintf ppf "root_set(%a, %S, %a)" pp_expr rid name pp_expr value
+  | If (c, t, e) ->
+      Format.fprintf ppf "@[<v 2>if %a {%a@]@,@[<v 2>} else {%a@]@,}" pp_expr c
+        pp_block t pp_block e
+  | While (c, b) ->
+      Format.fprintf ppf "@[<v 2>while %a {%a@]@,}" pp_expr c pp_block b
+  | Return None -> Format.fprintf ppf "return"
+  | Return (Some e) -> Format.fprintf ppf "return %a" pp_expr e
+  | ExprStmt e -> pp_expr ppf e
+  | Print e -> Format.fprintf ppf "print(%a)" pp_expr e
+
+and pp_block ppf stmts =
+  List.iter (fun s -> Format.fprintf ppf "@,%a" pp_stmt s) stmts
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v 2>func %s(%s) {%a@]@,}" f.name
+    (String.concat ", " f.params)
+    pp_block f.body
+
+let pp ppf p =
+  List.iter (fun (_, f) -> Format.fprintf ppf "%a@," pp_func f) p.funcs
+
+let to_string p = Format.asprintf "@[<v>%a@]" pp p

@@ -1,0 +1,49 @@
+(** NVC: the paper's C-like language extension (Section 4.4) as a small
+    standalone compiler + interpreter over the simulated NVM machine.
+
+    Pipeline: {!Lexer} -> {!Parser} -> {!Typecheck} (checks the
+    [persistentI]/[persistentX] rules of Figure 8 and lowers to {!Ir}
+    with explicit slot conversions) -> {!Eval} (executes against a
+    {!Core.Machine.t}, charging conversion costs to its timing model).
+
+    {[
+      let store = Core.Store.create () in
+      let m = Core.Machine.create ~store () in
+      match Lang.compile source with
+      | Error msg -> prerr_endline msg
+      | Ok prog ->
+          let { Lang.Eval.result; output } = Lang.Eval.run m prog () in
+          print_string output
+    ]} *)
+
+module Token = Token
+module Lexer = Lexer
+module Ast = Ast
+module Types = Types
+module Parser = Parser
+module Typecheck = Typecheck
+module Pretty = Pretty
+module Ir = Ir
+module Eval = Eval
+
+let compile src : (Ir.program, string) result =
+  match Typecheck.program (Parser.parse src) with
+  | _, prog -> Ok prog
+  | exception Lexer.Error { line; msg } ->
+      Error (Printf.sprintf "lexical error (line %d): %s" line msg)
+  | exception Parser.Error { line; msg } ->
+      Error (Printf.sprintf "syntax error (line %d): %s" line msg)
+  | exception Typecheck.Error msg -> Error (Printf.sprintf "type error: %s" msg)
+
+let compile_exn src =
+  match compile src with Ok p -> p | Error msg -> failwith msg
+
+let run_string machine ?entry ?args src =
+  match compile src with
+  | Error msg -> Error msg
+  | Ok prog -> begin
+      match Eval.run machine prog ?entry ?args () with
+      | outcome -> Ok outcome
+      | exception Eval.Runtime_error msg ->
+          Error (Printf.sprintf "runtime error: %s" msg)
+    end

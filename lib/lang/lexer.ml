@@ -1,0 +1,119 @@
+exception Error of { line : int; msg : string }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let out = ref [] in
+  let emit t = out := (t, !line) :: !out in
+  let err msg = raise (Error { line = !line; msg }) in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then err "unterminated block comment"
+    end
+    else if is_digit c then begin
+      let start = !i in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        i := !i + 2;
+        while !i < n && is_hex src.[!i] do
+          incr i
+        done;
+        emit (Token.INT (int_of_string (String.sub src start (!i - start))))
+      end
+      else begin
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        emit (Token.INT (int_of_string (String.sub src start (!i - start))))
+      end
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      match Token.keyword_of_string word with
+      | Some kw -> emit kw
+      | None -> emit (Token.IDENT word)
+    end
+    else if c = '"' then begin
+      incr i;
+      let b = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '"' then begin
+          closed := true;
+          incr i
+        end
+        else if src.[!i] = '\n' then err "newline in string literal"
+        else begin
+          Buffer.add_char b src.[!i];
+          incr i
+        end
+      done;
+      if not !closed then err "unterminated string literal";
+      emit (Token.STRING (Buffer.contents b))
+    end
+    else begin
+      let two tok = emit tok; i := !i + 2 in
+      let one tok = emit tok; incr i in
+      match (c, peek 1) with
+      | '=', Some '=' -> two Token.EQ
+      | '!', Some '=' -> two Token.NEQ
+      | '<', Some '=' -> two Token.LE
+      | '>', Some '=' -> two Token.GE
+      | '&', Some '&' -> two Token.ANDAND
+      | '|', Some '|' -> two Token.OROR
+      | '-', Some '>' -> two Token.ARROW
+      | '=', _ -> one Token.ASSIGN
+      | '!', _ -> one Token.BANG
+      | '<', _ -> one Token.LT
+      | '>', _ -> one Token.GT
+      | '&', _ -> one Token.AMP
+      | '(', _ -> one Token.LPAREN
+      | ')', _ -> one Token.RPAREN
+      | '[', _ -> one Token.LBRACKET
+      | ']', _ -> one Token.RBRACKET
+      | '{', _ -> one Token.LBRACE
+      | '}', _ -> one Token.RBRACE
+      | ';', _ -> one Token.SEMI
+      | ',', _ -> one Token.COMMA
+      | '*', _ -> one Token.STAR
+      | '+', _ -> one Token.PLUS
+      | '-', _ -> one Token.MINUS
+      | '/', _ -> one Token.SLASH
+      | '%', _ -> one Token.PERCENT
+      | '.', _ -> one Token.DOT
+      | _ -> err (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  emit Token.EOF;
+  List.rev !out

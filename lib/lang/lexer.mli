@@ -1,0 +1,11 @@
+(** Hand-written lexer for the NVC mini-language.
+
+    Supports decimal and [0x] hexadecimal integers, [//] line comments
+    and [/* */] block comments. *)
+
+exception Error of { line : int; msg : string }
+
+val tokenize : string -> (Token.t * int) list
+(** [(token, line)] pairs, ending with [(EOF, _)].
+    @raise Error on an unrecognized character or unterminated
+    comment/string. *)

@@ -1,0 +1,358 @@
+exception Error of { line : int; msg : string }
+
+type state = { toks : (Token.t * int) array; mutable pos : int }
+
+let cur st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+let err st fmt =
+  Printf.ksprintf (fun msg -> raise (Error { line = line st; msg })) fmt
+
+let expect st tok =
+  if cur st = tok then advance st
+  else
+    err st "expected %s, found %s" (Token.to_string tok)
+      (Token.to_string (cur st))
+
+let expect_ident st =
+  match cur st with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | t -> err st "expected identifier, found %s" (Token.to_string t)
+
+(* Types: qualifier? base stars. The qualifier names the class of the
+   outermost pointer; inner pointer levels are normal. *)
+
+let qualifier_of_token = function
+  | Token.KW_PERSISTENT -> Some Ast.Persistent
+  | Token.KW_PERSISTENT_I -> Some Ast.PersistentI
+  | Token.KW_PERSISTENT_X -> Some Ast.PersistentX
+  | _ -> None
+
+let starts_type st =
+  match cur st with
+  | Token.KW_INT | Token.KW_STRUCT | Token.KW_PERSISTENT
+  | Token.KW_PERSISTENT_I | Token.KW_PERSISTENT_X ->
+      true
+  | _ -> false
+
+let parse_base st =
+  match cur st with
+  | Token.KW_INT ->
+      advance st;
+      Ast.Tint
+  | Token.KW_STRUCT ->
+      advance st;
+      Ast.Tstruct (expect_ident st)
+  | t -> err st "expected a type, found %s" (Token.to_string t)
+
+let parse_type st =
+  let qual = qualifier_of_token (cur st) in
+  if qual <> None then advance st;
+  let base = parse_base st in
+  let rec stars t =
+    if cur st = Token.STAR then begin
+      advance st;
+      stars (Ast.Tptr (Ast.Normal, t))
+    end
+    else t
+  in
+  let t = stars base in
+  match (qual, t) with
+  | None, _ -> t
+  | Some q, Ast.Tptr (Ast.Normal, inner) -> Ast.Tptr (q, inner)
+  | Some _, _ -> err st "pointer qualifier on a non-pointer type"
+
+(* Expressions *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if cur st = Token.OROR then begin
+    advance st;
+    Ast.Bin (Ast.Or, lhs, parse_or st)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  if cur st = Token.ANDAND then begin
+    advance st;
+    Ast.Bin (Ast.And, lhs, parse_and st)
+  end
+  else lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match cur st with
+    | Token.EQ -> Some Ast.Eq
+    | Token.NEQ -> Some Ast.Neq
+    | Token.LT -> Some Ast.Lt
+    | Token.GT -> Some Ast.Gt
+    | Token.LE -> Some Ast.Le
+    | Token.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Ast.Bin (op, lhs, parse_add st)
+
+and parse_add st =
+  let rec go lhs =
+    match cur st with
+    | Token.PLUS ->
+        advance st;
+        go (Ast.Bin (Ast.Add, lhs, parse_mul st))
+    | Token.MINUS ->
+        advance st;
+        go (Ast.Bin (Ast.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match cur st with
+    | Token.STAR ->
+        advance st;
+        go (Ast.Bin (Ast.Mul, lhs, parse_unary st))
+    | Token.SLASH ->
+        advance st;
+        go (Ast.Bin (Ast.Div, lhs, parse_unary st))
+    | Token.PERCENT ->
+        advance st;
+        go (Ast.Bin (Ast.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match cur st with
+  | Token.STAR ->
+      advance st;
+      Ast.Deref (parse_unary st)
+  | Token.AMP ->
+      advance st;
+      Ast.AddrOf (parse_unary st)
+  | Token.MINUS ->
+      advance st;
+      Ast.Un (Ast.Neg, parse_unary st)
+  | Token.BANG ->
+      advance st;
+      Ast.Un (Ast.Not, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec go e =
+    match cur st with
+    | Token.ARROW ->
+        advance st;
+        go (Ast.Arrow (e, expect_ident st))
+    | Token.LBRACKET ->
+        advance st;
+        let idx = parse_expr st in
+        expect st Token.RBRACKET;
+        (* e[i] desugars to *(e + i); the pointer arithmetic rule scales
+           by the pointee size. *)
+        go (Ast.Deref (Ast.Bin (Ast.Add, e, idx)))
+    | Token.DOT -> err st "use -> for field access (structs live behind pointers)"
+    | _ -> e
+  in
+  go (parse_primary st)
+
+and parse_primary st =
+  match cur st with
+  | Token.INT n ->
+      advance st;
+      Ast.Int n
+  | Token.STRING s ->
+      advance st;
+      Ast.Str s
+  | Token.KW_NULL ->
+      advance st;
+      Ast.Null
+  | Token.KW_NEW ->
+      advance st;
+      expect st Token.LPAREN;
+      let rid = parse_expr st in
+      expect st Token.COMMA;
+      let ty = parse_type st in
+      if cur st = Token.COMMA then begin
+        advance st;
+        let count = parse_expr st in
+        expect st Token.RPAREN;
+        Ast.NewArray (rid, ty, count)
+      end
+      else begin
+        expect st Token.RPAREN;
+        Ast.New (rid, ty)
+      end
+  | Token.IDENT name ->
+      advance st;
+      if cur st = Token.LPAREN then begin
+        advance st;
+        let args = ref [] in
+        if cur st <> Token.RPAREN then begin
+          args := [ parse_expr st ];
+          while cur st = Token.COMMA do
+            advance st;
+            args := parse_expr st :: !args
+          done
+        end;
+        expect st Token.RPAREN;
+        Ast.Call (name, List.rev !args)
+      end
+      else Ast.Var name
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      e
+  | t -> err st "unexpected token %s in expression" (Token.to_string t)
+
+(* Statements *)
+
+let rec parse_stmt st =
+  match cur st with
+  | Token.KW_IF ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      let then_ = parse_block st in
+      let else_ =
+        if cur st = Token.KW_ELSE then begin
+          advance st;
+          parse_block st
+        end
+        else []
+      in
+      Ast.If (cond, then_, else_)
+  | Token.KW_WHILE ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      Ast.While (cond, parse_block st)
+  | Token.KW_RETURN ->
+      advance st;
+      if cur st = Token.SEMI then begin
+        advance st;
+        Ast.Return None
+      end
+      else begin
+        let e = parse_expr st in
+        expect st Token.SEMI;
+        Ast.Return (Some e)
+      end
+  | Token.KW_PRINT ->
+      advance st;
+      expect st Token.LPAREN;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      expect st Token.SEMI;
+      Ast.Print e
+  | _ when starts_type st ->
+      let ty = parse_type st in
+      let name = expect_ident st in
+      let init =
+        if cur st = Token.ASSIGN then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      expect st Token.SEMI;
+      Ast.Decl (ty, name, init)
+  | _ ->
+      let e = parse_expr st in
+      if cur st = Token.ASSIGN then begin
+        advance st;
+        let rhs = parse_expr st in
+        expect st Token.SEMI;
+        Ast.Assign (e, rhs)
+      end
+      else begin
+        expect st Token.SEMI;
+        Ast.Expr e
+      end
+
+and parse_block st =
+  expect st Token.LBRACE;
+  let stmts = ref [] in
+  while cur st <> Token.RBRACE do
+    stmts := parse_stmt st :: !stmts
+  done;
+  advance st;
+  List.rev !stmts
+
+(* Top level *)
+
+let parse_struct st =
+  expect st Token.KW_STRUCT;
+  let sname = expect_ident st in
+  expect st Token.LBRACE;
+  let fields = ref [] in
+  while cur st <> Token.RBRACE do
+    let ty = parse_type st in
+    let name = expect_ident st in
+    expect st Token.SEMI;
+    fields := (ty, name) :: !fields
+  done;
+  advance st;
+  if cur st = Token.SEMI then advance st;
+  { Ast.sname; fields = List.rev !fields }
+
+let parse_func st =
+  let ret =
+    if cur st = Token.KW_VOID then begin
+      advance st;
+      None
+    end
+    else Some (parse_type st)
+  in
+  let fname = expect_ident st in
+  expect st Token.LPAREN;
+  let params = ref [] in
+  if cur st <> Token.RPAREN then begin
+    let param () =
+      let ty = parse_type st in
+      let name = expect_ident st in
+      (ty, name)
+    in
+    params := [ param () ];
+    while cur st = Token.COMMA do
+      advance st;
+      params := param () :: !params
+    done
+  end;
+  expect st Token.RPAREN;
+  let body = parse_block st in
+  { Ast.fname; params = List.rev !params; ret; body }
+
+let is_struct_def st =
+  (* "struct S {" is a definition; "struct S *" or "struct S name("
+     starts a function return type. *)
+  cur st = Token.KW_STRUCT
+  && st.pos + 2 < Array.length st.toks
+  && fst st.toks.(st.pos + 2) = Token.LBRACE
+
+let parse src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let structs = ref [] and funcs = ref [] in
+  while cur st <> Token.EOF do
+    if is_struct_def st then structs := parse_struct st :: !structs
+    else funcs := parse_func st :: !funcs
+  done;
+  { Ast.structs = List.rev !structs; funcs = List.rev !funcs }
+
+let parse_expr_string src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let e = parse_expr st in
+  expect st Token.EOF;
+  e

@@ -1,0 +1,25 @@
+(** Recursive-descent parser for the NVC mini-language.
+
+    Grammar sketch:
+    {v
+    program  := (struct | func)*
+    struct   := "struct" IDENT "{" (type IDENT ";")* "}" ";"?
+    func     := rettype IDENT "(" params ")" "{" stmt* "}"
+    type     := qualifier? base "*"*          (qualifier binds the
+                                               outermost pointer)
+    stmt     := type IDENT ("=" expr)? ";"
+              | expr ("=" expr)? ";"
+              | "if" "(" expr ")" block ("else" block)?
+              | "while" "(" expr ")" block
+              | "return" expr? ";"
+              | "print" "(" expr ")" ";"
+    expr     := C-like precedence with unary * & - ! and postfix "->"
+    v} *)
+
+exception Error of { line : int; msg : string }
+
+val parse : string -> Ast.program
+(** @raise Error on a syntax error, with the offending line. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parses a single expression (used by tests). *)

@@ -1,0 +1,85 @@
+let pp_ty ppf ty = Format.pp_print_string ppf (Ast.ty_to_string ty)
+
+(* Expressions print fully parenthesized, so the round-trip never
+   depends on precedence subtleties. *)
+let rec pp_expr ppf (e : Ast.expr) =
+  match e with
+  | Ast.Int n ->
+      if n < 0 then Format.fprintf ppf "(0 - %d)" (-n)
+      else Format.fprintf ppf "%d" n
+  | Ast.Str s -> Format.fprintf ppf "%S" s
+  | Ast.Null -> Format.pp_print_string ppf "null"
+  | Ast.Var x -> Format.pp_print_string ppf x
+  | Ast.Bin (op, a, b) ->
+      let s =
+        match op with
+        | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/"
+        | Ast.Mod -> "%" | Ast.Eq -> "==" | Ast.Neq -> "!=" | Ast.Lt -> "<"
+        | Ast.Gt -> ">" | Ast.Le -> "<=" | Ast.Ge -> ">=" | Ast.And -> "&&"
+        | Ast.Or -> "||"
+      in
+      Format.fprintf ppf "(%a %s %a)" pp_expr a s pp_expr b
+  | Ast.Un (Ast.Neg, e) -> Format.fprintf ppf "(-%a)" pp_expr e
+  | Ast.Un (Ast.Not, e) -> Format.fprintf ppf "(!%a)" pp_expr e
+  | Ast.Deref e -> Format.fprintf ppf "(*%a)" pp_expr e
+  | Ast.AddrOf e -> Format.fprintf ppf "(&%a)" pp_expr e
+  | Ast.Arrow (e, f) -> Format.fprintf ppf "%a->%s" pp_expr e f
+  | Ast.Call (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_expr)
+        args
+  | Ast.New (rid, ty) -> Format.fprintf ppf "new(%a, %a)" pp_expr rid pp_ty ty
+  | Ast.NewArray (rid, ty, n) ->
+      Format.fprintf ppf "new(%a, %a, %a)" pp_expr rid pp_ty ty pp_expr n
+
+let rec pp_stmt ppf (s : Ast.stmt) =
+  match s with
+  | Ast.Decl (ty, x, None) -> Format.fprintf ppf "%a %s;" pp_ty ty x
+  | Ast.Decl (ty, x, Some e) ->
+      Format.fprintf ppf "%a %s = %a;" pp_ty ty x pp_expr e
+  | Ast.Assign (lhs, rhs) ->
+      Format.fprintf ppf "%a = %a;" pp_expr lhs pp_expr rhs
+  | Ast.If (c, t, []) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {%a@]@,}" pp_expr c pp_block t
+  | Ast.If (c, t, e) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}"
+        pp_expr c pp_block t pp_block e
+  | Ast.While (c, b) ->
+      Format.fprintf ppf "@[<v 2>while (%a) {%a@]@,}" pp_expr c pp_block b
+  | Ast.Return None -> Format.pp_print_string ppf "return;"
+  | Ast.Return (Some e) -> Format.fprintf ppf "return %a;" pp_expr e
+  | Ast.Expr e -> Format.fprintf ppf "%a;" pp_expr e
+  | Ast.Print e -> Format.fprintf ppf "print(%a);" pp_expr e
+
+and pp_block ppf stmts =
+  List.iter (fun s -> Format.fprintf ppf "@,%a" pp_stmt s) stmts
+
+let pp_struct ppf (d : Ast.struct_def) =
+  Format.fprintf ppf "@[<v 2>struct %s {" d.Ast.sname;
+  List.iter
+    (fun (ty, f) -> Format.fprintf ppf "@,%a %s;" pp_ty ty f)
+    d.Ast.fields;
+  Format.fprintf ppf "@]@,}@,"
+
+let pp_func ppf (f : Ast.func) =
+  let ret ppf = function
+    | None -> Format.pp_print_string ppf "void"
+    | Some ty -> pp_ty ppf ty
+  in
+  Format.fprintf ppf "@[<v 2>%a %s(%s) {%a@]@,}@," ret f.Ast.ret f.Ast.fname
+    (String.concat ", "
+       (List.map
+          (fun (ty, x) -> Format.asprintf "%a %s" pp_ty ty x)
+          f.Ast.params))
+    pp_block f.Ast.body
+
+let pp_program ppf (p : Ast.program) =
+  Format.fprintf ppf "@[<v>";
+  List.iter (pp_struct ppf) p.Ast.structs;
+  List.iter (pp_func ppf) p.Ast.funcs;
+  Format.fprintf ppf "@]"
+
+let program_to_string p = Format.asprintf "%a" pp_program p
+let expr_to_string e = Format.asprintf "%a" pp_expr e

@@ -1,0 +1,13 @@
+(** Surface-syntax pretty-printer for NVC programs.
+
+    [program_to_string p] emits source text that parses back to an AST
+    equal to [p] (the parse/print round-trip is property-tested), which
+    makes it suitable for error reporting and for dumping desugared
+    programs ([e[i]] prints as [*(e + i)]). *)
+
+val pp_ty : Format.formatter -> Ast.ty -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string
+val expr_to_string : Ast.expr -> string

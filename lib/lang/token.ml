@@ -1,0 +1,112 @@
+(** Tokens of the NVC mini-language (C subset + the paper's type
+    qualifiers). *)
+
+type t =
+  | INT of int
+  | IDENT of string
+  | STRING of string
+  (* keywords *)
+  | KW_INT
+  | KW_STRUCT
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_RETURN
+  | KW_VOID
+  | KW_NULL
+  | KW_PERSISTENT
+  | KW_PERSISTENT_I
+  | KW_PERSISTENT_X
+  | KW_NEW
+  | KW_PRINT
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | STAR
+  | AMP
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | ASSIGN
+  | EQ
+  | NEQ
+  | LT
+  | GT
+  | LE
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | ARROW
+  | DOT
+  | EOF
+
+let keyword_of_string = function
+  | "int" -> Some KW_INT
+  | "struct" -> Some KW_STRUCT
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "return" -> Some KW_RETURN
+  | "void" -> Some KW_VOID
+  | "null" | "NULL" -> Some KW_NULL
+  | "persistent" -> Some KW_PERSISTENT
+  | "persistentI" -> Some KW_PERSISTENT_I
+  | "persistentX" -> Some KW_PERSISTENT_X
+  | "new" -> Some KW_NEW
+  | "print" -> Some KW_PRINT
+  | _ -> None
+
+let to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | STRING s -> Printf.sprintf "%S" s
+  | KW_INT -> "int"
+  | KW_STRUCT -> "struct"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_RETURN -> "return"
+  | KW_VOID -> "void"
+  | KW_NULL -> "null"
+  | KW_PERSISTENT -> "persistent"
+  | KW_PERSISTENT_I -> "persistentI"
+  | KW_PERSISTENT_X -> "persistentX"
+  | KW_NEW -> "new"
+  | KW_PRINT -> "print"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | STAR -> "*"
+  | AMP -> "&"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | ASSIGN -> "="
+  | EQ -> "=="
+  | NEQ -> "!="
+  | LT -> "<"
+  | GT -> ">"
+  | LE -> "<="
+  | GE -> ">="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | ARROW -> "->"
+  | DOT -> "."
+  | EOF -> "<eof>"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

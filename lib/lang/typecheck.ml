@@ -1,0 +1,424 @@
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type ety = Ty of Ast.ty | AnyPtr
+
+let ety_to_string = function
+  | Ty t -> Ast.ty_to_string t
+  | AnyPtr -> "nullable pointer"
+
+type env = {
+  types : Types.t;
+  funcs : (string, Ast.ty option * (Ast.ty * string) list) Hashtbl.t;
+  mutable locals : (string * Ast.ty) list;
+  ret : Ast.ty option;
+}
+
+let builtin_names =
+  [ "region_create"; "region_open"; "region_close"; "region_migrate";
+    "root_get"; "root_set" ]
+
+let is_ptr = function Ty (Ast.Tptr _) | AnyPtr -> true | _ -> false
+let is_int = function Ty Ast.Tint -> true | _ -> false
+
+(* Volatile holders (locals, parameters, return slots) cannot carry the
+   NV-resident-only classes. *)
+let check_volatile_holder what name = function
+  | Ast.Tptr (Ast.PersistentI, _) ->
+      err
+        "%s %s cannot be persistentI: its holder lives in a volatile frame, \
+         but a persistentI pointer's holder must reside in an NVRegion"
+        what name
+  | Ast.Tptr (Ast.PersistentX, _) ->
+      err
+        "%s %s cannot be persistentX: its holder lives in a volatile frame, \
+         but a persistentX pointer's holder must reside in an NVRegion"
+        what name
+  | Ast.Tstruct s -> err "%s %s cannot hold struct %s by value" what name s
+  | _ -> ()
+
+let check_known_struct env what = function
+  | Ast.Tstruct s | Ast.Tptr (_, Ast.Tstruct s) ->
+      if not (Types.has_struct env.types s) then
+        err "%s references unknown struct %s" what s
+  | _ -> ()
+
+let local_ty env name =
+  match List.assoc_opt name env.locals with
+  | Some t -> t
+  | None -> err "unknown variable %s" name
+
+let assignable env ~lhs ~rhs =
+  ignore env;
+  match (lhs, rhs) with
+  | Ast.Tint, Ty Ast.Tint -> true
+  | Ast.Tptr _, AnyPtr -> true
+  | Ast.Tptr (_, p1), Ty (Ast.Tptr (_, p2)) -> Types.ty_equal p1 p2
+  | _ -> false
+
+let require_assignable env ~what ~lhs ~rhs =
+  if not (assignable env ~lhs ~rhs) then
+    err "%s: cannot assign %s to %s" what (ety_to_string rhs)
+      (Ast.ty_to_string lhs)
+
+(* Expression inference: returns the lowered IR (pointers as absolute
+   addresses) and the static type. *)
+let rec infer env (e : Ast.expr) : Ir.expr * ety =
+  match e with
+  | Ast.Int n -> (Ir.Const n, Ty Ast.Tint)
+  | Ast.Null -> (Ir.Const 0, AnyPtr)
+  | Ast.Str _ -> err "string literals are only valid as root names"
+  | Ast.Var x -> (Ir.LocalGet x, Ty (local_ty env x))
+  | Ast.New (rid, ty) -> begin
+      match ty with
+      | Ast.Tstruct s ->
+          if not (Types.has_struct env.types s) then
+            err "new: unknown struct %s" s;
+          let rid_ir = infer_int env "new region id" rid in
+          ( Ir.New (rid_ir, Types.struct_size env.types s),
+            Ty (Ast.Tptr (Ast.Persistent, ty)) )
+      | _ -> err "new allocates struct types only"
+    end
+  | Ast.NewArray (rid, ty, count) -> begin
+      (match ty with
+      | Ast.Tstruct s when not (Types.has_struct env.types s) ->
+          err "new: unknown struct %s" s
+      | Ast.Tint | Ast.Tstruct _ -> ()
+      | Ast.Tptr _ ->
+          err
+            "new: arrays of persistent pointers must live inside structs \
+             (the element slots need a declared pointer class)");
+      let rid_ir = infer_int env "new region id" rid in
+      let count_ir = infer_int env "new element count" count in
+      ( Ir.NewArray (rid_ir, Types.size_of env.types ty, count_ir),
+        Ty (Ast.Tptr (Ast.Persistent, ty)) )
+    end
+  | Ast.Deref e -> begin
+      match lvalue env (Ast.Deref e) with
+      | `Mem (addr, ty) -> load_from env addr ty
+      | `Local _ -> assert false
+    end
+  | Ast.Arrow (_, _) -> begin
+      match lvalue env e with
+      | `Mem (addr, ty) -> load_from env addr ty
+      | `Local _ -> assert false
+    end
+  | Ast.AddrOf inner -> begin
+      match lvalue env inner with
+      | `Local (x, _) ->
+          err "cannot take the address of local %s (volatile frame)" x
+      | `Mem (addr, ty) -> (addr, Ty (Ast.Tptr (Ast.Persistent, ty)))
+    end
+  | Ast.Un (Ast.Neg, e) ->
+      let ir = infer_int env "negation" e in
+      (Ir.Un (Ast.Neg, ir), Ty Ast.Tint)
+  | Ast.Un (Ast.Not, e) ->
+      let ir, ty = infer env e in
+      if not (is_int ty || is_ptr ty) then err "! expects int or pointer";
+      (Ir.Un (Ast.Not, ir), Ty Ast.Tint)
+  | Ast.Bin (op, a, b) -> infer_bin env op a b
+  | Ast.Call (name, args) -> infer_call env name args
+
+and load_from env addr ty =
+  ignore env;
+  match ty with
+  | Ast.Tint -> (Ir.LoadInt addr, Ty Ast.Tint)
+  | Ast.Tptr (cls, _) -> (Ir.SlotLoad (cls, addr), Ty ty)
+  | Ast.Tstruct s -> err "cannot load struct %s by value" s
+
+and infer_int env what e =
+  let ir, ty = infer env e in
+  if not (is_int ty) then
+    err "%s expects int, found %s" what (ety_to_string ty);
+  ir
+
+and infer_bin env op a b =
+  let a_ir, a_ty = infer env a in
+  let b_ir, b_ty = infer env b in
+  let pointee_size = function
+    | Ty (Ast.Tptr (_, p)) -> Types.size_of env.types p
+    | _ -> assert false
+  in
+  match op with
+  | Ast.Add | Ast.Sub -> begin
+      match (a_ty, b_ty) with
+      | Ty Ast.Tint, Ty Ast.Tint -> (Ir.Bin (op, a_ir, b_ir), Ty Ast.Tint)
+      | Ty (Ast.Tptr _ as pt), Ty Ast.Tint ->
+          (* Figure 8's "i op v" / "x op v": the result keeps the
+             pointer's type; C-style element scaling. *)
+          let scaled = Ir.Bin (Ast.Mul, b_ir, Ir.Const (pointee_size a_ty)) in
+          (Ir.Bin (op, a_ir, scaled), Ty pt)
+      | Ty Ast.Tint, Ty (Ast.Tptr _ as pt) when op = Ast.Add ->
+          let scaled = Ir.Bin (Ast.Mul, a_ir, Ir.Const (pointee_size b_ty)) in
+          (Ir.Bin (Ast.Add, b_ir, scaled), Ty pt)
+      | Ty (Ast.Tptr (_, p1)), Ty (Ast.Tptr (_, p2))
+        when op = Ast.Sub && Types.ty_equal p1 p2 ->
+          ( Ir.Bin
+              (Ast.Div, Ir.Bin (Ast.Sub, a_ir, b_ir),
+               Ir.Const (Types.size_of env.types p1)),
+            Ty Ast.Tint )
+      | _ ->
+          err "invalid operands to %s" (if op = Ast.Add then "+" else "-")
+    end
+  | Ast.Mul | Ast.Div | Ast.Mod ->
+      if not (is_int a_ty && is_int b_ty) then
+        err "arithmetic expects int operands";
+      (Ir.Bin (op, a_ir, b_ir), Ty Ast.Tint)
+  | Ast.Eq | Ast.Neq ->
+      let ok =
+        (is_int a_ty && is_int b_ty)
+        || (is_ptr a_ty && is_ptr b_ty
+           &&
+           match (a_ty, b_ty) with
+           | Ty t1, Ty t2 -> Types.pointee_equal t1 t2
+           | _ -> true)
+      in
+      if not ok then
+        err "cannot compare %s with %s" (ety_to_string a_ty)
+          (ety_to_string b_ty);
+      (Ir.Bin (op, a_ir, b_ir), Ty Ast.Tint)
+  | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge ->
+      let ok =
+        (is_int a_ty && is_int b_ty)
+        ||
+        match (a_ty, b_ty) with
+        | Ty (Ast.Tptr (_, p1)), Ty (Ast.Tptr (_, p2)) ->
+            Types.ty_equal p1 p2
+        | _ -> false
+      in
+      if not ok then err "invalid comparison operands";
+      (Ir.Bin (op, a_ir, b_ir), Ty Ast.Tint)
+  | Ast.And | Ast.Or ->
+      let cond ty = is_int ty || is_ptr ty in
+      if not (cond a_ty && cond b_ty) then
+        err "logical operators expect int or pointer operands";
+      (Ir.Bin (op, a_ir, b_ir), Ty Ast.Tint)
+
+and infer_call env name args =
+  match name with
+  | "region_create" -> begin
+      match args with
+      | [ size ] ->
+          (Ir.RegionCreate (infer_int env "region_create" size), Ty Ast.Tint)
+      | _ -> err "region_create(size) takes one argument"
+    end
+  | "region_open" -> begin
+      match args with
+      | [ rid ] -> (Ir.RegionOpen (infer_int env "region_open" rid), Ty Ast.Tint)
+      | _ -> err "region_open(rid) takes one argument"
+    end
+  | "root_get" -> begin
+      match args with
+      | [ rid; Ast.Str n ] ->
+          (Ir.RootGet (infer_int env "root_get" rid, n), AnyPtr)
+      | _ -> err "root_get(rid, \"name\") takes a region id and a root name"
+    end
+  | "region_migrate" -> begin
+      match args with
+      | [ rid; size ] ->
+          ( Ir.RegionMigrate
+              (infer_int env "region_migrate" rid,
+               infer_int env "region_migrate size" size),
+            Ty Ast.Tint )
+      | _ -> err "region_migrate(rid, new_size) takes two arguments"
+    end
+  | "region_close" | "root_set" ->
+      err "%s is a statement, not an expression" name
+  | _ -> begin
+      match Hashtbl.find_opt env.funcs name with
+      | None -> err "unknown function %s" name
+      | Some (ret, params) ->
+          if List.length args <> List.length params then
+            err "%s expects %d arguments, got %d" name (List.length params)
+              (List.length args);
+          let args_ir =
+            List.map2
+              (fun arg (pty, pname) ->
+                let ir, ty = infer env arg in
+                require_assignable env
+                  ~what:(Printf.sprintf "argument %s of %s" pname name)
+                  ~lhs:pty ~rhs:ty;
+                ir)
+              args params
+          in
+          let ret_ty =
+            match ret with
+            | None -> err "void function %s used as a value" name
+            | Some t -> Ty t
+          in
+          (Ir.Call (name, args_ir), ret_ty)
+    end
+
+(* Lvalues: where a store lands and what conversion its slot needs. *)
+and lvalue env (e : Ast.expr) :
+    [ `Local of string * Ast.ty | `Mem of Ir.expr * Ast.ty ] =
+  match e with
+  | Ast.Var x -> `Local (x, local_ty env x)
+  | Ast.Deref inner -> begin
+      let ir, ty = infer env inner in
+      match ty with
+      | Ty (Ast.Tptr (_, pointee)) -> `Mem (ir, pointee)
+      | AnyPtr -> err "cannot dereference a value of unknown pointee type"
+      | _ -> err "cannot dereference %s" (ety_to_string ty)
+    end
+  | Ast.Arrow (base, f) -> begin
+      let ir, ty = infer env base in
+      match ty with
+      | Ty (Ast.Tptr (_, Ast.Tstruct s)) ->
+          let fld = Types.field env.types s f in
+          `Mem
+            ( Ir.Bin (Ast.Add, ir, Ir.Const fld.Types.fld_off),
+              fld.Types.fld_ty )
+      | _ -> err "-> expects a pointer to a struct, found %s" (ety_to_string ty)
+    end
+  | _ -> err "expression is not an lvalue"
+
+(* Statements *)
+
+let rec stmt env (s : Ast.stmt) : Ir.stmt list =
+  match s with
+  | Ast.Decl (ty, name, init) ->
+      check_volatile_holder "local" name ty;
+      check_known_struct env ("declaration of " ^ name) ty;
+      if List.mem_assoc name env.locals then
+        err "duplicate local %s" name;
+      let init_ir =
+        match init with
+        | None -> Ir.Const 0
+        | Some e ->
+            let ir, ety = infer env e in
+            require_assignable env
+              ~what:(Printf.sprintf "initialization of %s" name)
+              ~lhs:ty ~rhs:ety;
+            ir
+      in
+      env.locals <- (name, ty) :: env.locals;
+      [ Ir.Let (name, init_ir) ]
+  | Ast.Assign (lhs, rhs) -> begin
+      let rhs_ir, rhs_ty = infer env rhs in
+      match lvalue env lhs with
+      | `Local (x, ty) ->
+          require_assignable env ~what:("assignment to " ^ x) ~lhs:ty
+            ~rhs:rhs_ty;
+          [ Ir.SetLocal (x, rhs_ir) ]
+      | `Mem (addr, Ast.Tint) ->
+          require_assignable env ~what:"assignment" ~lhs:Ast.Tint ~rhs:rhs_ty;
+          [ Ir.StoreInt { addr; value = rhs_ir } ]
+      | `Mem (addr, (Ast.Tptr (cls, _) as ty)) ->
+          require_assignable env ~what:"assignment" ~lhs:ty ~rhs:rhs_ty;
+          [ Ir.SlotStore { cls; holder = addr; value = rhs_ir } ]
+      | `Mem (_, Ast.Tstruct s) -> err "cannot assign struct %s by value" s
+    end
+  | Ast.If (cond, then_, else_) ->
+      let cond_ir = condition env cond in
+      [ Ir.If (cond_ir, block env then_, block env else_) ]
+  | Ast.While (cond, body) ->
+      let cond_ir = condition env cond in
+      [ Ir.While (cond_ir, block env body) ]
+  | Ast.Return None ->
+      if env.ret <> None then err "return without a value in a non-void function";
+      [ Ir.Return None ]
+  | Ast.Return (Some e) -> begin
+      match env.ret with
+      | None -> err "return with a value in a void function"
+      | Some rty ->
+          let ir, ty = infer env e in
+          require_assignable env ~what:"return" ~lhs:rty ~rhs:ty;
+          [ Ir.Return (Some ir) ]
+    end
+  | Ast.Print e ->
+      let ir, ty = infer env e in
+      if not (is_int ty || is_ptr ty) then err "print expects int or pointer";
+      [ Ir.Print ir ]
+  | Ast.Expr (Ast.Call ("region_close", [ rid ])) ->
+      [ Ir.RegionClose (infer_int env "region_close" rid) ]
+  | Ast.Expr (Ast.Call ("root_set", [ rid; Ast.Str n; v ])) ->
+      let v_ir, v_ty = infer env v in
+      if not (is_ptr v_ty) then err "root_set expects a pointer value";
+      [ Ir.RootSet { rid = infer_int env "root_set" rid; name = n; value = v_ir } ]
+  | Ast.Expr (Ast.Call (("region_close" | "root_set") as n, _)) ->
+      err "wrong arguments to %s" n
+  | Ast.Expr (Ast.Call (name, args))
+    when (not (List.mem name builtin_names))
+         && Hashtbl.mem env.funcs name
+         && fst (Hashtbl.find env.funcs name) = None ->
+      (* void call in statement position *)
+      let _, params = Hashtbl.find env.funcs name in
+      if List.length args <> List.length params then
+        err "%s expects %d arguments" name (List.length params);
+      let args_ir =
+        List.map2
+          (fun arg (pty, pname) ->
+            let ir, ty = infer env arg in
+            require_assignable env
+              ~what:(Printf.sprintf "argument %s of %s" pname name)
+              ~lhs:pty ~rhs:ty;
+            ir)
+          args params
+      in
+      [ Ir.ExprStmt (Ir.Call (name, args_ir)) ]
+  | Ast.Expr e ->
+      let ir, _ = infer env e in
+      [ Ir.ExprStmt ir ]
+
+and condition env e =
+  let ir, ty = infer env e in
+  if not (is_int ty || is_ptr ty) then
+    err "condition must be int or pointer, found %s" (ety_to_string ty);
+  ir
+
+and block env stmts =
+  (* Blocks share the enclosing function scope (declarations are
+     function-wide, C89 style); restore the scope afterwards so sibling
+     blocks can reuse names. *)
+  let saved = env.locals in
+  let out = List.concat_map (stmt env) stmts in
+  env.locals <- saved;
+  out
+
+let func env (f : Ast.func) : Ir.func =
+  List.iter
+    (fun (ty, name) ->
+      check_volatile_holder "parameter" name ty;
+      check_known_struct env ("parameter " ^ name) ty)
+    f.Ast.params;
+  (match f.Ast.ret with
+  | Some rty ->
+      check_volatile_holder "return type of" f.Ast.fname rty;
+      check_known_struct env ("return type of " ^ f.Ast.fname) rty
+  | None -> ());
+  let env =
+    { env with locals = List.map (fun (t, n) -> (n, t)) f.Ast.params;
+      ret = f.Ast.ret }
+  in
+  let params = List.map snd f.Ast.params in
+  (match
+     List.fold_left
+       (fun seen p ->
+         if List.mem p seen then err "duplicate parameter %s" p else p :: seen)
+       [] params
+   with
+  | _ -> ());
+  { Ir.name = f.Ast.fname; params; body = block env f.Ast.body }
+
+let program (p : Ast.program) =
+  let types =
+    try Types.build p.Ast.structs
+    with Types.Error m -> raise (Error m)
+  in
+  let funcs = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem funcs f.Ast.fname then
+        err "duplicate function %s" f.Ast.fname;
+      if List.mem f.Ast.fname builtin_names then
+        err "%s shadows a builtin" f.Ast.fname;
+      Hashtbl.add funcs f.Ast.fname (f.Ast.ret, f.Ast.params))
+    p.Ast.funcs;
+  let env = { types; funcs; locals = []; ret = None } in
+  let lowered =
+    try List.map (fun f -> (f.Ast.fname, func env f)) p.Ast.funcs
+    with Types.Error m -> raise (Error m)
+  in
+  (types, { Ir.funcs = lowered })

@@ -1,0 +1,26 @@
+(** Type checking and lowering for the NVC mini-language.
+
+    Implements the semantics of Figure 8: pointer values in flight
+    (locals, parameters, returns) are absolute addresses; the class of a
+    {e memory slot} ([persistentI], [persistentX], [persistent]/normal)
+    determines the conversion code generated at each load and store of
+    that slot. The checker enforces:
+
+    - assignment between any pointer classes with equal pointee types
+      (the implicit conversions of Figure 8 (c)), null and [root_get]
+      results being assignable to any pointer type;
+    - [persistentI]/[persistentX] only on NVM-resident holders: struct
+      fields may carry them, locals and parameters may not (their
+      holders live in volatile frames);
+    - pointer arithmetic preserving the pointer's type, scaled by the
+      pointee size;
+    - no address-of on locals, no struct-by-value operations.
+
+    Stores into [persistentI] slots lower to checked [SlotStore]s: the
+    off-holder encoding itself raises if the target is not in the
+    holder's region (the dynamic safety check of Section 4.4). *)
+
+exception Error of string
+
+val program : Ast.program -> Types.t * Ir.program
+(** @raise Error with a human-readable message on any type violation. *)

@@ -1,0 +1,118 @@
+type field = { fld_name : string; fld_ty : Ast.ty; fld_off : int }
+
+type info = { mutable size : int; fields : field list }
+
+type t = (string, info) Hashtbl.t
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+let slot_size = 8
+
+let rec size_of env = function
+  | Ast.Tint -> slot_size
+  | Ast.Tptr _ -> slot_size
+  | Ast.Tstruct s -> struct_size env s
+
+and struct_size env s =
+  match Hashtbl.find_opt env s with
+  | None -> err "unknown struct %s" s
+  | Some { size = -1; _ } -> err "struct %s is directly recursive" s
+  | Some info -> info.size
+
+let build defs =
+  let env : t = Hashtbl.create 16 in
+  (* First pass: names and field lists with placeholder offsets. *)
+  List.iter
+    (fun (d : Ast.struct_def) ->
+      if Hashtbl.mem env d.Ast.sname then
+        err "duplicate struct %s" d.Ast.sname;
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (_, f) ->
+          if Hashtbl.mem seen f then
+            err "duplicate field %s in struct %s" f d.Ast.sname;
+          Hashtbl.add seen f ())
+        d.Ast.fields;
+      Hashtbl.add env d.Ast.sname
+        {
+          size = -1;
+          fields =
+            List.map
+              (fun (ty, f) -> { fld_name = f; fld_ty = ty; fld_off = -1 })
+              d.Ast.fields;
+        })
+    defs;
+  (* Second pass: compute offsets; [size = -1] marks in-progress structs,
+     so direct recursion is reported rather than looping. *)
+  let visiting = Hashtbl.create 8 in
+  let rec resolve name =
+    let info =
+      match Hashtbl.find_opt env name with
+      | Some i -> i
+      | None -> err "unknown struct %s" name
+    in
+    if info.size >= 0 then info
+    else if Hashtbl.mem visiting name then
+      err "struct %s is recursive (use a pointer)" name
+    else begin
+      Hashtbl.add visiting name ();
+      let off = ref 0 in
+      let fields =
+        List.map
+          (fun f ->
+            let sz =
+              match f.fld_ty with
+              | Ast.Tint | Ast.Tptr _ -> slot_size
+              | Ast.Tstruct s ->
+                  if s = name then
+                    err "struct %s is directly recursive (use a pointer)" name;
+                  (resolve s).size
+            in
+            let this = { f with fld_off = !off } in
+            off := !off + sz;
+            this)
+          info.fields
+      in
+      let resolved = { size = max slot_size !off; fields } in
+      Hashtbl.replace env name resolved;
+      Hashtbl.remove visiting name;
+      resolved
+    end
+  in
+  List.iter (fun (d : Ast.struct_def) -> ignore (resolve d.Ast.sname)) defs;
+  (* Validate pointer fields reference known structs. *)
+  let rec check_ty = function
+    | Ast.Tint -> ()
+    | Ast.Tstruct s | Ast.Tptr (_, Ast.Tstruct s) ->
+        if not (Hashtbl.mem env s) then err "unknown struct %s" s
+    | Ast.Tptr (_, t) -> check_ty t
+  in
+  Hashtbl.iter
+    (fun _ info -> List.iter (fun f -> check_ty f.fld_ty) info.fields)
+    env;
+  env
+
+let has_struct env s = Hashtbl.mem env s
+
+let fields env s =
+  match Hashtbl.find_opt env s with
+  | None -> err "unknown struct %s" s
+  | Some i -> i.fields
+
+let field env s f =
+  match List.find_opt (fun fl -> fl.fld_name = f) (fields env s) with
+  | Some fl -> fl
+  | None -> err "struct %s has no field %s" s f
+
+let rec ty_equal a b =
+  match (a, b) with
+  | Ast.Tint, Ast.Tint -> true
+  | Ast.Tstruct x, Ast.Tstruct y -> String.equal x y
+  | Ast.Tptr (c1, t1), Ast.Tptr (c2, t2) -> c1 = c2 && ty_equal t1 t2
+  | _ -> false
+
+let pointee_equal a b =
+  match (a, b) with
+  | Ast.Tptr (_, t1), Ast.Tptr (_, t2) -> ty_equal t1 t2
+  | _ -> ty_equal a b

@@ -1,0 +1,36 @@
+(** Type environment and data layout for the NVC mini-language.
+
+    Every scalar and pointer slot is 8 bytes (all of the paper's
+    position-independent representations are pointer-sized by design);
+    struct fields are laid out in declaration order. *)
+
+type field = { fld_name : string; fld_ty : Ast.ty; fld_off : int }
+
+type t
+(** The struct environment. *)
+
+exception Error of string
+
+val build : Ast.struct_def list -> t
+(** Computes layouts for all declared structs.
+    @raise Error on duplicate names/fields, unknown field struct types,
+    or directly recursive (non-pointer) struct fields. *)
+
+val slot_size : int
+(** Size of every scalar/pointer slot (8). *)
+
+val size_of : t -> Ast.ty -> int
+val struct_size : t -> string -> int
+val field : t -> string -> string -> field
+(** [field env s f] looks up field [f] of [struct s].
+    @raise Error if missing. *)
+
+val fields : t -> string -> field list
+val has_struct : t -> string -> bool
+
+val ty_equal : Ast.ty -> Ast.ty -> bool
+(** Structural equality of types (classes included). *)
+
+val pointee_equal : Ast.ty -> Ast.ty -> bool
+(** Equality up to the outermost pointer class: the assignment
+    compatibility the Figure 8 conversions require. *)

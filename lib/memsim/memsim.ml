@@ -1,0 +1,214 @@
+type op = Load | Store
+type access = { op : op; addr : int; size : int }
+type stats = { mutable loads : int; mutable stores : int; mutable pages : int }
+
+exception Fault of { addr : int; size : int; reason : string }
+
+type t = {
+  page_bits : int;
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable ranges : (int * int) array; (* (first_page, last_page) sorted *)
+  mutable observers : (access -> unit) list;
+  mutable notify : bool;
+  stats : stats;
+}
+
+let create ?(page_bits = 12) () =
+  if page_bits < 4 || page_bits > 24 then invalid_arg "Memsim.create";
+  {
+    page_bits;
+    pages = Hashtbl.create 1024;
+    ranges = [||];
+    observers = [];
+    notify = true;
+    stats = { loads = 0; stores = 0; pages = 0 };
+  }
+
+let page_size t = 1 lsl t.page_bits
+let stats t = t.stats
+
+let fault addr size reason = raise (Fault { addr; size; reason })
+
+(* Binary search: does page index [p] fall inside a mapped range? *)
+let page_in_ranges t p =
+  let ranges = t.ranges in
+  let lo = ref 0 and hi = ref (Array.length ranges - 1) and found = ref false in
+  while !lo <= !hi && not !found do
+    let mid = (!lo + !hi) / 2 in
+    let first, last = ranges.(mid) in
+    if p < first then hi := mid - 1
+    else if p > last then lo := mid + 1
+    else found := true
+  done;
+  !found
+
+let map t ~addr ~size =
+  if addr < 0 || size <= 0 then invalid_arg "Memsim.map: bad range";
+  let first = addr lsr t.page_bits in
+  let last = (addr + size - 1) lsr t.page_bits in
+  Array.iter
+    (fun (f, l) ->
+      if not (last < f || first > l) then
+        invalid_arg
+          (Printf.sprintf "Memsim.map: range at 0x%x overlaps existing mapping"
+             addr))
+    t.ranges;
+  let ranges = Array.append t.ranges [| (first, last) |] in
+  Array.sort compare ranges;
+  t.ranges <- ranges
+
+let unmap t ~addr =
+  let first = addr lsr t.page_bits in
+  let found = ref None in
+  Array.iter
+    (fun (f, l) -> if f = first then found := Some (f, l))
+    t.ranges;
+  match !found with
+  | None ->
+      invalid_arg (Printf.sprintf "Memsim.unmap: no mapping at 0x%x" addr)
+  | Some (f, l) ->
+      for p = f to l do
+        if Hashtbl.mem t.pages p then begin
+          Hashtbl.remove t.pages p;
+          t.stats.pages <- t.stats.pages - 1
+        end
+      done;
+      t.ranges <- Array.of_list
+          (List.filter (fun r -> r <> (f, l)) (Array.to_list t.ranges))
+
+let is_mapped t a = a >= 0 && page_in_ranges t (a lsr t.page_bits)
+
+let mappings t =
+  Array.to_list t.ranges
+  |> List.map (fun (f, l) ->
+         (f lsl t.page_bits, (l - f + 1) lsl t.page_bits))
+
+let add_observer t f = t.observers <- t.observers @ [ f ]
+let observed t b = t.notify <- b
+
+let notify t op addr size =
+  (match op with
+  | Load -> t.stats.loads <- t.stats.loads + 1
+  | Store -> t.stats.stores <- t.stats.stores + 1);
+  if t.notify then
+    match t.observers with
+    | [] -> ()
+    | [ f ] -> f { op; addr; size }
+    | fs -> List.iter (fun f -> f { op; addr; size }) fs
+
+let get_page t addr size =
+  let p = addr lsr t.page_bits in
+  match Hashtbl.find_opt t.pages p with
+  | Some page -> page
+  | None ->
+      if not (page_in_ranges t p) then fault addr size "unmapped";
+      let page = Bytes.make (page_size t) '\000' in
+      Hashtbl.add t.pages p page;
+      t.stats.pages <- t.stats.pages + 1;
+      page
+
+let check_align addr size =
+  if addr land (size - 1) <> 0 then fault addr size "misaligned"
+
+let off t addr = addr land (page_size t - 1)
+
+let load8 t a =
+  if a < 0 then fault a 1 "negative address";
+  let page = get_page t a 1 in
+  notify t Load a 1;
+  Char.code (Bytes.get page (off t a))
+
+let load16 t a =
+  check_align a 2;
+  let page = get_page t a 2 in
+  notify t Load a 2;
+  Bytes.get_uint16_le page (off t a)
+
+let load32 t a =
+  check_align a 4;
+  let page = get_page t a 4 in
+  notify t Load a 4;
+  Int32.to_int (Bytes.get_int32_le page (off t a)) land 0xFFFFFFFF
+
+let load64 t a =
+  check_align a 8;
+  let page = get_page t a 8 in
+  notify t Load a 8;
+  Int64.to_int (Bytes.get_int64_le page (off t a))
+
+let store8 t a v =
+  if a < 0 then fault a 1 "negative address";
+  let page = get_page t a 1 in
+  notify t Store a 1;
+  Bytes.set page (off t a) (Char.chr (v land 0xFF))
+
+let store16 t a v =
+  check_align a 2;
+  let page = get_page t a 2 in
+  notify t Store a 2;
+  Bytes.set_uint16_le page (off t a) (v land 0xFFFF)
+
+let store32 t a v =
+  check_align a 4;
+  let page = get_page t a 4 in
+  notify t Store a 4;
+  Bytes.set_int32_le page (off t a) (Int32.of_int (v land 0xFFFFFFFF))
+
+let store64 t a v =
+  check_align a 8;
+  let page = get_page t a 8 in
+  notify t Store a 8;
+  Bytes.set_int64_le page (off t a) (Int64.of_int v)
+
+let load_sized t ~size a =
+  match size with
+  | 1 -> load8 t a
+  | 2 -> load16 t a
+  | 4 -> load32 t a
+  | 8 -> load64 t a
+  | _ -> invalid_arg "Memsim.load_sized"
+
+let store_sized t ~size a v =
+  match size with
+  | 1 -> store8 t a v
+  | 2 -> store16 t a v
+  | 4 -> store32 t a v
+  | 8 -> store64 t a v
+  | _ -> invalid_arg "Memsim.store_sized"
+
+(* Bulk transfers copy raw page chunks (so arbitrary byte patterns
+   roundtrip exactly, including 64-bit words that would overflow a native
+   int) and report one observer access per chunk; the timing model
+   charges every cache line the chunk touches. *)
+
+let blit_from_bytes t ~addr b =
+  let len = Bytes.length b in
+  let i = ref 0 in
+  while !i < len do
+    let a = addr + !i in
+    let page = get_page t a 1 in
+    let poff = off t a in
+    let chunk = min (len - !i) (page_size t - poff) in
+    Bytes.blit b !i page poff chunk;
+    notify t Store a chunk;
+    i := !i + chunk
+  done
+
+let blit_to_bytes t ~addr ~len =
+  let b = Bytes.create len in
+  let i = ref 0 in
+  while !i < len do
+    let a = addr + !i in
+    let page = get_page t a 1 in
+    let poff = off t a in
+    let chunk = min (len - !i) (page_size t - poff) in
+    Bytes.blit page poff b !i chunk;
+    notify t Load a chunk;
+    i := !i + chunk
+  done;
+  b
+
+let fill t ~addr ~len c =
+  for i = 0 to len - 1 do
+    store8 t (addr + i) (Char.code c)
+  done

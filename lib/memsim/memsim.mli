@@ -1,0 +1,101 @@
+(** A simulated byte-addressable virtual address space.
+
+    This stands in for the native virtual memory the paper's C/C++
+    prototype manipulates directly. Memory is demand-paged: backing pages
+    are materialized on first touch, but only inside ranges registered
+    with {!map} — any access outside a mapped range raises {!Fault},
+    which is how the tests detect dangling (position-dependent) pointers
+    after a region moves.
+
+    Every load and store is reported to registered observers; the timing
+    model ({!module:Nvmpi_cachesim}) attaches itself as an observer to
+    charge cycles organically. *)
+
+type t
+
+type op = Load | Store
+
+type access = { op : op; addr : int; size : int }
+(** One memory access: [size] is in bytes (1, 2, 4 or 8). *)
+
+exception Fault of { addr : int; size : int; reason : string }
+(** Raised on an access to unmapped memory or a misaligned access. *)
+
+val create : ?page_bits:int -> unit -> t
+(** Fresh, empty address space. [page_bits] defaults to 12 (4 KiB pages). *)
+
+val page_size : t -> int
+
+(** {1 Mappings} *)
+
+val map : t -> addr:int -> size:int -> unit
+(** [map t ~addr ~size] makes the byte range [[addr, addr+size)]
+    accessible. The range is rounded outward to page boundaries. Raises
+    [Invalid_argument] if it overlaps an existing mapping. *)
+
+val unmap : t -> addr:int -> unit
+(** [unmap t ~addr] removes the mapping that was created at exactly
+    [addr] and drops its backing pages. Raises [Invalid_argument] if no
+    mapping starts at [addr]. *)
+
+val is_mapped : t -> int -> bool
+(** [is_mapped t a] is [true] iff address [a] falls inside a mapped
+    range. *)
+
+val mappings : t -> (int * int) list
+(** All mapped ranges as [(addr, size)] pairs, sorted by address
+    (page-rounded). *)
+
+(** {1 Observers} *)
+
+val add_observer : t -> (access -> unit) -> unit
+(** Registers a callback invoked on every load and store, after the
+    access has been validated. *)
+
+val observed : t -> bool -> unit
+(** [observed t false] temporarily disables observer notification (used
+    when the harness performs bookkeeping accesses that should not be
+    charged by the timing model); [observed t true] re-enables it. *)
+
+(** {1 Typed accesses}
+
+    All accesses must be naturally aligned ([addr] a multiple of the
+    access size), which guarantees they never straddle a page. 64-bit
+    stores accept any native [int] (including negative values, used by
+    off-holder pointers for backward offsets); loads return exactly the
+    stored [int]. *)
+
+val load8 : t -> int -> int
+val load16 : t -> int -> int
+val load32 : t -> int -> int
+val load64 : t -> int -> int
+val store8 : t -> int -> int -> unit
+val store16 : t -> int -> int -> unit
+val store32 : t -> int -> int -> unit
+val store64 : t -> int -> int -> unit
+
+val load_sized : t -> size:int -> int -> int
+(** Dispatches to [load8/16/32/64] on [size]. *)
+
+val store_sized : t -> size:int -> int -> int -> unit
+
+(** {1 Bulk transfers}
+
+    Bulk transfers are observed as a sequence of 8-byte (then byte-sized)
+    accesses. *)
+
+val blit_from_bytes : t -> addr:int -> bytes -> unit
+(** Copies an OCaml [bytes] into simulated memory at [addr]. *)
+
+val blit_to_bytes : t -> addr:int -> len:int -> bytes
+(** Copies [len] bytes of simulated memory starting at [addr] out into a
+    fresh OCaml [bytes]. *)
+
+val fill : t -> addr:int -> len:int -> char -> unit
+
+(** {1 Statistics} *)
+
+type stats = { mutable loads : int; mutable stores : int; mutable pages : int }
+
+val stats : t -> stats
+(** Cumulative access counts and number of materialized pages. *)

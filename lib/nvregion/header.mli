@@ -1,0 +1,31 @@
+(** Layout of the per-region header (the paper's per-NVRegion metadata:
+    region ID at the start of the region, root locations, and type
+    attributes).
+
+    All quantities are byte offsets from the start of the region. *)
+
+val bytes : int
+(** Total header size; the region heap starts here. *)
+
+val max_roots : int
+val magic : int
+
+val off_magic : int
+val off_rid : int
+val off_size : int
+val off_heap_top : int
+val off_nroots : int
+
+val root_table_off : int
+(** Offset of the first root entry. *)
+
+val root_entry_bytes : int
+(** One root entry: 32-byte zero-padded name, 8-byte offset, 8-byte type
+    tag. *)
+
+val root_name_bytes : int
+val root_entry_off : int -> int
+(** Offset of the [i]-th root entry. *)
+
+val root_off_in_entry : int
+val root_tag_in_entry : int

@@ -1,0 +1,123 @@
+module Layout = Nvmpi_addr.Layout
+module Memsim = Nvmpi_memsim.Memsim
+
+let log_src = Logs.Src.create "nvmpi.region" ~doc:"NVRegion lifecycle"
+
+module Log = (val Logs.src_log log_src)
+
+type t = {
+  layout : Layout.t;
+  mem : Memsim.t;
+  store : Store.t;
+  rng : Random.State.t;
+  open_tbl : (int, Region.t) Hashtbl.t;
+  used_nvbases : (int, int) Hashtbl.t; (* nvbase -> rid *)
+}
+
+let create ?seed ~layout ~mem ~store () =
+  let rng =
+    match seed with
+    | Some s -> Random.State.make [| s |]
+    | None -> Random.State.make_self_init ()
+  in
+  {
+    layout;
+    mem;
+    store;
+    rng;
+    open_tbl = Hashtbl.create 16;
+    used_nvbases = Hashtbl.create 16;
+  }
+
+let layout t = t.layout
+let store t = t.store
+let mem t = t.mem
+let create_region t ~size = Store.add t.store ~size
+
+let pick_nvbase t =
+  let lo = Layout.data_nvbase_min t.layout in
+  let n = Layout.usable_segments t.layout in
+  let rec go attempts =
+    if attempts > 10_000 then
+      failwith "Manager.open_region: no free NV segment found"
+    else
+      let nb = lo + Random.State.int t.rng n in
+      if Hashtbl.mem t.used_nvbases nb then go (attempts + 1) else nb
+  in
+  go 0
+
+let open_region ?at_nvbase t rid =
+  match Hashtbl.find_opt t.open_tbl rid with
+  | Some r -> r
+  | None ->
+      let blob = Store.find_exn t.store rid in
+      if blob.Store.size > Layout.segment_size t.layout then
+        invalid_arg
+          (Printf.sprintf
+             "Manager.open_region: region %d (%d bytes) exceeds segment size"
+             rid blob.Store.size);
+      let nvbase =
+        match at_nvbase with
+        | None -> pick_nvbase t
+        | Some nb ->
+            if nb < Layout.data_nvbase_min t.layout
+               || nb > Nvmpi_addr.Bitops.mask t.layout.Layout.l2
+            then invalid_arg "Manager.open_region: nvbase not in data area";
+            if Hashtbl.mem t.used_nvbases nb then
+              invalid_arg "Manager.open_region: nvbase occupied";
+            nb
+      in
+      let base = Layout.segment_base_of_nvbase t.layout nvbase in
+      Memsim.map t.mem ~addr:base ~size:blob.Store.size;
+      Memsim.observed t.mem false;
+      Memsim.blit_from_bytes t.mem ~addr:base blob.Store.data;
+      Memsim.observed t.mem true;
+      let r = Region.make ~mem:t.mem ~rid ~base ~size:blob.Store.size in
+      Region.check_header r;
+      Hashtbl.add t.open_tbl rid r;
+      Hashtbl.add t.used_nvbases nvbase rid;
+      Log.debug (fun m ->
+          m "opened region %d (%d bytes) at 0x%x (nvbase 0x%x)" rid
+            blob.Store.size base nvbase);
+      r
+
+let region t rid = Hashtbl.find_opt t.open_tbl rid
+
+let region_exn t rid =
+  match region t rid with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Manager: region %d not open" rid)
+
+let is_open t rid = Hashtbl.mem t.open_tbl rid
+
+let save_region t rid =
+  let r = region_exn t rid in
+  let blob = Store.find_exn t.store rid in
+  Memsim.observed t.mem false;
+  let data =
+    Memsim.blit_to_bytes t.mem ~addr:(Region.base r) ~len:(Region.size r)
+  in
+  Memsim.observed t.mem true;
+  Bytes.blit data 0 blob.Store.data 0 (Bytes.length data)
+
+let close_region t rid =
+  let r = region_exn t rid in
+  save_region t rid;
+  Memsim.unmap t.mem ~addr:(Region.base r);
+  Hashtbl.remove t.open_tbl rid;
+  Hashtbl.remove t.used_nvbases (Layout.nvbase t.layout (Region.base r));
+  Log.debug (fun m -> m "closed region %d (image persisted)" rid)
+
+let close_all t =
+  List.iter (fun rid -> close_region t rid)
+    (Hashtbl.fold (fun k _ acc -> k :: acc) t.open_tbl [])
+
+let open_regions t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.open_tbl []
+  |> List.sort (fun a b -> compare (Region.rid a) (Region.rid b))
+
+let region_of_addr t a =
+  let found = ref None in
+  Hashtbl.iter (fun _ r -> if Region.contains r a then found := Some r)
+    t.open_tbl;
+  !found

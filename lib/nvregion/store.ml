@@ -1,0 +1,97 @@
+type blob = { rid : int; size : int; data : Bytes.t }
+
+type t = { blobs : (int, blob) Hashtbl.t; mutable next : int }
+
+let header_bytes = Header.bytes
+let max_roots = Header.max_roots
+let magic = Header.magic
+
+let create () = { blobs = Hashtbl.create 16; next = 1 }
+
+let init_header b ~rid ~size =
+  Bytes.set_int64_le b Header.off_magic (Int64.of_int magic);
+  Bytes.set_int64_le b Header.off_rid (Int64.of_int rid);
+  Bytes.set_int64_le b Header.off_size (Int64.of_int size);
+  Bytes.set_int64_le b Header.off_heap_top (Int64.of_int header_bytes);
+  Bytes.set_int64_le b Header.off_nroots 0L
+
+let add_with_rid t ~rid ~size =
+  if rid <= 0 then invalid_arg "Store.add_with_rid: rid must be positive";
+  if Hashtbl.mem t.blobs rid then
+    invalid_arg (Printf.sprintf "Store.add_with_rid: rid %d exists" rid);
+  if size < header_bytes then
+    invalid_arg
+      (Printf.sprintf "Store.add_with_rid: size %d < header %d" size
+         header_bytes);
+  let data = Bytes.make size '\000' in
+  init_header data ~rid ~size;
+  Hashtbl.add t.blobs rid { rid; size; data };
+  if rid >= t.next then t.next <- rid + 1
+
+let add t ~size =
+  let rid = t.next in
+  add_with_rid t ~rid ~size;
+  rid
+
+let find t rid = Hashtbl.find_opt t.blobs rid
+
+let grow t ~rid ~size =
+  match Hashtbl.find_opt t.blobs rid with
+  | None -> invalid_arg (Printf.sprintf "Store.grow: no region %d" rid)
+  | Some b ->
+      if size <= b.size then
+        invalid_arg "Store.grow: new size must exceed the current size";
+      let data = Bytes.make size '\000' in
+      Bytes.blit b.data 0 data 0 b.size;
+      (* The header records the region size; update it in the image. *)
+      Bytes.set_int64_le data Header.off_size (Int64.of_int size);
+      Hashtbl.replace t.blobs rid { b with size; data }
+
+let find_exn t rid =
+  match find t rid with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Store.find_exn: no region %d" rid)
+
+let mem t rid = Hashtbl.mem t.blobs rid
+let remove t rid = Hashtbl.remove t.blobs rid
+let ids t = Hashtbl.fold (fun k _ acc -> k :: acc) t.blobs [] |> List.sort compare
+let next_rid t = t.next
+
+let blob_rid b = Int64.to_int (Bytes.get_int64_le b.data Header.off_rid)
+
+let file_magic = "NVMPI-STORE-1\n"
+
+let save_file t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc file_magic;
+      let ids = ids t in
+      output_binary_int oc (List.length ids);
+      List.iter
+        (fun rid ->
+          let b = find_exn t rid in
+          output_binary_int oc b.rid;
+          output_binary_int oc b.size;
+          output_bytes oc b.data)
+        ids)
+
+let load_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = really_input_string ic (String.length file_magic) in
+      if m <> file_magic then failwith "Store.load_file: bad magic";
+      let n = input_binary_int ic in
+      let t = create () in
+      for _ = 1 to n do
+        let rid = input_binary_int ic in
+        let size = input_binary_int ic in
+        let data = Bytes.create size in
+        really_input ic data 0 size;
+        Hashtbl.add t.blobs rid { rid; size; data };
+        if rid >= t.next then t.next <- rid + 1
+      done;
+      t)

@@ -1,0 +1,69 @@
+(** The persistent NVM device: holds the canonical images of all
+    NVRegions that exist in the system, independent of any address
+    space.
+
+    A {!t} outlives the simulated machines ("runs") that open regions
+    from it: run A creates and populates a region, run B opens the same
+    store and maps the region at a different virtual address — which is
+    exactly the scenario position independence must survive.
+
+    Images can also be saved to / loaded from files so that examples can
+    demonstrate persistence across processes. *)
+
+type t
+
+type blob = {
+  rid : int;
+  size : int;  (** usable region size in bytes, header included *)
+  data : Bytes.t;
+}
+
+val create : unit -> t
+
+val add : t -> size:int -> int
+(** [add t ~size] creates a fresh region image of [size] bytes with an
+    initialized header and returns its region ID. IDs are allocated
+    densely starting at 1 (ID 0 is reserved as "no region"). *)
+
+val add_with_rid : t -> rid:int -> size:int -> unit
+(** Like {!add} with an explicit ID. Raises [Invalid_argument] if the ID
+    is taken or is 0. *)
+
+val grow : t -> rid:int -> size:int -> unit
+(** [grow t ~rid ~size] enlarges a region image to [size] bytes,
+    preserving its contents (the tail is zeroed). The region must not be
+    open anywhere. Raises [Invalid_argument] if [size] is not strictly
+    larger or the region does not exist. *)
+
+val find : t -> int -> blob option
+val find_exn : t -> int -> blob
+val mem : t -> int -> bool
+val remove : t -> int -> unit
+val ids : t -> int list
+(** All region IDs, sorted. *)
+
+val next_rid : t -> int
+
+(** {1 File persistence} *)
+
+val save_file : t -> string -> unit
+(** Serializes every region image to the given file. *)
+
+val load_file : string -> t
+(** Loads a store previously written by {!save_file}. Raises [Failure]
+    on a malformed file. *)
+
+(** {1 Region-image header}
+
+    The header occupies the first {!header_bytes} of every region image:
+    magic, region ID, size, persisted heap cursor, and a root table of up
+    to {!max_roots} named roots. It is read and written through the
+    simulated memory once a region is mapped; the helpers here operate on
+    raw images for store-level invariants. *)
+
+val header_bytes : int
+val max_roots : int
+val magic : int
+
+val blob_rid : blob -> int
+(** Region ID as recorded inside the image header (must match [rid]). *)

@@ -1,0 +1,49 @@
+(** B+ tree over NVM, generic in the pointer representation: the
+    "maps" entry of the paper's list of pointer-based structures, and
+    the index shape most NVM storage systems actually use.
+
+    Classic order-[m] B+ tree: internal nodes hold up to [m] keys and
+    [m+1] child pointers; leaves hold up to [m] key/value pairs and are
+    chained through next-leaf pointers for range scans. All child and
+    leaf-chain pointers are representation slots, so the whole index is
+    position independent under off-holder/RIV/etc.
+
+    Deletion removes from the leaf without rebalancing (nodes may
+    underflow but never violate ordering or depth invariants) — the
+    common write-optimized simplification; {!Make.check} validates the
+    full invariant set either way. *)
+
+module Make (P : Core.Repr_sig.S) : sig
+  type t
+
+  val create : Node.t -> name:string -> ?order:int -> unit -> t
+  (** [order] is the max keys per node (default 8, minimum 3). *)
+
+  val attach : Node.t -> name:string -> t
+
+  val insert : t -> key:int -> value:int -> unit
+  (** Inserts or overwrites. *)
+
+  val lookup : t -> key:int -> int option
+  val delete : t -> key:int -> bool
+  val size : t -> int
+  val depth : t -> int
+
+  val range : t -> lo:int -> hi:int -> (int * int) list
+  (** All [(key, value)] with [lo <= key <= hi], ascending, via the leaf
+      chain. *)
+
+  val min_binding : t -> (int * int) option
+  val to_list : t -> (int * int) list
+
+  val traverse : t -> int * int
+  (** Charged walk over every node; [(node count, checksum)]. *)
+
+  val check : t -> unit
+  (** Validates: keys sorted in every node, children counts, uniform
+      leaf depth, leaf chain complete and ascending.
+      @raise Failure on violation. *)
+
+  val swizzle : t -> unit
+  val unswizzle : t -> unit
+end

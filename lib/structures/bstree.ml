@@ -1,0 +1,147 @@
+module Memsim = Nvmpi_memsim.Memsim
+module Swizzle = Core.Swizzle
+
+let kind_tag = 0x12
+
+module Make (P : Core.Repr_sig.S) = struct
+  type t = { node : Node.t; meta : int }
+
+  let slot = P.slot_size
+  let left_off = 0
+  let right_off = slot
+  let key_off = 2 * slot
+  let payload_off = (2 * slot) + 8
+  let node_size t = payload_off + t.node.Node.payload
+  let mem t = t.node.Node.machine.Core.Machine.mem
+  let m t = t.node.Node.machine
+  let head_holder t = t.meta + Node.head_slot_off
+
+  let create node ~name =
+    let meta = Node.write_meta node ~name ~kind:kind_tag ~aux:0 in
+    { node; meta }
+
+  let attach node ~name =
+    let meta, payload, _ =
+      Node.find_meta node.Node.machine (Node.home_region node) ~name
+        ~kind:kind_tag
+    in
+    if payload <> node.Node.payload then
+      failwith "Bstree.attach: payload size mismatch";
+    { node; meta }
+
+  let new_node t ~key =
+    let a = Node.alloc_node t.node (node_size t) in
+    P.store (m t) ~holder:(a + left_off) 0;
+    P.store (m t) ~holder:(a + right_off) 0;
+    Memsim.store64 (mem t) (a + key_off) key;
+    Node.write_payload t.node ~addr:(a + payload_off) ~seed:key;
+    a
+
+  (* Descends to the node holding [key], or to the slot where it should
+     be linked. Returns [`Found addr] or [`Slot holder]. *)
+  let locate t ~key =
+    let rec go holder =
+      match P.load (m t) ~holder with
+      | 0 -> `Slot holder
+      | cur ->
+          Node.touch t.node;
+          let k = Memsim.load64 (mem t) (cur + key_off) in
+          if key = k then `Found cur
+          else if key < k then go (cur + left_off)
+          else go (cur + right_off)
+    in
+    go (head_holder t)
+
+  let insert t ~key =
+    match locate t ~key with
+    | `Found _ -> false
+    | `Slot holder ->
+        P.store (m t) ~holder (new_node t ~key);
+        true
+
+  let insert_count t ~key =
+    if t.node.Node.payload < 8 then
+      invalid_arg "Bstree.insert_count: payload too small for a counter";
+    match locate t ~key with
+    | `Found cur ->
+        let c = Memsim.load64 (mem t) (cur + payload_off) in
+        Memsim.store64 (mem t) (cur + payload_off) (c + 1)
+    | `Slot holder ->
+        let a = new_node t ~key in
+        Memsim.store64 (mem t) (a + payload_off) 1;
+        P.store (m t) ~holder a
+
+  let count t ~key =
+    match locate t ~key with
+    | `Found cur -> Memsim.load64 (mem t) (cur + payload_off)
+    | `Slot _ -> 0
+
+  let search t ~key =
+    match locate t ~key with `Found _ -> true | `Slot _ -> false
+
+  let iter t f =
+    let rec go cur =
+      if cur <> 0 then begin
+        Node.touch t.node;
+        f ~addr:cur ~key:(Memsim.load64 (mem t) (cur + key_off));
+        go (P.load (m t) ~holder:(cur + left_off));
+        go (P.load (m t) ~holder:(cur + right_off))
+      end
+    in
+    go (P.load (m t) ~holder:(head_holder t))
+
+  let size t =
+    let n = ref 0 in
+    iter t (fun ~addr:_ ~key:_ -> incr n);
+    !n
+
+  let depth t =
+    let rec go cur =
+      if cur = 0 then 0
+      else
+        1
+        + max
+            (go (P.load (m t) ~holder:(cur + left_off)))
+            (go (P.load (m t) ~holder:(cur + right_off)))
+    in
+    go (P.load (m t) ~holder:(head_holder t))
+
+  let traverse t =
+    let n = ref 0 and sum = ref 0 in
+    let rec go cur =
+      if cur <> 0 then begin
+        Node.touch t.node;
+        incr n;
+        sum := !sum + Memsim.load64 (mem t) (cur + key_off);
+        sum := !sum + Node.read_payload t.node ~addr:(cur + payload_off);
+        go (P.load (m t) ~holder:(cur + left_off));
+        go (P.load (m t) ~holder:(cur + right_off))
+      end
+    in
+    go (P.load (m t) ~holder:(head_holder t));
+    (!n, !sum)
+
+  let check_swizzle () =
+    if not (String.equal P.name Swizzle.name) then
+      invalid_arg "Bstree: swizzle pass on a non-swizzle representation"
+
+  let swizzle t =
+    check_swizzle ();
+    let rec go cur =
+      if cur <> 0 then begin
+        go (Swizzle.swizzle_slot (m t) ~holder:(cur + left_off));
+        go (Swizzle.swizzle_slot (m t) ~holder:(cur + right_off))
+      end
+    in
+    go (Swizzle.swizzle_slot (m t) ~holder:(head_holder t))
+
+  let unswizzle t =
+    check_swizzle ();
+    let rec go cur =
+      if cur <> 0 then begin
+        go (Swizzle.unswizzle_slot (m t) ~holder:(cur + left_off));
+        go (Swizzle.unswizzle_slot (m t) ~holder:(cur + right_off))
+      end
+    in
+    go (Swizzle.unswizzle_slot (m t) ~holder:(head_holder t))
+end

@@ -1,0 +1,36 @@
+(** Binary search tree over NVM, generic in the pointer representation.
+
+    Node layout: [left-slot | right-slot | key (8 bytes) | payload].
+    Keys are distinct integers; equal keys update nothing. Used by the
+    tree traversal/search experiments and by the wordcount application
+    (with word hashes as keys). *)
+
+module Make (P : Core.Repr_sig.S) : sig
+  type t
+
+  val create : Node.t -> name:string -> t
+  val attach : Node.t -> name:string -> t
+
+  val insert : t -> key:int -> bool
+  (** Adds [key]; returns [false] if it was already present. *)
+
+  val insert_count : t -> key:int -> unit
+  (** Wordcount-style insert: a fresh key gets a node with counter 1
+      (stored in the first payload word); an existing key increments its
+      counter. Requires a payload of at least 8 bytes. *)
+
+  val count : t -> key:int -> int
+  (** Counter value stored at [key] (0 if absent). *)
+
+  val search : t -> key:int -> bool
+  val size : t -> int
+  val depth : t -> int
+
+  val traverse : t -> int * int
+  (** Depth-first walk; [(node count, checksum)]. *)
+
+  val iter : t -> (addr:int -> key:int -> unit) -> unit
+
+  val swizzle : t -> unit
+  val unswizzle : t -> unit
+end

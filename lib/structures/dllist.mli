@@ -1,0 +1,33 @@
+(** Doubly linked list over NVM, generic in the pointer representation.
+
+    Node layout: [next-slot | prev-slot | key (8 bytes) | payload]. The
+    backward links make this the structure that stresses negative
+    off-holder offsets and pointer updates on unlink; the paper lists
+    doubly-linked structures among those "subject to this issue". *)
+
+module Make (P : Core.Repr_sig.S) : sig
+  type t
+
+  val create : Node.t -> name:string -> t
+  val attach : Node.t -> name:string -> t
+
+  val push_front : t -> key:int -> unit
+  val push_back : t -> key:int -> unit
+
+  val remove : t -> key:int -> bool
+  (** Unlinks the first node carrying [key]; returns [false] if absent. *)
+
+  val length : t -> int
+  val to_list : t -> int list
+  val to_list_rev : t -> int list
+  (** Backward walk from the tail; must mirror {!to_list}. *)
+
+  val traverse : t -> int * int
+  val find : t -> key:int -> bool
+  val check : t -> unit
+  (** Validates [prev]/[next] mutual consistency along the whole list.
+      @raise Failure on a broken link. *)
+
+  val swizzle : t -> unit
+  val unswizzle : t -> unit
+end

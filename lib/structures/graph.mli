@@ -1,0 +1,41 @@
+(** Directed graph over NVM (adjacency lists), generic in the pointer
+    representation — the "graphs" entry of the paper's list of affected
+    structures, and the structure with the highest pointer density:
+    every edge is a pointer to another vertex.
+
+    Vertex layout: [vnext-slot | adj-slot | key (8) | payload];
+    edge layout:   [enext-slot | target-vertex-slot].
+
+    Vertices live on a singly linked registry list; each vertex chains
+    its out-edges, and every edge's target slot points straight at the
+    destination vertex. With round-robin multi-region placement, edges
+    routinely cross regions. *)
+
+module Make (P : Core.Repr_sig.S) : sig
+  type t
+
+  val create : Node.t -> name:string -> t
+  val attach : Node.t -> name:string -> t
+
+  val add_vertex : t -> key:int -> bool
+  (** [false] if the key already exists. *)
+
+  val add_edge : t -> src:int -> dst:int -> unit
+  (** @raise Failure if either endpoint is missing. *)
+
+  val vertex_count : t -> int
+  val edge_count : t -> int
+  val mem_vertex : t -> key:int -> bool
+  val successors : t -> key:int -> int list
+  (** Keys of direct successors, most recently added first. *)
+
+  val reachable : t -> from:int -> int
+  (** Number of vertices reachable from [from] (inclusive), by BFS. *)
+
+  val traverse : t -> int * int
+  (** Visits every vertex and follows every edge to its target's key;
+      [(vertices + edges, checksum)]. *)
+
+  val swizzle : t -> unit
+  val unswizzle : t -> unit
+end

@@ -1,0 +1,136 @@
+module Memsim = Nvmpi_memsim.Memsim
+module Swizzle = Core.Swizzle
+module Machine = Core.Machine
+
+let kind_tag = 0x13
+
+module Make (P : Core.Repr_sig.S) = struct
+  type t = { node : Node.t; meta : int; buckets : int }
+
+  let slot = P.slot_size
+  let key_off = slot
+  let payload_off = slot + 8
+  let node_size t = payload_off + t.node.Node.payload
+  let mem t = t.node.Node.machine.Machine.mem
+  let m t = t.node.Node.machine
+  let table_holder t = t.meta + Node.head_slot_off
+
+  let hash_key t ~key =
+    Machine.alu (m t) 4;
+    let h = key * 0x2545F4914F6CDD1 in
+    (h lxor (h lsr 31)) land max_int mod t.buckets
+
+  let bucket_holder table i = table + (i * slot)
+
+  let create node ~name ~buckets =
+    if buckets <= 0 then invalid_arg "Hashset.create: buckets";
+    let meta = Node.write_meta node ~name ~kind:kind_tag ~aux:buckets in
+    let table = Node.alloc_in_home node (buckets * slot) in
+    let t = { node; meta; buckets } in
+    for i = 0 to buckets - 1 do
+      P.store (m t) ~holder:(bucket_holder table i) 0
+    done;
+    P.store (m t) ~holder:(table_holder t) table;
+    t
+
+  let attach node ~name =
+    let meta, payload, buckets =
+      Node.find_meta node.Node.machine (Node.home_region node) ~name
+        ~kind:kind_tag
+    in
+    if payload <> node.Node.payload then
+      failwith "Hashset.attach: payload size mismatch";
+    { node; meta; buckets }
+
+  let table t = P.load (m t) ~holder:(table_holder t)
+
+  (* Walks the chain of [key]'s bucket to its end; [`Found addr] or
+     [`Slot holder] (the null slot to append at). *)
+  let locate t ~key =
+    let tbl = table t in
+    let rec go holder =
+      match P.load (m t) ~holder with
+      | 0 -> `Slot holder
+      | cur ->
+          Node.touch t.node;
+          if Memsim.load64 (mem t) (cur + key_off) = key then `Found cur
+          else go cur
+    in
+    go (bucket_holder tbl (hash_key t ~key))
+
+  let add t ~key =
+    match locate t ~key with
+    | `Found _ -> false
+    | `Slot holder ->
+        let a = Node.alloc_node t.node (node_size t) in
+        P.store (m t) ~holder:a 0;
+        Memsim.store64 (mem t) (a + key_off) key;
+        Node.write_payload t.node ~addr:(a + payload_off) ~seed:key;
+        P.store (m t) ~holder a;
+        true
+
+  let contains t ~key =
+    match locate t ~key with `Found _ -> true | `Slot _ -> false
+
+  let iter t f =
+    let tbl = table t in
+    for i = 0 to t.buckets - 1 do
+      let rec go cur =
+        if cur <> 0 then begin
+          Node.touch t.node;
+          f ~addr:cur ~key:(Memsim.load64 (mem t) (cur + key_off));
+          go (P.load (m t) ~holder:cur)
+        end
+      in
+      go (P.load (m t) ~holder:(bucket_holder tbl i))
+    done
+
+  let size t =
+    let n = ref 0 in
+    iter t (fun ~addr:_ ~key:_ -> incr n);
+    !n
+
+  let buckets t = t.buckets
+
+  let traverse t =
+    let tbl = table t in
+    let n = ref 0 and sum = ref 0 in
+    for i = 0 to t.buckets - 1 do
+      let rec go cur =
+        if cur <> 0 then begin
+          Node.touch t.node;
+          incr n;
+          sum := !sum + Memsim.load64 (mem t) (cur + key_off);
+          sum := !sum + Node.read_payload t.node ~addr:(cur + payload_off);
+          go (P.load (m t) ~holder:cur)
+        end
+      in
+      go (P.load (m t) ~holder:(bucket_holder tbl i))
+    done;
+    (!n, !sum)
+
+  let check_swizzle () =
+    if not (String.equal P.name Swizzle.name) then
+      invalid_arg "Hashset: swizzle pass on a non-swizzle representation"
+
+  let swizzle t =
+    check_swizzle ();
+    let tbl = Swizzle.swizzle_slot (m t) ~holder:(table_holder t) in
+    for i = 0 to t.buckets - 1 do
+      let rec go cur =
+        if cur <> 0 then go (Swizzle.swizzle_slot (m t) ~holder:cur)
+      in
+      go (Swizzle.swizzle_slot (m t) ~holder:(bucket_holder tbl i))
+    done
+
+  let unswizzle t =
+    check_swizzle ();
+    (* Read the table address before unswizzling its holder. *)
+    let tbl = Swizzle.unswizzle_slot (m t) ~holder:(table_holder t) in
+    for i = 0 to t.buckets - 1 do
+      let rec go cur =
+        if cur <> 0 then go (Swizzle.unswizzle_slot (m t) ~holder:cur)
+      in
+      go (Swizzle.unswizzle_slot (m t) ~holder:(bucket_holder tbl i))
+    done
+end

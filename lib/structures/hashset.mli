@@ -1,0 +1,28 @@
+(** Chained hash set over NVM, generic in the pointer representation.
+
+    A bucket table of pointer slots lives in the home region; each
+    bucket chains nodes of layout [next-slot | key (8 bytes) | payload].
+    New keys are appended at the end of their chain, as in the paper's
+    setup. The bucket count is fixed at creation and recorded in the
+    metadata block. *)
+
+module Make (P : Core.Repr_sig.S) : sig
+  type t
+
+  val create : Node.t -> name:string -> buckets:int -> t
+  val attach : Node.t -> name:string -> t
+
+  val add : t -> key:int -> bool
+  (** Appends [key] to its chain; returns [false] if already present. *)
+
+  val contains : t -> key:int -> bool
+  val size : t -> int
+  val buckets : t -> int
+
+  val traverse : t -> int * int
+  (** Walks every chain; [(node count, checksum)]. *)
+
+  val iter : t -> (addr:int -> key:int -> unit) -> unit
+  val swizzle : t -> unit
+  val unswizzle : t -> unit
+end

@@ -1,0 +1,117 @@
+module Memsim = Nvmpi_memsim.Memsim
+module Swizzle = Core.Swizzle
+
+let kind_tag = 0x11
+
+module Make (P : Core.Repr_sig.S) = struct
+  type t = {
+    node : Node.t;
+    meta : int;
+    mutable tail : int; (* host cache of the last node; 0 = unknown/empty *)
+  }
+
+  let slot = P.slot_size
+  let key_off = slot
+  let payload_off = slot + 8
+  let node_size t = payload_off + t.node.Node.payload
+  let mem t = t.node.Node.machine.Core.Machine.mem
+  let m t = t.node.Node.machine
+  let head_holder t = t.meta + Node.head_slot_off
+
+  let create node ~name =
+    let meta = Node.write_meta node ~name ~kind:kind_tag ~aux:0 in
+    { node; meta; tail = 0 }
+
+  let attach node ~name =
+    let meta, payload, _ =
+      Node.find_meta node.Node.machine (Node.home_region node) ~name
+        ~kind:kind_tag
+    in
+    if payload <> node.Node.payload then
+      failwith "Linked_list.attach: payload size mismatch";
+    { node; meta; tail = 0 }
+
+  let new_node t ~key =
+    let a = Node.alloc_node t.node (node_size t) in
+    Memsim.store64 (mem t) (a + key_off) key;
+    Node.write_payload t.node ~addr:(a + payload_off) ~seed:key;
+    a
+
+  let push_front t ~key =
+    let a = new_node t ~key in
+    let old_head = P.load (m t) ~holder:(head_holder t) in
+    P.store (m t) ~holder:a old_head;
+    P.store (m t) ~holder:(head_holder t) a;
+    if old_head = 0 then t.tail <- a
+
+  let find_tail t =
+    let rec go cur =
+      match P.load (m t) ~holder:cur with 0 -> cur | next -> go next
+    in
+    match P.load (m t) ~holder:(head_holder t) with 0 -> 0 | h -> go h
+
+  let append t ~key =
+    let a = new_node t ~key in
+    P.store (m t) ~holder:a 0;
+    let tail = if t.tail <> 0 then t.tail else find_tail t in
+    if tail = 0 then P.store (m t) ~holder:(head_holder t) a
+    else P.store (m t) ~holder:tail a;
+    t.tail <- a
+
+  let iter t f =
+    let rec go cur =
+      if cur <> 0 then begin
+        Node.touch t.node;
+        f ~addr:cur ~key:(Memsim.load64 (mem t) (cur + key_off));
+        go (P.load (m t) ~holder:cur)
+      end
+    in
+    go (P.load (m t) ~holder:(head_holder t))
+
+  let length t =
+    let n = ref 0 in
+    iter t (fun ~addr:_ ~key:_ -> incr n);
+    !n
+
+  let traverse t =
+    let n = ref 0 and sum = ref 0 in
+    let rec go cur =
+      if cur <> 0 then begin
+        Node.touch t.node;
+        incr n;
+        sum := !sum + Memsim.load64 (mem t) (cur + key_off);
+        sum := !sum + Node.read_payload t.node ~addr:(cur + payload_off);
+        go (P.load (m t) ~holder:cur)
+      end
+    in
+    go (P.load (m t) ~holder:(head_holder t));
+    (!n, !sum)
+
+  let find t ~key =
+    let rec go cur =
+      cur <> 0
+      &&
+      (Node.touch t.node;
+       Memsim.load64 (mem t) (cur + key_off) = key
+       || go (P.load (m t) ~holder:cur))
+    in
+    go (P.load (m t) ~holder:(head_holder t))
+
+  let check_swizzle () =
+    if not (String.equal P.name Swizzle.name) then
+      invalid_arg "Linked_list: swizzle pass on a non-swizzle representation"
+
+  let swizzle t =
+    check_swizzle ();
+    let rec go cur =
+      if cur <> 0 then go (Swizzle.swizzle_slot (m t) ~holder:cur)
+    in
+    go (Swizzle.swizzle_slot (m t) ~holder:(head_holder t))
+
+  let unswizzle t =
+    check_swizzle ();
+    let rec go cur =
+      if cur <> 0 then go (Swizzle.unswizzle_slot (m t) ~holder:cur)
+    in
+    go (Swizzle.unswizzle_slot (m t) ~holder:(head_holder t))
+end

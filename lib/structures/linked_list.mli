@@ -1,0 +1,43 @@
+(** Singly linked list over NVM, generic in the pointer representation.
+
+    Node layout: [next-slot | key (8 bytes) | payload]. The head pointer
+    lives in the slot of a metadata block anchored at a named NVRoot, so
+    the whole structure — including its entry point — is stored in the
+    chosen representation and can be re-{!Make.attach}ed after a
+    remap. *)
+
+module Make (P : Core.Repr_sig.S) : sig
+  type t
+
+  val create : Node.t -> name:string -> t
+  (** Creates an empty list anchored at root [name]. *)
+
+  val attach : Node.t -> name:string -> t
+  (** Re-opens a list previously created under [name].
+      @raise Failure if the root is missing or is not a list. *)
+
+  val append : t -> key:int -> unit
+  (** Adds a node carrying [key] (and a payload seeded by it) at the
+      tail. *)
+
+  val push_front : t -> key:int -> unit
+
+  val length : t -> int
+
+  val traverse : t -> int * int
+  (** Full walk; returns [(node count, payload checksum)]. Every node
+      visit costs one pointer load, a key read and a payload read. *)
+
+  val find : t -> key:int -> bool
+  (** Linear search by key. *)
+
+  val iter : t -> (addr:int -> key:int -> unit) -> unit
+  (** Host-side iteration (uncharged pointer chasing is still charged;
+      the callback itself runs outside the simulation). *)
+
+  val swizzle : t -> unit
+  (** Converts every pointer slot from packed to absolute form, head
+      first. Only valid when [P] is the swizzle representation. *)
+
+  val unswizzle : t -> unit
+end

@@ -1,0 +1,176 @@
+module Memsim = Nvmpi_memsim.Memsim
+module Swizzle = Core.Swizzle
+
+let kind_tag = 0x14
+let fanout = 26
+
+module Make (P : Core.Repr_sig.S) = struct
+  type t = { node : Node.t; meta : int }
+
+  let slot = P.slot_size
+  let flag_off = fanout * slot
+  let payload_off = flag_off + 8
+  let node_size t = payload_off + t.node.Node.payload
+  let mem t = t.node.Node.machine.Core.Machine.mem
+  let m t = t.node.Node.machine
+  let head_holder t = t.meta + Node.head_slot_off
+  let child_holder a c = a + (c * slot)
+
+  let create node ~name =
+    let meta = Node.write_meta node ~name ~kind:kind_tag ~aux:0 in
+    { node; meta }
+
+  let attach node ~name =
+    let meta, payload, _ =
+      Node.find_meta node.Node.machine (Node.home_region node) ~name
+        ~kind:kind_tag
+    in
+    if payload <> node.Node.payload then
+      failwith "Trie.attach: payload size mismatch";
+    { node; meta }
+
+  let letter word i =
+    let c = Char.code word.[i] - Char.code 'a' in
+    if c < 0 || c >= fanout then
+      invalid_arg "Trie: words must be lowercase a-z";
+    c
+
+  let new_node t ~seed =
+    let a = Node.alloc_node t.node (node_size t) in
+    for c = 0 to fanout - 1 do
+      P.store (m t) ~holder:(child_holder a c) 0
+    done;
+    Memsim.store64 (mem t) (a + flag_off) 0;
+    Node.write_payload t.node ~addr:(a + payload_off) ~seed;
+    a
+
+  (* The root node is created lazily on first insert. *)
+  let root t ~create_missing =
+    match P.load (m t) ~holder:(head_holder t) with
+    | 0 when create_missing ->
+        let a = new_node t ~seed:0 in
+        P.store (m t) ~holder:(head_holder t) a;
+        a
+    | a -> a
+
+  let insert t word =
+    if String.length word = 0 then invalid_arg "Trie.insert: empty word";
+    let rec go a i =
+      if i = String.length word then begin
+        let fresh = Memsim.load64 (mem t) (a + flag_off) = 0 in
+        Memsim.store64 (mem t) (a + flag_off) 1;
+        fresh
+      end
+      else begin
+        Node.touch t.node;
+        let c = letter word i in
+        let holder = child_holder a c in
+        let next =
+          match P.load (m t) ~holder with
+          | 0 ->
+              let b = new_node t ~seed:((i * 31) + c) in
+              P.store (m t) ~holder b;
+              b
+          | b -> b
+        in
+        go next (i + 1)
+      end
+    in
+    go (root t ~create_missing:true) 0
+
+  let contains t word =
+    if String.length word = 0 then invalid_arg "Trie.contains: empty word";
+    let rec go a i =
+      a <> 0
+      &&
+      if i = String.length word then (
+        Node.touch t.node;
+        Memsim.load64 (mem t) (a + flag_off) = 1)
+      else begin
+        Node.touch t.node;
+        go (P.load (m t) ~holder:(child_holder a (letter word i))) (i + 1)
+      end
+    in
+    go (root t ~create_missing:false) 0
+
+  let fold t f acc =
+    let buf = Buffer.create 16 in
+    let rec go a acc =
+      if a = 0 then acc
+      else begin
+        Node.touch t.node;
+        let acc =
+          if Memsim.load64 (mem t) (a + flag_off) = 1 then
+            f acc (Buffer.contents buf)
+          else acc
+        in
+        let acc = ref acc in
+        for c = 0 to fanout - 1 do
+          let child = P.load (m t) ~holder:(child_holder a c) in
+          if child <> 0 then begin
+            Buffer.add_char buf (Char.chr (Char.code 'a' + c));
+            acc := go child !acc;
+            Buffer.truncate buf (Buffer.length buf - 1)
+          end
+        done;
+        !acc
+      end
+    in
+    go (root t ~create_missing:false) acc
+
+  let iter_words t f = fold t (fun () w -> f w) ()
+  let word_count t = fold t (fun n _ -> n + 1) 0
+
+  let node_count t =
+    let rec go a =
+      if a = 0 then 0
+      else begin
+        let n = ref 1 in
+        for c = 0 to fanout - 1 do
+          n := !n + go (P.load (m t) ~holder:(child_holder a c))
+        done;
+        !n
+      end
+    in
+    go (root t ~create_missing:false)
+
+  let traverse t =
+    let n = ref 0 and sum = ref 0 in
+    let rec go a =
+      if a <> 0 then begin
+        Node.touch t.node;
+        incr n;
+        sum := !sum + Memsim.load64 (mem t) (a + flag_off);
+        sum := !sum + Node.read_payload t.node ~addr:(a + payload_off);
+        for c = 0 to fanout - 1 do
+          go (P.load (m t) ~holder:(child_holder a c))
+        done
+      end
+    in
+    go (root t ~create_missing:false);
+    (!n, !sum)
+
+  let check_swizzle () =
+    if not (String.equal P.name Swizzle.name) then
+      invalid_arg "Trie: swizzle pass on a non-swizzle representation"
+
+  let swizzle t =
+    check_swizzle ();
+    let rec go a =
+      if a <> 0 then
+        for c = 0 to fanout - 1 do
+          go (Swizzle.swizzle_slot (m t) ~holder:(child_holder a c))
+        done
+    in
+    go (Swizzle.swizzle_slot (m t) ~holder:(head_holder t))
+
+  let unswizzle t =
+    check_swizzle ();
+    let rec go a =
+      if a <> 0 then
+        for c = 0 to fanout - 1 do
+          go (Swizzle.unswizzle_slot (m t) ~holder:(child_holder a c))
+        done
+    in
+    go (Swizzle.unswizzle_slot (m t) ~holder:(head_holder t))
+end

@@ -1,0 +1,28 @@
+(** Trie over lowercase words, generic in the pointer representation.
+
+    Node layout: [26 child slots | terminal flag (8 bytes) | payload];
+    each node is one letter, and a root-to-flagged-node path spells a
+    word, with shared prefixes sharing subpaths — the paper's fourth
+    evaluated structure. *)
+
+module Make (P : Core.Repr_sig.S) : sig
+  type t
+
+  val create : Node.t -> name:string -> t
+  val attach : Node.t -> name:string -> t
+
+  val insert : t -> string -> bool
+  (** Adds a word of characters in [a-z]; returns [false] if present.
+      @raise Invalid_argument on an empty word or other characters. *)
+
+  val contains : t -> string -> bool
+  val word_count : t -> int
+  val node_count : t -> int
+
+  val traverse : t -> int * int
+  (** Full DFS; [(node count, checksum over payloads and flags)]. *)
+
+  val iter_words : t -> (string -> unit) -> unit
+  val swizzle : t -> unit
+  val unswizzle : t -> unit
+end

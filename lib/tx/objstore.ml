@@ -1,0 +1,165 @@
+module Machine = Core.Machine
+module Region = Nvmpi_nvregion.Region
+module Memsim = Nvmpi_memsim.Memsim
+module Timing = Nvmpi_cachesim.Timing
+module Freelist = Nvmpi_alloc.Freelist
+module Bitops = Nvmpi_addr.Bitops
+
+type t = {
+  machine : Machine.t;
+  region : Region.t;
+  meta : int; (* absolute address of the store's metadata block *)
+  heap : Freelist.t;
+}
+
+let wrap_unit = 128
+let header_bytes = 32
+let read_overhead_cycles = 12
+let magic = 0x4F424A53544F5245 land ((1 lsl 62) - 1) (* "OBJSTORE" truncated *)
+
+(* Metadata block layout (offsets from [meta]); all region-relative
+   offsets so the store is position independent. *)
+let m_magic = 0
+let m_log_off = 8
+let m_log_cap = 16
+let m_log_len = 24
+let m_heap_lo = 32
+let m_heap_hi = 40
+let m_alive = 48
+let meta_bytes = 56
+
+let root_name = "__objstore"
+
+let machine t = t.machine
+let region t = t.region
+let mem t = t.machine.Machine.mem
+
+let meta_get t field = Memsim.load64 (mem t) (t.meta + field)
+let meta_set t field v = Memsim.store64 (mem t) (t.meta + field) v
+
+let create machine region ?(log_cap = 256 * 1024) () =
+  let mem = machine.Machine.mem in
+  let meta = Region.alloc region meta_bytes in
+  let log = Region.alloc region log_cap in
+  (* Everything left in the region becomes the object heap. *)
+  let heap_lo = Region.base region + Region.heap_top region in
+  let heap_lo = Bitops.align_up heap_lo 8 in
+  let heap_hi = Region.base region + Region.size region in
+  let heap_hi = heap_hi land lnot 7 in
+  Region.set_heap_top region (heap_hi - Region.base region);
+  let heap = Freelist.init mem ~lo:heap_lo ~hi:heap_hi in
+  let t = { machine; region; meta; heap } in
+  Memsim.store64 mem (meta + m_magic) magic;
+  meta_set t m_log_off (log - Region.base region);
+  meta_set t m_log_cap log_cap;
+  meta_set t m_log_len 0;
+  meta_set t m_heap_lo (heap_lo - Region.base region);
+  meta_set t m_heap_hi (heap_hi - Region.base region);
+  meta_set t m_alive 0;
+  Region.set_root region root_name meta;
+  t
+
+let log_entries_of t =
+  (* Count entries by walking the log. *)
+  let base = Region.base t.region in
+  let log = base + meta_get t m_log_off in
+  let len = meta_get t m_log_len in
+  let rec go pos n =
+    if pos >= len then n
+    else
+      let elen = Memsim.load64 (mem t) (log + pos + 8) in
+      go (pos + 16 + Bitops.align_up elen 8) (n + 1)
+  in
+  go 0 0
+
+let log_entries t = log_entries_of t
+
+let log_reset t =
+  meta_set t m_log_len 0;
+  Timing.flush t.machine.Machine.timing ~addr:(t.meta + m_log_len);
+  Timing.fence t.machine.Machine.timing
+
+let log_rollback t =
+  let base = Region.base t.region in
+  let log = base + meta_get t m_log_off in
+  let len = meta_get t m_log_len in
+  (* Collect entry positions, then restore newest-first. *)
+  let rec collect pos acc =
+    if pos >= len then acc
+    else
+      let elen = Memsim.load64 (mem t) (log + pos + 8) in
+      collect (pos + 16 + Bitops.align_up elen 8) ((pos, elen) :: acc)
+  in
+  List.iter
+    (fun (pos, elen) ->
+      let off = Memsim.load64 (mem t) (log + pos) in
+      let data = Memsim.blit_to_bytes (mem t) ~addr:(log + pos + 16) ~len:elen in
+      Memsim.blit_from_bytes (mem t) ~addr:(base + off) data)
+    (collect 0 []);
+  log_reset t
+
+let attach machine region =
+  match Region.root region root_name with
+  | None -> failwith "Objstore.attach: region holds no object store"
+  | Some meta ->
+      let mem = machine.Machine.mem in
+      if Memsim.load64 mem (meta + m_magic) <> magic then
+        failwith "Objstore.attach: bad object-store magic";
+      let base = Region.base region in
+      let heap_lo = base + Memsim.load64 mem (meta + m_heap_lo) in
+      let heap_hi = base + Memsim.load64 mem (meta + m_heap_hi) in
+      let heap = Freelist.attach mem ~lo:heap_lo ~hi:heap_hi in
+      let t = { machine; region; meta; heap } in
+      (* A non-empty persisted log means a transaction was interrupted:
+         roll it back before anyone reads torn data. *)
+      if meta_get t m_log_len > 0 then log_rollback t;
+      t
+
+let log_append t ~addr ~len =
+  let base = Region.base t.region in
+  let log = base + meta_get t m_log_off in
+  let pos = meta_get t m_log_len in
+  let entry_len = 16 + Bitops.align_up len 8 in
+  if pos + entry_len > meta_get t m_log_cap then
+    failwith "Objstore.log_append: undo log full";
+  Memsim.store64 (mem t) (log + pos) (addr - base);
+  Memsim.store64 (mem t) (log + pos + 8) len;
+  let data = Memsim.blit_to_bytes (mem t) ~addr ~len in
+  Memsim.blit_from_bytes (mem t) ~addr:(log + pos + 16) data;
+  (* Persist the entry before the in-place store may happen. *)
+  let timing = t.machine.Machine.timing in
+  let line = 1 lsl (Timing.cfg timing).Nvmpi_cachesim.Timing_config.line_bits in
+  let first = (log + pos) land lnot (line - 1) in
+  let last = (log + pos + entry_len - 1) land lnot (line - 1) in
+  let a = ref first in
+  while !a <= last do
+    Timing.flush timing ~addr:!a;
+    a := !a + line
+  done;
+  Timing.fence timing;
+  meta_set t m_log_len (pos + entry_len);
+  Timing.flush timing ~addr:(t.meta + m_log_len);
+  Timing.fence timing
+
+(* Objects: [header | payload], allocated from the freelist in
+   multiples of [wrap_unit]. Header: tag, payload size, version, flags. *)
+
+let alloc t ?(tag = 0) ~size () =
+  if size <= 0 then invalid_arg "Objstore.alloc: non-positive size";
+  let total = Bitops.align_up (header_bytes + size) wrap_unit in
+  let block = Freelist.alloc t.heap total in
+  Memsim.store64 (mem t) block tag;
+  Memsim.store64 (mem t) (block + 8) size;
+  Memsim.store64 (mem t) (block + 16) 1;
+  Memsim.store64 (mem t) (block + 24) 0;
+  meta_set t m_alive (meta_get t m_alive + 1);
+  block + header_bytes
+
+let free t payload =
+  Freelist.free t.heap (payload - header_bytes);
+  meta_set t m_alive (meta_get t m_alive - 1)
+
+let obj_tag t payload = Memsim.load64 (mem t) (payload - header_bytes)
+let obj_size t payload = Memsim.load64 (mem t) (payload - header_bytes + 8)
+let touch_read t = Machine.alu t.machine read_overhead_cycles
+let objects_alive t = meta_get t m_alive

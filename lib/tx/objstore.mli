@@ -1,0 +1,68 @@
+(** A PMEM.IO-like transactional object store over one NVRegion.
+
+    Mirrors the setup of the paper's "transactional" experiments
+    (Section 6.3): every data item is wrapped with metadata — type tag,
+    size, version, flags — and the wrapped allocation is rounded to
+    {!wrap_unit} (128 bytes, the item size the paper reports). Reads go
+    through an accessor that charges the library's bookkeeping overhead;
+    writes inside a transaction are undo-logged by {!Tx}.
+
+    The store formats the region's free space with the position-
+    independent {!Nvmpi_alloc.Freelist}, reserves an undo-log buffer, and
+    anchors its metadata at the ["__objstore"] NVRoot — so a store can be
+    re-{!attach}ed after the region is remapped in a later run. *)
+
+type t
+
+val wrap_unit : int
+(** Wrapped objects are multiples of this size (128 bytes). *)
+
+val header_bytes : int
+(** Per-object metadata preceding the payload (32 bytes). *)
+
+val read_overhead_cycles : int
+(** ALU cycles charged per {!touch_read} (library accessor cost). *)
+
+val create : Core.Machine.t -> Nvmpi_nvregion.Region.t -> ?log_cap:int ->
+  unit -> t
+(** Formats the region's remaining free space as an object heap with a
+    [log_cap]-byte undo-log buffer (default 256 KiB). The region must be
+    freshly created (or at least have enough free space). *)
+
+val attach : Core.Machine.t -> Nvmpi_nvregion.Region.t -> t
+(** Re-attaches to a formatted region (after a remap or in a new run).
+    If the persisted undo log is non-empty — a crash interrupted a
+    transaction — it is rolled back first.
+    @raise Failure if the region holds no object store. *)
+
+val machine : t -> Core.Machine.t
+val region : t -> Nvmpi_nvregion.Region.t
+
+val alloc : t -> ?tag:int -> size:int -> unit -> int
+(** Allocates a wrapped object with a [size]-byte payload and returns
+    the {e payload} address. *)
+
+val free : t -> int -> unit
+(** Frees an object by payload address. *)
+
+val obj_tag : t -> int -> int
+val obj_size : t -> int -> int
+(** Metadata of the object owning the given payload address. *)
+
+val touch_read : t -> unit
+(** Charges the per-access read-accessor overhead. *)
+
+val objects_alive : t -> int
+
+(** {1 Undo log plumbing (used by {!Tx})} *)
+
+val log_append : t -> addr:int -> len:int -> unit
+(** Persists an undo record of [len] bytes at [addr] (current contents)
+    into the log: data copy, log-head update, flush, fence. *)
+
+val log_entries : t -> int
+val log_rollback : t -> unit
+(** Applies all undo records newest-first, then truncates the log. *)
+
+val log_reset : t -> unit
+(** Truncates the log (transaction committed). *)

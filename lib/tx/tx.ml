@@ -1,0 +1,90 @@
+module Machine = Core.Machine
+module Memsim = Nvmpi_memsim.Memsim
+module Timing = Nvmpi_cachesim.Timing
+
+type t = {
+  os : Objstore.t;
+  mutable active : bool;
+  logged : (int, unit) Hashtbl.t; (* word addresses undo-logged this tx *)
+  dirty : (int, unit) Hashtbl.t; (* line addresses dirtied this tx *)
+}
+
+exception Not_in_transaction
+exception Already_in_transaction
+
+let create os =
+  { os; active = false; logged = Hashtbl.create 64; dirty = Hashtbl.create 64 }
+
+let objstore t = t.os
+let active t = t.active
+let mem t = (Objstore.machine t.os).Machine.mem
+let timing t = (Objstore.machine t.os).Machine.timing
+
+let line_of t a =
+  let bits = (Timing.cfg (timing t)).Nvmpi_cachesim.Timing_config.line_bits in
+  a land lnot ((1 lsl bits) - 1)
+
+let begin_tx t =
+  if t.active then raise Already_in_transaction;
+  t.active <- true;
+  Hashtbl.reset t.logged;
+  Hashtbl.reset t.dirty
+
+let commit t =
+  if not t.active then raise Not_in_transaction;
+  Hashtbl.iter (fun line () -> Timing.flush (timing t) ~addr:line) t.dirty;
+  Timing.fence (timing t);
+  Objstore.log_reset t.os;
+  t.active <- false;
+  Hashtbl.reset t.logged;
+  Hashtbl.reset t.dirty
+
+let abort t =
+  if not t.active then raise Not_in_transaction;
+  Objstore.log_rollback t.os;
+  t.active <- false;
+  Hashtbl.reset t.logged;
+  Hashtbl.reset t.dirty
+
+let simulate_crash t =
+  if not t.active then raise Not_in_transaction;
+  t.active <- false;
+  Hashtbl.reset t.logged;
+  Hashtbl.reset t.dirty
+
+let run t f =
+  begin_tx t;
+  match f () with
+  | v ->
+      commit t;
+      v
+  | exception e ->
+      abort t;
+      raise e
+
+let add_range t ~addr ~len =
+  if not t.active then raise Not_in_transaction;
+  Objstore.log_append t.os ~addr ~len;
+  let rec mark a =
+    if a < addr + len then begin
+      Hashtbl.replace t.logged (a land lnot 7) ();
+      mark (a + 8)
+    end
+  in
+  mark (addr land lnot 7);
+  Hashtbl.replace t.dirty (line_of t addr) ();
+  Hashtbl.replace t.dirty (line_of t (addr + len - 1)) ()
+
+let store64 t a v =
+  if t.active then begin
+    if not (Hashtbl.mem t.logged a) then begin
+      Objstore.log_append t.os ~addr:a ~len:8;
+      Hashtbl.replace t.logged a ()
+    end;
+    Hashtbl.replace t.dirty (line_of t a) ()
+  end;
+  Memsim.store64 (mem t) a v
+
+let load64 t a =
+  Objstore.touch_read t.os;
+  Memsim.load64 (mem t) a

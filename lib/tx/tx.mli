@@ -1,0 +1,59 @@
+(** Undo-log transactions over an {!Objstore}, in the style of
+    PMEM.IO's [TX_BEGIN]/[TX_ADD]/[TX_END].
+
+    The first store to each 8-byte word inside a transaction snapshots
+    the old contents into the region's persisted undo log (data copy +
+    cache-line flush + persist fence, charged to the timing model), so
+    that an interrupted transaction can be rolled back on recovery.
+
+    Typical use:
+    {[
+      let tx = Tx.create os in
+      Tx.run tx (fun () ->
+          Tx.store64 tx a 1;
+          Tx.store64 tx b 2)
+    ]}
+
+    A crash is simulated by dropping the host-side transaction state
+    without committing ({!simulate_crash}); the next {!Objstore.attach}
+    rolls the persisted log back. *)
+
+type t
+
+exception Not_in_transaction
+exception Already_in_transaction
+
+val create : Objstore.t -> t
+val objstore : t -> Objstore.t
+
+val active : t -> bool
+
+val begin_tx : t -> unit
+val commit : t -> unit
+(** Flushes every line dirtied by the transaction, fences, and truncates
+    the undo log. *)
+
+val abort : t -> unit
+(** Rolls the undo log back (restoring all pre-transaction contents) and
+    truncates it. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** [run t f] wraps [f] in begin/commit; any exception aborts and is
+    re-raised. *)
+
+val store64 : t -> int -> int -> unit
+(** Transactional store: undo-logs the word on first touch, then writes.
+    Outside a transaction it behaves as a plain store. *)
+
+val load64 : t -> int -> int
+(** Plain load (reads need no logging), charged with the object-store
+    read-accessor overhead. *)
+
+val add_range : t -> addr:int -> len:int -> unit
+(** Pre-logs an arbitrary byte range (PMEM.IO's [TX_ADD]); subsequent
+    plain stores to it are then crash-safe within this transaction. *)
+
+val simulate_crash : t -> unit
+(** Drops the in-flight transaction as a power failure would: no commit,
+    no rollback, host state cleared. The persisted undo log keeps its
+    records; recovery happens at the next {!Objstore.attach}. *)

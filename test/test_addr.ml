@@ -1,0 +1,300 @@
+module Bitops = Core.Bitops
+module Layout = Core.Layout
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Bitops *)
+
+let test_ceil_div () =
+  check "7/2" 4 (Bitops.ceil_div 7 2);
+  check "8/2" 4 (Bitops.ceil_div 8 2);
+  check "0/5" 0 (Bitops.ceil_div 0 5);
+  check "1/8" 1 (Bitops.ceil_div 1 8);
+  Alcotest.check_raises "negative" (Invalid_argument "Bitops.ceil_div")
+    (fun () -> ignore (Bitops.ceil_div (-1) 2))
+
+let test_pow2 () =
+  check_bool "1" true (Bitops.is_pow2 1);
+  check_bool "2" true (Bitops.is_pow2 2);
+  check_bool "3" false (Bitops.is_pow2 3);
+  check_bool "0" false (Bitops.is_pow2 0);
+  check_bool "neg" false (Bitops.is_pow2 (-4));
+  check "next 1" 1 (Bitops.next_pow2 1);
+  check "next 3" 4 (Bitops.next_pow2 3);
+  check "next 4" 4 (Bitops.next_pow2 4);
+  check "next 1000" 1024 (Bitops.next_pow2 1000);
+  check "log2 1" 0 (Bitops.log2_exact 1);
+  check "log2 1024" 10 (Bitops.log2_exact 1024);
+  check "ceil_log2 5" 3 (Bitops.ceil_log2 5)
+
+let test_mask_extract () =
+  check "mask 0" 0 (Bitops.mask 0);
+  check "mask 4" 15 (Bitops.mask 4);
+  check_bool "mask 62 positive" true (Bitops.mask 62 > 0);
+  check "extract" 0xB (Bitops.extract 0xAB3 ~lo:4 ~len:4);
+  check "deposit" 0xAF3 (Bitops.deposit 0xAB3 ~lo:4 ~len:4 ~field:0xF);
+  check "align_up 13 8" 16 (Bitops.align_up 13 8);
+  check "align_up 16 8" 16 (Bitops.align_up 16 8);
+  check_bool "aligned" true (Bitops.is_aligned 64 8);
+  check_bool "unaligned" false (Bitops.is_aligned 63 8);
+  check "popcount" 3 (Bitops.popcount 0b1011)
+
+(* Layout validity *)
+
+let test_layout_presets () =
+  List.iter
+    (fun (name, l) ->
+      check_bool name true (Layout.in_nv_space l (Layout.nv_start l));
+      check (name ^ " sum") l.Layout.word_bits
+        (l.Layout.l1 + l.Layout.l2 + l.Layout.l3))
+    [ ("default", Layout.default); ("small", Layout.small);
+      ("large", Layout.large_segments) ]
+
+let test_layout_rejects () =
+  let bad ~l1 ~l2 ~l3 ~l4 =
+    match Layout.v ~l1 ~l2 ~l3 ~l4 () with
+    | Ok _ -> Alcotest.failf "layout l1=%d l2=%d l3=%d l4=%d accepted" l1 l2 l3 l4
+    | Error _ -> ()
+  in
+  bad ~l1:4 ~l2:26 ~l3:33 ~l4:30 (* sum <> word_bits *);
+  bad ~l1:4 ~l2:26 ~l3:32 ~l4:20 (* l4 < l2 *);
+  bad ~l1:4 ~l2:26 ~l3:32 ~l4:40 (* riv value does not fit *);
+  bad ~l1:4 ~l2:2 ~l3:56 ~l4:30 (* l2 too small *)
+
+let test_layout_fields () =
+  let l = Layout.default in
+  let base = Layout.segment_base_of_nvbase l (Layout.data_nvbase_min l) in
+  check_bool "data addr" true (Layout.is_data_addr l base);
+  check "nvbase roundtrip" (Layout.data_nvbase_min l) (Layout.nvbase l base);
+  check "get_base" base (Layout.get_base l (base + 12345));
+  check "seg_offset" 12345 (Layout.seg_offset l (base + 12345));
+  check_bool "volatile" true (Layout.is_volatile l 0x10000);
+  check_bool "not volatile" false (Layout.is_volatile l base)
+
+let test_rid_entry_same_for_all_addrs_in_segment () =
+  let l = Layout.default in
+  let base = Layout.segment_base_of_nvbase l (Layout.data_nvbase_min l + 7) in
+  check "entry from base vs interior" (Layout.rid_entry_addr l base)
+    (Layout.rid_entry_addr l (base + 0x12345678));
+  check "entry from last byte" (Layout.rid_entry_addr l base)
+    (Layout.rid_entry_addr l (base + Layout.segment_size l - 1))
+
+let test_riv_pack () =
+  let l = Layout.default in
+  let v = Layout.riv_pack l ~rid:42 ~offset:0xDEAD0 in
+  check "rid" 42 (Layout.riv_rid l v);
+  check "offset" 0xDEAD0 (Layout.riv_offset l v);
+  Alcotest.check_raises "rid 0" (Invalid_argument "Layout.riv_pack: bad rid")
+    (fun () -> ignore (Layout.riv_pack l ~rid:0 ~offset:0));
+  Alcotest.check_raises "offset too big"
+    (Invalid_argument "Layout.riv_pack: bad offset") (fun () ->
+      ignore (Layout.riv_pack l ~rid:1 ~offset:(Layout.segment_size l)))
+
+let test_space_formulas () =
+  let l = Layout.default in
+  check "physical overhead 20 regions"
+    (20 * (Layout.rid_entry_bytes l + Layout.base_entry_bytes l))
+    (Layout.physical_overhead_bytes l ~regions:20);
+  check_bool "virtual table space positive" true (Layout.table_virtual_bytes l > 0)
+
+(* Property: for random valid layouts, the three NV-space areas never
+   overlap, and table entry addresses stay inside their own areas. *)
+
+let layout_gen =
+  let open QCheck2.Gen in
+  let* word_bits = int_range 24 62 in
+  let* l1 = int_range 1 4 in
+  let* l2 = int_range 3 (min 20 (word_bits - l1 - 8)) in
+  let l3 = word_bits - l1 - l2 in
+  let* l4 = int_range l2 (min 24 (word_bits - l3)) in
+  return (word_bits, l1, l2, l3, l4)
+
+let prop_no_overlap =
+  QCheck2.Test.make ~name:"layout areas never overlap" ~count:500 layout_gen
+    (fun (word_bits, l1, l2, l3, l4) ->
+      match Layout.v ~word_bits ~l1 ~l2 ~l3 ~l4 () with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok l ->
+          let st = Random.State.make [| word_bits; l1; l2; l4 |] in
+          let ok = ref true in
+          for _ = 1 to 50 do
+            let nb =
+              Layout.data_nvbase_min l
+              + Random.State.full_int st (Layout.usable_segments l)
+            in
+            let rid =
+              1 + Random.State.full_int st (min 1_000_000 (Layout.max_rid l))
+            in
+            let seg = Layout.segment_base_of_nvbase l nb in
+            let data = seg + Random.State.full_int st (Layout.segment_size l) in
+            let re = Layout.rid_entry_addr l data in
+            let be = Layout.base_entry_addr l ~rid in
+            if not (Layout.is_rid_table_addr l re) then ok := false;
+            if not (Layout.is_base_table_addr l be) then ok := false;
+            if Layout.is_data_addr l re || Layout.is_data_addr l be then
+              ok := false;
+            if Layout.is_rid_table_addr l be || Layout.is_base_table_addr l re
+            then ok := false;
+            if Layout.is_rid_table_addr l data
+               || Layout.is_base_table_addr l data
+            then ok := false
+          done;
+          !ok)
+
+let prop_riv_roundtrip =
+  QCheck2.Test.make ~name:"riv pack/unpack roundtrip" ~count:1000
+    QCheck2.Gen.(pair (int_range 1 1000000) (int_range 0 0xFFFFFFF))
+    (fun (rid, offset) ->
+      let l = Layout.default in
+      let rid = min rid (Layout.max_rid l) in
+      let v = Layout.riv_pack l ~rid ~offset in
+      Layout.riv_rid l v = rid && Layout.riv_offset l v = offset)
+
+let test_large_segments_preset () =
+  let l = Layout.large_segments in
+  check "64GiB segments" (1 lsl 36) (Layout.segment_size l);
+  check_bool "riv fits" true (l.Layout.l4 + l.Layout.l3 <= l.Layout.word_bits)
+
+let prop_extract_deposit_inverse =
+  QCheck2.Test.make ~name:"deposit then extract returns the field" ~count:500
+    QCheck2.Gen.(
+      tup4 (int_range 0 40) (int_range 1 16) (int_bound 0xFFFF)
+        (int_bound 0x3FFFFFFF))
+    (fun (lo, len, field, v) ->
+      QCheck2.assume (lo + len <= 62);
+      Bitops.extract (Bitops.deposit v ~lo ~len ~field) ~lo ~len
+      = field land Bitops.mask len)
+
+module Two_level = Core.Two_level
+
+(* Two-level layouts (Section 4.3 extension) *)
+
+let test_two_level_default_valid () =
+  let t = Two_level.default in
+  check_bool "small smaller than large" true
+    (Two_level.segment_size t Two_level.Small
+    < Two_level.segment_size t Two_level.Large);
+  check_bool "many small segments" true
+    (Two_level.usable_segments t Two_level.Small
+    > Two_level.usable_segments t Two_level.Large)
+
+let test_two_level_rejects () =
+  let bad ~l4 ~small_l3 ~large_l3 =
+    match Two_level.v ~l1:2 ~l4 ~small_l3 ~large_l3 () with
+    | Ok _ -> Alcotest.failf "accepted l4=%d %d/%d" l4 small_l3 large_l3
+    | Error _ -> ()
+  in
+  bad ~l4:26 ~small_l3:34 ~large_l3:28 (* large must exceed small *);
+  bad ~l4:40 ~small_l3:28 ~large_l3:34 (* packed value does not fit *);
+  bad ~l4:26 ~small_l3:3 ~large_l3:34 (* small l3 too small *)
+
+let test_two_level_classify_and_fields () =
+  let t = Two_level.default in
+  List.iter
+    (fun c ->
+      let nb = Two_level.data_nvbase_min t c + 9 in
+      let base = Two_level.segment_base t c ~nvbase:nb in
+      check_bool "in nv space" true (Two_level.in_nv_space t base);
+      check_bool "classified" true (Two_level.class_of t base = c);
+      check_bool "data addr" true (Two_level.is_data_addr t base);
+      check "nvbase" nb (Two_level.nvbase t base);
+      check "offset" 4242 (Two_level.seg_offset t (base + 4242));
+      check "get_base" base (Two_level.get_base t (base + 4242)))
+    [ Two_level.Small; Two_level.Large ]
+
+let test_two_level_pack_roundtrip () =
+  let t = Two_level.default in
+  List.iter
+    (fun c ->
+      let v = Two_level.pack t c ~rid:77 ~offset:0xBEEF0 in
+      check_bool "class" true (Two_level.unpack_cls t v = c);
+      check "rid" 77 (Two_level.unpack_rid t v);
+      check "offset" 0xBEEF0 (Two_level.unpack_offset t v))
+    [ Two_level.Small; Two_level.Large ]
+
+let test_two_level_migration () =
+  let t = Two_level.default in
+  check_bool "small fits small" true
+    (Two_level.class_for_size t (1 lsl 20) = Ok Two_level.Small);
+  check_bool "big needs large" true
+    (Two_level.class_for_size t (1 lsl 30) = Ok Two_level.Large);
+  check_bool "too big fails" true
+    (match Two_level.class_for_size t (1 lsl 40) with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let prop_two_level_no_overlap =
+  QCheck2.Test.make ~name:"two-level areas never overlap" ~count:300
+    QCheck2.Gen.(pair (int_range 0 1) (pair (int_range 1 100000) (int_range 1 100000)))
+    (fun (ci, (nb_off, rid)) ->
+      let t = Two_level.default in
+      let c = if ci = 0 then Two_level.Small else Two_level.Large in
+      let other = if ci = 0 then Two_level.Large else Two_level.Small in
+      let nb =
+        Two_level.data_nvbase_min t c
+        + (nb_off mod Two_level.usable_segments t c)
+      in
+      let rid = 1 + (rid mod Two_level.max_rid t) in
+      let base = Two_level.segment_base t c ~nvbase:nb in
+      let data = base + 12345 in
+      let re = Two_level.rid_entry_addr t data in
+      let be = Two_level.base_entry_addr t c ~rid in
+      let be_other = Two_level.base_entry_addr t other ~rid in
+      (* Entries stay in their own class and their own area, and the two
+         classes' tables never collide. *)
+      Two_level.class_of t re = c
+      && Two_level.class_of t be = c
+      && Two_level.class_of t be_other = other
+      && be <> be_other
+      && Two_level.is_rid_table_addr t re
+      && Two_level.is_base_table_addr t be
+      && (not (Two_level.is_data_addr t re))
+      && (not (Two_level.is_data_addr t be))
+      && (not (Two_level.is_base_table_addr t re))
+      && (not (Two_level.is_rid_table_addr t be))
+      && (not (Two_level.is_rid_table_addr t data))
+      && not (Two_level.is_base_table_addr t data))
+
+let () =
+  Alcotest.run "addr"
+    [
+      ( "bitops",
+        [
+          Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+          Alcotest.test_case "pow2" `Quick test_pow2;
+          Alcotest.test_case "mask/extract" `Quick test_mask_extract;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "presets valid" `Quick test_layout_presets;
+          Alcotest.test_case "invalid layouts rejected" `Quick
+            test_layout_rejects;
+          Alcotest.test_case "field extraction" `Quick test_layout_fields;
+          Alcotest.test_case "rid entry uniform in segment" `Quick
+            test_rid_entry_same_for_all_addrs_in_segment;
+          Alcotest.test_case "riv pack" `Quick test_riv_pack;
+          Alcotest.test_case "space formulas" `Quick test_space_formulas;
+          Alcotest.test_case "large-segments preset" `Quick
+            test_large_segments_preset;
+        ] );
+      ( "two-level",
+        [
+          Alcotest.test_case "default valid" `Quick
+            test_two_level_default_valid;
+          Alcotest.test_case "rejects" `Quick test_two_level_rejects;
+          Alcotest.test_case "classify + fields" `Quick
+            test_two_level_classify_and_fields;
+          Alcotest.test_case "pack roundtrip" `Quick
+            test_two_level_pack_roundtrip;
+          Alcotest.test_case "migration classes" `Quick
+            test_two_level_migration;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_extract_deposit_inverse;
+          QCheck_alcotest.to_alcotest prop_no_overlap;
+          QCheck_alcotest.to_alcotest prop_riv_roundtrip;
+          QCheck_alcotest.to_alcotest prop_two_level_no_overlap;
+        ] );
+    ]

@@ -1,0 +1,188 @@
+module Freelist = Core.Freelist
+module Memsim = Core.Memsim
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh ?(size = 64 * 1024) () =
+  let mem = Memsim.create () in
+  Memsim.map mem ~addr:0x1000 ~size;
+  (mem, Freelist.init mem ~lo:0x1000 ~hi:(0x1000 + size))
+
+let test_basic_alloc_free () =
+  let _, fl = fresh () in
+  let a = Freelist.alloc fl 100 in
+  let b = Freelist.alloc fl 100 in
+  check_bool "distinct" true (b >= a + 100 || a >= b + 100);
+  check_bool "aligned" true (a land 7 = 0 && b land 7 = 0);
+  Freelist.check fl;
+  Freelist.free fl a;
+  Freelist.check fl;
+  Freelist.free fl b;
+  Freelist.check fl;
+  let alloc_blocks, free_blocks = Freelist.block_count fl in
+  check "no allocated blocks" 0 alloc_blocks;
+  check "fully coalesced" 1 free_blocks
+
+let test_reuse_after_free () =
+  let _, fl = fresh () in
+  let a = Freelist.alloc fl 64 in
+  Freelist.free fl a;
+  let b = Freelist.alloc fl 64 in
+  check "freed block reused" a b
+
+let test_usable_size () =
+  let _, fl = fresh () in
+  let a = Freelist.alloc fl 30 in
+  check_bool "usable >= requested" true (Freelist.usable_size fl a >= 30);
+  check_bool "usable aligned" true (Freelist.usable_size fl a land 7 = 0)
+
+let test_split_and_coalesce_middle () =
+  let _, fl = fresh () in
+  let blocks = Array.init 8 (fun _ -> Freelist.alloc fl 64) in
+  (* Free the middle, then its neighbours; everything must coalesce. *)
+  Freelist.free fl blocks.(3);
+  Freelist.check fl;
+  Freelist.free fl blocks.(4);
+  Freelist.check fl;
+  Freelist.free fl blocks.(2);
+  Freelist.check fl;
+  let _, free_blocks = Freelist.block_count fl in
+  (* blocks 2,3,4 coalesced into one + the big tail block. *)
+  check "coalesced run" 2 free_blocks
+
+let test_out_of_memory () =
+  let _, fl = fresh ~size:4096 () in
+  check_bool "oom raised" true
+    (try
+       ignore (Freelist.alloc fl 100_000);
+       false
+     with Freelist.Out_of_memory _ -> true);
+  (* The heap stays usable after a failed allocation. *)
+  let a = Freelist.alloc fl 64 in
+  Freelist.free fl a;
+  Freelist.check fl
+
+let test_double_free_detected () =
+  let _, fl = fresh () in
+  let a = Freelist.alloc fl 64 in
+  Freelist.free fl a;
+  check_bool "double free" true
+    (try
+       Freelist.free fl a;
+       false
+     with Freelist.Corrupted _ -> true)
+
+let test_bogus_free_detected () =
+  let _, fl = fresh () in
+  let _ = Freelist.alloc fl 64 in
+  check_bool "bogus pointer" true
+    (try
+       Freelist.free fl 0x1008;
+       false
+     with Freelist.Corrupted _ -> true)
+
+let test_attach_after_move () =
+  (* Format a heap, copy its bytes elsewhere (as if the region were
+     remapped), re-attach: all offsets must still make sense. *)
+  let mem = Memsim.create () in
+  Memsim.map mem ~addr:0x1000 ~size:8192;
+  Memsim.map mem ~addr:0x100000 ~size:8192;
+  let fl = Freelist.init mem ~lo:0x1000 ~hi:(0x1000 + 8192) in
+  let a = Freelist.alloc fl 64 in
+  let b = Freelist.alloc fl 128 in
+  Freelist.free fl a;
+  let image = Memsim.blit_to_bytes mem ~addr:0x1000 ~len:8192 in
+  Memsim.blit_from_bytes mem ~addr:0x100000 image;
+  let fl' = Freelist.attach mem ~lo:0x100000 ~hi:(0x100000 + 8192) in
+  Freelist.check fl';
+  (* The same logical blocks exist at the new base. *)
+  Freelist.free fl' (b - 0x1000 + 0x100000);
+  Freelist.check fl';
+  let alloc_blocks, _ = Freelist.block_count fl' in
+  check "all freed after move" 0 alloc_blocks
+
+let test_free_bytes_monotonic () =
+  let _, fl = fresh () in
+  let f0 = Freelist.free_bytes fl in
+  let a = Freelist.alloc fl 256 in
+  let f1 = Freelist.free_bytes fl in
+  check_bool "alloc shrinks free bytes" true (f1 < f0);
+  Freelist.free fl a;
+  check "free restores bytes" f0 (Freelist.free_bytes fl)
+
+let test_iter_blocks_tiles_heap () =
+  let _, fl = fresh ~size:16384 () in
+  let _ = Freelist.alloc fl 100 in
+  let _ = Freelist.alloc fl 200 in
+  let total = ref 0 in
+  Freelist.iter_blocks fl (fun ~addr:_ ~size ~free:_ ->
+      total := !total + size + 16);
+  check "blocks tile heap" (16384 - 16) !total
+
+(* Property: random alloc/free interleavings keep all invariants. *)
+let prop_random_ops =
+  QCheck2.Test.make ~name:"random alloc/free keeps heap invariants" ~count:60
+    QCheck2.Gen.(list_size (int_range 10 120) (int_range 1 400))
+    (fun sizes ->
+      let _, fl = fresh ~size:(256 * 1024) () in
+      let live = ref [] in
+      let st = Random.State.make [| List.length sizes |] in
+      List.iter
+        (fun sz ->
+          (* Interleave: sometimes free a random live block first. *)
+          (if !live <> [] && Random.State.bool st then begin
+             let i = Random.State.int st (List.length !live) in
+             let a = List.nth !live i in
+             Freelist.free fl a;
+             live := List.filteri (fun j _ -> j <> i) !live
+           end);
+          let a = Freelist.alloc fl sz in
+          live := a :: !live;
+          Freelist.check fl)
+        sizes;
+      List.iter (fun a -> Freelist.free fl a) !live;
+      Freelist.check fl;
+      fst (Freelist.block_count fl) = 0)
+
+let prop_no_overlap =
+  QCheck2.Test.make ~name:"live blocks never overlap" ~count:60
+    QCheck2.Gen.(list_size (int_range 5 60) (int_range 1 300))
+    (fun sizes ->
+      let _, fl = fresh ~size:(256 * 1024) () in
+      let blocks = List.map (fun sz -> (Freelist.alloc fl sz, sz)) sizes in
+      List.for_all
+        (fun (a, sa) ->
+          List.for_all
+            (fun (b, _) ->
+              a = b || b >= a + sa || a >= b + Freelist.usable_size fl b)
+            blocks)
+        blocks)
+
+let () =
+  Alcotest.run "alloc"
+    [
+      ( "freelist",
+        [
+          Alcotest.test_case "alloc/free/coalesce" `Quick test_basic_alloc_free;
+          Alcotest.test_case "reuse after free" `Quick test_reuse_after_free;
+          Alcotest.test_case "usable size" `Quick test_usable_size;
+          Alcotest.test_case "middle coalescing" `Quick
+            test_split_and_coalesce_middle;
+          Alcotest.test_case "out of memory" `Quick test_out_of_memory;
+          Alcotest.test_case "double free detected" `Quick
+            test_double_free_detected;
+          Alcotest.test_case "bogus free detected" `Quick
+            test_bogus_free_detected;
+          Alcotest.test_case "reattach after move" `Quick test_attach_after_move;
+          Alcotest.test_case "free bytes accounting" `Quick
+            test_free_bytes_monotonic;
+          Alcotest.test_case "blocks tile heap" `Quick
+            test_iter_blocks_tiles_heap;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_random_ops;
+          QCheck_alcotest.to_alcotest prop_no_overlap;
+        ] );
+    ]

@@ -1,0 +1,277 @@
+module Clock = Core.Clock
+module Cache_level = Core.Cache_level
+module Timing = Core.Timing
+module Timing_config = Core.Timing_config
+module Memsim = Core.Memsim
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Clock *)
+
+let test_clock () =
+  let c = Clock.create () in
+  check "zero" 0 (Clock.cycles c);
+  Clock.tick c 5;
+  Clock.tick c 7;
+  check "accumulates" 12 (Clock.cycles c);
+  let (), d = Clock.delta c (fun () -> Clock.tick c 100) in
+  check "delta" 100 d;
+  Clock.reset c;
+  check "reset" 0 (Clock.cycles c);
+  Alcotest.check_raises "negative tick" (Invalid_argument "Clock.tick")
+    (fun () -> Clock.tick c (-1))
+
+let test_clock_seconds () =
+  let c = Clock.create () in
+  Clock.tick c 2_600_000_000;
+  Alcotest.(check (float 1e-9)) "1 second at 2.6GHz" 1.0 (Clock.to_seconds c)
+
+(* Cache level *)
+
+let test_cache_hit_miss () =
+  let c = Cache_level.create ~size_bytes:1024 ~ways:2 ~line_bits:6 in
+  check "sets" 8 (Cache_level.sets c);
+  (match Cache_level.access c ~addr:0x100 ~write:false with
+  | Cache_level.Miss _ -> ()
+  | Cache_level.Hit -> Alcotest.fail "cold access must miss");
+  (match Cache_level.access c ~addr:0x100 ~write:false with
+  | Cache_level.Hit -> ()
+  | Cache_level.Miss _ -> Alcotest.fail "second access must hit");
+  (* Same line, different byte. *)
+  (match Cache_level.access c ~addr:0x13F ~write:false with
+  | Cache_level.Hit -> ()
+  | Cache_level.Miss _ -> Alcotest.fail "same-line access must hit")
+
+let test_cache_lru_eviction () =
+  let c = Cache_level.create ~size_bytes:1024 ~ways:2 ~line_bits:6 in
+  (* Three lines mapping to the same set (stride = sets*line = 512). *)
+  let a0 = 0 and a1 = 512 and a2 = 1024 in
+  ignore (Cache_level.access c ~addr:a0 ~write:true);
+  ignore (Cache_level.access c ~addr:a1 ~write:false);
+  (* Touch a0 so a1 is LRU. *)
+  ignore (Cache_level.access c ~addr:a0 ~write:false);
+  (match Cache_level.access c ~addr:a2 ~write:false with
+  | Cache_level.Miss { evicted_dirty = None } -> ()
+  | Cache_level.Miss { evicted_dirty = Some _ } ->
+      Alcotest.fail "evicted line a1 was clean"
+  | Cache_level.Hit -> Alcotest.fail "a2 must miss");
+  (* a0 must still be resident, a1 evicted. *)
+  (match Cache_level.access c ~addr:a0 ~write:false with
+  | Cache_level.Hit -> ()
+  | Cache_level.Miss _ -> Alcotest.fail "a0 was evicted against LRU");
+  match Cache_level.access c ~addr:a1 ~write:false with
+  | Cache_level.Miss _ -> ()
+  | Cache_level.Hit -> Alcotest.fail "a1 must have been evicted"
+
+let test_cache_dirty_eviction () =
+  let c = Cache_level.create ~size_bytes:128 ~ways:1 ~line_bits:6 in
+  (* Direct-mapped, 2 sets: 0 and 128 collide. *)
+  ignore (Cache_level.access c ~addr:0 ~write:true);
+  (match Cache_level.access c ~addr:128 ~write:false with
+  | Cache_level.Miss { evicted_dirty = Some 0 } -> ()
+  | _ -> Alcotest.fail "dirty line 0 must be written back");
+  (* Flushing a clean line reports no write-back. *)
+  ignore (Cache_level.access c ~addr:64 ~write:false);
+  check_bool "clean flush" false (Cache_level.flush_line c ~addr:64);
+  ignore (Cache_level.access c ~addr:64 ~write:true);
+  check_bool "dirty flush" true (Cache_level.flush_line c ~addr:64)
+
+let test_cache_stats_and_invalidate () =
+  let c = Cache_level.create ~size_bytes:1024 ~ways:2 ~line_bits:6 in
+  ignore (Cache_level.access c ~addr:0 ~write:false);
+  ignore (Cache_level.access c ~addr:0 ~write:false);
+  let s = Cache_level.stats c in
+  check "hits" 1 s.Cache_level.hits;
+  check "misses" 1 s.Cache_level.misses;
+  Cache_level.invalidate_all c;
+  (match Cache_level.access c ~addr:0 ~write:false with
+  | Cache_level.Miss _ -> ()
+  | Cache_level.Hit -> Alcotest.fail "hit after invalidate_all");
+  Cache_level.reset_stats c;
+  check "stats reset" 0 (Cache_level.stats c).Cache_level.hits
+
+(* Timing over memsim *)
+
+let layout = Core.Layout.default
+
+let machine_parts () =
+  let mem = Memsim.create () in
+  let clock = Clock.create () in
+  let timing =
+    Timing.create ~clock ~is_nvm:(Core.Layout.in_nv_space layout) ()
+  in
+  Timing.attach timing mem;
+  (mem, clock, timing)
+
+let cfg = Timing_config.default
+
+let test_dram_vs_nvm_latency () =
+  let mem, clock, _ = machine_parts () in
+  let dram = 0x10000 in
+  let nvm = Core.Layout.nv_start layout in
+  Memsim.map mem ~addr:dram ~size:0x1000;
+  Memsim.map mem ~addr:nvm ~size:0x1000;
+  let (), d_dram = Clock.delta clock (fun () -> ignore (Memsim.load64 mem dram)) in
+  let (), d_nvm = Clock.delta clock (fun () -> ignore (Memsim.load64 mem nvm)) in
+  check "cold DRAM load"
+    (cfg.Timing_config.l1_hit + cfg.Timing_config.l2_hit
+   + cfg.Timing_config.l3_hit + cfg.Timing_config.dram_read)
+    d_dram;
+  check "cold NVM load"
+    (cfg.Timing_config.l1_hit + cfg.Timing_config.l2_hit
+   + cfg.Timing_config.l3_hit + cfg.Timing_config.nvm_read)
+    d_nvm
+
+let test_warm_hit_cost () =
+  let mem, clock, _ = machine_parts () in
+  let a = 0x10000 in
+  Memsim.map mem ~addr:a ~size:0x1000;
+  ignore (Memsim.load64 mem a);
+  let (), d = Clock.delta clock (fun () -> ignore (Memsim.load64 mem a)) in
+  check "L1 hit" cfg.Timing_config.l1_hit d
+
+let test_alu_flush_fence () =
+  let mem, clock, timing = machine_parts () in
+  let nvm = Core.Layout.nv_start layout in
+  Memsim.map mem ~addr:nvm ~size:0x1000;
+  let (), d = Clock.delta clock (fun () -> Timing.alu timing 3) in
+  check "alu" 3 d;
+  let (), d = Clock.delta clock (fun () -> Timing.fence timing) in
+  check "fence" cfg.Timing_config.wbarrier d;
+  (* Flush of a dirty NVM line costs clflush + NVM write. *)
+  Memsim.store64 mem nvm 1;
+  let (), d = Clock.delta clock (fun () -> Timing.flush timing ~addr:nvm) in
+  check "dirty flush"
+    (cfg.Timing_config.clflush + cfg.Timing_config.nvm_write)
+    d;
+  (* Second flush: line no longer cached, only issue cost. *)
+  let (), d = Clock.delta clock (fun () -> Timing.flush timing ~addr:nvm) in
+  check "clean flush" cfg.Timing_config.clflush d
+
+let test_mem_stats () =
+  let mem, _, timing = machine_parts () in
+  let nvm = Core.Layout.nv_start layout in
+  Memsim.map mem ~addr:0x10000 ~size:0x1000;
+  Memsim.map mem ~addr:nvm ~size:0x1000;
+  ignore (Memsim.load64 mem 0x10000);
+  ignore (Memsim.load64 mem nvm);
+  ignore (Memsim.load64 mem nvm);
+  let s = Timing.mem_stats timing in
+  check "dram reads" 1 s.Timing.dram_reads;
+  check "nvm reads" 1 s.Timing.nvm_reads;
+  Timing.reset_stats timing;
+  check "reset" 0 (Timing.mem_stats timing).Timing.nvm_reads
+
+let test_working_set_behaviour () =
+  (* A working set larger than L1 but within L2 should mostly hit L2 on a
+     second pass. *)
+  let mem, clock, _ = machine_parts () in
+  let a = 0x100000 in
+  let n = 1024 (* 64 KiB of lines: 2x L1, well within L2 *) in
+  Memsim.map mem ~addr:a ~size:(n * 64) ;
+  let pass () =
+    for i = 0 to n - 1 do
+      ignore (Memsim.load64 mem (a + (i * 64)))
+    done
+  in
+  pass ();
+  let (), warm = Clock.delta clock pass in
+  let per_line = warm / n in
+  check_bool "second pass cheaper than DRAM" true
+    (per_line < cfg.Timing_config.dram_read);
+  check_bool "second pass dearer than pure L1" true
+    (per_line > cfg.Timing_config.l1_hit)
+
+let test_dirty_writeback_charged () =
+  (* Write enough distinct NVM lines to force dirty evictions through
+     L1/L2/L3; the model must charge NVM writes for them. *)
+  let mem, _, timing = machine_parts () in
+  let nvm = Core.Layout.nv_start layout in
+  let lines = (2 * cfg.Timing_config.l3_size) / 64 in
+  Memsim.map mem ~addr:nvm ~size:(lines * 64);
+  for i = 0 to lines - 1 do
+    Memsim.store64 mem (nvm + (i * 64)) i
+  done;
+  let s = Timing.mem_stats timing in
+  check_bool "dirty evictions reached NVM" true (s.Timing.nvm_writes > 0)
+
+let test_pp_stats_renders () =
+  let _, _, timing = machine_parts () in
+  let out = Format.asprintf "%a" Timing.pp_stats timing in
+  check_bool "stats render" true (String.length out > 0)
+
+let test_invalidate_caches_forces_misses () =
+  let mem, clock, timing = machine_parts () in
+  Memsim.map mem ~addr:0x10000 ~size:0x1000;
+  ignore (Memsim.load64 mem 0x10000);
+  ignore (Memsim.load64 mem 0x10000);
+  Timing.invalidate_caches timing;
+  let (), d = Clock.delta clock (fun () -> ignore (Memsim.load64 mem 0x10000)) in
+  check_bool "miss after invalidation" true (d > cfg.Timing_config.l1_hit)
+
+(* Property: the cache level agrees with a naive reference model (a
+   per-set LRU list) on hit/miss for random access streams. *)
+let prop_cache_matches_reference =
+  QCheck2.Test.make ~name:"cache level matches a reference LRU model"
+    ~count:60
+    QCheck2.Gen.(list_size (int_range 20 300) (int_range 0 127))
+    (fun lines ->
+      let ways = 2 and sets = 4 in
+      let c =
+        Cache_level.create ~size_bytes:(ways * sets * 64) ~ways ~line_bits:6
+      in
+      (* reference: per set, a most-recent-first list of lines *)
+      let reference = Array.make sets [] in
+      List.for_all
+        (fun line ->
+          let addr = line * 64 in
+          let s = line mod sets in
+          let hit_ref = List.mem line reference.(s) in
+          reference.(s) <-
+            line :: List.filter (fun l -> l <> line) reference.(s);
+          if List.length reference.(s) > ways then
+            reference.(s) <-
+              List.filteri (fun i _ -> i < ways) reference.(s);
+          let hit_c =
+            match Cache_level.access c ~addr ~write:false with
+            | Cache_level.Hit -> true
+            | Cache_level.Miss _ -> false
+          in
+          hit_c = hit_ref)
+        lines)
+
+let () =
+  Alcotest.run "cachesim"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "tick/delta/reset" `Quick test_clock;
+          Alcotest.test_case "seconds conversion" `Quick test_clock_seconds;
+        ] );
+      ( "cache-level",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "dirty eviction + flush" `Quick
+            test_cache_dirty_eviction;
+          Alcotest.test_case "stats + invalidate" `Quick
+            test_cache_stats_and_invalidate;
+          QCheck_alcotest.to_alcotest prop_cache_matches_reference;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "DRAM vs NVM latency" `Quick
+            test_dram_vs_nvm_latency;
+          Alcotest.test_case "warm hit cost" `Quick test_warm_hit_cost;
+          Alcotest.test_case "alu/flush/fence" `Quick test_alu_flush_fence;
+          Alcotest.test_case "memory stats" `Quick test_mem_stats;
+          Alcotest.test_case "working-set behaviour" `Quick
+            test_working_set_behaviour;
+          Alcotest.test_case "dirty write-back charged" `Quick
+            test_dirty_writeback_charged;
+          Alcotest.test_case "pp_stats" `Quick test_pp_stats_renders;
+          Alcotest.test_case "invalidate forces misses" `Quick
+            test_invalidate_caches_forces_misses;
+        ] );
+    ]

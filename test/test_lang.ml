@@ -1,0 +1,790 @@
+module Lang = Nvmpi_lang.Lang
+module Ast' = struct
+  type t = Nvmpi_lang.Ast.binop =
+    | Add | Sub | Mul | Div | Mod | Eq | Neq | Lt | Gt | Le | Ge | And | Or
+end
+module Machine = Core.Machine
+module Store = Core.Store
+
+module Ast_of = struct
+  let neg n = Nvmpi_lang.Ast.Bin (Nvmpi_lang.Ast.Sub, Nvmpi_lang.Ast.Int 0, Nvmpi_lang.Ast.Int n)
+end
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let machine ?(seed = 1) () =
+  let store = Store.create () in
+  (store, Machine.create ~seed ~store ())
+
+let run ?(seed = 1) src =
+  let _, m = machine ~seed () in
+  match Lang.run_string m src with
+  | Ok o -> o
+  | Error msg -> Alcotest.failf "program failed: %s" msg
+
+let output ?seed src = (run ?seed src).Lang.Eval.output
+let result ?seed src = Option.get (run ?seed src).Lang.Eval.result
+
+let expect_type_error src =
+  match Lang.compile src with
+  | Ok _ -> Alcotest.fail "expected a type error"
+  | Error msg -> check_bool ("is type error: " ^ msg) true
+      (String.length msg > 0)
+
+let expect_runtime_error src =
+  let _, m = machine () in
+  match Lang.run_string m src with
+  | Ok _ -> Alcotest.fail "expected a runtime error"
+  | Error msg ->
+      check_bool "runtime error reported" true
+        (String.length msg >= 13 && String.sub msg 0 13 = "runtime error")
+
+(* Basic language mechanics *)
+
+let test_arith_and_control () =
+  check_str "arith" "42\n"
+    (output "int main() { int x = 6; int y = 7; print(x * y); return 0; }");
+  check_str "if/else" "1\n"
+    (output
+       "int main() { int x = 3; if (x > 2) { print(1); } else { print(0); } \
+        return 0; }");
+  check_str "while" "10\n"
+    (output
+       "int main() { int i = 0; int s = 0; while (i < 5) { s = s + i; i = i \
+        + 1; } print(s); return 0; }");
+  check "return value" 9 (result "int main() { return 4 + 5; }");
+  check_str "logic" "1\n0\n1\n"
+    (output
+       "int main() { print(1 && 2); print(0 || 0); print(!0); return 0; }")
+
+let test_functions () =
+  check "call" 120
+    (result
+       "int fact(int n) { if (n < 2) { return 1; } return n * fact(n - 1); \
+        }\n\
+        int main() { return fact(5); }");
+  check_str "void fn" "7\n"
+    (output
+       "void emit(int x) { print(x); }\nint main() { emit(7); return 0; }")
+
+let test_comments_and_hex () =
+  check "hex + comments" 255
+    (result "int main() { // line\n /* block */ return 0xFF; }")
+
+(* Structs on NVM *)
+
+let common_defs =
+  "struct node { persistentI struct node *next; int key; }\n"
+
+let test_new_and_fields () =
+  check_str "field roundtrip" "11\n"
+    (output
+       (common_defs
+      ^ "int main() { int r = region_create(65536); region_open(r);\n\
+         persistent struct node *a = new(r, struct node);\n\
+         a->key = 11; print(a->key); return 0; }"))
+
+let test_persistenti_list_in_program () =
+  check_str "walk a persistentI list" "3\n2\n1\n"
+    (output
+       (common_defs
+      ^ "int main() { int r = region_create(65536); region_open(r);\n\
+         persistent struct node *head = null;\n\
+         int i = 1;\n\
+         while (i <= 3) {\n\
+        \  persistent struct node *n = new(r, struct node);\n\
+        \  n->key = i;\n\
+        \  n->next = head;   // p -> i conversion at the slot store\n\
+        \  head = n;\n\
+        \  i = i + 1;\n\
+         }\n\
+         persistent struct node *cur = head;\n\
+         while (cur != null) { print(cur->key); cur = cur->next; }\n\
+         return 0; }"))
+
+(* Figure 8 conversion rules. Each rule exercises one assignment
+   direction; correctness is observed through the values read back. *)
+
+let conversion_defs =
+  "struct cell { persistentI struct cell *i; persistentX struct cell *x;\n\
+  \              int v; }\n"
+
+let conv_prog body =
+  conversion_defs
+  ^ "int main() { int r = region_create(65536); region_open(r);\n\
+     persistent struct cell *a = new(r, struct cell);\n\
+     persistent struct cell *b = new(r, struct cell);\n\
+     a->v = 100; b->v = 200;\n" ^ body ^ "\nreturn 0; }"
+
+let test_rule_p_eq_i () =
+  (* p = i: decode an off-holder slot into a volatile pointer. *)
+  check_str "p = i" "200\n"
+    (output
+       (conv_prog
+          "a->i = b;  // i = p\n\
+           persistent struct cell *p = a->i;  // p = i\n\
+           print(p->v);"))
+
+let test_rule_p_eq_x () =
+  check_str "p = x" "200\n"
+    (output
+       (conv_prog
+          "a->x = b;  // x = p\n\
+           persistent struct cell *p = a->x;  // p = x\n\
+           print(p->v);"))
+
+let test_rule_i_eq_x () =
+  check_str "i = x" "200\n"
+    (output
+       (conv_prog
+          "a->x = b;\n\
+           a->i = a->x;  // i = x (checked)\n\
+           persistent struct cell *p = a->i;\n\
+           print(p->v);"))
+
+let test_rule_x_eq_i () =
+  check_str "x = i" "200\n"
+    (output
+       (conv_prog
+          "a->i = b;\n\
+           a->x = a->i;  // x = i\n\
+           persistent struct cell *p = a->x;\n\
+           print(p->v);"))
+
+let test_rule_i_eq_p_and_x_eq_p () =
+  check_str "i = p; x = p" "200\n200\n"
+    (output
+       (conv_prog
+          "a->i = b;  // i = p\n\
+           a->x = b;  // x = p\n\
+           persistent struct cell *p1 = a->i;\n\
+           persistent struct cell *p2 = a->x;\n\
+           print(p1->v); print(p2->v);"))
+
+let test_rule_null_everywhere () =
+  check_str "null into i and x" "1\n1\n"
+    (output
+       (conv_prog
+          "a->i = null; a->x = null;\n\
+           print(a->i == null); print(a->x == null);"))
+
+let test_pointer_arithmetic_keeps_type () =
+  (* i op v / x op v: arithmetic on int fields behind pointers. *)
+  check_str "ptr arith on int*" "30\n"
+    (output
+       ("struct arr { int a; int b; int c; }\n"
+      ^ "int main() { int r = region_create(65536); region_open(r);\n\
+         persistent struct arr *s = new(r, struct arr);\n\
+         s->a = 10; s->b = 30; s->c = 50;\n\
+         persistent int *p = &s->a;\n\
+         p = p + 1;   // advances one int\n\
+         print(*p); return 0; }"))
+
+let test_pointer_difference () =
+  check_str "ptr difference" "2\n"
+    (output
+       ("struct arr { int a; int b; int c; }\n"
+      ^ "int main() { int r = region_create(65536); region_open(r);\n\
+         persistent struct arr *s = new(r, struct arr);\n\
+         persistent int *p = &s->a;\n\
+         persistent int *q = &s->c;\n\
+         print(q - p); return 0; }"))
+
+let test_deref_and_addrof () =
+  check_str "*(&x)" "5\n"
+    (output
+       ("struct box { int v; }\n"
+      ^ "int main() { int r = region_create(65536); region_open(r);\n\
+         persistent struct box *b = new(r, struct box);\n\
+         b->v = 5;\n\
+         persistent int *p = &b->v;\n\
+         print(*p); return 0; }"))
+
+let test_arrays () =
+  check_str "int array" "0\n10\n20\n30\n40\n"
+    (output
+       ("int main() { int r = region_create(65536); region_open(r);\n\
+         persistent int *a = new(r, int, 5);\n\
+         int i = 0;\n\
+         while (i < 5) { a[i] = i * 10; i = i + 1; }\n\
+         i = 0;\n\
+         while (i < 5) { print(a[i]); i = i + 1; }\n\
+         return 0; }"))
+
+let test_struct_array_via_arrow () =
+  (* Indexing yields an element; fields are reached through a pointer to
+     it. *)
+  check_str "array of structs via pointer" "7\n9\n"
+    (output
+       ("struct pt { int x; int y; }\n"
+      ^ "int main() { int r = region_create(65536); region_open(r);\n\
+         persistent struct pt *ps = new(r, struct pt, 3);\n\
+         persistent struct pt *p = ps + 2;\n\
+         p->x = 7; p->y = 9;\n\
+         print(p->x); print((ps + 2)->y);\n\
+         return 0; }"))
+
+let test_array_of_pointers_rejected () =
+  expect_type_error
+    (common_defs
+   ^ "int main() { int r = region_create(65536); region_open(r);\n\
+      persistent int *p = new(r, persistentI struct node*, 4);\n\
+      return 0; }")
+
+(* Dynamic checks (Section 4.4) *)
+
+let test_cross_region_i_rejected_at_runtime () =
+  expect_runtime_error
+    (conversion_defs
+   ^ "int main() { int r1 = region_create(65536); region_open(r1);\n\
+      int r2 = region_create(65536); region_open(r2);\n\
+      persistent struct cell *a = new(r1, struct cell);\n\
+      persistent struct cell *b = new(r2, struct cell);\n\
+      a->i = b;  // cross-region into persistentI: dynamic check fires\n\
+      return 0; }")
+
+let test_cross_region_x_allowed () =
+  check_str "persistentX crosses regions" "200\n"
+    (output
+       (conversion_defs
+      ^ "int main() { int r1 = region_create(65536); region_open(r1);\n\
+         int r2 = region_create(65536); region_open(r2);\n\
+         persistent struct cell *a = new(r1, struct cell);\n\
+         persistent struct cell *b = new(r2, struct cell);\n\
+         b->v = 200;\n\
+         a->x = b;\n\
+         persistent struct cell *p = a->x;\n\
+         print(p->v); return 0; }"))
+
+let test_null_deref_caught () =
+  expect_runtime_error
+    (common_defs
+   ^ "int main() { persistent struct node *p = null; print(p->key); return \
+      0; }")
+
+(* Static rejections *)
+
+let test_local_persistenti_rejected () =
+  expect_type_error
+    (common_defs ^ "int main() { persistentI struct node *p = null; return 0; }")
+
+let test_local_persistentx_rejected () =
+  expect_type_error
+    (common_defs ^ "int main() { persistentX struct node *p = null; return 0; }")
+
+let test_param_persistenti_rejected () =
+  expect_type_error
+    (common_defs
+   ^ "int f(persistentI struct node *p) { return 0; } int main() { return \
+      0; }")
+
+let test_pointee_mismatch_rejected () =
+  expect_type_error
+    ("struct a { int v; } struct b { int v; }\n"
+   ^ "int main() { int r = region_create(65536); region_open(r);\n\
+      persistent struct a *pa = new(r, struct a);\n\
+      persistent struct b *pb = pa;\n\
+      return 0; }")
+
+let test_int_to_pointer_rejected () =
+  expect_type_error
+    (common_defs
+   ^ "int main() { persistent struct node *p = 42; return 0; }")
+
+let test_unknown_field_rejected () =
+  expect_type_error
+    (common_defs
+   ^ "int main() { int r = region_create(65536); region_open(r);\n\
+      persistent struct node *p = new(r, struct node);\n\
+      print(p->nope); return 0; }")
+
+let test_addrof_local_rejected () =
+  expect_type_error "int main() { int x = 1; int y = 0; y = *(&x); return y; }"
+
+let test_recursive_struct_by_value_rejected () =
+  expect_type_error
+    "struct s { struct s inner; } int main() { return 0; }"
+
+let test_struct_assignment_rejected () =
+  expect_type_error
+    ("struct s { int v; }\n"
+   ^ "int main() { int r = region_create(65536); region_open(r);\n\
+      persistent struct s *a = new(r, struct s);\n\
+      persistent struct s *b = new(r, struct s);\n\
+      *a = *b; return 0; }")
+
+let test_qualifier_on_non_pointer_rejected () =
+  expect_type_error "int main() { persistentI int x = 0; return x; }"
+
+(* Lowering introspection: the compiler inserts the right conversions. *)
+
+let test_lowering_inserts_slot_ops () =
+  let prog =
+    Lang.compile_exn
+      (conversion_defs
+     ^ "int main() { int r = region_create(65536); region_open(r);\n\
+        persistent struct cell *a = new(r, struct cell);\n\
+        a->i = a; a->x = a;\n\
+        persistent struct cell *p = a->i;\n\
+        persistent struct cell *q = a->x;\n\
+        print(p == q);\n\
+        return 0; }")
+  in
+  let text = Lang.Ir.to_string prog in
+  check_bool "persistentI store lowered" true
+    (contains text "slotstore<persistentI>");
+  check_bool "persistentX store lowered" true
+    (contains text "slotstore<persistentX>");
+  check_bool "persistentI load lowered" true
+    (contains text "slotload<persistentI>");
+  check_bool "persistentX load lowered" true
+    (contains text "slotload<persistentX>")
+
+(* Figure 9: a cross-region linked list where each node holds a
+   persistentI next pointer and a persistentX pointer into a second
+   region. *)
+
+let test_figure9_cross_region_list () =
+  check_str "figure 9" "1\n10\n2\n20\n3\n30\n"
+    (output
+       ("struct product { int price; }\n\
+         struct node { persistentI struct node *next;\n\
+        \              persistentX struct product *prod; int key; }\n"
+      ^ "int main() {\n\
+         int r1 = region_create(65536); region_open(r1);\n\
+         int r2 = region_create(65536); region_open(r2);\n\
+         persistent struct node *head = null;\n\
+         persistent struct node *tail = null;\n\
+         int i = 1;\n\
+         while (i <= 3) {\n\
+        \  persistent struct node *n = new(r1, struct node);\n\
+        \  persistent struct product *p = new(r2, struct product);\n\
+        \  p->price = i * 10;\n\
+        \  n->key = i; n->prod = p; n->next = null;\n\
+        \  if (head == null) { head = n; } else { tail->next = n; }\n\
+        \  tail = n;\n\
+        \  i = i + 1;\n\
+         }\n\
+         persistent struct node *cur = head;\n\
+         while (cur != null) {\n\
+        \  print(cur->key);\n\
+        \  persistent struct product *p = cur->prod;\n\
+        \  print(p->price);\n\
+        \  cur = cur->next;\n\
+         }\n\
+         return 0; }"))
+
+(* Position independence across runs, through the language. *)
+
+let test_cross_run_program () =
+  let store = Store.create () in
+  let defs =
+    "struct node { persistentI struct node *next; int key; }\n"
+  in
+  let writer =
+    defs
+    ^ "int main() {\n\
+       int r = region_create(1048576); region_open(r);\n\
+       persistent struct node *head = null;\n\
+       int i = 1;\n\
+       while (i <= 5) {\n\
+      \  persistent struct node *n = new(r, struct node);\n\
+      \  n->key = i * i; n->next = head; head = n;\n\
+      \  i = i + 1;\n\
+       }\n\
+       root_set(r, \"head\", head);\n\
+       region_close(r);\n\
+       return r; }"
+  in
+  let reader =
+    defs
+    ^ "int main(int rid) {\n\
+       region_open(rid);\n\
+       persistent struct node *cur = root_get(rid, \"head\");\n\
+       int sum = 0;\n\
+       while (cur != null) { sum = sum + cur->key; cur = cur->next; }\n\
+       return sum; }"
+  in
+  let m1 = Machine.create ~seed:100 ~store () in
+  let rid =
+    match Lang.run_string m1 writer with
+    | Ok { Lang.Eval.result = Some rid; _ } -> rid
+    | Ok _ -> Alcotest.fail "writer returned nothing"
+    | Error e -> Alcotest.failf "writer failed: %s" e
+  in
+  (* A different run: fresh machine, different region placement. *)
+  let m2 = Machine.create ~seed:200 ~store () in
+  match Lang.run_string m2 ~args:[ rid ] reader with
+  | Ok { Lang.Eval.result = Some sum; _ } ->
+      check "sum of squares read in run 2" (1 + 4 + 9 + 16 + 25) sum
+  | Ok _ -> Alcotest.fail "reader returned nothing"
+  | Error e -> Alcotest.failf "reader failed: %s" e
+
+(* Differential testing: random integer expressions evaluated by the
+   NVC pipeline must agree with a host-side reference evaluator. *)
+
+type rexpr =
+  | RInt of int
+  | RBin of Ast'.t * rexpr * rexpr
+
+and _dummy = unit
+
+let rexpr_gen =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then map (fun i -> RInt i) (int_range (-50) 50)
+         else
+           frequency
+             [
+               (1, map (fun i -> RInt i) (int_range (-50) 50));
+               ( 3,
+                 let* op =
+                   oneofl
+                     [ Ast'.Add; Ast'.Sub; Ast'.Mul; Ast'.Lt; Ast'.Gt;
+                       Ast'.Eq; Ast'.Neq; Ast'.Le; Ast'.Ge ]
+                 in
+                 let* a = self (n / 2) in
+                 let* b = self (n / 2) in
+                 return (RBin (op, a, b)) );
+             ])
+
+let rec rexpr_to_src = function
+  | RInt i -> if i < 0 then Printf.sprintf "(0 - %d)" (-i) else string_of_int i
+  | RBin (op, a, b) ->
+      let s =
+        match op with
+        | Ast'.Add -> "+" | Ast'.Sub -> "-" | Ast'.Mul -> "*" | Ast'.Lt -> "<"
+        | Ast'.Gt -> ">" | Ast'.Eq -> "==" | Ast'.Neq -> "!=" | Ast'.Le -> "<="
+        | Ast'.Ge -> ">=" | _ -> assert false
+      in
+      Printf.sprintf "(%s %s %s)" (rexpr_to_src a) s (rexpr_to_src b)
+
+let rec rexpr_eval = function
+  | RInt i -> i
+  | RBin (op, a, b) ->
+      let x = rexpr_eval a and y = rexpr_eval b in
+      let bool v = if v then 1 else 0 in
+      (match op with
+      | Ast'.Add -> x + y
+      | Ast'.Sub -> x - y
+      | Ast'.Mul -> x * y
+      | Ast'.Lt -> bool (x < y)
+      | Ast'.Gt -> bool (x > y)
+      | Ast'.Eq -> bool (x = y)
+      | Ast'.Neq -> bool (x <> y)
+      | Ast'.Le -> bool (x <= y)
+      | Ast'.Ge -> bool (x >= y)
+      | _ -> assert false)
+
+let prop_expr_differential =
+  QCheck2.Test.make ~name:"random expressions agree with host evaluation"
+    ~count:120 rexpr_gen (fun e ->
+      let src =
+        Printf.sprintf "int main() { return %s; }" (rexpr_to_src e)
+      in
+      let _, m = machine () in
+      match Lang.run_string m src with
+      | Ok { Lang.Eval.result = Some v; _ } -> v = rexpr_eval e
+      | _ -> false)
+
+let test_pretty_roundtrip () =
+  (* Print the Figure 9 program and parse it back: the ASTs must agree
+     (e[i] desugars before printing, so the round-trip is stable). *)
+  let src =
+    "struct product { int price; }\n\
+     struct node { persistentI struct node *next;\n\
+                   persistentX struct product *prod; int key; }\n\
+     int sum(persistent struct node *head) {\n\
+       int s = 0;\n\
+       persistent struct node *cur = head;\n\
+       while (cur != null) { persistent struct product *p = cur->prod;\n\
+         s = s + p->price; cur = cur->next; }\n\
+       return s; }\n\
+     int main() { int r = region_create(65536); region_open(r);\n\
+       persistent int *a = new(r, int, 4);\n\
+       a[0] = 1; a[1] = a[0] + 1;\n\
+       if (a[1] > a[0]) { print(a[1]); } else { print(0 - 1); }\n\
+       return a[1]; }"
+  in
+  let ast1 = Lang.Parser.parse src in
+  let printed = Lang.Pretty.program_to_string ast1 in
+  let ast2 = Lang.Parser.parse printed in
+  check_bool "parse . print . parse fixpoint" true (ast1 = ast2);
+  (* And printing again is stable. *)
+  check_str "print idempotent" printed (Lang.Pretty.program_to_string ast2)
+
+let prop_pretty_roundtrip_exprs =
+  QCheck2.Test.make ~name:"expression print/parse roundtrip" ~count:150
+    rexpr_gen (fun e ->
+      let src =
+        let rec to_ast = function
+          | RInt i -> if i < 0 then Ast_of.neg (-i) else Nvmpi_lang.Ast.Int i
+          | RBin (op, a, b) -> Nvmpi_lang.Ast.Bin (op, to_ast a, to_ast b)
+        in
+        to_ast e
+      in
+      let printed = Lang.Pretty.expr_to_string src in
+      Lang.Parser.parse_expr_string printed = src)
+
+(* A complete application written in NVC: BST wordcount over an
+   LCG-generated key stream, validated against a host-side reference. *)
+
+let nvc_wordcount probe =
+  Printf.sprintf
+    {|
+struct node {
+  persistentI struct node *l;
+  persistentI struct node *r;
+  int key;
+  int cnt;
+}
+struct tree { persistentI struct node *root; }
+
+void count(int rid, persistent struct tree *t, int key) {
+  persistent struct node *cur = t->root;
+  if (cur == null) {
+    persistent struct node *n = new(rid, struct node);
+    n->key = key; n->cnt = 1;
+    t->root = n;
+    return;
+  }
+  while (1) {
+    if (key == cur->key) { cur->cnt = cur->cnt + 1; return; }
+    if (key < cur->key) {
+      persistent struct node *next = cur->l;
+      if (next == null) {
+        persistent struct node *n = new(rid, struct node);
+        n->key = key; n->cnt = 1;
+        cur->l = n;
+        return;
+      }
+      cur = next;
+    } else {
+      persistent struct node *next = cur->r;
+      if (next == null) {
+        persistent struct node *n = new(rid, struct node);
+        n->key = key; n->cnt = 1;
+        cur->r = n;
+        return;
+      }
+      cur = next;
+    }
+  }
+}
+
+int get(persistent struct tree *t, int key) {
+  persistent struct node *cur = t->root;
+  while (cur != null) {
+    if (key == cur->key) { return cur->cnt; }
+    if (key < cur->key) { cur = cur->l; } else { cur = cur->r; }
+  }
+  return 0;
+}
+
+int main() {
+  int r = region_create(4194304);
+  region_open(r);
+  persistent struct tree *t = new(r, struct tree);
+  int seed = 12345;
+  int i = 0;
+  while (i < 800) {
+    seed = (seed * 1103515245 + 12345) %% 2147483648;
+    count(r, t, seed %% 97 + 1);
+    i = i + 1;
+  }
+  return get(t, %d);
+}
+|}
+    probe
+
+let test_nvc_wordcount_matches_host () =
+  (* Host-side reference of the same LCG stream. *)
+  let counts = Hashtbl.create 97 in
+  let seed = ref 12345 in
+  for _ = 1 to 800 do
+    seed := ((!seed * 1103515245) + 12345) mod 2147483648;
+    let key = (!seed mod 97) + 1 in
+    Hashtbl.replace counts key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
+  List.iter
+    (fun probe ->
+      let expected = Option.value ~default:0 (Hashtbl.find_opt counts probe) in
+      check
+        (Printf.sprintf "count of key %d" probe)
+        expected
+        (result (nvc_wordcount probe)))
+    [ 1; 13; 42; 97; 7 ]
+
+let test_region_migrate_in_program () =
+  (* Fill a tiny region, migrate it bigger, keep growing the list: the
+     off-holder links survive the move (Section 4.4). *)
+  check_str "migration mid-program" "60\n"
+    (output
+       (common_defs
+      ^ "int main() {\n\
+         int r = region_create(8192);\n\
+         region_open(r);\n\
+         persistent struct node *head = null;\n\
+         int i = 1;\n\
+         while (i <= 30) {\n\
+        \  if (i == 16) { region_migrate(r, 65536); head = root_get(r, \"h\"); }\n\
+        \  persistent struct node *n = new(r, struct node);\n\
+        \  n->key = i; n->next = head; head = n;\n\
+        \  root_set(r, \"h\", n);\n\
+        \  i = i + 1;\n\
+         }\n\
+         int count = 0; int sum = 0;\n\
+         persistent struct node *cur = head;\n\
+         while (cur != null) { count = count + 1; cur = cur->next; }\n\
+         print(count * 2);\n\
+         return count; }"))
+
+let test_more_static_rejections () =
+  expect_type_error "int main() { return f(1); }" (* unknown function *);
+  expect_type_error
+    "int f(int a) { return a; } int main() { return f(1, 2); }" (* arity *);
+  expect_type_error "int main() { return x; }" (* unknown variable *);
+  expect_type_error "void f() { return 1; } int main() { return 0; }"
+    (* value from void *);
+  expect_type_error "int f() { return; } int main() { return 0; }"
+    (* void return from int *);
+  expect_type_error "int main() { int x = 1; int x = 2; return x; }"
+    (* duplicate local *);
+  expect_type_error "void f() {} int main() { return f(); }"
+    (* void used as value *)
+
+let test_more_runtime_errors () =
+  expect_runtime_error "int main() { int x = 0; return 1 / x; }";
+  expect_runtime_error "int main() { int x = 0; return 1 % x; }";
+  expect_runtime_error
+    "int main() { region_open(42); return 0; }" (* unknown region *);
+  expect_runtime_error
+    "int main() { int r = region_create(65536); region_open(r);\n\
+     persistent int *p = root_get(r, \"missing\"); return *p; }"
+
+let test_recursion_and_shadowing_blocks () =
+  (* Sibling blocks may reuse a name; the value does not leak. *)
+  check_str "sibling block scopes" "1\n2\n"
+    (output
+       "int main() { int c = 1;\n\
+        if (c) { int t = 1; print(t); } else { }\n\
+        if (c) { int t = 2; print(t); } else { }\n\
+        return 0; }");
+  check "mutual recursion" 1
+    (result
+       "int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }\n\
+        int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }\n\
+        int main() { return is_odd(7); }")
+
+let test_syntax_error_reported () =
+  match Lang.compile "int main( { return 0; }" with
+  | Ok _ -> Alcotest.fail "expected syntax error"
+  | Error msg ->
+      check_bool "mentions syntax" true
+        (String.length msg >= 12 && String.sub msg 0 12 = "syntax error")
+
+let test_lexer_error_reported () =
+  match Lang.compile "int main() { return 0 @ 1; }" with
+  | Ok _ -> Alcotest.fail "expected lexical error"
+  | Error msg ->
+      check_bool "mentions lexical" true
+        (String.length msg >= 13 && String.sub msg 0 13 = "lexical error")
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "arith + control" `Quick test_arith_and_control;
+          Alcotest.test_case "functions" `Quick test_functions;
+          Alcotest.test_case "comments + hex" `Quick test_comments_and_hex;
+          Alcotest.test_case "scoping + mutual recursion" `Quick
+            test_recursion_and_shadowing_blocks;
+          Alcotest.test_case "new + fields" `Quick test_new_and_fields;
+          Alcotest.test_case "persistentI list" `Quick
+            test_persistenti_list_in_program;
+        ] );
+      ( "figure8-rules",
+        [
+          Alcotest.test_case "p = i" `Quick test_rule_p_eq_i;
+          Alcotest.test_case "p = x" `Quick test_rule_p_eq_x;
+          Alcotest.test_case "i = x" `Quick test_rule_i_eq_x;
+          Alcotest.test_case "x = i" `Quick test_rule_x_eq_i;
+          Alcotest.test_case "i = p and x = p" `Quick
+            test_rule_i_eq_p_and_x_eq_p;
+          Alcotest.test_case "null conversions" `Quick
+            test_rule_null_everywhere;
+          Alcotest.test_case "pointer arithmetic" `Quick
+            test_pointer_arithmetic_keeps_type;
+          Alcotest.test_case "pointer difference" `Quick
+            test_pointer_difference;
+          Alcotest.test_case "deref + addrof" `Quick test_deref_and_addrof;
+          Alcotest.test_case "int arrays" `Quick test_arrays;
+          Alcotest.test_case "struct array pointer walk" `Quick
+            test_struct_array_via_arrow;
+          Alcotest.test_case "pointer-element arrays rejected" `Quick
+            test_array_of_pointers_rejected;
+        ] );
+      ( "dynamic-checks",
+        [
+          Alcotest.test_case "cross-region persistentI rejected" `Quick
+            test_cross_region_i_rejected_at_runtime;
+          Alcotest.test_case "cross-region persistentX allowed" `Quick
+            test_cross_region_x_allowed;
+          Alcotest.test_case "null deref caught" `Quick test_null_deref_caught;
+          Alcotest.test_case "more runtime errors" `Quick
+            test_more_runtime_errors;
+        ] );
+      ( "static-rejections",
+        [
+          Alcotest.test_case "local persistentI" `Quick
+            test_local_persistenti_rejected;
+          Alcotest.test_case "local persistentX" `Quick
+            test_local_persistentx_rejected;
+          Alcotest.test_case "param persistentI" `Quick
+            test_param_persistenti_rejected;
+          Alcotest.test_case "pointee mismatch" `Quick
+            test_pointee_mismatch_rejected;
+          Alcotest.test_case "int to pointer" `Quick
+            test_int_to_pointer_rejected;
+          Alcotest.test_case "unknown field" `Quick test_unknown_field_rejected;
+          Alcotest.test_case "addrof local" `Quick test_addrof_local_rejected;
+          Alcotest.test_case "recursive struct" `Quick
+            test_recursive_struct_by_value_rejected;
+          Alcotest.test_case "struct assignment" `Quick
+            test_struct_assignment_rejected;
+          Alcotest.test_case "qualifier on non-pointer" `Quick
+            test_qualifier_on_non_pointer_rejected;
+          Alcotest.test_case "more static rejections" `Quick
+            test_more_static_rejections;
+        ] );
+      ( "compiler",
+        [
+          Alcotest.test_case "lowering inserts slot conversions" `Quick
+            test_lowering_inserts_slot_ops;
+          QCheck_alcotest.to_alcotest prop_expr_differential;
+          Alcotest.test_case "pretty roundtrip" `Quick test_pretty_roundtrip;
+          QCheck_alcotest.to_alcotest prop_pretty_roundtrip_exprs;
+          Alcotest.test_case "syntax errors" `Quick test_syntax_error_reported;
+          Alcotest.test_case "lexer errors" `Quick test_lexer_error_reported;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "figure 9 cross-region list" `Quick
+            test_figure9_cross_region_list;
+          Alcotest.test_case "cross-run program" `Quick test_cross_run_program;
+          Alcotest.test_case "NVC wordcount vs host reference" `Slow
+            test_nvc_wordcount_matches_host;
+          Alcotest.test_case "region_migrate mid-program" `Quick
+            test_region_migrate_in_program;
+        ] );
+    ]

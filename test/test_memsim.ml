@@ -1,0 +1,259 @@
+module Memsim = Core.Memsim
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh ?(base = 0x1000) ?(size = 0x10000) () =
+  let m = Memsim.create () in
+  Memsim.map m ~addr:base ~size;
+  (m, base)
+
+let test_roundtrip_sizes () =
+  let m, base = fresh () in
+  Memsim.store8 m base 0xAB;
+  check "load8" 0xAB (Memsim.load8 m base);
+  Memsim.store16 m (base + 2) 0xBEEF;
+  check "load16" 0xBEEF (Memsim.load16 m (base + 2));
+  Memsim.store32 m (base + 4) 0xDEADBEEF;
+  check "load32" 0xDEADBEEF (Memsim.load32 m (base + 4));
+  Memsim.store64 m (base + 8) 0x123456789ABCDEF;
+  check "load64" 0x123456789ABCDEF (Memsim.load64 m (base + 8))
+
+let test_negative_int64 () =
+  let m, base = fresh () in
+  Memsim.store64 m base (-42);
+  check "negative" (-42) (Memsim.load64 m base);
+  Memsim.store64 m base min_int;
+  check "min_int" min_int (Memsim.load64 m base)
+
+let test_zero_fill () =
+  let m, base = fresh () in
+  check "untouched page reads zero" 0 (Memsim.load64 m (base + 0x800))
+
+let test_truncation () =
+  let m, base = fresh () in
+  Memsim.store8 m base 0x1FF;
+  check "store8 truncates" 0xFF (Memsim.load8 m base);
+  Memsim.store16 m base 0x1FFFF;
+  check "store16 truncates" 0xFFFF (Memsim.load16 m base)
+
+let test_unmapped_faults () =
+  let m, _ = fresh () in
+  check_bool "fault"
+    true
+    (try
+       ignore (Memsim.load64 m 0x999998);
+       false
+     with Memsim.Fault _ -> true)
+
+let test_misaligned_faults () =
+  let m, base = fresh () in
+  check_bool "misaligned 64" true
+    (try
+       ignore (Memsim.load64 m (base + 4));
+       false
+     with Memsim.Fault _ -> true);
+  check_bool "misaligned 16" true
+    (try
+       Memsim.store16 m (base + 1) 3;
+       false
+     with Memsim.Fault _ -> true)
+
+let test_map_overlap_rejected () =
+  let m, base = fresh () in
+  check_bool "overlap rejected" true
+    (try
+       Memsim.map m ~addr:(base + 0x100) ~size:16;
+       false
+     with Invalid_argument _ -> true)
+
+let test_unmap () =
+  let m, base = fresh () in
+  Memsim.store64 m base 7;
+  Memsim.unmap m ~addr:base;
+  check_bool "unmapped faults" true
+    (try
+       ignore (Memsim.load64 m base);
+       false
+     with Memsim.Fault _ -> true);
+  (* Remapping gives a zeroed page again. *)
+  Memsim.map m ~addr:base ~size:0x1000;
+  check "zero after remap" 0 (Memsim.load64 m base)
+
+let test_blit () =
+  let m, base = fresh () in
+  let src = Bytes.of_string "hello, simulated world.." in
+  Memsim.blit_from_bytes m ~addr:base src;
+  let out = Memsim.blit_to_bytes m ~addr:base ~len:(Bytes.length src) in
+  Alcotest.(check string) "blit roundtrip" (Bytes.to_string src)
+    (Bytes.to_string out)
+
+let test_blit_unaligned () =
+  let m, base = fresh () in
+  let src = Bytes.of_string "abcdefghijk" in
+  Memsim.blit_from_bytes m ~addr:(base + 3) src;
+  let out = Memsim.blit_to_bytes m ~addr:(base + 3) ~len:11 in
+  Alcotest.(check string) "unaligned blit" "abcdefghijk" (Bytes.to_string out)
+
+let test_blit_cross_page () =
+  let m = Memsim.create () in
+  Memsim.map m ~addr:0x1000 ~size:0x3000;
+  let src = Bytes.make 0x1800 'x' in
+  Bytes.set src 0x17FF 'y';
+  Memsim.blit_from_bytes m ~addr:0x1800 src;
+  check "last byte" (Char.code 'y') (Memsim.load8 m (0x1800 + 0x17FF))
+
+let test_observers () =
+  let m, base = fresh () in
+  let loads = ref 0 and stores = ref 0 in
+  Memsim.add_observer m (fun a ->
+      match a.Memsim.op with
+      | Memsim.Load -> incr loads
+      | Memsim.Store -> incr stores);
+  Memsim.store64 m base 1;
+  ignore (Memsim.load64 m base);
+  ignore (Memsim.load8 m base);
+  check "stores" 1 !stores;
+  check "loads" 2 !loads;
+  Memsim.observed m false;
+  ignore (Memsim.load64 m base);
+  check "suppressed" 2 !loads;
+  Memsim.observed m true;
+  ignore (Memsim.load64 m base);
+  check "restored" 3 !loads
+
+let test_stats () =
+  let m, base = fresh () in
+  let s = Memsim.stats m in
+  let l0 = s.Memsim.loads in
+  ignore (Memsim.load64 m base);
+  ignore (Memsim.load64 m (base + 0x1000));
+  check "loads counted" (l0 + 2) s.Memsim.loads;
+  check_bool "pages materialized" true (s.Memsim.pages >= 2)
+
+let test_high_addresses () =
+  (* NV-space-like addresses near the top of the 62-bit space. *)
+  let m = Memsim.create () in
+  let base = Core.Layout.nv_start Core.Layout.default in
+  Memsim.map m ~addr:base ~size:0x2000;
+  Memsim.store64 m (base + 0x100) 0xCAFE;
+  check "high addr" 0xCAFE (Memsim.load64 m (base + 0x100))
+
+let test_fill () =
+  let m, base = fresh () in
+  Memsim.fill m ~addr:base ~len:32 'z';
+  check "fill" (Char.code 'z') (Memsim.load8 m (base + 31));
+  check "fill end" 0 (Memsim.load8 m (base + 32))
+
+let test_sized_dispatch () =
+  let m, base = fresh () in
+  List.iter
+    (fun size ->
+      Memsim.store_sized m ~size base 0x7F;
+      check (Printf.sprintf "sized %d" size) 0x7F
+        (Memsim.load_sized m ~size base))
+    [ 1; 2; 4; 8 ];
+  check_bool "bad size rejected" true
+    (try
+       ignore (Memsim.load_sized m ~size:3 base);
+       false
+     with Invalid_argument _ -> true)
+
+let test_multiple_observers () =
+  let m, base = fresh () in
+  let a = ref 0 and b = ref 0 in
+  Memsim.add_observer m (fun _ -> incr a);
+  Memsim.add_observer m (fun _ -> incr b);
+  ignore (Memsim.load64 m base);
+  check "first observer" 1 !a;
+  check "second observer" 1 !b
+
+let test_mappings_listing () =
+  let m = Memsim.create () in
+  Memsim.map m ~addr:0x1000 ~size:0x1000;
+  Memsim.map m ~addr:0x10000 ~size:0x2000;
+  Alcotest.(check (list (pair int int)))
+    "sorted ranges"
+    [ (0x1000, 0x1000); (0x10000, 0x2000) ]
+    (Memsim.mappings m);
+  check "page size" 4096 (Memsim.page_size m)
+
+let prop_store_load_64 =
+  QCheck2.Test.make ~name:"64-bit store/load roundtrip at random offsets"
+    ~count:500
+    QCheck2.Gen.(pair (int_range 0 8190) int)
+    (fun (woff, v) ->
+      let m, base = fresh () in
+      let a = base + (woff * 8) in
+      Memsim.store64 m a v;
+      Memsim.load64 m a = v)
+
+let prop_blit_arbitrary_bytes =
+  QCheck2.Test.make ~name:"blit roundtrips arbitrary bytes (incl. high bits)"
+    ~count:200
+    QCheck2.Gen.(pair (string_size (int_range 1 9000)) (int_range 0 64))
+    (fun (payload, off) ->
+      let m = Memsim.create () in
+      Memsim.map m ~addr:0x1000 ~size:0x4000;
+      let b = Bytes.of_string payload in
+      Memsim.blit_from_bytes m ~addr:(0x1000 + off) b;
+      Bytes.equal b
+        (Memsim.blit_to_bytes m ~addr:(0x1000 + off) ~len:(Bytes.length b)))
+
+let prop_disjoint_writes =
+  QCheck2.Test.make ~name:"writes to distinct words do not interfere"
+    ~count:200
+    QCheck2.Gen.(
+      pair (pair (int_range 0 1000) (int_range 0 1000)) (pair int int))
+    (fun ((w1, w2), (v1, v2)) ->
+      QCheck2.assume (w1 <> w2);
+      let m, base = fresh () in
+      Memsim.store64 m (base + (w1 * 8)) v1;
+      Memsim.store64 m (base + (w2 * 8)) v2;
+      Memsim.load64 m (base + (w1 * 8)) = v1
+      && Memsim.load64 m (base + (w2 * 8)) = v2)
+
+let () =
+  Alcotest.run "memsim"
+    [
+      ( "accesses",
+        [
+          Alcotest.test_case "typed roundtrips" `Quick test_roundtrip_sizes;
+          Alcotest.test_case "negative 64-bit values" `Quick test_negative_int64;
+          Alcotest.test_case "demand-zero pages" `Quick test_zero_fill;
+          Alcotest.test_case "narrow stores truncate" `Quick test_truncation;
+          Alcotest.test_case "high addresses" `Quick test_high_addresses;
+          Alcotest.test_case "fill" `Quick test_fill;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "unmapped access faults" `Quick
+            test_unmapped_faults;
+          Alcotest.test_case "misaligned access faults" `Quick
+            test_misaligned_faults;
+          Alcotest.test_case "overlapping map rejected" `Quick
+            test_map_overlap_rejected;
+          Alcotest.test_case "unmap drops pages" `Quick test_unmap;
+        ] );
+      ( "bulk",
+        [
+          Alcotest.test_case "blit roundtrip" `Quick test_blit;
+          Alcotest.test_case "unaligned blit" `Quick test_blit_unaligned;
+          Alcotest.test_case "cross-page blit" `Quick test_blit_cross_page;
+        ] );
+      ( "observation",
+        [
+          Alcotest.test_case "observers see accesses" `Quick test_observers;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "sized dispatch" `Quick test_sized_dispatch;
+          Alcotest.test_case "multiple observers" `Quick
+            test_multiple_observers;
+          Alcotest.test_case "mappings listing" `Quick test_mappings_listing;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_store_load_64;
+          QCheck_alcotest.to_alcotest prop_blit_arbitrary_bytes;
+          QCheck_alcotest.to_alcotest prop_disjoint_writes;
+        ] );
+    ]
