@@ -7,21 +7,41 @@
      dune exec bench/main.exe -- fig12 fig13   # selected experiments
      dune exec bench/main.exe -- --scale 0.2   # quick pass
      dune exec bench/main.exe -- --full-wordcount  # 1M/2M-word inputs
+     dune exec bench/main.exe -- --json out.json fig12  # + JSON snapshot
+     dune exec bench/main.exe -- check BENCH_seed.json  # regression check
      dune exec bench/main.exe -- bechamel      # host-time micro-benchmarks *)
 
 open Nvmpi_experiments
 
+let usage_text =
+  "usage: main.exe [--scale F] [--seed N] [--full-wordcount] [--json FILE] \
+   [experiment ...]\n\
+  \       main.exe check BASELINE.json [--tolerance F]\n\
+   experiments: fig12 payload table1 fig13 fig14 regions fig15 breakdown \
+   ablations bechamel all\n\
+   check re-runs the experiments recorded in BASELINE.json with its own \
+   parameters\n\
+   and fails on per-cell cycle deviations beyond the tolerance (default \
+   0.10)."
+
 let usage () =
-  print_endline
-    "usage: main.exe [--scale F] [--full-wordcount] [experiment ...]\n\
-     experiments: fig12 payload table1 fig13 fig14 regions fig15 breakdown \
-     ablations bechamel all";
+  print_endline usage_text;
   exit 1
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "main.exe: %s\n" msg;
+      prerr_endline usage_text;
+      exit 1)
+    fmt
 
 (* Bechamel micro-benchmarks: host-side cost of one simulated pointer
    load under each representation (one Test.make per representation),
    and of one traversal per structure. These measure the simulator
-   itself, complementing the cycle-model numbers above. *)
+   itself, complementing the cycle-model numbers above — which is why
+   they are not part of the Suite and never appear in JSON snapshots:
+   host nanoseconds are not deterministic. *)
 let bechamel_suite () =
   let open Bechamel in
   let module Machine = Core.Machine in
@@ -84,46 +104,148 @@ let bechamel_suite () =
     tests;
   print_newline ()
 
-let () =
+(* Run mode ---------------------------------------------------------- *)
+
+let run_main args =
   let scale = ref 1.0 in
+  let seed = ref None in
   let full_wordcount = ref false in
+  let json_path = ref None in
   let picked = ref [] in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
         (match float_of_string_opt v with
         | Some f when f > 0.0 -> scale := f
-        | _ -> usage ());
+        | _ -> fail "--scale needs a positive number, got %S" v);
         parse rest
+    | "--seed" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some s -> seed := Some s
+        | None -> fail "--seed needs an integer, got %S" v);
+        parse rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse rest
+    | [ (("--scale" | "--seed" | "--json") as flag) ] ->
+        fail "option %s needs a value" flag
     | "--full-wordcount" :: rest ->
         full_wordcount := true;
         parse rest
     | ("--help" | "-h") :: _ -> usage ()
+    | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
+        fail "unknown option %S" flag
     | name :: rest ->
         picked := name :: !picked;
         parse rest
   in
-  parse (List.tl (Array.to_list Sys.argv));
+  parse args;
   let picked = if !picked = [] then [ "all" ] else List.rev !picked in
-  let scale = !scale in
-  let run_one = function
-    | "fig12" -> Table.print (Figures.fig12 ~scale ())
-    | "payload" -> Table.print (Figures.payload_sweep ~scale ())
-    | "table1" -> Table.print (Figures.table1 ~scale ())
-    | "fig13" -> Table.print (Figures.fig13 ~scale ())
-    | "fig14" -> Table.print (Figures.fig14 ~scale ())
-    | "regions" -> Table.print (Figures.regions_sweep ~scale ())
-    | "fig15" -> Table.print (Figures.fig15 ~scale ~full:!full_wordcount ())
-    | "breakdown" -> Table.print (Figures.breakdown ~scale ())
-    | "ablations" -> List.iter Table.print (Ablations.all ~scale ())
-    | "bechamel" -> bechamel_suite ()
-    | "all" ->
-        List.iter Table.print
-          (Figures.all ~scale ~wordcount_full:!full_wordcount ());
-        List.iter Table.print (Ablations.all ~scale ());
-        bechamel_suite ()
-    | other ->
-        Printf.eprintf "unknown experiment %S\n" other;
-        usage ()
+  (* Validate every name before running anything: a typo should not
+     surface only after minutes of earlier experiments. *)
+  List.iter
+    (fun name ->
+      if not (Suite.mem name || name = "bechamel" || name = "all") then
+        fail "unknown experiment %S" name)
+    picked;
+  let suite_names =
+    List.concat_map
+      (fun name ->
+        if name = "all" then Suite.names
+        else if name = "bechamel" then []
+        else [ name ])
+      picked
   in
-  List.iter run_one picked
+  let want_bechamel = List.exists (fun n -> n = "bechamel" || n = "all") picked in
+  let params =
+    {
+      Suite.scale = !scale;
+      seed = !seed;
+      wordcount_full = !full_wordcount;
+    }
+  in
+  let results =
+    List.map
+      (fun name ->
+        let r = Suite.run params name in
+        List.iter Table.print r.Suite.tables;
+        r)
+      suite_names
+  in
+  if want_bechamel then bechamel_suite ();
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      Nvmpi_obs.Json.to_file path (Suite.snapshot_of params results);
+      Printf.printf "wrote %s (%d experiment(s), schema_version %d)\n" path
+        (List.length results) Suite.schema_version
+
+(* Check mode -------------------------------------------------------- *)
+
+let check_main args =
+  let tolerance = ref 0.10 in
+  let baseline_path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f >= 0.0 -> tolerance := f
+        | _ -> fail "--tolerance needs a non-negative number, got %S" v);
+        parse rest
+    | [ "--tolerance" ] -> fail "option --tolerance needs a value"
+    | ("--help" | "-h") :: _ -> usage ()
+    | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
+        fail "unknown option %S" flag
+    | path :: rest ->
+        (match !baseline_path with
+        | None -> baseline_path := Some path
+        | Some _ -> fail "check takes a single baseline file");
+        parse rest
+  in
+  parse args;
+  let path =
+    match !baseline_path with
+    | Some p -> p
+    | None -> fail "check needs a baseline file"
+  in
+  let baseline =
+    match Nvmpi_obs.Json.of_file path with
+    | Ok doc -> doc
+    | Error msg -> fail "cannot read %s: %s" path msg
+  in
+  let ( let* ) r f =
+    match r with Ok v -> f v | Error msg -> fail "%s: %s" path msg
+  in
+  let* params = Suite.params_of_json baseline in
+  let* names = Suite.names_of_json baseline in
+  List.iter
+    (fun name ->
+      if not (Suite.mem name) then
+        fail "%s records unknown experiment %S" path name)
+    names;
+  Printf.printf
+    "check: re-running %s (scale %g, seed %s%s) against %s, tolerance %g%%\n%!"
+    (String.concat " " names) params.Suite.scale
+    (match params.Suite.seed with Some s -> string_of_int s | None -> "default")
+    (if params.Suite.wordcount_full then ", full wordcount" else "")
+    path (100.0 *. !tolerance);
+  let fresh = Suite.snapshot_of params (Suite.run_all params names) in
+  let* compared, mismatches =
+    Suite.check ~tolerance:!tolerance ~baseline ~fresh ()
+  in
+  if mismatches = [] then begin
+    Printf.printf "check: PASS (%d cells within %g%% of %s)\n" compared
+      (100.0 *. !tolerance) path;
+    exit 0
+  end
+  else begin
+    List.iter (fun m -> Printf.printf "  %s\n" m) mismatches;
+    Printf.printf "check: FAIL (%d of %d cells deviate from %s)\n"
+      (List.length mismatches) compared path;
+    exit 1
+  end
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | "check" :: rest -> check_main rest
+  | args -> run_main args

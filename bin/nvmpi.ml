@@ -1,6 +1,7 @@
 (* nvmpi: command-line front end.
 
    - [nvmpi bench ...]    regenerate the paper's tables/figures
+   - [nvmpi check FILE]   regression-check against a benchmark snapshot
    - [nvmpi run FILE]     compile and run an NVC program against a
                           (optionally file-backed) NVM store
    - [nvmpi inspect FILE] list the regions and roots of a store image
@@ -8,9 +9,7 @@
 
 open Cmdliner
 
-let experiments =
-  [ "fig12"; "payload"; "table1"; "fig13"; "fig14"; "regions"; "fig15";
-    "breakdown"; "ablations"; "all" ]
+let experiments = Nvmpi_experiments.Suite.names @ [ "all" ]
 
 (* bench *)
 
@@ -23,33 +22,92 @@ let bench_cmd =
     Arg.(value & opt float 1.0
          & info [ "scale" ] ~doc:"Scale factor on workload sizes.")
   in
+  let seed =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ]
+             ~doc:"Override the workload seed (default: each experiment's \
+                   fixed seed).")
+  in
   let full =
     Arg.(value & flag
          & info [ "full-wordcount" ]
              ~doc:"Run wordcount at the paper's 1M/2M-word sizes.")
   in
-  let run names scale full =
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write a schema-versioned JSON snapshot of the \
+                   results (cycle counts, baselines, per-counter \
+                   breakdowns; see docs/METRICS.md).")
+  in
+  let run names scale seed full json =
     let open Nvmpi_experiments in
-    let one = function
-      | "fig12" -> Table.print (Figures.fig12 ~scale ())
-      | "payload" -> Table.print (Figures.payload_sweep ~scale ())
-      | "table1" -> Table.print (Figures.table1 ~scale ())
-      | "fig13" -> Table.print (Figures.fig13 ~scale ())
-      | "fig14" -> Table.print (Figures.fig14 ~scale ())
-      | "regions" -> Table.print (Figures.regions_sweep ~scale ())
-      | "fig15" -> Table.print (Figures.fig15 ~scale ~full ())
-      | "breakdown" -> Table.print (Figures.breakdown ~scale ())
-      | "ablations" -> List.iter Table.print (Ablations.all ~scale ())
-      | "all" ->
-          List.iter Table.print (Figures.all ~scale ~wordcount_full:full ());
-          List.iter Table.print (Ablations.all ~scale ())
-      | _ -> assert false
+    let params = { Suite.scale; seed; wordcount_full = full } in
+    let names =
+      List.concat_map
+        (fun n -> if n = "all" then Suite.names else [ n ])
+        names
     in
-    List.iter one names
+    let results =
+      List.map
+        (fun name ->
+          let r = Suite.run params name in
+          List.iter Table.print r.Suite.tables;
+          r)
+        names
+    in
+    match json with
+    | None -> ()
+    | Some path ->
+        Core.Json.to_file path (Suite.snapshot_of params results);
+        Printf.printf "wrote %s\n" path
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate the paper's evaluation tables/figures.")
-    Term.(const run $ names $ scale $ full)
+    Term.(const run $ names $ scale $ seed $ full $ json)
+
+(* check *)
+
+let check_cmd =
+  let baseline =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"BASELINE.json"
+             ~doc:"Snapshot written by 'bench --json'.")
+  in
+  let tolerance =
+    Arg.(value & opt float 0.10
+         & info [ "tolerance" ]
+             ~doc:"Allowed relative deviation per cycle count.")
+  in
+  let run path tolerance =
+    let open Nvmpi_experiments in
+    let ( let* ) r f =
+      match r with
+      | Ok v -> f v
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 2
+    in
+    let* baseline = Core.Json.of_file path in
+    let* params = Suite.params_of_json baseline in
+    let* names = Suite.names_of_json baseline in
+    let fresh = Suite.snapshot_of params (Suite.run_all params names) in
+    let* compared, mismatches = Suite.check ~tolerance ~baseline ~fresh () in
+    if mismatches = [] then
+      Printf.printf "check: PASS (%d cells within %g%% of %s)\n" compared
+        (100.0 *. tolerance) path
+    else begin
+      List.iter (fun m -> Printf.printf "  %s\n" m) mismatches;
+      Printf.printf "check: FAIL (%d of %d cells deviate from %s)\n"
+        (List.length mismatches) compared path;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Re-run the experiments a benchmark snapshot records and fail \
+             on cycle-count regressions beyond the tolerance.")
+    Term.(const run $ baseline $ tolerance)
 
 (* run *)
 
@@ -177,4 +235,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "nvmpi" ~doc)
-          [ bench_cmd; run_cmd; inspect_cmd; layout_cmd ]))
+          [ bench_cmd; check_cmd; run_cmd; inspect_cmd; layout_cmd ]))

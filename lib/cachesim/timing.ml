@@ -1,4 +1,5 @@
 module Memsim = Nvmpi_memsim.Memsim
+module Metrics = Nvmpi_obs.Metrics
 
 type mem_stats = {
   mutable dram_reads : int;
@@ -10,6 +11,24 @@ type mem_stats = {
   mutable alu_cycles : int;
 }
 
+(* Counter cells resolved once at creation; the observer path runs on
+   every simulated access. *)
+type counters = {
+  c_dram_r : int ref;
+  c_dram_w : int ref;
+  c_nvm_r : int ref;
+  c_nvm_w : int ref;
+  c_flushes : int ref;
+  c_fences : int ref;
+  c_alu : int ref;
+  c_l1_h : int ref;
+  c_l1_m : int ref;
+  c_l2_h : int ref;
+  c_l2_m : int ref;
+  c_l3_h : int ref;
+  c_l3_m : int ref;
+}
+
 type t = {
   cfg : Timing_config.t;
   clock : Clock.t;
@@ -18,12 +37,17 @@ type t = {
   l2 : Cache_level.t;
   l3 : Cache_level.t;
   stats : mem_stats;
+  c : counters;
 }
 
-let create ?(cfg = Timing_config.default) ~clock ~is_nvm () =
+let create ?(cfg = Timing_config.default) ?metrics ~clock ~is_nvm () =
   let lvl size ways =
     Cache_level.create ~size_bytes:size ~ways ~line_bits:cfg.line_bits
   in
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
+  let c name = Metrics.counter metrics name in
   {
     cfg;
     clock;
@@ -41,6 +65,22 @@ let create ?(cfg = Timing_config.default) ~clock ~is_nvm () =
         fences = 0;
         alu_cycles = 0;
       };
+    c =
+      {
+        c_dram_r = c "mem.dram_reads";
+        c_dram_w = c "mem.dram_writes";
+        c_nvm_r = c "mem.nvm_reads";
+        c_nvm_w = c "mem.nvm_writes";
+        c_flushes = c "timing.flushes";
+        c_fences = c "timing.fences";
+        c_alu = c "timing.alu_cycles";
+        c_l1_h = c "cache.l1.hits";
+        c_l1_m = c "cache.l1.misses";
+        c_l2_h = c "cache.l2.hits";
+        c_l2_m = c "cache.l2.misses";
+        c_l3_h = c "cache.l3.hits";
+        c_l3_m = c "cache.l3.misses";
+      };
   }
 
 let cfg t = t.cfg
@@ -53,20 +93,24 @@ let mem_stats t = t.stats
 let charge_mem_read t addr =
   if t.is_nvm addr then begin
     t.stats.nvm_reads <- t.stats.nvm_reads + 1;
+    incr t.c.c_nvm_r;
     Clock.tick t.clock t.cfg.nvm_read
   end
   else begin
     t.stats.dram_reads <- t.stats.dram_reads + 1;
+    incr t.c.c_dram_r;
     Clock.tick t.clock t.cfg.dram_read
   end
 
 let charge_mem_write t addr =
   if t.is_nvm addr then begin
     t.stats.nvm_writes <- t.stats.nvm_writes + 1;
+    incr t.c.c_nvm_w;
     Clock.tick t.clock t.cfg.nvm_write
   end
   else begin
     t.stats.dram_writes <- t.stats.dram_writes + 1;
+    incr t.c.c_dram_w;
     Clock.tick t.clock t.cfg.dram_write
   end
 
@@ -76,8 +120,11 @@ let rec access_level t level ~addr ~write =
   match level with
   | `L1 -> begin
       match Cache_level.access t.l1 ~addr ~write with
-      | Cache_level.Hit -> Clock.tick t.clock t.cfg.l1_hit
+      | Cache_level.Hit ->
+          incr t.c.c_l1_h;
+          Clock.tick t.clock t.cfg.l1_hit
       | Cache_level.Miss { evicted_dirty } ->
+          incr t.c.c_l1_m;
           Clock.tick t.clock t.cfg.l1_hit;
           (match evicted_dirty with
           | Some e -> access_level t `L2 ~addr:e ~write:true
@@ -86,8 +133,11 @@ let rec access_level t level ~addr ~write =
     end
   | `L2 -> begin
       match Cache_level.access t.l2 ~addr ~write with
-      | Cache_level.Hit -> Clock.tick t.clock t.cfg.l2_hit
+      | Cache_level.Hit ->
+          incr t.c.c_l2_h;
+          Clock.tick t.clock t.cfg.l2_hit
       | Cache_level.Miss { evicted_dirty } ->
+          incr t.c.c_l2_m;
           Clock.tick t.clock t.cfg.l2_hit;
           (match evicted_dirty with
           | Some e -> access_level t `L3 ~addr:e ~write:true
@@ -96,8 +146,11 @@ let rec access_level t level ~addr ~write =
     end
   | `L3 -> begin
       match Cache_level.access t.l3 ~addr ~write with
-      | Cache_level.Hit -> Clock.tick t.clock t.cfg.l3_hit
+      | Cache_level.Hit ->
+          incr t.c.c_l3_h;
+          Clock.tick t.clock t.cfg.l3_hit
       | Cache_level.Miss { evicted_dirty } ->
+          incr t.c.c_l3_m;
           Clock.tick t.clock t.cfg.l3_hit;
           (match evicted_dirty with
           | Some e -> charge_mem_write t e
@@ -122,10 +175,12 @@ let attach t mem =
 
 let alu t n =
   t.stats.alu_cycles <- t.stats.alu_cycles + n;
+  t.c.c_alu := !(t.c.c_alu) + n;
   Clock.tick t.clock n
 
 let flush t ~addr =
   t.stats.flushes <- t.stats.flushes + 1;
+  incr t.c.c_flushes;
   Clock.tick t.clock t.cfg.clflush;
   let d1 = Cache_level.flush_line t.l1 ~addr in
   let d2 = Cache_level.flush_line t.l2 ~addr in
@@ -134,6 +189,7 @@ let flush t ~addr =
 
 let fence t =
   t.stats.fences <- t.stats.fences + 1;
+  incr t.c.c_fences;
   Clock.tick t.clock t.cfg.wbarrier
 
 let reset_stats t =

@@ -29,10 +29,21 @@ type mem_stats = {
 }
 
 val create :
-  ?cfg:Timing_config.t -> clock:Clock.t -> is_nvm:(int -> bool) -> unit -> t
+  ?cfg:Timing_config.t ->
+  ?metrics:Nvmpi_obs.Metrics.t ->
+  clock:Clock.t ->
+  is_nvm:(int -> bool) ->
+  unit ->
+  t
 (** [create ~clock ~is_nvm ()] builds a timing model charging to [clock];
     [is_nvm addr] decides whether a missed line is served by NVM or
-    DRAM. *)
+    DRAM. Every charge is mirrored into [metrics] (a private registry if
+    none is given): per-level [cache.l*.hits]/[cache.l*.misses],
+    [mem.dram_reads]/[mem.dram_writes]/[mem.nvm_reads]/[mem.nvm_writes]
+    line transfers, and [timing.alu_cycles]/[timing.flushes]/
+    [timing.fences]. Unlike {!mem_stats} these counters are cumulative —
+    {!reset_stats} does not clear them; attribute phases by snapshot and
+    diff ({!Nvmpi_obs.Metrics.diff}). *)
 
 val attach : t -> Nvmpi_memsim.Memsim.t -> unit
 (** Registers the model as an access observer of the given memory. *)

@@ -17,17 +17,21 @@ let base_of m ~holder ~target =
   b
 
 let store m ~holder target =
+  Machine.count m "repr.based.stores";
   let b = base_of m ~holder ~target in
   if target = 0 then Machine.store64 m holder 0
   else begin
     (match Machine.region_of_addr m target with
     | Some r when Nvmpi_nvregion.Region.base r = b -> ()
-    | _ -> raise (Machine.Cross_region_store { holder; target; repr = name }));
+    | _ ->
+        Machine.count m "machine.cross_region_faults";
+        raise (Machine.Cross_region_store { holder; target; repr = name }));
     Machine.alu m 1;
     Machine.store64 m holder (target - b)
   end
 
 let load m ~holder =
+  Machine.count m "repr.based.loads";
   let b = base_of m ~holder ~target:0 in
   let v = Machine.load64 m holder in
   Machine.alu m 1;

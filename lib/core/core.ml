@@ -37,6 +37,8 @@ module Hw_oid = Hw_oid
 
 (** Substrate re-exports, so users need only depend on [core]. *)
 
+module Metrics = Nvmpi_obs.Metrics
+module Json = Nvmpi_obs.Json
 module Layout = Nvmpi_addr.Layout
 module Two_level = Nvmpi_addr.Two_level
 module Bitops = Nvmpi_addr.Bitops

@@ -10,7 +10,9 @@ let slot_size = 16
 let cross_region = true
 let position_independent = true
 
-let store m ~holder target =
+(* The encoding shared with {!Fat_cached}: kept separate from [store]
+   so each representation counts its own [repr.*.stores]. *)
+let store_into m ~holder target =
   if target = 0 then begin
     Machine.store64 m holder 0;
     Machine.store64 m (holder + 8) 0
@@ -23,7 +25,12 @@ let store m ~holder target =
     Machine.store64 m (holder + 8) offset
   end
 
+let store m ~holder target =
+  Machine.count m "repr.fat.stores";
+  store_into m ~holder target
+
 let load m ~holder =
+  Machine.count m "repr.fat.loads";
   let rid = Machine.load64 m holder in
   if rid = 0 then begin
     Fat_table.charge_null_lookup m.Machine.fat;

@@ -12,6 +12,10 @@ val store : Machine.t -> holder:int -> int -> unit
 (** [store m ~holder target] encodes a pointer to [target] into the
     slot at [holder] (0 stores null). *)
 
+val store_into : Machine.t -> holder:int -> int -> unit
+(** The encoding behind {!store}, without the [repr.fat.stores] counter
+    bump — shared with {!Fat_cached}, whose stores are identical. *)
+
 val load : Machine.t -> holder:int -> int
 (** [load m ~holder] decodes the slot and returns the absolute target
     address (0 for null). *)

@@ -10,9 +10,12 @@ let slot_size = 16
 let cross_region = true
 let position_independent = true
 
-let store = Fat.store
+let store m ~holder target =
+  Machine.count m "repr.fat-cached.stores";
+  Fat.store_into m ~holder target
 
 let load m ~holder =
+  Machine.count m "repr.fat-cached.loads";
   let rid = Machine.load64 m holder in
   if rid = 0 then begin
     Fat_table.charge_null_lookup m.Machine.fat;
@@ -23,8 +26,12 @@ let load m ~holder =
     let last_id = Machine.load64 m (Machine.lastid_addr m) in
     Machine.alu m 1;
     let base =
-      if last_id = rid then Machine.load64 m (Machine.lastaddr_addr m)
+      if last_id = rid then begin
+        Machine.count m "fat.cache_hits";
+        Machine.load64 m (Machine.lastaddr_addr m)
+      end
       else begin
+        Machine.count m "fat.cache_misses";
         let b = Fat_table.lookup m.Machine.fat rid in
         Machine.store64 m (Machine.lastid_addr m) rid;
         Machine.store64 m (Machine.lastaddr_addr m) b;

@@ -2,6 +2,7 @@ module Memsim = Nvmpi_memsim.Memsim
 module Timing = Nvmpi_cachesim.Timing
 module Layout = Nvmpi_addr.Layout
 module Bitops = Nvmpi_addr.Bitops
+module Metrics = Nvmpi_obs.Metrics
 
 type t = {
   mem : Memsim.t;
@@ -13,6 +14,11 @@ type t = {
   list_cap : int;
   mutable count : int;
   mutable list_len : int;
+  c_lookups : int ref;
+  c_probe_loads : int ref;
+  c_null_lookups : int ref;
+  c_reverse_lookups : int ref;
+  c_reverse_steps : int ref;
 }
 
 exception Unknown_region of { rid : int }
@@ -28,10 +34,16 @@ let lookup_call_overhead = 62
 let null_check_overhead = 2 (* OID_IS_NULL is an inlined two-field test *)
 let reverse_call_overhead = 40
 
-let create ~mem ~timing ~layout ~table_base ~slots ~list_base ~list_cap =
+let create ~mem ~timing ~layout ~metrics ~table_base ~slots ~list_base
+    ~list_cap =
   if not (Bitops.is_pow2 slots) then invalid_arg "Fat_table.create: slots";
   { mem; timing; layout; table_base; slots; list_base; list_cap;
-    count = 0; list_len = 0 }
+    count = 0; list_len = 0;
+    c_lookups = Metrics.counter metrics "fat.lookups";
+    c_probe_loads = Metrics.counter metrics "fat.probe_loads";
+    c_null_lookups = Metrics.counter metrics "fat.null_lookups";
+    c_reverse_lookups = Metrics.counter metrics "fat.reverse_lookups";
+    c_reverse_steps = Metrics.counter metrics "fat.reverse_steps" }
 
 let count t = t.count
 let slot_addr t i = t.table_base + (i * 16)
@@ -108,14 +120,18 @@ let remove t ~rid =
     t.list_len <- t.list_len - 1
   end
 
-let charge_null_lookup t = Timing.alu t.timing null_check_overhead
+let charge_null_lookup t =
+  incr t.c_null_lookups;
+  Timing.alu t.timing null_check_overhead
 
 let lookup t rid =
+  incr t.c_lookups;
   Timing.alu t.timing lookup_call_overhead;
   let rec probe i steps =
     if steps > t.slots then raise (Unknown_region { rid })
     else begin
       Timing.alu t.timing 1;
+      incr t.c_probe_loads;
       let k = Memsim.load64 t.mem (slot_addr t i) in
       if k = rid then Memsim.load64 t.mem (slot_addr t i + 8)
       else if k = empty_key then raise (Unknown_region { rid })
@@ -125,11 +141,13 @@ let lookup t rid =
   probe (hash t rid) 0
 
 let rid_of_addr t a =
+  incr t.c_reverse_lookups;
   Timing.alu t.timing reverse_call_overhead;
   let seg = Layout.get_base t.layout a in
   Timing.alu t.timing 1;
   let lo = ref 0 and hi = ref (t.list_len - 1) and found = ref (-1) in
   while !lo <= !hi && !found < 0 do
+    incr t.c_reverse_steps;
     Timing.alu t.timing 2;
     let mid = (!lo + !hi) / 2 in
     let base = Memsim.load64 t.mem (list_addr t mid) in

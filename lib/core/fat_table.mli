@@ -18,6 +18,7 @@ val create :
   mem:Nvmpi_memsim.Memsim.t ->
   timing:Nvmpi_cachesim.Timing.t ->
   layout:Nvmpi_addr.Layout.t ->
+  metrics:Nvmpi_obs.Metrics.t ->
   table_base:int ->
   slots:int ->
   list_base:int ->
@@ -25,7 +26,10 @@ val create :
   t
 (** [slots] must be a power of two; the caller provides DRAM placement
     for the [slots * 16]-byte hashtable and the [list_cap * 16]-byte
-    region list. *)
+    region list. Lookups report into [metrics]: [fat.lookups] /
+    [fat.probe_loads] (hashtable), [fat.null_lookups],
+    [fat.reverse_lookups] / [fat.reverse_steps] (address-to-ID binary
+    search). *)
 
 val put : t -> rid:int -> base:int -> unit
 (** Registers an opened region (hashtable insert + sorted-list insert). *)

@@ -27,6 +27,7 @@ let translation_cycles = 2
    charged cost differs. *)
 
 let store m ~holder target =
+  Machine.count m "repr.hw-oid.stores";
   if target = 0 then Machine.store64 m holder 0
   else begin
     let rid = Machine.rid_of_addr_exn m target in
@@ -39,6 +40,7 @@ let store m ~holder target =
   end
 
 let load m ~holder =
+  Machine.count m "repr.hw-oid.loads";
   let v = Machine.load64 m holder in
   if v = 0 then 0
   else begin

@@ -6,6 +6,7 @@ module Timing_config = Nvmpi_cachesim.Timing_config
 module Manager = Nvmpi_nvregion.Manager
 module Region = Nvmpi_nvregion.Region
 module Store = Nvmpi_nvregion.Store
+module Metrics = Nvmpi_obs.Metrics
 
 type t = {
   layout : Layout.t;
@@ -15,6 +16,7 @@ type t = {
   manager : Manager.t;
   nvspace : Nvspace.t;
   fat : Fat_table.t;
+  metrics : Metrics.t;
   mutable based_base : int;
   mutable dram_cursor : int;
   dram_limit : int;
@@ -32,18 +34,23 @@ let globals_off = fat_list_off + (fat_list_cap * 16)
 let heap_off = globals_off + 4096
 let dram_size = 512 * 1024 * 1024
 
-let create ?(layout = Layout.default) ?cfg ?seed ~store () =
-  let mem = Memsim.create () in
+let create ?(layout = Layout.default) ?cfg ?metrics ?seed ~store () =
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
+  let mem = Memsim.create ~metrics () in
   let clock = Clock.create () in
   let timing =
-    Timing.create ?cfg ~clock ~is_nvm:(fun a -> Layout.in_nv_space layout a) ()
+    Timing.create ?cfg ~metrics ~clock
+      ~is_nvm:(fun a -> Layout.in_nv_space layout a)
+      ()
   in
   Timing.attach timing mem;
   Memsim.map mem ~addr:dram_base ~size:dram_size;
   let manager = Manager.create ?seed ~layout ~mem ~store () in
-  let nvspace = Nvspace.create ~layout ~mem ~timing in
+  let nvspace = Nvspace.create ~layout ~mem ~timing ~metrics () in
   let fat =
-    Fat_table.create ~mem ~timing ~layout
+    Fat_table.create ~mem ~timing ~layout ~metrics
       ~table_base:(dram_base + fat_table_off)
       ~slots:fat_slots
       ~list_base:(dram_base + fat_list_off)
@@ -57,6 +64,7 @@ let create ?(layout = Layout.default) ?cfg ?seed ~store () =
     manager;
     nvspace;
     fat;
+    metrics;
     based_base = 0;
     dram_cursor = dram_base + heap_off;
     dram_limit = dram_base + dram_size;
@@ -122,3 +130,5 @@ let store64 t a v = Memsim.store64 t.mem a v
 let alu t n = Timing.alu t.timing n
 let cycles t = Clock.cycles t.clock
 let is_nvm t a = Layout.in_nv_space t.layout a
+let metrics t = t.metrics
+let count ?by t name = Metrics.incr ?by t.metrics name

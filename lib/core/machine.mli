@@ -26,6 +26,9 @@ type t = {
   manager : Nvmpi_nvregion.Manager.t;
   nvspace : Nvspace.t;
   fat : Fat_table.t;
+  metrics : Nvmpi_obs.Metrics.t;
+      (** the machine-wide counter registry every layer reports into;
+          catalogue in [docs/METRICS.md] *)
   mutable based_base : int;  (** base register for based pointers; 0 = unset *)
   mutable dram_cursor : int;
   dram_limit : int;
@@ -39,12 +42,15 @@ exception Cross_region_store of { holder : int; target : int; repr : string }
 val create :
   ?layout:Nvmpi_addr.Layout.t ->
   ?cfg:Nvmpi_cachesim.Timing_config.t ->
+  ?metrics:Nvmpi_obs.Metrics.t ->
   ?seed:int ->
   store:Nvmpi_nvregion.Store.t ->
   unit ->
   t
 (** A fresh address space over [store]. [seed] fixes region placement
-    (tests); without it placement is randomized per machine. *)
+    (tests); without it placement is randomized per machine. [metrics]
+    lets several machines share one counter registry; by default each
+    machine owns a fresh one. *)
 
 (** {1 Regions} *)
 
@@ -90,3 +96,12 @@ val store64 : t -> int -> int -> unit
 val alu : t -> int -> unit
 val cycles : t -> int
 val is_nvm : t -> int -> bool
+
+(** {1 Observability} *)
+
+val metrics : t -> Nvmpi_obs.Metrics.t
+
+val count : ?by:int -> t -> string -> unit
+(** [count t name] bumps counter [name] in the machine's registry —
+    the hook the pointer representations use to report events at the
+    point of cost. *)

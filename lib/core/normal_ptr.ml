@@ -6,5 +6,11 @@ let name = "normal"
 let slot_size = 8
 let cross_region = true
 let position_independent = false
-let store m ~holder target = Machine.store64 m holder target
-let load m ~holder = Machine.load64 m holder
+
+let store m ~holder target =
+  Machine.count m "repr.normal.stores";
+  Machine.store64 m holder target
+
+let load m ~holder =
+  Machine.count m "repr.normal.loads";
+  Machine.load64 m holder

@@ -3,6 +3,7 @@ module Bitops = Nvmpi_addr.Bitops
 module Memsim = Nvmpi_memsim.Memsim
 module Timing = Nvmpi_cachesim.Timing
 module Clock = Nvmpi_cachesim.Clock
+module Metrics = Nvmpi_obs.Metrics
 
 type phases = {
   mutable extract_cycles : int;
@@ -17,12 +18,16 @@ type t = {
   rid_entry : int; (* entry sizes in bytes *)
   base_entry : int;
   phases : phases;
+  c_x2p : int ref;
+  c_p2x : int ref;
+  c_base_loads : int ref;
+  c_rid_loads : int ref;
 }
 
 exception Unknown_region of { rid : int }
 exception Not_nv_data of { addr : int }
 
-let create ~layout ~mem ~timing =
+let create ~layout ~mem ~timing ?metrics () =
   let rid_entry = Layout.rid_entry_bytes layout in
   let base_entry = Layout.base_entry_bytes layout in
   (* Map the two table areas. Entries exist only for data-area segment
@@ -37,6 +42,9 @@ let create ~layout ~mem ~timing =
   let base_lo = nv + (1 lsl (layout.Layout.l4 + s_b)) in
   let base_size = 1 lsl (layout.Layout.l4 + s_b) in
   Memsim.map mem ~addr:base_lo ~size:base_size;
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
   {
     layout;
     mem;
@@ -44,6 +52,10 @@ let create ~layout ~mem ~timing =
     rid_entry;
     base_entry;
     phases = { extract_cycles = 0; id2addr_cycles = 0; final_cycles = 0 };
+    c_x2p = Metrics.counter metrics "riv.x2p";
+    c_p2x = Metrics.counter metrics "riv.p2x";
+    c_base_loads = Metrics.counter metrics "riv.base_table_loads";
+    c_rid_loads = Metrics.counter metrics "riv.rid_table_loads";
   }
 
 let layout t = t.layout
@@ -71,6 +83,7 @@ let id2addr t rid =
   let l = t.layout in
   Timing.alu t.timing 2;
   let entry = Layout.base_entry_addr l ~rid in
+  incr t.c_base_loads;
   let nvbase = Memsim.load_sized t.mem ~size:t.base_entry entry in
   if nvbase = 0 then raise (Unknown_region { rid });
   Timing.alu t.timing 1;
@@ -81,6 +94,7 @@ let addr2id t a =
   if not (Layout.is_data_addr l a) then raise (Not_nv_data { addr = a });
   Timing.alu t.timing 2;
   let entry = Layout.rid_entry_addr l a in
+  incr t.c_rid_loads;
   let rid = Memsim.load_sized t.mem ~size:t.rid_entry entry in
   if rid = 0 then raise (Unknown_region { rid = 0 });
   rid
@@ -92,6 +106,7 @@ let get_base t a =
 (* The three phases of a RIV read are timed separately so the breakdown
    experiment (Section 6.2) can report their shares. *)
 let x2p t v =
+  incr t.c_x2p;
   if v = 0 then begin
     Timing.alu t.timing 2;
     0
@@ -107,6 +122,7 @@ let x2p t v =
     Timing.alu t.timing 3;
     let entry = Layout.base_entry_addr l ~rid in
     let c2 = Clock.cycles clock in
+    incr t.c_base_loads;
     let nvbase = Memsim.load_sized t.mem ~size:t.base_entry entry in
     if nvbase = 0 then raise (Unknown_region { rid });
     Timing.alu t.timing 2;
@@ -119,6 +135,7 @@ let x2p t v =
   end
 
 let p2x t a =
+  incr t.c_p2x;
   if a = 0 then 0
   else begin
     let l = t.layout in

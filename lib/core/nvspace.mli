@@ -18,9 +18,14 @@ val create :
   layout:Nvmpi_addr.Layout.t ->
   mem:Nvmpi_memsim.Memsim.t ->
   timing:Nvmpi_cachesim.Timing.t ->
+  ?metrics:Nvmpi_obs.Metrics.t ->
+  unit ->
   t
 (** Creates the runtime and maps the two table areas (demand-paged, so
-    only touched entries consume backing memory). *)
+    only touched entries consume backing memory). Conversions report
+    into [metrics]: [riv.x2p] / [riv.p2x] per conversion (nulls
+    included) and [riv.base_table_loads] / [riv.rid_table_loads] per
+    table access. *)
 
 val layout : t -> Nvmpi_addr.Layout.t
 

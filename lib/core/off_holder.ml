@@ -12,16 +12,20 @@ let position_independent = true
 (* A stored 0 encodes null: no live pointer can point at its own slot. *)
 
 let store m ~holder target =
+  Machine.count m "repr.off-holder.stores";
   if target = 0 then Machine.store64 m holder 0
   else begin
     (match Machine.region_of_addr m holder with
     | Some r when Nvmpi_nvregion.Region.contains r target -> ()
-    | _ -> raise (Machine.Cross_region_store { holder; target; repr = name }));
+    | _ ->
+        Machine.count m "machine.cross_region_faults";
+        raise (Machine.Cross_region_store { holder; target; repr = name }));
     Machine.alu m 2;
     Machine.store64 m holder (target - holder)
   end
 
 let load m ~holder =
+  Machine.count m "repr.off-holder.loads";
   let v = Machine.load64 m holder in
   Machine.alu m 2;
   if v = 0 then 0 else v + holder

@@ -18,6 +18,7 @@ let cross_region = true
 let position_independent = true
 
 let store m ~holder target =
+  Machine.count m "repr.packed-fat.stores";
   if target = 0 then Machine.store64 m holder 0
   else begin
     let rid = Fat_table.rid_of_addr m.Machine.fat target in
@@ -30,6 +31,7 @@ let store m ~holder target =
   end
 
 let load m ~holder =
+  Machine.count m "repr.packed-fat.loads";
   let v = Machine.load64 m holder in
   if v = 0 then begin
     Fat_table.charge_null_lookup m.Machine.fat;

@@ -10,7 +10,9 @@ let cross_region = true
 let position_independent = true
 
 let store m ~holder target =
+  Machine.count m "repr.riv.stores";
   Machine.store64 m holder (Nvspace.p2x m.Machine.nvspace target)
 
 let load m ~holder =
+  Machine.count m "repr.riv.loads";
   Nvspace.x2p m.Machine.nvspace (Machine.load64 m holder)

@@ -20,18 +20,25 @@ let slot_size = 8
 let cross_region = true
 let position_independent = false (* in its in-memory, swizzled form *)
 
-let store m ~holder target = Machine.store64 m holder target
-let load m ~holder = Machine.load64 m holder
+let store m ~holder target =
+  Machine.count m "repr.swizzle.stores";
+  Machine.store64 m holder target
+
+let load m ~holder =
+  Machine.count m "repr.swizzle.loads";
+  Machine.load64 m holder
 
 (** [store_packed m ~holder target] writes the persisted (unswizzled)
     form directly; used when producing the on-NVM form a freshly opened
     structure starts from. *)
 let store_packed m ~holder target =
+  Machine.count m "swizzle.packed_stores";
   Machine.store64 m holder (Nvspace.p2x m.Machine.nvspace target)
 
 (** [swizzle_slot m ~holder] converts the packed slot at [holder] to an
     absolute address in place and returns that address (0 for null). *)
 let swizzle_slot m ~holder =
+  Machine.count m "swizzle.swizzled_slots";
   let v = Machine.load64 m holder in
   let a = Nvspace.x2p m.Machine.nvspace v in
   Machine.store64 m holder a;
@@ -41,6 +48,7 @@ let swizzle_slot m ~holder =
     back to the packed persisted form and returns the absolute target it
     held (so a walker can keep traversing). *)
 let unswizzle_slot m ~holder =
+  Machine.count m "swizzle.unswizzled_slots";
   let a = Machine.load64 m holder in
   Machine.store64 m holder (Nvspace.p2x m.Machine.nvspace a);
   a

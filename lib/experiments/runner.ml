@@ -44,6 +44,8 @@ type measurement = {
   per_op : float;
   nodes : int;
   checksum : int;
+  counters : (string * int) list;
+      (* metric deltas over the measured phase only (sorted by name) *)
   machine : Machine.t;
       (* kept so callers can inspect post-run state (RIV phase counters,
          cache statistics) *)
@@ -136,6 +138,7 @@ let run cfg =
   if cfg.cold then
     Nvmpi_cachesim.Timing.invalidate_caches machine.Machine.timing;
   let nodes = ref 0 and checksum = ref 0 and found = ref 0 in
+  let before = Core.Metrics.snapshot (Machine.metrics machine) in
   let (), measured_cycles =
     Clock.delta clock (fun () ->
         if cfg.repr = Repr.Swizzle then inst.Instance.swizzle ();
@@ -149,6 +152,10 @@ let run cfg =
           searches;
         if cfg.repr = Repr.Swizzle then inst.Instance.unswizzle ())
   in
+  let counters =
+    Core.Metrics.diff ~before
+      ~after:(Core.Metrics.snapshot (Machine.metrics machine))
+  in
   if cfg.searches > 0 && !found <> cfg.searches then
     failwith "Runner.run: a search for an inserted key failed";
   let ops = max 1 (cfg.traversals + if cfg.traversals = 0 then cfg.searches else 0) in
@@ -159,6 +166,7 @@ let run cfg =
     per_op = float_of_int measured_cycles /. float_of_int ops;
     nodes = !nodes;
     checksum = !checksum;
+    counters;
     machine;
   }
 

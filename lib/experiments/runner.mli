@@ -40,6 +40,11 @@ type measurement = {
   per_op : float;  (** measured cycles per traversal (or per search) *)
   nodes : int;  (** nodes visited by one traversal *)
   checksum : int;  (** traversal checksum (representation-invariant) *)
+  counters : (string * int) list;
+      (** machine metric deltas ({!Core.Metrics.diff}) over the measured
+          phase only — population is excluded, like [measured_cycles].
+          Sorted by counter name; zero deltas omitted. See
+          [docs/METRICS.md] for the counter catalogue. *)
   machine : Core.Machine.t;
       (** the machine the experiment ran on, for post-run inspection
           (RIV phase counters, cache statistics) *)

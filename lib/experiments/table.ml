@@ -1,8 +1,11 @@
+module Json = Nvmpi_obs.Json
+
 type t = {
   title : string;
   header : string list;
   rows : string list list;
   notes : string list;
+  records : Json.t list;
 }
 
 let cell_f v = Printf.sprintf "%.2f" v
@@ -32,3 +35,17 @@ let render ppf t =
   List.iter (fun n -> Format.fprintf ppf "  note: %s@." n) t.notes
 
 let print t = render Format.std_formatter t
+
+let to_json t =
+  Json.Obj
+    [
+      ("title", Json.String t.title);
+      ("header", Json.List (List.map (fun s -> Json.String s) t.header));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row -> Json.List (List.map (fun s -> Json.String s) row))
+             t.rows) );
+      ("notes", Json.List (List.map (fun s -> Json.String s) t.notes));
+      ("records", Json.List t.records);
+    ]

@@ -4,6 +4,8 @@ type stats = { mutable loads : int; mutable stores : int; mutable pages : int }
 
 exception Fault of { addr : int; size : int; reason : string }
 
+module Metrics = Nvmpi_obs.Metrics
+
 type t = {
   page_bits : int;
   pages : (int, Bytes.t) Hashtbl.t;
@@ -11,10 +13,17 @@ type t = {
   mutable observers : (access -> unit) list;
   mutable notify : bool;
   stats : stats;
+  (* Counter cells resolved once at creation: [notify] runs on every
+     simulated access, so it must not pay a registry lookup. *)
+  c_loads : int ref;
+  c_stores : int ref;
 }
 
-let create ?(page_bits = 12) () =
+let create ?(page_bits = 12) ?metrics () =
   if page_bits < 4 || page_bits > 24 then invalid_arg "Memsim.create";
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
   {
     page_bits;
     pages = Hashtbl.create 1024;
@@ -22,6 +31,8 @@ let create ?(page_bits = 12) () =
     observers = [];
     notify = true;
     stats = { loads = 0; stores = 0; pages = 0 };
+    c_loads = Metrics.counter metrics "mem.loads";
+    c_stores = Metrics.counter metrics "mem.stores";
   }
 
 let page_size t = 1 lsl t.page_bits
@@ -88,8 +99,12 @@ let observed t b = t.notify <- b
 
 let notify t op addr size =
   (match op with
-  | Load -> t.stats.loads <- t.stats.loads + 1
-  | Store -> t.stats.stores <- t.stats.stores + 1);
+  | Load ->
+      t.stats.loads <- t.stats.loads + 1;
+      incr t.c_loads
+  | Store ->
+      t.stats.stores <- t.stats.stores + 1;
+      incr t.c_stores);
   if t.notify then
     match t.observers with
     | [] -> ()

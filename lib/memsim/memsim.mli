@@ -21,8 +21,10 @@ type access = { op : op; addr : int; size : int }
 exception Fault of { addr : int; size : int; reason : string }
 (** Raised on an access to unmapped memory or a misaligned access. *)
 
-val create : ?page_bits:int -> unit -> t
-(** Fresh, empty address space. [page_bits] defaults to 12 (4 KiB pages). *)
+val create : ?page_bits:int -> ?metrics:Nvmpi_obs.Metrics.t -> unit -> t
+(** Fresh, empty address space. [page_bits] defaults to 12 (4 KiB pages).
+    Every load and store increments [mem.loads] / [mem.stores] in
+    [metrics] (a private registry if none is given). *)
 
 val page_size : t -> int
 

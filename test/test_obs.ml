@@ -1,0 +1,237 @@
+(* The observability layer: counter registry semantics, the counters
+   each pointer representation charges per operation, the JSON codec,
+   and the invariant tying the counter breakdown to measured cycles. *)
+
+module Machine = Core.Machine
+module Metrics = Core.Metrics
+module Json = Core.Json
+module Repr = Core.Repr
+module Region = Core.Region
+module Store = Core.Store
+module Timing_config = Core.Timing_config
+module Runner = Nvmpi_experiments.Runner
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let machine ?seed () =
+  let store = Store.create () in
+  (store, Machine.create ?seed ~store ())
+
+let with_region ?seed ?(size = 1 lsl 20) () =
+  let store, m = machine ?seed () in
+  let rid = Machine.create_region m ~size in
+  let r = Machine.open_region m rid in
+  (store, m, r)
+
+(* Counter delta of one action on a machine. *)
+let delta m f =
+  let before = Metrics.snapshot (Machine.metrics m) in
+  let result = f () in
+  ( result,
+    Metrics.diff ~before ~after:(Metrics.snapshot (Machine.metrics m)) )
+
+let get name d = Option.value ~default:0 (List.assoc_opt name d)
+
+(* A machine that has done nothing has counted nothing: Machine.create
+   builds the registry and maps memory but performs no simulated
+   loads, stores or ALU work. *)
+let test_fresh_machine_zero () =
+  let _, m = machine ~seed:1 () in
+  let snap = Metrics.snapshot (Machine.metrics m) in
+  check_bool "some counters registered" true (List.length snap > 0);
+  List.iter (fun (name, v) -> check ("fresh " ^ name) 0 v) snap
+
+(* One load under every representation charges exactly one
+   repr.<name>.loads; stores likewise. *)
+let test_repr_op_counters () =
+  List.iter
+    (fun kind ->
+      let _, m, r = with_region ~seed:5 () in
+      if kind = Repr.Based then Machine.set_based_region m (Region.rid r);
+      let (module P) = Repr.m kind in
+      let holder = Region.alloc r P.slot_size in
+      let target = Region.alloc r 64 in
+      let (), ds = delta m (fun () -> P.store m ~holder target) in
+      check (P.name ^ " stores counter") 1 (get ("repr." ^ P.name ^ ".stores") ds);
+      check (P.name ^ " store counts no loads") 0
+        (get ("repr." ^ P.name ^ ".loads") ds);
+      let v, dl = delta m (fun () -> P.load m ~holder) in
+      check (P.name ^ " load value") target v;
+      check (P.name ^ " loads counter") 1 (get ("repr." ^ P.name ^ ".loads") dl);
+      check (P.name ^ " load counts no stores") 0
+        (get ("repr." ^ P.name ^ ".stores") dl))
+    Repr.all
+
+(* The RIV read path: one x2p conversion, one direct-mapped base-table
+   load, and exactly two simulated memory loads (the holder and the
+   table entry) — the paper's point that RIV adds a single extra load. *)
+let test_riv_load_breakdown () =
+  let _, m, r = with_region ~seed:6 () in
+  let (module P) = Repr.m Repr.Riv in
+  let holder = Region.alloc r P.slot_size in
+  let target = Region.alloc r 64 in
+  P.store m ~holder target;
+  let v, d = delta m (fun () -> P.load m ~holder) in
+  check "target" target v;
+  check "riv.x2p" 1 (get "riv.x2p" d);
+  check "riv.base_table_loads" 1 (get "riv.base_table_loads" d);
+  check "mem.loads" 2 (get "mem.loads" d)
+
+(* The fat-pointer read path: one hashtable lookup whose probes are real
+   simulated loads — holder (2 words) + probes + base word. *)
+let test_fat_load_breakdown () =
+  let _, m, r = with_region ~seed:7 () in
+  let (module P) = Repr.m Repr.Fat in
+  let holder = Region.alloc r P.slot_size in
+  let target = Region.alloc r 64 in
+  P.store m ~holder target;
+  let v, d = delta m (fun () -> P.load m ~holder) in
+  check "target" target v;
+  check "fat.lookups" 1 (get "fat.lookups" d);
+  let probes = get "fat.probe_loads" d in
+  check_bool "at least one probe" true (probes >= 1);
+  check "mem.loads" (3 + probes) (get "mem.loads" d)
+
+(* The one-entry fat cache: first dereference misses and fills lastID,
+   the second hits and skips the hashtable entirely. *)
+let test_fat_cache_hit_miss () =
+  let _, m, r = with_region ~seed:8 () in
+  let (module P) = Repr.m Repr.Fat_cached in
+  let holder = Region.alloc r P.slot_size in
+  let target = Region.alloc r 64 in
+  P.store m ~holder target;
+  let _, d1 = delta m (fun () -> P.load m ~holder) in
+  check "first load misses" 1 (get "fat.cache_misses" d1);
+  check "first load no hit" 0 (get "fat.cache_hits" d1);
+  check "first load consults table" 1 (get "fat.lookups" d1);
+  let _, d2 = delta m (fun () -> P.load m ~holder) in
+  check "second load hits" 1 (get "fat.cache_hits" d2);
+  check "second load no miss" 0 (get "fat.cache_misses" d2);
+  check "second load skips table" 0 (get "fat.lookups" d2)
+
+(* Null loads count the dereference but neither a cache hit nor miss. *)
+let test_fat_cache_null () =
+  let _, m, r = with_region ~seed:9 () in
+  let (module P) = Repr.m Repr.Fat_cached in
+  let holder = Region.alloc r P.slot_size in
+  P.store m ~holder 0;
+  let v, d = delta m (fun () -> P.load m ~holder) in
+  check "null" 0 v;
+  check "null lookup" 1 (get "fat.null_lookups" d);
+  check "no hit" 0 (get "fat.cache_hits" d);
+  check "no miss" 0 (get "fat.cache_misses" d)
+
+(* Registry semantics. *)
+let test_metrics_registry () =
+  let t = Metrics.create () in
+  let c = Metrics.counter t "a.b" in
+  incr c;
+  incr c;
+  Metrics.incr ~by:3 t "a.b";
+  check "get" 5 (Metrics.get t "a.b");
+  check "untouched reads zero" 0 (Metrics.get t "zzz");
+  Metrics.incr t "a.a";
+  check_bool "sorted snapshot" true
+    (Metrics.snapshot t = [ ("a.a", 1); ("a.b", 5) ]);
+  Metrics.reset t;
+  check "reset" 0 (Metrics.get t "a.b");
+  check_bool "cell survives reset" true (Metrics.counter t "a.b" == c)
+
+let test_metrics_json_roundtrip () =
+  let t = Metrics.create () in
+  Metrics.incr ~by:42 t "cache.l1.hits";
+  Metrics.incr t "mem.loads";
+  ignore (Metrics.counter t "riv.x2p");
+  match Metrics.counters_of_json (Metrics.to_json t) with
+  | Error msg -> Alcotest.fail msg
+  | Ok counters ->
+      check_bool "round-trips" true (counters = Metrics.snapshot t)
+
+let test_json_codec_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ("pi", Json.Float 3.5);
+        ("neg", Json.Int (-7));
+        ("name", Json.String "quote \" backslash \\ newline \n tab \t");
+        ("flag", Json.Bool true);
+        ("nothing", Json.Null);
+        ( "list",
+          Json.List [ Json.Int 1; Json.Float 2.0; Json.Obj []; Json.List [] ]
+        );
+      ]
+  in
+  (match Json.of_string (Json.to_string doc) with
+  | Ok parsed -> check_bool "pretty round-trip" true (parsed = doc)
+  | Error msg -> Alcotest.fail msg);
+  (match Json.of_string (Json.to_string ~compact:true doc) with
+  | Ok parsed -> check_bool "compact round-trip" true (parsed = doc)
+  | Error msg -> Alcotest.fail msg);
+  check_bool "trailing input rejected" true
+    (Result.is_error (Json.of_string "{} x"));
+  check_bool "bad escape rejected" true
+    (Result.is_error (Json.of_string "\"\\q\""))
+
+(* The books balance: a measured phase's cycles decompose exactly into
+   the counter deltas times the timing-model prices (the identity
+   docs/METRICS.md documents). *)
+let test_cycle_identity () =
+  let cfg =
+    {
+      Runner.default with
+      Runner.repr = Repr.Riv;
+      elems = 500;
+      traversals = 3;
+    }
+  in
+  let m = Runner.run cfg in
+  let d = m.Runner.counters in
+  let p = cfg.Runner.timing in
+  let expected =
+    get "timing.alu_cycles" d
+    + (get "timing.flushes" d * p.Timing_config.clflush)
+    + (get "timing.fences" d * p.Timing_config.wbarrier)
+    + ((get "cache.l1.hits" d + get "cache.l1.misses" d)
+      * p.Timing_config.l1_hit)
+    + ((get "cache.l2.hits" d + get "cache.l2.misses" d)
+      * p.Timing_config.l2_hit)
+    + ((get "cache.l3.hits" d + get "cache.l3.misses" d)
+      * p.Timing_config.l3_hit)
+    + (get "mem.dram_reads" d * p.Timing_config.dram_read)
+    + (get "mem.dram_writes" d * p.Timing_config.dram_write)
+    + (get "mem.nvm_reads" d * p.Timing_config.nvm_read)
+    + (get "mem.nvm_writes" d * p.Timing_config.nvm_write)
+  in
+  check "cycles decompose into counters" m.Runner.measured_cycles expected
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "fresh machine zero" `Quick
+            test_fresh_machine_zero;
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "json round-trip" `Quick
+            test_metrics_json_roundtrip;
+        ] );
+      ( "repr counters",
+        [
+          Alcotest.test_case "one op one counter" `Quick
+            test_repr_op_counters;
+          Alcotest.test_case "riv load breakdown" `Quick
+            test_riv_load_breakdown;
+          Alcotest.test_case "fat load breakdown" `Quick
+            test_fat_load_breakdown;
+          Alcotest.test_case "fat cache hit/miss" `Quick
+            test_fat_cache_hit_miss;
+          Alcotest.test_case "fat cache null" `Quick test_fat_cache_null;
+        ] );
+      ( "json",
+        [ Alcotest.test_case "codec round-trip" `Quick
+            test_json_codec_roundtrip ] );
+      ( "cycles",
+        [ Alcotest.test_case "identity" `Quick test_cycle_identity ] );
+    ]
