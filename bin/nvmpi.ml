@@ -183,7 +183,8 @@ let inspect_cmd =
       (fun rid ->
         let r = Core.Machine.open_region machine rid in
         let module R = Nvmpi_nvregion.Region in
-        Printf.printf "  region %d: %d bytes, heap top 0x%x, %d root(s)\n" rid
+        Printf.printf "  region %d: %d bytes, heap top 0x%x, %d root(s)\n"
+          (rid :> int)
           (R.size r) (R.heap_top r)
           (List.length (R.roots r));
         List.iter

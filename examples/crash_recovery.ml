@@ -13,6 +13,7 @@ module Machine = Core.Machine
 module Region = Core.Region
 module Store = Core.Store
 module Memsim = Core.Memsim
+module Vaddr = Core.Kinds.Vaddr
 module Objstore = Nvmpi_tx.Objstore
 module Tx = Nvmpi_tx.Tx
 
@@ -74,8 +75,9 @@ let part2_swizzle_crash () =
   let holder' = Option.get (Region.root r2 "holder") in
   let stale = Memsim.load64 m2.Machine.mem holder' in
   Printf.printf "  next run: region moved to 0x%x, slot still holds 0x%x\n"
-    (Region.base r2) stale;
-  (match Memsim.load64 m2.Machine.mem stale with
+    (Region.base r2 :> int)
+    stale;
+  (match Memsim.load64 m2.Machine.mem (Vaddr.v stale) with
   | v -> Printf.printf "  following it reads garbage (%d != 55)\n" v
   | exception Memsim.Fault _ ->
       print_endline "  following it faults: the pointer dangles");

@@ -15,6 +15,7 @@ module Store = Core.Store
 module Node = Nvmpi_structures.Node
 module Bst = Nvmpi_structures.Bstree.Make (Core.Off_holder)
 module Riv = Core.Riv
+module Vaddr = Core.Kinds.Vaddr
 
 let trees = 5
 let keys_per_tree = 200
@@ -35,7 +36,7 @@ let build store =
     Array.iter (fun k -> ignore (Bst.insert t ~key:k)) keys;
     (* The only cross-region pointer per tree: directory -> tree meta. *)
     let meta = Option.get (Region.root r "tree") in
-    Riv.store m ~holder:(slots + (i * 8)) meta
+    Riv.store m ~holder:(Vaddr.add slots (i * 8)) meta
   done;
   Printf.printf "writer: built %d trees of %d keys, one region each\n" trees
     keys_per_tree;
@@ -50,19 +51,20 @@ let read store dir_rid =
   let slots = Option.get (Region.root dir "forest") in
   let total = ref 0 in
   for i = 0 to trees - 1 do
-    let holder = slots + (i * 8) in
+    let holder = Vaddr.add slots (i * 8) in
     (* Peek at the packed value to learn the region ID, open it, then
        resolve the pointer. *)
     let packed = Core.Memsim.load64 m.Machine.mem holder in
     let rid = Core.Layout.riv_rid m.Machine.layout packed in
-    let r = Machine.open_region m rid in
+    let r = Machine.open_region m (Core.Kinds.Rid.v rid) in
     let node = Node.make m ~mode:(Node.Plain [| r |]) ~payload:16 in
     let t = Bst.attach node ~name:"tree" in
     let meta = Riv.load m ~holder in
     assert (Region.contains r meta);
     let n, _ = Bst.traverse t in
     Printf.printf "  tree %d: region %d at 0x%x, %d keys\n" i rid
-      (Region.base r) n;
+      (Region.base r :> int)
+      n;
     total := !total + n
   done;
   Printf.printf "reader: forest total %d keys\n" !total;

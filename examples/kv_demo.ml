@@ -25,7 +25,9 @@ let () =
     Kvstore.put kv ~key:2 "beta";
     Kvstore.put kv ~key:3 "gamma";
     Printf.printf "session 1: stored %d entries in region %d at 0x%x\n"
-      (Kvstore.size kv) rid (Core.Region.base r);
+      (Kvstore.size kv)
+      (rid :> int)
+      (Core.Region.base r :> int);
     (* Power fails in the middle of overwriting key 2... *)
     Kvstore.simulate_crash_during_put kv ~key:2 "CORRUPTED";
     print_endline "session 1: power failed mid-update of key 2";
@@ -40,7 +42,9 @@ let () =
   (* Session 2: recovery + reads at a different mapping. *)
   let m = Machine.create ~seed:99 ~store () in
   let r = Machine.open_region m rid in
-  Printf.printf "session 2: region %d now at 0x%x\n" rid (Core.Region.base r);
+  Printf.printf "session 2: region %d now at 0x%x\n"
+    (rid :> int)
+    (Core.Region.base r :> int);
   let os = Objstore.attach m r in
   let kv = Kvstore.attach os ~repr ~name:"config" in
   List.iter

@@ -22,7 +22,7 @@ let () =
   let rid = Machine.create_region m ~size:16384 in
   let r = Machine.open_region m rid in
   Printf.printf "small region (%d bytes) at 0x%x\n" (Region.size r)
-    (Region.base r);
+    (Region.base r :> int);
   let node = Node.make m ~mode:(Node.Plain [| r |]) ~payload:32 in
   let t = Bst.create node ~name:"tree" in
   let inserted = ref 0 in
@@ -43,7 +43,7 @@ let () =
   | Error e -> print_endline e);
   let r2 = Machine.migrate_region m rid ~size:new_size in
   Printf.printf "migrated to %d bytes at 0x%x (moved!)\n" (Region.size r2)
-    (Region.base r2);
+    (Region.base r2 :> int);
   let node2 = Node.make m ~mode:(Node.Plain [| r2 |]) ~payload:32 in
   let t2 = Bst.attach node2 ~name:"tree" in
   assert (Bst.size t2 = !inserted);

@@ -16,6 +16,7 @@ module Store = Core.Store
 module Memsim = Core.Memsim
 module OffH = Core.Off_holder
 module Riv = Core.Riv
+module Vaddr = Core.Kinds.Vaddr
 
 (* Node layout: [next (off-holder, 8)] [product (RIV, 8)] [qty (8)].
    Product layout: [price (8)]. *)
@@ -38,17 +39,18 @@ let build store =
         p)
   in
   (* Orders: each points to its product across regions. *)
-  let head = ref 0 in
+  let head = ref Vaddr.null in
   for i = 2 downto 0 do
     let n = Region.alloc orders node_size in
-    OffH.store m ~holder:(n + next_off) !head;
-    Riv.store m ~holder:(n + prod_off) products.(i);
-    Memsim.store64 m.Machine.mem (n + qty_off) (i + 1);
+    OffH.store m ~holder:(Vaddr.add n next_off) !head;
+    Riv.store m ~holder:(Vaddr.add n prod_off) products.(i);
+    Memsim.store64 m.Machine.mem (Vaddr.add n qty_off) (i + 1);
     head := n
   done;
   Region.set_root orders "orders" !head;
   Printf.printf "writer: orders at 0x%x, catalog at 0x%x\n"
-    (Region.base orders) (Region.base catalog);
+    (Region.base orders :> int)
+    (Region.base catalog :> int);
   Machine.close_region m orders_rid;
   Machine.close_region m catalog_rid;
   (orders_rid, catalog_rid)
@@ -58,17 +60,18 @@ let read store (orders_rid, catalog_rid) =
   let orders = Machine.open_region m orders_rid in
   let catalog = Machine.open_region m catalog_rid in
   Printf.printf "reader: orders at 0x%x, catalog at 0x%x (both moved)\n"
-    (Region.base orders) (Region.base catalog);
+    (Region.base orders :> int)
+    (Region.base catalog :> int);
   let cur = ref (Option.get (Region.root orders "orders")) in
   let total = ref 0 in
-  while !cur <> 0 do
-    let qty = Memsim.load64 m.Machine.mem (!cur + qty_off) in
-    let product = Riv.load m ~holder:(!cur + prod_off) in
+  while not (Vaddr.is_null !cur) do
+    let qty = Memsim.load64 m.Machine.mem (Vaddr.add !cur qty_off) in
+    let product = Riv.load m ~holder:(Vaddr.add !cur prod_off) in
     let price = Memsim.load64 m.Machine.mem product in
     Printf.printf "  order: qty=%d price=%d (product in region %d)\n" qty price
-      (Machine.rid_of_addr_exn m product);
+      (Machine.rid_of_addr_exn m product :> int);
     total := !total + (qty * price);
-    cur := OffH.load m ~holder:(!cur + next_off)
+    cur := OffH.load m ~holder:(Vaddr.add !cur next_off)
   done;
   Printf.printf "reader: order total = %d\n" !total;
   assert (!total = (1 * 100) + (2 * 200) + (3 * 300))

@@ -23,7 +23,9 @@ let build_pair (module P : Core.Repr_sig.S) store name =
   P.store m ~holder target;
   Region.set_root r "holder" holder;
   Printf.printf "  run 1 (%s): region %d mapped at 0x%x, target holds 4242\n"
-    name rid (Region.base r);
+    name
+    (rid :> int)
+    (Region.base r :> int);
   Machine.close_region m rid;
   rid
 
@@ -31,8 +33,9 @@ let reopen_pair (module P : Core.Repr_sig.S) store name rid =
   (* Run 2: same store, new address space, different placement. *)
   let m = Machine.create ~seed:99 ~store () in
   let r = Machine.open_region m rid in
-  Printf.printf "  run 2 (%s): region %d now mapped at 0x%x\n" name rid
-    (Region.base r);
+  Printf.printf "  run 2 (%s): region %d now mapped at 0x%x\n" name
+    (rid :> int)
+    (Region.base r :> int);
   let holder = Option.get (Region.root r "holder") in
   match P.load m ~holder with
   | target -> begin

@@ -1,0 +1,98 @@
+(* Every wrapper is [private int] and every function below is a thin
+   alias for the corresponding Layout bit transformation, so the whole
+   module erases at runtime: the typed discipline is observable only to
+   the type checker (verified by the zero-drift check against
+   BENCH_seed.json). *)
+
+module Vaddr = struct
+  type t = int
+
+  let v a = a
+  let to_int a = a
+  let null = 0
+  let is_null a = a = 0
+  let add a k = a + k
+  let diff a b = a - b
+  let offset_in a ~base = a - base
+  let equal = Int.equal
+  let compare = Int.compare
+  let pp = Bitops.pp_hex
+  let to_hex = Bitops.to_hex
+end
+
+module Off = struct
+  type t = int
+
+  let v o = o
+  let to_int o = o
+  let null = 0
+  let is_null o = o = 0
+  let equal = Int.equal
+  let pp ppf o = Format.fprintf ppf "%+d" o
+end
+
+module Riv = struct
+  type t = int
+
+  let v x = x
+  let to_int x = x
+  let null = Layout.riv_null
+  let is_null x = x = Layout.riv_null
+  let equal = Int.equal
+  let pp = Bitops.pp_hex
+end
+
+module Rid = struct
+  type t = int
+
+  let v r = r
+  let to_int r = r
+  let none = 0
+  let is_none r = r = 0
+  let equal = Int.equal
+  let compare = Int.compare
+  let pp ppf r = Format.fprintf ppf "%d" r
+end
+
+module Seg = struct
+  type t = int
+
+  let v s = s
+  let to_int s = s
+  let equal = Int.equal
+  let pp = Bitops.pp_hex
+end
+
+(* Off-holder (Figure 8, persistentI encode/decode). *)
+
+let off_of_vaddr ~holder target = target - holder
+let vaddr_of_off ~holder off = holder + off
+
+(* RIV (Figure 8, persistentX encode/decode; Figure 5 packing). *)
+
+let riv_of_rid_off l ~rid ~offset = Layout.riv_pack l ~rid ~offset
+let rid_of_riv l v = Layout.riv_rid l v
+let offset_of_riv l v = Layout.riv_offset l v
+let vaddr_of_riv l ~via v = via lor Layout.riv_offset l v
+
+(* Segment numbers (Figures 6 and 7). *)
+
+let seg_of_vaddr l a = Layout.nvbase l a
+let vaddr_of_seg l s = Layout.segment_base_of_nvbase l s
+let base_of_vaddr l a = Layout.get_base l a
+let seg_offset l a = Layout.seg_offset l a
+let vaddr_in_segment _l ~base ~offset = base lor offset
+
+(* Direct-mapped table addressing (Figure 7). *)
+
+let rid_entry_vaddr l a = Layout.rid_entry_addr l a
+let base_entry_vaddr l ~rid = Layout.base_entry_addr l ~rid
+
+(* Typed classification. *)
+
+let in_nv_space = Layout.in_nv_space
+let is_volatile = Layout.is_volatile
+let is_data_addr = Layout.is_data_addr
+let is_rid_table_addr = Layout.is_rid_table_addr
+let is_base_table_addr = Layout.is_base_table_addr
+let nv_start = Layout.nv_start

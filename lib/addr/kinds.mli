@@ -1,0 +1,244 @@
+(** Typed address discipline: the paper's Figure 8 static semantics as
+    OCaml types.
+
+    The paper's second contribution is a static type system —
+    [persistentI]/[persistentX] pointer classes with formal conversion
+    rules (Figure 8) — that makes it a compile-time error to confuse the
+    different address-like value kinds a position-independence runtime
+    juggles. This module lifts that discipline into the simulator's own
+    implementation: each of the five kinds is an abstract wrapper around
+    [int] ([private int], so unwrapping is the no-op coercion
+    [(v :> int)] and every wrapper is guaranteed cost-free at runtime),
+    and each Figure 8 conversion is a named function whose signature
+    states exactly which kinds it consumes and produces.
+
+    The five kinds:
+
+    - {!Vaddr.t} — an {e absolute virtual address}: the in-flight form
+      of every pointer (Figure 8 keeps locals, parameters and returns
+      absolute; only memory slots hold encoded forms).
+    - {!Off.t} — a {e self-relative off-holder delta}: the stored form
+      of a [persistentI] slot, [target - holder] (Section 4.2).
+    - {!Riv.t} — a packed {e region-ID-in-value}: the stored form of a
+      [persistentX] slot, [{rid | offset}] (Section 4.3, Figure 5).
+    - {!Rid.t} — an {e NVRegion ID}: the key of the base table and the
+      value of the RID table.
+    - {!Seg.t} — an {e NV segment number} ([nvbase]): the [l2]-bit field
+      of a data-area address (Figure 6) and the value of the base table.
+
+    {!Nvmpi_addr.Layout} remains the untyped bit-math substrate (the
+    "hardware" view, where everything really is a word); this module is
+    the type checker sitting on top of it, exactly as the paper's
+    compiler sits on top of untyped machine words. Layers above
+    [lib/addr] convert through these functions only, so feeding a RIV
+    where a virtual address is expected — the bug class Figure 8
+    eliminates in user programs — is a compile-time error inside the
+    simulator too.
+
+    Blessing a raw [int] into a kind ([Vaddr.v] and friends) is the
+    trust boundary. It is legitimate exactly where Figure 8 places a
+    decode: at the point a value leaves simulated memory or enters from
+    the host (test inputs, literals). *)
+
+(** An absolute virtual address (Figure 8's in-flight pointer form). *)
+module Vaddr : sig
+  type t = private int
+
+  val v : int -> t
+  (** Blesses a raw integer as an absolute virtual address. *)
+
+  val to_int : t -> int
+
+  val null : t
+  (** The null pointer (address 0), assignable to every pointer class
+      (Figure 8's [null] rule). *)
+
+  val is_null : t -> bool
+
+  val add : t -> int -> t
+  (** [add a k] is the address [k] bytes above [a] — Figure 8's pointer
+      arithmetic rule: [p + k] keeps the pointer's kind. *)
+
+  val diff : t -> t -> int
+  (** [diff a b] is the byte distance [a - b] (pointer subtraction
+      yields a plain integer, not an address). *)
+
+  val offset_in : t -> base:t -> int
+  (** [offset_in a ~base] is [diff a base], named for the common case of
+      computing an intra-region offset from a region base. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+  val to_hex : t -> string
+end
+
+(** A self-relative off-holder delta (Section 4.2): what a [persistentI]
+    slot stores. Meaningless without the holder's address; may be
+    negative (a backward link). *)
+module Off : sig
+  type t = private int
+
+  val v : int -> t
+  (** Blesses a raw integer (e.g. just loaded from a slot) as a delta. *)
+
+  val to_int : t -> int
+
+  val null : t
+  (** The stored-null encoding: delta 0 (no live pointer can target its
+      own slot). *)
+
+  val is_null : t -> bool
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** A packed region-ID-in-value (Section 4.3, Figure 5 (a)): what a
+    [persistentX] slot stores — [{rid | offset}] in one word. *)
+module Riv : sig
+  type t = private int
+
+  val v : int -> t
+  (** Blesses a raw integer (e.g. just loaded from a slot) as a packed
+      RIV value. *)
+
+  val to_int : t -> int
+
+  val null : t
+  (** The null RIV (region ID 0, offset 0). *)
+
+  val is_null : t -> bool
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** An NVRegion ID: index into the base table, value of the RID table. *)
+module Rid : sig
+  type t = private int
+
+  val v : int -> t
+  val to_int : t -> int
+
+  val none : t
+  (** ID 0, reserved as "no region". *)
+
+  val is_none : t -> bool
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+(** An NV segment number — the [nvbase] field of a data-area address
+    (Figure 6) and the value stored in a base-table entry. *)
+module Seg : sig
+  type t = private int
+
+  val v : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {1 Off-holder conversions (Section 4.2; Figure 8's [persistentI]
+    rules)}
+
+    These two are layout-independent: the off-holder encoding needs no
+    table and no field widths, which is why it is the cheapest
+    position-independent representation. *)
+
+val off_of_vaddr : holder:Vaddr.t -> Vaddr.t -> Off.t
+(** [off_of_vaddr ~holder target] is [target - holder] — Figure 8's
+    {e encode on store to a [persistentI] slot} ([i = p]): the compiler
+    subtracts the holder's address from the absolute target. The
+    same-region requirement is a {e dynamic} check (Section 4.4) and is
+    enforced by the caller ({!Core.Off_holder.store}), not here. *)
+
+val vaddr_of_off : holder:Vaddr.t -> Off.t -> Vaddr.t
+(** [vaddr_of_off ~holder off] is [holder + off] — Figure 8's
+    {e decode on load from a [persistentI] slot} ([p = i]): the absolute
+    target is rebuilt by adding the holder's own address. *)
+
+(** {1 RIV conversions (Section 4.3; Figure 8's [persistentX] rules)}
+
+    The packed format depends on the layout's field widths, and the
+    ID/base translations go through the direct-mapped tables — the table
+    {e loads} stay in {!Core.Nvspace} (they cost simulated memory
+    accesses); the pure bit transformations live here. *)
+
+val riv_of_rid_off : Layout.t -> rid:Rid.t -> offset:int -> Riv.t
+(** [riv_of_rid_off l ~rid ~offset] packs [{rid | offset}] into one
+    word (Figure 5 (a)) — the final step of Figure 8's {e encode on
+    store to a [persistentX] slot} ([x = p]), after [addr2id] produced
+    the region ID. Requires [1 <= rid <= max_rid] and
+    [0 <= offset < 2^l3]. *)
+
+val rid_of_riv : Layout.t -> Riv.t -> Rid.t
+(** [rid_of_riv l v] extracts the region-ID field of a packed value —
+    the first step of Figure 8's {e decode on load from a [persistentX]
+    slot} ([p = x]), producing the key for the base-table lookup. *)
+
+val offset_of_riv : Layout.t -> Riv.t -> int
+(** [offset_of_riv l v] extracts the intra-segment offset field — the
+    companion step of the [persistentX] decode. *)
+
+val vaddr_of_riv : Layout.t -> via:Vaddr.t -> Riv.t -> Vaddr.t
+(** [vaddr_of_riv l ~via v] is [via lor offset_of_riv l v] — the final
+    step of Figure 8's [persistentX] decode: [via] is the segment base
+    address that [id2addr] (the base-table lookup,
+    {!Core.Nvspace.id2addr}) returned for the value's region ID. *)
+
+(** {1 Segment-number conversions (Figures 6 and 7)} *)
+
+val seg_of_vaddr : Layout.t -> Vaddr.t -> Seg.t
+(** [seg_of_vaddr l a] is the [l2]-bit [nvbase] field of NV-space
+    address [a] (Figure 6's address decomposition) — what [addr2id]
+    shifts to index the RID table. *)
+
+val vaddr_of_seg : Layout.t -> Seg.t -> Vaddr.t
+(** [vaddr_of_seg l s] rebuilds the segment base address from a segment
+    number (Figure 7): the form a base-table entry is decoded into
+    during [id2addr]. *)
+
+val base_of_vaddr : Layout.t -> Vaddr.t -> Vaddr.t
+(** [base_of_vaddr l a] masks the low [l3] bits: the paper's [getBase]
+    helper used by Figure 8's [persistentX] encode to find the segment
+    containing the target. *)
+
+val seg_offset : Layout.t -> Vaddr.t -> int
+(** [seg_offset l a] is the low-[l3]-bit intra-segment offset of [a] —
+    the offset half of Figure 8's [persistentX] encode. *)
+
+val vaddr_in_segment : Layout.t -> base:Vaddr.t -> offset:int -> Vaddr.t
+(** [vaddr_in_segment l ~base ~offset] is [base lor offset]: rebuilding
+    an absolute address from a segment base and an intra-segment offset
+    (the closing step shared by [id2addr]-based decodes). *)
+
+(** {1 Direct-mapped table addressing (Figure 7)}
+
+    Entry addresses are pure bit transformations of the key — no
+    hashing, no indirection — which is what makes the Figure 8
+    [persistentX] conversions cheap. *)
+
+val rid_entry_vaddr : Layout.t -> Vaddr.t -> Vaddr.t
+(** [rid_entry_vaddr l a] is the address of the RID-table entry for the
+    segment containing [a] (Figure 7): used by [addr2id] during the
+    [persistentX] encode. *)
+
+val base_entry_vaddr : Layout.t -> rid:Rid.t -> Vaddr.t
+(** [base_entry_vaddr l ~rid] is the address of the base-table entry for
+    region [rid] (Figure 7): used by [id2addr] during the [persistentX]
+    decode. *)
+
+(** {1 Typed address classification}
+
+    {!Layout}'s predicates on {!Vaddr.t}, so client layers never unwrap
+    an address just to classify it. *)
+
+val in_nv_space : Layout.t -> Vaddr.t -> bool
+val is_volatile : Layout.t -> Vaddr.t -> bool
+val is_data_addr : Layout.t -> Vaddr.t -> bool
+val is_rid_table_addr : Layout.t -> Vaddr.t -> bool
+val is_base_table_addr : Layout.t -> Vaddr.t -> bool
+
+val nv_start : Layout.t -> Vaddr.t
+(** Lowest NV-space address, as a typed address. *)

@@ -171,3 +171,33 @@ let class_for_size t size =
          "size %d exceeds even large segments (%d bytes); the region \
           cannot be migrated"
          size (segment_size t Large))
+
+(* Typed facade (Kinds discipline): the public signature exposes the
+   address/ID/packed-value kinds; each wrapper is a zero-cost coercion
+   over the bit math above. *)
+
+module K = Kinds
+
+let in_nv_space t (a : K.Vaddr.t) = in_nv_space t (a :> int)
+let class_of t (a : K.Vaddr.t) = class_of t (a :> int)
+let is_data_addr t (a : K.Vaddr.t) = is_data_addr t (a :> int)
+let is_rid_table_addr t (a : K.Vaddr.t) = is_rid_table_addr t (a :> int)
+let is_base_table_addr t (a : K.Vaddr.t) = is_base_table_addr t (a :> int)
+
+let segment_base t c ~(nvbase : K.Seg.t) =
+  K.Vaddr.v (segment_base t c ~nvbase:(nvbase :> int))
+
+let get_base t (a : K.Vaddr.t) = K.Vaddr.v (get_base t (a :> int))
+let nvbase t (a : K.Vaddr.t) = K.Seg.v (nvbase t (a :> int))
+let seg_offset t (a : K.Vaddr.t) = seg_offset t (a :> int)
+let rid_entry_addr t (a : K.Vaddr.t) = K.Vaddr.v (rid_entry_addr t (a :> int))
+
+let base_entry_addr t c ~(rid : K.Rid.t) =
+  K.Vaddr.v (base_entry_addr t c ~rid:(rid :> int))
+
+let pack t c ~(rid : K.Rid.t) ~offset =
+  K.Riv.v (pack t c ~rid:(rid :> int) ~offset)
+
+let unpack_cls t (v : K.Riv.t) = unpack_cls t (v :> int)
+let unpack_rid t (v : K.Riv.t) = K.Rid.v (unpack_rid t (v :> int))
+let unpack_offset t (v : K.Riv.t) = unpack_offset t (v :> int)

@@ -46,8 +46,8 @@ val pp : Format.formatter -> t -> unit
 
 (** {1 Address classification} *)
 
-val in_nv_space : t -> int -> bool
-val class_of : t -> int -> cls
+val in_nv_space : t -> Kinds.Vaddr.t -> bool
+val class_of : t -> Kinds.Vaddr.t -> cls
 (** Class bit of an NV-space address. *)
 
 val sub_of : t -> cls -> sub
@@ -55,22 +55,22 @@ val segment_size : t -> cls -> int
 val usable_segments : t -> cls -> int
 val max_rid : t -> int
 
-val is_data_addr : t -> int -> bool
-val is_rid_table_addr : t -> int -> bool
-val is_base_table_addr : t -> int -> bool
+val is_data_addr : t -> Kinds.Vaddr.t -> bool
+val is_rid_table_addr : t -> Kinds.Vaddr.t -> bool
+val is_base_table_addr : t -> Kinds.Vaddr.t -> bool
 
 (** {1 Segments} *)
 
-val segment_base : t -> cls -> nvbase:int -> int
+val segment_base : t -> cls -> nvbase:Kinds.Seg.t -> Kinds.Vaddr.t
 (** Base address of segment [nvbase] in the given class. The [nvbase]
     must have its leading flag bit set (data area). *)
 
 val data_nvbase_min : t -> cls -> int
-val get_base : t -> int -> int
+val get_base : t -> Kinds.Vaddr.t -> Kinds.Vaddr.t
 (** Segment base of a data-area address (class-dependent mask). *)
 
-val nvbase : t -> int -> int
-val seg_offset : t -> int -> int
+val nvbase : t -> Kinds.Vaddr.t -> Kinds.Seg.t
+val seg_offset : t -> Kinds.Vaddr.t -> int
 
 (** {1 Tables}
 
@@ -78,18 +78,18 @@ val seg_offset : t -> int -> int
     the NV space; entry addresses are bit transformations exactly as in
     the single-level design. *)
 
-val rid_entry_addr : t -> int -> int
+val rid_entry_addr : t -> Kinds.Vaddr.t -> Kinds.Vaddr.t
 (** RID-table entry for the segment containing the given data-area
     address. *)
 
-val base_entry_addr : t -> cls -> rid:int -> int
+val base_entry_addr : t -> cls -> rid:Kinds.Rid.t -> Kinds.Vaddr.t
 
 (** {1 Packed values} *)
 
-val pack : t -> cls -> rid:int -> offset:int -> int
-val unpack_cls : t -> int -> cls
-val unpack_rid : t -> int -> int
-val unpack_offset : t -> int -> int
+val pack : t -> cls -> rid:Kinds.Rid.t -> offset:int -> Kinds.Riv.t
+val unpack_cls : t -> Kinds.Riv.t -> cls
+val unpack_rid : t -> Kinds.Riv.t -> Kinds.Rid.t
+val unpack_offset : t -> Kinds.Riv.t -> int
 
 (** {1 Migration support (Section 4.4)}
 

@@ -1,6 +1,11 @@
 module Memsim = Nvmpi_memsim.Memsim
 module Bitops = Nvmpi_addr.Bitops
+module Vaddr = Nvmpi_addr.Kinds.Vaddr
 
+(* The handle keeps the range bounds as raw ints: every persistent link
+   is an offset from [lo], and the block math below is offset
+   arithmetic. Absolute addresses ({!Vaddr.t}) appear exactly at the
+   [abs]/[off] trust boundary and in the public signature. *)
 type t = { mem : Memsim.t; lo : int; hi : int }
 
 exception Out_of_memory of { requested : int; free : int }
@@ -16,17 +21,19 @@ let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupted s)) fmt
 
 (* All persistent links are offsets from [lo]; 0 is the end of the list
    (no block can start at offset 0, the head cell lives there). *)
-let abs t off = t.lo + off
+let abs t off = Vaddr.v (t.lo + off)
 let off t a = a - t.lo
 let heap_size t = t.hi - t.lo
-let get_head t = Memsim.load64 t.mem t.lo
-let set_head t v = Memsim.store64 t.mem t.lo v
+let get_head t = Memsim.load64 t.mem (Vaddr.v t.lo)
+let set_head t v = Memsim.store64 t.mem (Vaddr.v t.lo) v
 let get_size t off = Memsim.load64 t.mem (abs t off)
 let set_size t off v = Memsim.store64 t.mem (abs t off) v
-let get_status t off = Memsim.load64 t.mem (abs t off + 8)
-let set_status t off v = Memsim.store64 t.mem (abs t off + 8) v
-let get_next t off = Memsim.load64 t.mem (abs t off + header_bytes)
-let set_next t off v = Memsim.store64 t.mem (abs t off + header_bytes) v
+let get_status t off = Memsim.load64 t.mem (Vaddr.add (abs t off) 8)
+let set_status t off v = Memsim.store64 t.mem (Vaddr.add (abs t off) 8) v
+let get_next t off = Memsim.load64 t.mem (Vaddr.add (abs t off) header_bytes)
+
+let set_next t off v =
+  Memsim.store64 t.mem (Vaddr.add (abs t off) header_bytes) v
 
 let check_range mem ~lo ~hi =
   if not (Bitops.is_aligned lo 8 && Bitops.is_aligned hi 8) then
@@ -35,7 +42,8 @@ let check_range mem ~lo ~hi =
     invalid_arg "Freelist: range too small";
   ignore mem
 
-let init mem ~lo ~hi =
+let init mem ~lo:(lo : Vaddr.t) ~hi:(hi : Vaddr.t) =
+  let lo = (lo :> int) and hi = (hi :> int) in
   check_range mem ~lo ~hi;
   let t = { mem; lo; hi } in
   let first = head_cell_bytes in
@@ -45,7 +53,8 @@ let init mem ~lo ~hi =
   set_next t first 0;
   t
 
-let attach mem ~lo ~hi =
+let attach mem ~lo:(lo : Vaddr.t) ~hi:(hi : Vaddr.t) =
+  let lo = (lo :> int) and hi = (hi :> int) in
   check_range mem ~lo ~hi;
   { mem; lo; hi }
 
@@ -100,10 +109,10 @@ let alloc t n =
       end
       else set_link prev next;
       set_status t cur st_alloc;
-      abs t cur + header_bytes
+      Vaddr.add (abs t cur) header_bytes
 
-let free t payload_addr =
-  let o = off t (payload_addr - header_bytes) in
+let free t (payload_addr : Vaddr.t) =
+  let o = off t ((payload_addr :> int) - header_bytes) in
   validate_block t o "free";
   if get_status t o <> st_alloc then
     corrupt "free: block 0x%x is not allocated (double free?)" o;
@@ -126,8 +135,8 @@ let free t payload_addr =
     set_next t prev (get_next t o)
   end
 
-let usable_size t payload_addr =
-  let o = off t (payload_addr - header_bytes) in
+let usable_size t (payload_addr : Vaddr.t) =
+  let o = off t ((payload_addr :> int) - header_bytes) in
   validate_block t o "usable_size";
   if get_status t o <> st_alloc then corrupt "usable_size: block not allocated";
   get_size t o - header_bytes
@@ -145,7 +154,7 @@ let iter_blocks t f =
       validate_block t o "iter_blocks";
       let size = get_size t o in
       f
-        ~addr:(abs t o + header_bytes)
+        ~addr:(Vaddr.add (abs t o) header_bytes)
         ~size:(size - header_bytes)
         ~free:(get_status t o = st_free);
       go (o + size)
@@ -166,7 +175,7 @@ let check t =
   let prev_free = ref false in
   let last_end = ref head_cell_bytes in
   iter_blocks t (fun ~addr ~size ~free ->
-      let o = off t (addr - header_bytes) in
+      let o = off t ((addr :> int) - header_bytes) in
       if o <> !last_end then corrupt "check: block gap at 0x%x" o;
       last_end := o + size + header_bytes;
       let status = get_status t o in

@@ -21,24 +21,24 @@ type t
 exception Out_of_memory of { requested : int; free : int }
 exception Corrupted of string
 
-val init : Nvmpi_memsim.Memsim.t -> lo:int -> hi:int -> t
+val init : Nvmpi_memsim.Memsim.t -> lo:Nvmpi_addr.Kinds.Vaddr.t -> hi:Nvmpi_addr.Kinds.Vaddr.t -> t
 (** Formats the range [[lo, hi)] (both 8-aligned, at least 64 bytes) as
     one big free block and returns a handle. *)
 
-val attach : Nvmpi_memsim.Memsim.t -> lo:int -> hi:int -> t
+val attach : Nvmpi_memsim.Memsim.t -> lo:Nvmpi_addr.Kinds.Vaddr.t -> hi:Nvmpi_addr.Kinds.Vaddr.t -> t
 (** Re-attaches to a previously formatted range, possibly mapped at a
     different virtual address than when it was formatted. *)
 
-val alloc : t -> int -> int
+val alloc : t -> int -> Nvmpi_addr.Kinds.Vaddr.t
 (** [alloc t n] returns the absolute address of an 8-aligned block of at
     least [n] bytes. @raise Out_of_memory if no block fits. *)
 
-val free : t -> int -> unit
+val free : t -> Nvmpi_addr.Kinds.Vaddr.t -> unit
 (** Releases a block by its payload address, coalescing with adjacent
     free blocks. @raise Corrupted if the address is not an allocated
     block. *)
 
-val usable_size : t -> int -> int
+val usable_size : t -> Nvmpi_addr.Kinds.Vaddr.t -> int
 (** Payload capacity of the allocated block at the given address. *)
 
 val free_bytes : t -> int
@@ -52,6 +52,7 @@ val check : t -> unit
     (header sanity, no overlap, free list sorted and acyclic, no two
     adjacent free blocks). @raise Corrupted on violation. *)
 
-val iter_blocks : t -> (addr:int -> size:int -> free:bool -> unit) -> unit
+val iter_blocks :
+  t -> (addr:Nvmpi_addr.Kinds.Vaddr.t -> size:int -> free:bool -> unit) -> unit
 (** Physical-order walk over all blocks; [addr]/[size] describe the
     payload. *)

@@ -4,6 +4,7 @@ module Memsim = Nvmpi_memsim.Memsim
 module Objstore = Nvmpi_tx.Objstore
 module Tx = Nvmpi_tx.Tx
 module Repr = Core.Repr
+module Vaddr = Nvmpi_addr.Kinds.Vaddr
 
 let kind_tag = 0x4B56 (* "KV" *)
 
@@ -15,8 +16,8 @@ type t = {
   os : Objstore.t;
   tx : Tx.t;
   repr : (module Core.Repr_sig.S);
-  meta : int;
-  table : int;
+  meta : Vaddr.t;
+  table : Vaddr.t;
   buckets : int;
 }
 
@@ -45,7 +46,7 @@ let key_off t = slot t
 let val_off t = slot t + 8
 let entry_size t = (2 * slot t) + 8
 
-let bucket_holder t i = t.table + (i * slot t)
+let bucket_holder t i = Vaddr.add t.table (i * slot t)
 
 let hash t ~key =
   Machine.alu (machine t) 4;
@@ -63,11 +64,12 @@ let create os ~repr ~name ?(buckets = 256) () =
     { os; tx = Tx.create os; repr = (module P); meta; table; buckets }
   in
   Memsim.store64 machine.Machine.mem meta kind_tag;
-  Memsim.store64 machine.Machine.mem (meta + 8) buckets;
-  Memsim.store64 machine.Machine.mem (meta + 16) (table - Region.base region);
-  Memsim.store64 machine.Machine.mem (meta + 24) 0;
+  Memsim.store64 machine.Machine.mem (Vaddr.add meta 8) buckets;
+  Memsim.store64 machine.Machine.mem (Vaddr.add meta 16)
+    (Vaddr.offset_in table ~base:(Region.base region));
+  Memsim.store64 machine.Machine.mem (Vaddr.add meta 24) 0;
   for i = 0 to buckets - 1 do
-    store_slot_raw t (bucket_holder t i) 0
+    store_slot_raw t (bucket_holder t i) Vaddr.null
   done;
   Region.set_root region ~tag:kind_tag name meta;
   t
@@ -80,9 +82,10 @@ let attach os ~repr ~name =
   | Some meta ->
       if Memsim.load64 machine.Machine.mem meta <> kind_tag then
         failwith "Kvstore.attach: root is not a key-value store";
-      let buckets = Memsim.load64 machine.Machine.mem (meta + 8) in
+      let buckets = Memsim.load64 machine.Machine.mem (Vaddr.add meta 8) in
       let table =
-        Region.base region + Memsim.load64 machine.Machine.mem (meta + 16)
+        Vaddr.add (Region.base region)
+          (Memsim.load64 machine.Machine.mem (Vaddr.add meta 16))
       in
       let (module P) = Repr.m repr in
       { os; tx = Tx.create os; repr = (module P); meta; table; buckets }
@@ -91,51 +94,55 @@ let attach os ~repr ~name =
    [`Missing last_holder]. *)
 let locate t ~key =
   let rec go holder =
-    match load_slot t holder with
-    | 0 -> `Missing holder
-    | entry ->
-        Objstore.touch_read t.os;
-        if Memsim.load64 (memory t) (entry + key_off t) = key then
-          `Found (holder, entry)
-        else go (entry + next_off)
+    let entry = load_slot t holder in
+    if Vaddr.is_null entry then `Missing holder
+    else begin
+      Objstore.touch_read t.os;
+      if Memsim.load64 (memory t) (Vaddr.add entry (key_off t)) = key then
+        `Found (holder, entry)
+      else go (Vaddr.add entry next_off)
+    end
   in
   go (bucket_holder t (hash t ~key))
 
 let read_value t entry =
-  match load_slot t (entry + val_off t) with
-  | 0 -> ""
-  | v ->
-      let len = Memsim.load64 (memory t) v in
-      Bytes.to_string (Memsim.blit_to_bytes (memory t) ~addr:(v + 8) ~len)
+  let v = load_slot t (Vaddr.add entry (val_off t)) in
+  if Vaddr.is_null v then ""
+  else
+    let len = Memsim.load64 (memory t) v in
+    Bytes.to_string
+      (Memsim.blit_to_bytes (memory t) ~addr:(Vaddr.add v 8) ~len)
 
 let alloc_value t data =
   let len = String.length data in
   let v = Objstore.alloc t.os ~tag:kind_tag ~size:(8 + len) () in
   Memsim.store64 (memory t) v len;
-  if len > 0 then Memsim.blit_from_bytes (memory t) ~addr:(v + 8) (Bytes.of_string data);
+  if len > 0 then
+    Memsim.blit_from_bytes (memory t) ~addr:(Vaddr.add v 8)
+      (Bytes.of_string data);
   v
 
 let put_body t ~key data =
   let fresh_value = alloc_value t data in
   match locate t ~key with
   | `Found (_, entry) ->
-      let old = load_slot t (entry + val_off t) in
-      store_slot_tx t (entry + val_off t) fresh_value;
+      let old = load_slot t (Vaddr.add entry (val_off t)) in
+      store_slot_tx t (Vaddr.add entry (val_off t)) fresh_value;
       old
   | `Missing holder ->
       let entry = Objstore.alloc t.os ~tag:kind_tag ~size:(entry_size t) () in
-      store_slot_raw t (entry + next_off) 0;
-      Memsim.store64 (memory t) (entry + key_off t) key;
-      store_slot_raw t (entry + val_off t) fresh_value;
+      store_slot_raw t (Vaddr.add entry next_off) Vaddr.null;
+      Memsim.store64 (memory t) (Vaddr.add entry (key_off t)) key;
+      store_slot_raw t (Vaddr.add entry (val_off t)) fresh_value;
       store_slot_tx t holder entry;
-      0
+      Vaddr.null
 
 let put t ~key data =
   Tx.begin_tx t.tx;
   let old = put_body t ~key data in
   Tx.commit t.tx;
   (* Reclaim the replaced value only after the commit is durable. *)
-  if old <> 0 then Objstore.free t.os old
+  if not (Vaddr.is_null old) then Objstore.free t.os old
 
 let simulate_crash_during_put t ~key data =
   Tx.begin_tx t.tx;
@@ -147,11 +154,11 @@ let delete t ~key =
   | `Missing _ -> false
   | `Found (prev_holder, entry) ->
       Tx.begin_tx t.tx;
-      let next = load_slot t (entry + next_off) in
+      let next = load_slot t (Vaddr.add entry next_off) in
       store_slot_tx t prev_holder next;
       Tx.commit t.tx;
-      let v = load_slot t (entry + val_off t) in
-      if v <> 0 then Objstore.free t.os v;
+      let v = load_slot t (Vaddr.add entry (val_off t)) in
+      if not (Vaddr.is_null v) then Objstore.free t.os v;
       Objstore.free t.os entry;
       true
 
@@ -165,12 +172,13 @@ let mem t ~key = match locate t ~key with `Found _ -> true | `Missing _ -> false
 let iter t f =
   for i = 0 to t.buckets - 1 do
     let rec go holder =
-      match load_slot t holder with
-      | 0 -> ()
-      | entry ->
-          f ~key:(Memsim.load64 (memory t) (entry + key_off t))
-            ~value:(read_value t entry);
-          go (entry + next_off)
+      let entry = load_slot t holder in
+      if Vaddr.is_null entry then ()
+      else begin
+        f ~key:(Memsim.load64 (memory t) (Vaddr.add entry (key_off t)))
+          ~value:(read_value t entry);
+        go (Vaddr.add entry next_off)
+      end
     in
     go (bucket_holder t i)
   done

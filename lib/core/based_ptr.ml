@@ -4,6 +4,8 @@
     pointers, but confined to the single region the base names, with the
     usability problems Section 5 catalogues. *)
 
+module Vaddr = Nvmpi_addr.Kinds.Vaddr
+
 let name = "based"
 let slot_size = 8
 let cross_region = false
@@ -11,28 +13,32 @@ let position_independent = true
 
 let base_of m ~holder ~target =
   let b = m.Machine.based_base in
-  if b = 0 then failwith "based pointer used with no based region set";
+  if Vaddr.is_null b then
+    failwith "based pointer used with no based region set";
   ignore holder;
   ignore target;
   b
 
-let store m ~holder target =
-  Machine.count m "repr.based.stores";
+let store m ~holder (target : Vaddr.t) =
   let b = base_of m ~holder ~target in
-  if target = 0 then Machine.store64 m holder 0
+  if Vaddr.is_null target then begin
+    Machine.count m "repr.based.stores";
+    Machine.store64 m holder 0
+  end
   else begin
+    (* Section 4.4's dynamic check, before any cycle or counter: a
+       faulting store is observationally free. *)
     (match Machine.region_of_addr m target with
-    | Some r when Nvmpi_nvregion.Region.base r = b -> ()
-    | _ ->
-        Machine.count m "machine.cross_region_faults";
-        raise (Machine.Cross_region_store { holder; target; repr = name }));
+    | Some r when Vaddr.equal (Nvmpi_nvregion.Region.base r) b -> ()
+    | _ -> raise (Machine.Cross_region_store { holder; target; repr = name }));
+    Machine.count m "repr.based.stores";
     Machine.alu m 1;
-    Machine.store64 m holder (target - b)
+    Machine.store64 m holder (Vaddr.offset_in target ~base:b)
   end
 
 let load m ~holder =
   Machine.count m "repr.based.loads";
-  let b = base_of m ~holder ~target:0 in
+  let b = base_of m ~holder ~target:Vaddr.null in
   let v = Machine.load64 m holder in
   Machine.alu m 1;
-  if v = 0 then 0 else b + v
+  if v = 0 then Vaddr.null else Vaddr.add b v

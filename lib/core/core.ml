@@ -40,6 +40,7 @@ module Hw_oid = Hw_oid
 module Metrics = Nvmpi_obs.Metrics
 module Json = Nvmpi_obs.Json
 module Layout = Nvmpi_addr.Layout
+module Kinds = Nvmpi_addr.Kinds
 module Two_level = Nvmpi_addr.Two_level
 module Bitops = Nvmpi_addr.Bitops
 module Memsim = Nvmpi_memsim.Memsim

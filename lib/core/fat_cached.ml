@@ -3,7 +3,9 @@
     when consecutive dereferences hit the same region. Effective with a
     single region; defeated when accesses alternate between regions. *)
 
-module Layout = Nvmpi_addr.Layout
+module K = Nvmpi_addr.Kinds
+module Vaddr = K.Vaddr
+module Rid = K.Rid
 
 let name = "fat-cached"
 let slot_size = 16
@@ -19,25 +21,25 @@ let load m ~holder =
   let rid = Machine.load64 m holder in
   if rid = 0 then begin
     Fat_table.charge_null_lookup m.Machine.fat;
-    0
+    Vaddr.null
   end
   else begin
-    let offset = Machine.load64 m (holder + 8) in
+    let offset = Machine.load64 m (Vaddr.add holder 8) in
     let last_id = Machine.load64 m (Machine.lastid_addr m) in
     Machine.alu m 1;
     let base =
       if last_id = rid then begin
         Machine.count m "fat.cache_hits";
-        Machine.load64 m (Machine.lastaddr_addr m)
+        Vaddr.v (Machine.load64 m (Machine.lastaddr_addr m))
       end
       else begin
         Machine.count m "fat.cache_misses";
-        let b = Fat_table.lookup m.Machine.fat rid in
+        let b = Fat_table.lookup m.Machine.fat (Rid.v rid) in
         Machine.store64 m (Machine.lastid_addr m) rid;
-        Machine.store64 m (Machine.lastaddr_addr m) b;
+        Machine.store64 m (Machine.lastaddr_addr m) (b :> int);
         b
       end
     in
     Machine.alu m 1;
-    base + offset
+    Vaddr.add base offset
   end

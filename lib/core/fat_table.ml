@@ -2,6 +2,9 @@ module Memsim = Nvmpi_memsim.Memsim
 module Timing = Nvmpi_cachesim.Timing
 module Layout = Nvmpi_addr.Layout
 module Bitops = Nvmpi_addr.Bitops
+module K = Nvmpi_addr.Kinds
+module Vaddr = K.Vaddr
+module Rid = K.Rid
 module Metrics = Nvmpi_obs.Metrics
 
 type t = {
@@ -21,8 +24,8 @@ type t = {
   c_reverse_steps : int ref;
 }
 
-exception Unknown_region of { rid : int }
-exception No_region_for_addr of { addr : int }
+exception Unknown_region of { rid : Rid.t }
+exception No_region_for_addr of { addr : Vaddr.t }
 
 let empty_key = 0
 let tombstone = -1
@@ -34,8 +37,9 @@ let lookup_call_overhead = 62
 let null_check_overhead = 2 (* OID_IS_NULL is an inlined two-field test *)
 let reverse_call_overhead = 40
 
-let create ~mem ~timing ~layout ~metrics ~table_base ~slots ~list_base
-    ~list_cap =
+let create ~mem ~timing ~layout ~metrics ~table_base:(table_base : Vaddr.t)
+    ~slots ~list_base:(list_base : Vaddr.t) ~list_cap =
+  let table_base = (table_base :> int) and list_base = (list_base :> int) in
   if not (Bitops.is_pow2 slots) then invalid_arg "Fat_table.create: slots";
   { mem; timing; layout; table_base; slots; list_base; list_cap;
     count = 0; list_len = 0;
@@ -46,8 +50,11 @@ let create ~mem ~timing ~layout ~metrics ~table_base ~slots ~list_base
     c_reverse_steps = Metrics.counter metrics "fat.reverse_steps" }
 
 let count t = t.count
-let slot_addr t i = t.table_base + (i * 16)
-let list_addr t i = t.list_base + (i * 16)
+
+(* Both structures live in simulated DRAM; slot indices become typed
+   addresses here, at the point they hit the memory. *)
+let slot_addr t i = Vaddr.v (t.table_base + (i * 16))
+let list_addr t i = Vaddr.v (t.list_base + (i * 16))
 
 (* Fibonacci hashing; charged as the handful of ALU ops a real hash
    function costs. *)
@@ -57,7 +64,8 @@ let hash t rid =
   let h = h lxor (h lsr 29) in
   h land max_int land (t.slots - 1)
 
-let put t ~rid ~base =
+let put t ~rid:(rid : Rid.t) ~base:(base : Vaddr.t) =
+  let rid = (rid :> int) and base = (base :> int) in
   if rid <= 0 then invalid_arg "Fat_table.put: bad rid";
   if t.count * 2 >= t.slots then failwith "Fat_table.put: table full";
   let rec probe i steps =
@@ -70,7 +78,7 @@ let put t ~rid ~base =
   let i = probe (hash t rid) 0 in
   let fresh = Memsim.load64 t.mem (slot_addr t i) <> rid in
   Memsim.store64 t.mem (slot_addr t i) rid;
-  Memsim.store64 t.mem (slot_addr t i + 8) base;
+  Memsim.store64 t.mem (Vaddr.add (slot_addr t i) 8) base;
   if fresh then t.count <- t.count + 1;
   (* Sorted-by-base insertion into the region list. *)
   if t.list_len >= t.list_cap then failwith "Fat_table.put: region list full";
@@ -86,14 +94,15 @@ let put t ~rid ~base =
   for j = t.list_len - 1 downto !pos do
     Memsim.store64 t.mem (list_addr t (j + 1)) (Memsim.load64 t.mem (list_addr t j));
     Memsim.store64 t.mem
-      (list_addr t (j + 1) + 8)
-      (Memsim.load64 t.mem (list_addr t j + 8))
+      (Vaddr.add (list_addr t (j + 1)) 8)
+      (Memsim.load64 t.mem (Vaddr.add (list_addr t j) 8))
   done;
   Memsim.store64 t.mem (list_addr t !pos) base;
-  Memsim.store64 t.mem (list_addr t !pos + 8) rid;
+  Memsim.store64 t.mem (Vaddr.add (list_addr t !pos) 8) rid;
   t.list_len <- t.list_len + 1
 
-let remove t ~rid =
+let remove t ~rid:(rid : Rid.t) =
+  let rid = (rid :> int) in
   let rec probe i steps =
     if steps > t.slots then ()
     else
@@ -109,13 +118,13 @@ let remove t ~rid =
   (* Delete from the region list. *)
   let pos = ref (-1) in
   for j = 0 to t.list_len - 1 do
-    if !pos < 0 && Memsim.load64 t.mem (list_addr t j + 8) = rid then pos := j
+    if !pos < 0 && Memsim.load64 t.mem (Vaddr.add (list_addr t j) 8) = rid then pos := j
   done;
   if !pos >= 0 then begin
     for j = !pos to t.list_len - 2 do
       Memsim.store64 t.mem (list_addr t j) (Memsim.load64 t.mem (list_addr t (j + 1)));
-      Memsim.store64 t.mem (list_addr t j + 8)
-        (Memsim.load64 t.mem (list_addr t (j + 1) + 8))
+      Memsim.store64 t.mem (Vaddr.add (list_addr t j) 8)
+        (Memsim.load64 t.mem (Vaddr.add (list_addr t (j + 1)) 8))
     done;
     t.list_len <- t.list_len - 1
   end
@@ -124,7 +133,7 @@ let charge_null_lookup t =
   incr t.c_null_lookups;
   Timing.alu t.timing null_check_overhead
 
-let lookup t rid =
+let lookup t (rid : Rid.t) =
   incr t.c_lookups;
   Timing.alu t.timing lookup_call_overhead;
   let rec probe i steps =
@@ -133,17 +142,20 @@ let lookup t rid =
       Timing.alu t.timing 1;
       incr t.c_probe_loads;
       let k = Memsim.load64 t.mem (slot_addr t i) in
-      if k = rid then Memsim.load64 t.mem (slot_addr t i + 8)
+      if k = (rid :> int) then
+        Vaddr.v (Memsim.load64 t.mem (Vaddr.add (slot_addr t i) 8))
       else if k = empty_key then raise (Unknown_region { rid })
       else probe ((i + 1) land (t.slots - 1)) (steps + 1)
     end
   in
-  probe (hash t rid) 0
+  probe (hash t (rid :> int)) 0
 
-let rid_of_addr t a =
+let rid_of_addr t (a : Vaddr.t) =
   incr t.c_reverse_lookups;
   Timing.alu t.timing reverse_call_overhead;
-  let seg = Layout.get_base t.layout a in
+  (* getBase (Figure 8's persistentX-encode helper) names the segment
+     the binary search compares region bases against. *)
+  let seg = (K.base_of_vaddr t.layout a :> int) in
   Timing.alu t.timing 1;
   let lo = ref 0 and hi = ref (t.list_len - 1) and found = ref (-1) in
   while !lo <= !hi && !found < 0 do
@@ -151,8 +163,10 @@ let rid_of_addr t a =
     Timing.alu t.timing 2;
     let mid = (!lo + !hi) / 2 in
     let base = Memsim.load64 t.mem (list_addr t mid) in
-    if base = seg then found := Memsim.load64 t.mem (list_addr t mid + 8)
+    if base = seg then
+      found := Memsim.load64 t.mem (Vaddr.add (list_addr t mid) 8)
     else if base < seg then lo := mid + 1
     else hi := mid - 1
   done;
-  if !found < 0 then raise (No_region_for_addr { addr = a }) else !found
+  if !found < 0 then raise (No_region_for_addr { addr = a })
+  else Rid.v !found

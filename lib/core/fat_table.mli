@@ -11,17 +11,17 @@
 
 type t
 
-exception Unknown_region of { rid : int }
-exception No_region_for_addr of { addr : int }
+exception Unknown_region of { rid : Nvmpi_addr.Kinds.Rid.t }
+exception No_region_for_addr of { addr : Nvmpi_addr.Kinds.Vaddr.t }
 
 val create :
   mem:Nvmpi_memsim.Memsim.t ->
   timing:Nvmpi_cachesim.Timing.t ->
   layout:Nvmpi_addr.Layout.t ->
   metrics:Nvmpi_obs.Metrics.t ->
-  table_base:int ->
+  table_base:Nvmpi_addr.Kinds.Vaddr.t ->
   slots:int ->
-  list_base:int ->
+  list_base:Nvmpi_addr.Kinds.Vaddr.t ->
   list_cap:int ->
   t
 (** [slots] must be a power of two; the caller provides DRAM placement
@@ -31,21 +31,22 @@ val create :
     [fat.reverse_lookups] / [fat.reverse_steps] (address-to-ID binary
     search). *)
 
-val put : t -> rid:int -> base:int -> unit
+val put :
+  t -> rid:Nvmpi_addr.Kinds.Rid.t -> base:Nvmpi_addr.Kinds.Vaddr.t -> unit
 (** Registers an opened region (hashtable insert + sorted-list insert). *)
 
-val remove : t -> rid:int -> unit
+val remove : t -> rid:Nvmpi_addr.Kinds.Rid.t -> unit
 
 val charge_null_lookup : t -> unit
 (** Charges the cost of testing a fat pointer for null (PMEM.IO's
     [TOID_IS_NULL]: an inlined two-field comparison, no library call). *)
 
-val lookup : t -> int -> int
+val lookup : t -> Nvmpi_addr.Kinds.Rid.t -> Nvmpi_addr.Kinds.Vaddr.t
 (** [lookup t rid] is the base address of region [rid]: hash (6 ALU) +
     linear probing with one 8-byte load per probe.
     @raise Unknown_region when absent. *)
 
-val rid_of_addr : t -> int -> int
+val rid_of_addr : t -> Nvmpi_addr.Kinds.Vaddr.t -> Nvmpi_addr.Kinds.Rid.t
 (** [rid_of_addr t a] finds the region containing [a] by binary search
     over the base-sorted region list (2 ALU + one load per step).
     @raise No_region_for_addr when no open region contains [a]. *)

@@ -12,7 +12,9 @@
     bounds how much headroom hardware support leaves over the paper's
     pure-software tables. *)
 
-module Layout = Nvmpi_addr.Layout
+module K = Nvmpi_addr.Kinds
+module Vaddr = K.Vaddr
+module Riv = K.Riv
 
 let name = "hw-oid"
 let slot_size = 8
@@ -26,28 +28,30 @@ let translation_cycles = 2
    NV-space base table contents) so correctness is identical; only the
    charged cost differs. *)
 
-let store m ~holder target =
+let store m ~holder (target : Vaddr.t) =
   Machine.count m "repr.hw-oid.stores";
-  if target = 0 then Machine.store64 m holder 0
+  if Vaddr.is_null target then Machine.store64 m holder 0
   else begin
     let rid = Machine.rid_of_addr_exn m target in
     Machine.alu m translation_cycles;
     let v =
-      Layout.riv_pack m.Machine.layout ~rid
-        ~offset:(Layout.seg_offset m.Machine.layout target)
+      K.riv_of_rid_off m.Machine.layout ~rid
+        ~offset:(K.seg_offset m.Machine.layout target)
     in
-    Machine.store64 m holder v
+    Machine.store64 m holder (v :> int)
   end
 
 let load m ~holder =
   Machine.count m "repr.hw-oid.loads";
-  let v = Machine.load64 m holder in
-  if v = 0 then 0
+  let v = Riv.v (Machine.load64 m holder) in
+  if Riv.is_null v then Vaddr.null
   else begin
     Machine.alu m translation_cycles;
-    let rid = Layout.riv_rid m.Machine.layout v in
+    let rid = K.rid_of_riv m.Machine.layout v in
     match Machine.region m rid with
     | Some r ->
-        Nvmpi_nvregion.Region.base r lor Layout.riv_offset m.Machine.layout v
+        (* Figure 8's persistentX decode closing step, with the base
+           produced by the hardware table instead of id2addr. *)
+        K.vaddr_of_riv m.Machine.layout ~via:(Nvmpi_nvregion.Region.base r) v
     | None -> raise (Nvspace.Unknown_region { rid })
   end

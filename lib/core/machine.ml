@@ -1,4 +1,7 @@
 module Layout = Nvmpi_addr.Layout
+module K = Nvmpi_addr.Kinds
+module Vaddr = K.Vaddr
+module Rid = K.Rid
 module Memsim = Nvmpi_memsim.Memsim
 module Clock = Nvmpi_cachesim.Clock
 module Timing = Nvmpi_cachesim.Timing
@@ -17,12 +20,14 @@ type t = {
   nvspace : Nvspace.t;
   fat : Fat_table.t;
   metrics : Metrics.t;
-  mutable based_base : int;
+  mutable based_base : Vaddr.t;
+      (* Vaddr.null = unset; the data area never contains address 0 *)
   mutable dram_cursor : int;
   dram_limit : int;
 }
 
-exception Cross_region_store of { holder : int; target : int; repr : string }
+exception
+  Cross_region_store of { holder : Vaddr.t; target : Vaddr.t; repr : string }
 
 (* Fixed carve-outs in the simulated DRAM (volatile) address range. *)
 let dram_base = 0x10_0000 (* 1 MiB *)
@@ -46,14 +51,14 @@ let create ?(layout = Layout.default) ?cfg ?metrics ?seed ~store () =
       ()
   in
   Timing.attach timing mem;
-  Memsim.map mem ~addr:dram_base ~size:dram_size;
+  Memsim.map mem ~addr:(Vaddr.v dram_base) ~size:dram_size;
   let manager = Manager.create ?seed ~layout ~mem ~store () in
   let nvspace = Nvspace.create ~layout ~mem ~timing ~metrics () in
   let fat =
     Fat_table.create ~mem ~timing ~layout ~metrics
-      ~table_base:(dram_base + fat_table_off)
+      ~table_base:(Vaddr.v (dram_base + fat_table_off))
       ~slots:fat_slots
-      ~list_base:(dram_base + fat_list_off)
+      ~list_base:(Vaddr.v (dram_base + fat_list_off))
       ~list_cap:fat_list_cap
   in
   {
@@ -65,7 +70,7 @@ let create ?(layout = Layout.default) ?cfg ?metrics ?seed ~store () =
     nvspace;
     fat;
     metrics;
-    based_base = 0;
+    based_base = Vaddr.null;
     dram_cursor = dram_base + heap_off;
     dram_limit = dram_base + dram_size;
   }
@@ -84,14 +89,14 @@ let close_region t rid =
   Manager.close_region t.manager rid;
   Nvspace.unregister_region t.nvspace ~rid ~base;
   Fat_table.remove t.fat ~rid;
-  if t.based_base = base then t.based_base <- 0
+  if Vaddr.equal t.based_base base then t.based_base <- Vaddr.null
 
 (* Section 4.4's migration to a larger region: persist, grow the image,
    remap. All position-independent contents survive the move. *)
 let migrate_region t rid ~size =
   let was_based =
     match Manager.region t.manager rid with
-    | Some r -> t.based_base = Region.base r
+    | Some r -> Vaddr.equal t.based_base (Region.base r)
     | None -> false
   in
   if Manager.region t.manager rid <> None then close_region t rid;
@@ -111,7 +116,9 @@ let region_of_addr t a = Manager.region_of_addr t.manager a
 let rid_of_addr_exn t a =
   match region_of_addr t a with
   | Some r -> Region.rid r
-  | None -> invalid_arg (Printf.sprintf "no open region contains 0x%x" a)
+  | None ->
+      invalid_arg
+        (Printf.sprintf "no open region contains 0x%x" (a : Vaddr.t :> int))
 
 let set_based_region t rid = t.based_base <- Region.base (region_exn t rid)
 
@@ -120,15 +127,15 @@ let dram_alloc t ?(align = 8) n =
   let a = Nvmpi_addr.Bitops.align_up t.dram_cursor align in
   if a + n > t.dram_limit then failwith "Machine.dram_alloc: out of DRAM";
   t.dram_cursor <- a + n;
-  a
+  Vaddr.v a
 
-let lastid_addr t = ignore t; dram_base + globals_off
-let lastaddr_addr t = ignore t; dram_base + globals_off + 8
+let lastid_addr t = ignore t; Vaddr.v (dram_base + globals_off)
+let lastaddr_addr t = ignore t; Vaddr.v (dram_base + globals_off + 8)
 
 let load64 t a = Memsim.load64 t.mem a
 let store64 t a v = Memsim.store64 t.mem a v
 let alu t n = Timing.alu t.timing n
 let cycles t = Clock.cycles t.clock
-let is_nvm t a = Layout.in_nv_space t.layout a
+let is_nvm t a = K.in_nv_space t.layout a
 let metrics t = t.metrics
 let count ?by t name = Metrics.incr ?by t.metrics name

@@ -29,12 +29,19 @@ type t = {
   metrics : Nvmpi_obs.Metrics.t;
       (** the machine-wide counter registry every layer reports into;
           catalogue in [docs/METRICS.md] *)
-  mutable based_base : int;  (** base register for based pointers; 0 = unset *)
+  mutable based_base : Nvmpi_addr.Kinds.Vaddr.t;
+      (** base register for based pointers; {!Nvmpi_addr.Kinds.Vaddr.null}
+          = unset *)
   mutable dram_cursor : int;
   dram_limit : int;
 }
 
-exception Cross_region_store of { holder : int; target : int; repr : string }
+exception
+  Cross_region_store of {
+    holder : Nvmpi_addr.Kinds.Vaddr.t;
+    target : Nvmpi_addr.Kinds.Vaddr.t;
+    repr : string;
+  }
 (** Raised when an intra-region-only representation (off-holder, based)
     is asked to store a pointer whose target lives in a different region
     than the holder. *)
@@ -54,12 +61,18 @@ val create :
 
 (** {1 Regions} *)
 
-val create_region : t -> size:int -> int
-val open_region : ?at_nvbase:int -> t -> int -> Nvmpi_nvregion.Region.t
+val create_region : t -> size:int -> Nvmpi_addr.Kinds.Rid.t
+
+val open_region :
+  ?at_nvbase:Nvmpi_addr.Kinds.Seg.t ->
+  t ->
+  Nvmpi_addr.Kinds.Rid.t ->
+  Nvmpi_nvregion.Region.t
 (** Opens the region, places it at a (random) NV segment, and registers
     it with the RIV tables and the fat-pointer runtime. *)
 
-val migrate_region : t -> int -> size:int -> Nvmpi_nvregion.Region.t
+val migrate_region :
+  t -> Nvmpi_addr.Kinds.Rid.t -> size:int -> Nvmpi_nvregion.Region.t
 (** Section 4.4's migration: grows the region's image to [size] bytes
     and remaps it (at a fresh segment). Only position-independent
     contents survive, which is the point: off-holder/RIV structures keep
@@ -67,35 +80,39 @@ val migrate_region : t -> int -> size:int -> Nvmpi_nvregion.Region.t
     @raise Invalid_argument if [size] does not exceed the current size
     or exceeds a segment. *)
 
-val close_region : t -> int -> unit
+val close_region : t -> Nvmpi_addr.Kinds.Rid.t -> unit
 val close_all : t -> unit
-val region : t -> int -> Nvmpi_nvregion.Region.t option
-val region_exn : t -> int -> Nvmpi_nvregion.Region.t
-val region_of_addr : t -> int -> Nvmpi_nvregion.Region.t option
-val rid_of_addr_exn : t -> int -> int
+val region : t -> Nvmpi_addr.Kinds.Rid.t -> Nvmpi_nvregion.Region.t option
+val region_exn : t -> Nvmpi_addr.Kinds.Rid.t -> Nvmpi_nvregion.Region.t
+
+val region_of_addr :
+  t -> Nvmpi_addr.Kinds.Vaddr.t -> Nvmpi_nvregion.Region.t option
+
+val rid_of_addr_exn :
+  t -> Nvmpi_addr.Kinds.Vaddr.t -> Nvmpi_addr.Kinds.Rid.t
 (** Region ID of the open region containing the address.
     @raise Invalid_argument if no open region contains it. *)
 
-val set_based_region : t -> int -> unit
+val set_based_region : t -> Nvmpi_addr.Kinds.Rid.t -> unit
 (** Selects the region whose base the based-pointer representation uses
     as its (register-resident) base variable. *)
 
 (** {1 Simulated DRAM} *)
 
-val dram_alloc : t -> ?align:int -> int -> int
+val dram_alloc : t -> ?align:int -> int -> Nvmpi_addr.Kinds.Vaddr.t
 (** Bump-allocates volatile simulated memory (never persisted). *)
 
-val lastid_addr : t -> int
-val lastaddr_addr : t -> int
+val lastid_addr : t -> Nvmpi_addr.Kinds.Vaddr.t
+val lastaddr_addr : t -> Nvmpi_addr.Kinds.Vaddr.t
 (** DRAM addresses of the fat-pointer-cache globals. *)
 
 (** {1 Shorthands} *)
 
-val load64 : t -> int -> int
-val store64 : t -> int -> int -> unit
+val load64 : t -> Nvmpi_addr.Kinds.Vaddr.t -> int
+val store64 : t -> Nvmpi_addr.Kinds.Vaddr.t -> int -> unit
 val alu : t -> int -> unit
 val cycles : t -> int
-val is_nvm : t -> int -> bool
+val is_nvm : t -> Nvmpi_addr.Kinds.Vaddr.t -> bool
 
 (** {1 Observability} *)
 

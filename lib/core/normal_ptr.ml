@@ -2,15 +2,17 @@
     verbatim. This is the paper's baseline — fastest, but not position
     independent: after a region is remapped, stored targets are dangling. *)
 
+module Vaddr = Nvmpi_addr.Kinds.Vaddr
+
 let name = "normal"
 let slot_size = 8
 let cross_region = true
 let position_independent = false
 
-let store m ~holder target =
+let store m ~holder (target : Vaddr.t) =
   Machine.count m "repr.normal.stores";
-  Machine.store64 m holder target
+  Machine.store64 m holder (target :> int)
 
 let load m ~holder =
   Machine.count m "repr.normal.loads";
-  Machine.load64 m holder
+  Vaddr.v (Machine.load64 m holder)

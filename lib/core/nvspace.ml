@@ -1,5 +1,10 @@
 module Layout = Nvmpi_addr.Layout
 module Bitops = Nvmpi_addr.Bitops
+module K = Nvmpi_addr.Kinds
+module Vaddr = K.Vaddr
+module Riv = K.Riv
+module Rid = K.Rid
+module Seg = K.Seg
 module Memsim = Nvmpi_memsim.Memsim
 module Timing = Nvmpi_cachesim.Timing
 module Clock = Nvmpi_cachesim.Clock
@@ -24,8 +29,8 @@ type t = {
   c_rid_loads : int ref;
 }
 
-exception Unknown_region of { rid : int }
-exception Not_nv_data of { addr : int }
+exception Unknown_region of { rid : Rid.t }
+exception Not_nv_data of { addr : Vaddr.t }
 
 let create ~layout ~mem ~timing ?metrics () =
   let rid_entry = Layout.rid_entry_bytes layout in
@@ -38,10 +43,10 @@ let create ~layout ~mem ~timing ?metrics () =
   let nv = Layout.nv_start layout in
   let rid_lo = nv + (Layout.data_nvbase_min layout lsl s_r) in
   let rid_size = Layout.data_nvbase_min layout lsl s_r in
-  Memsim.map mem ~addr:rid_lo ~size:rid_size;
+  Memsim.map mem ~addr:(Vaddr.v rid_lo) ~size:rid_size;
   let base_lo = nv + (1 lsl (layout.Layout.l4 + s_b)) in
   let base_size = 1 lsl (layout.Layout.l4 + s_b) in
-  Memsim.map mem ~addr:base_lo ~size:base_size;
+  Memsim.map mem ~addr:(Vaddr.v base_lo) ~size:base_size;
   let metrics =
     match metrics with Some m -> m | None -> Metrics.create ()
   in
@@ -68,65 +73,69 @@ let reset_phases t =
 
 let register_region t ~rid ~base =
   let l = t.layout in
-  if not (Layout.is_data_addr l base) then raise (Not_nv_data { addr = base });
-  Memsim.store_sized t.mem ~size:t.rid_entry (Layout.rid_entry_addr l base) rid;
+  if not (K.is_data_addr l base) then raise (Not_nv_data { addr = base });
+  Memsim.store_sized t.mem ~size:t.rid_entry
+    (K.rid_entry_vaddr l base)
+    (rid : Rid.t :> int);
   Memsim.store_sized t.mem ~size:t.base_entry
-    (Layout.base_entry_addr l ~rid)
-    (Layout.nvbase l base)
+    (K.base_entry_vaddr l ~rid)
+    (Seg.to_int (K.seg_of_vaddr l base))
 
 let unregister_region t ~rid ~base =
   let l = t.layout in
-  Memsim.store_sized t.mem ~size:t.rid_entry (Layout.rid_entry_addr l base) 0;
-  Memsim.store_sized t.mem ~size:t.base_entry (Layout.base_entry_addr l ~rid) 0
+  Memsim.store_sized t.mem ~size:t.rid_entry (K.rid_entry_vaddr l base) 0;
+  Memsim.store_sized t.mem ~size:t.base_entry (K.base_entry_vaddr l ~rid) 0
 
 let id2addr t rid =
   let l = t.layout in
   Timing.alu t.timing 2;
-  let entry = Layout.base_entry_addr l ~rid in
+  let entry = K.base_entry_vaddr l ~rid in
   incr t.c_base_loads;
   let nvbase = Memsim.load_sized t.mem ~size:t.base_entry entry in
   if nvbase = 0 then raise (Unknown_region { rid });
   Timing.alu t.timing 1;
-  Layout.segment_base_of_nvbase l nvbase
+  K.vaddr_of_seg l (Seg.v nvbase)
 
 let addr2id t a =
   let l = t.layout in
-  if not (Layout.is_data_addr l a) then raise (Not_nv_data { addr = a });
+  if not (K.is_data_addr l a) then raise (Not_nv_data { addr = a });
   Timing.alu t.timing 2;
-  let entry = Layout.rid_entry_addr l a in
+  let entry = K.rid_entry_vaddr l a in
   incr t.c_rid_loads;
   let rid = Memsim.load_sized t.mem ~size:t.rid_entry entry in
-  if rid = 0 then raise (Unknown_region { rid = 0 });
-  rid
+  if rid = 0 then raise (Unknown_region { rid = Rid.none });
+  Rid.v rid
 
 let get_base t a =
   Timing.alu t.timing 1;
-  Layout.get_base t.layout a
+  K.base_of_vaddr t.layout a
 
 (* The three phases of a RIV read are timed separately so the breakdown
    experiment (Section 6.2) can report their shares. *)
 let x2p t v =
   incr t.c_x2p;
-  if v = 0 then begin
+  if Riv.is_null v then begin
     Timing.alu t.timing 2;
-    0
+    Vaddr.null
   end
   else begin
     let l = t.layout in
     let clock = Timing.clock t.timing in
     let c0 = Clock.cycles clock in
     Timing.alu t.timing 3;
-    let rid = Layout.riv_rid l v in
-    let offset = Layout.riv_offset l v in
+    let rid = K.rid_of_riv l v in
+    let offset = K.offset_of_riv l v in
     let c1 = Clock.cycles clock in
     Timing.alu t.timing 3;
-    let entry = Layout.base_entry_addr l ~rid in
+    let entry = K.base_entry_vaddr l ~rid in
     let c2 = Clock.cycles clock in
     incr t.c_base_loads;
     let nvbase = Memsim.load_sized t.mem ~size:t.base_entry entry in
     if nvbase = 0 then raise (Unknown_region { rid });
     Timing.alu t.timing 2;
-    let addr = Layout.segment_base_of_nvbase l nvbase lor offset in
+    let addr =
+      K.vaddr_in_segment l ~base:(K.vaddr_of_seg l (Seg.v nvbase)) ~offset
+    in
     let c3 = Clock.cycles clock in
     t.phases.extract_cycles <- t.phases.extract_cycles + c1 - c0;
     t.phases.id2addr_cycles <- t.phases.id2addr_cycles + c2 - c1;
@@ -136,12 +145,12 @@ let x2p t v =
 
 let p2x t a =
   incr t.c_p2x;
-  if a = 0 then 0
+  if Vaddr.is_null a then Riv.null
   else begin
     let l = t.layout in
     let rid = addr2id t a in
     Timing.alu t.timing 2;
-    let offset = Layout.seg_offset l a in
+    let offset = K.seg_offset l a in
     Timing.alu t.timing 1;
-    Layout.riv_pack l ~rid ~offset
+    K.riv_of_rid_off l ~rid ~offset
   end

@@ -11,8 +11,8 @@
 
 type t
 
-exception Unknown_region of { rid : int }
-exception Not_nv_data of { addr : int }
+exception Unknown_region of { rid : Nvmpi_addr.Kinds.Rid.t }
+exception Not_nv_data of { addr : Nvmpi_addr.Kinds.Vaddr.t }
 
 val create :
   layout:Nvmpi_addr.Layout.t ->
@@ -29,37 +29,43 @@ val create :
 
 val layout : t -> Nvmpi_addr.Layout.t
 
-val register_region : t -> rid:int -> base:int -> unit
+val register_region :
+  t -> rid:Nvmpi_addr.Kinds.Rid.t -> base:Nvmpi_addr.Kinds.Vaddr.t -> unit
 (** Called when a region is opened at segment base [base]: writes the
     RID-table entry (segment base -> ID) and the base-table entry
     (ID -> nvbase). *)
 
-val unregister_region : t -> rid:int -> base:int -> unit
+val unregister_region :
+  t -> rid:Nvmpi_addr.Kinds.Rid.t -> base:Nvmpi_addr.Kinds.Vaddr.t -> unit
 (** Zeroes both entries when the region is closed. *)
 
-val id2addr : t -> int -> int
+val id2addr : t -> Nvmpi_addr.Kinds.Rid.t -> Nvmpi_addr.Kinds.Vaddr.t
 (** [id2addr t rid] is the base address of the open region [rid]
     (Figure 5 (b)). Charges: entry-address computation (2 ALU) + one
     table load + nothing else.
     @raise Unknown_region if the table holds no entry for [rid]. *)
 
-val addr2id : t -> int -> int
+val addr2id : t -> Nvmpi_addr.Kinds.Vaddr.t -> Nvmpi_addr.Kinds.Rid.t
 (** [addr2id t a] is the region ID owning data-area address [a]
     (Figure 5 (c)). Charges: 2 ALU + one table load.
     @raise Not_nv_data if [a] is not a data-area address.
     @raise Unknown_region if the segment has no registered region. *)
 
-val get_base : t -> int -> int
+val get_base : t -> Nvmpi_addr.Kinds.Vaddr.t -> Nvmpi_addr.Kinds.Vaddr.t
 (** [get_base t a] masks the low [l3] bits of [a] (1 ALU). *)
 
-val x2p : t -> int -> int
-(** [x2p t v] converts a packed RIV value to an absolute address:
-    unpack (2 ALU), {!id2addr}, add (1 ALU). [0] maps to [0] (null). *)
+val x2p : t -> Nvmpi_addr.Kinds.Riv.t -> Nvmpi_addr.Kinds.Vaddr.t
+(** [x2p t v] converts a packed RIV value to an absolute address —
+    Figure 8's [persistentX] decode, composed from
+    {!Nvmpi_addr.Kinds.rid_of_riv}/{!Nvmpi_addr.Kinds.offset_of_riv}
+    (unpack, 2 ALU), the base-table load ({!id2addr}) and the final or
+    (1 ALU). Null maps to null. *)
 
-val p2x : t -> int -> int
-(** [p2x t a] converts an absolute address to a packed RIV value:
-    {!addr2id}, offset extraction (1 ALU), pack (2 ALU). [0] maps to
-    [0]. *)
+val p2x : t -> Nvmpi_addr.Kinds.Vaddr.t -> Nvmpi_addr.Kinds.Riv.t
+(** [p2x t a] converts an absolute address to a packed RIV value —
+    Figure 8's [persistentX] encode: {!addr2id}, offset extraction
+    ({!Nvmpi_addr.Kinds.seg_offset}, 1 ALU), pack
+    ({!Nvmpi_addr.Kinds.riv_of_rid_off}, 2 ALU). Null maps to null. *)
 
 (** {1 Cost-phase instrumentation}
 

@@ -10,38 +10,42 @@
     NV-space tables. The ablation benchmark compares it against RIV to
     isolate how much of RIV's win comes from the table design. *)
 
-module Layout = Nvmpi_addr.Layout
+module K = Nvmpi_addr.Kinds
+module Vaddr = K.Vaddr
+module Riv = K.Riv
 
 let name = "packed-fat"
 let slot_size = 8
 let cross_region = true
 let position_independent = true
 
-let store m ~holder target =
+let store m ~holder (target : Vaddr.t) =
   Machine.count m "repr.packed-fat.stores";
-  if target = 0 then Machine.store64 m holder 0
+  if Vaddr.is_null target then Machine.store64 m holder 0
   else begin
     let rid = Fat_table.rid_of_addr m.Machine.fat target in
     Machine.alu m 3;
+    (* The Figure 5 packing, with the ID produced by the hashtable
+       runtime's reverse search rather than the RID table. *)
     let v =
-      Layout.riv_pack m.Machine.layout ~rid
-        ~offset:(Layout.seg_offset m.Machine.layout target)
+      K.riv_of_rid_off m.Machine.layout ~rid
+        ~offset:(K.seg_offset m.Machine.layout target)
     in
-    Machine.store64 m holder v
+    Machine.store64 m holder (v :> int)
   end
 
 let load m ~holder =
   Machine.count m "repr.packed-fat.loads";
-  let v = Machine.load64 m holder in
-  if v = 0 then begin
+  let v = Riv.v (Machine.load64 m holder) in
+  if Riv.is_null v then begin
     Fat_table.charge_null_lookup m.Machine.fat;
-    0
+    Vaddr.null
   end
   else begin
     Machine.alu m 2;
-    let rid = Layout.riv_rid m.Machine.layout v in
-    let offset = Layout.riv_offset m.Machine.layout v in
+    let rid = K.rid_of_riv m.Machine.layout v in
+    let offset = K.offset_of_riv m.Machine.layout v in
     let base = Fat_table.lookup m.Machine.fat rid in
     Machine.alu m 1;
-    base + offset
+    Vaddr.add base offset
   end

@@ -8,10 +8,10 @@ val slot_size : int
 val cross_region : bool
 val position_independent : bool
 
-val store : Machine.t -> holder:int -> int -> unit
+val store : Machine.t -> holder:Nvmpi_addr.Kinds.Vaddr.t -> Nvmpi_addr.Kinds.Vaddr.t -> unit
 (** [store m ~holder target] encodes a pointer to [target] into the
-    slot at [holder] (0 stores null). *)
+    slot at [holder] ({!Nvmpi_addr.Kinds.Vaddr.null} stores null). *)
 
-val load : Machine.t -> holder:int -> int
+val load : Machine.t -> holder:Nvmpi_addr.Kinds.Vaddr.t -> Nvmpi_addr.Kinds.Vaddr.t
 (** [load m ~holder] decodes the slot and returns the absolute target
-    address (0 for null). *)
+    address ({!Nvmpi_addr.Kinds.Vaddr.null} for null). *)

@@ -30,13 +30,22 @@ module type S = sig
       different base address. Normal pointers (and swizzled pointers in
       their in-memory form) are not position independent. *)
 
-  val store : Machine.t -> holder:int -> int -> unit
+  val store :
+    Machine.t ->
+    holder:Nvmpi_addr.Kinds.Vaddr.t ->
+    Nvmpi_addr.Kinds.Vaddr.t ->
+    unit
   (** [store m ~holder target] writes a pointer to absolute address
-      [target] into the slot at [holder].
+      [target] into the slot at [holder] — Figure 8's encode on store:
+      in-flight pointers are absolute ({!Nvmpi_addr.Kinds.Vaddr.t});
+      only the slot holds the representation's encoded form.
       @raise Machine.Cross_region_store if the representation is
-      intra-region-only and [target] lies outside the holder's region. *)
+      intra-region-only and [target] lies outside the holder's region.
+      The raise happens before any cycle is charged or counter bumped:
+      a faulting store is observationally free. *)
 
-  val load : Machine.t -> holder:int -> int
+  val load : Machine.t -> holder:Nvmpi_addr.Kinds.Vaddr.t -> Nvmpi_addr.Kinds.Vaddr.t
   (** [load m ~holder] reads the slot and returns the absolute target
-      address (0 for null). *)
+      address — Figure 8's decode on load ({!Nvmpi_addr.Kinds.Vaddr.null}
+      for a stored null). *)
 end

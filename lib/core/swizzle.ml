@@ -15,33 +15,38 @@
     per-slot conversion passes are driven by each data structure's
     walker. *)
 
+module K = Nvmpi_addr.Kinds
+module Vaddr = K.Vaddr
+module Riv = K.Riv
+
 let name = "swizzle"
 let slot_size = 8
 let cross_region = true
 let position_independent = false (* in its in-memory, swizzled form *)
 
-let store m ~holder target =
+let store m ~holder (target : Vaddr.t) =
   Machine.count m "repr.swizzle.stores";
-  Machine.store64 m holder target
+  Machine.store64 m holder (target :> int)
 
 let load m ~holder =
   Machine.count m "repr.swizzle.loads";
-  Machine.load64 m holder
+  Vaddr.v (Machine.load64 m holder)
 
 (** [store_packed m ~holder target] writes the persisted (unswizzled)
     form directly; used when producing the on-NVM form a freshly opened
     structure starts from. *)
 let store_packed m ~holder target =
   Machine.count m "swizzle.packed_stores";
-  Machine.store64 m holder (Nvspace.p2x m.Machine.nvspace target)
+  Machine.store64 m holder (Nvspace.p2x m.Machine.nvspace target :> int)
 
 (** [swizzle_slot m ~holder] converts the packed slot at [holder] to an
-    absolute address in place and returns that address (0 for null). *)
+    absolute address in place and returns that address (null for a
+    stored null). *)
 let swizzle_slot m ~holder =
   Machine.count m "swizzle.swizzled_slots";
-  let v = Machine.load64 m holder in
+  let v = Riv.v (Machine.load64 m holder) in
   let a = Nvspace.x2p m.Machine.nvspace v in
-  Machine.store64 m holder a;
+  Machine.store64 m holder (a :> int);
   a
 
 (** [unswizzle_slot m ~holder] converts the absolute slot at [holder]
@@ -49,6 +54,6 @@ let swizzle_slot m ~holder =
     held (so a walker can keep traversing). *)
 let unswizzle_slot m ~holder =
   Machine.count m "swizzle.unswizzled_slots";
-  let a = Machine.load64 m holder in
-  Machine.store64 m holder (Nvspace.p2x m.Machine.nvspace a);
+  let a = Vaddr.v (Machine.load64 m holder) in
+  Machine.store64 m holder (Nvspace.p2x m.Machine.nvspace a :> int);
   a

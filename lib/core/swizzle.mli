@@ -12,19 +12,20 @@ val slot_size : int
 val cross_region : bool
 val position_independent : bool
 
-val store : Machine.t -> holder:int -> int -> unit
+val store : Machine.t -> holder:Nvmpi_addr.Kinds.Vaddr.t -> Nvmpi_addr.Kinds.Vaddr.t -> unit
 (** Steady-state (swizzled) store: the absolute address. *)
 
-val load : Machine.t -> holder:int -> int
+val load : Machine.t -> holder:Nvmpi_addr.Kinds.Vaddr.t -> Nvmpi_addr.Kinds.Vaddr.t
 (** Steady-state (swizzled) load. *)
 
-val store_packed : Machine.t -> holder:int -> int -> unit
+val store_packed : Machine.t -> holder:Nvmpi_addr.Kinds.Vaddr.t -> Nvmpi_addr.Kinds.Vaddr.t -> unit
 (** Writes the persisted (unswizzled) form directly. *)
 
-val swizzle_slot : Machine.t -> holder:int -> int
+val swizzle_slot : Machine.t -> holder:Nvmpi_addr.Kinds.Vaddr.t -> Nvmpi_addr.Kinds.Vaddr.t
 (** Converts the packed slot to an absolute address in place and
-    returns that address (0 for null). *)
+    returns that address ({!Nvmpi_addr.Kinds.Vaddr.null} for a stored
+    null). *)
 
-val unswizzle_slot : Machine.t -> holder:int -> int
+val unswizzle_slot : Machine.t -> holder:Nvmpi_addr.Kinds.Vaddr.t -> Nvmpi_addr.Kinds.Vaddr.t
 (** Converts the absolute slot back to packed form and returns the
     absolute target it held, so a walker can keep traversing. *)

@@ -1,6 +1,8 @@
 module Machine = Core.Machine
 module Region = Nvmpi_nvregion.Region
 module Memsim = Nvmpi_memsim.Memsim
+module Vaddr = Nvmpi_addr.Kinds.Vaddr
+module Rid = Nvmpi_addr.Kinds.Rid
 
 exception Runtime_error of string
 
@@ -18,18 +20,25 @@ type ctx = {
 
 let truthy v = v <> 0
 
+(* Language-level values are plain machine words; the conversion to a
+   typed address at each memory touch is the evaluator's Figure 8 trust
+   boundary (the same place the paper's compiler inserts conversions). *)
 let slot_load ctx cls holder =
   if holder = 0 then err "null dereference (pointer slot load)";
-  match cls with
-  | Ast.Normal | Ast.Persistent -> Core.Normal_ptr.load ctx.machine ~holder
-  | Ast.PersistentI -> Core.Off_holder.load ctx.machine ~holder
-  | Ast.PersistentX -> Core.Riv.load ctx.machine ~holder
+  let holder = Vaddr.v holder in
+  (match cls with
+   | Ast.Normal | Ast.Persistent -> Core.Normal_ptr.load ctx.machine ~holder
+   | Ast.PersistentI -> Core.Off_holder.load ctx.machine ~holder
+   | Ast.PersistentX -> Core.Riv.load ctx.machine ~holder
+    :> int)
 
 let slot_store ctx cls holder value =
   if holder = 0 then err "null dereference (pointer slot store)";
+  let holder = Vaddr.v holder and value = Vaddr.v value in
   try
     match cls with
-    | Ast.Normal | Ast.Persistent -> Core.Normal_ptr.store ctx.machine ~holder value
+    | Ast.Normal | Ast.Persistent ->
+        Core.Normal_ptr.store ctx.machine ~holder value
     | Ast.PersistentI -> Core.Off_holder.store ctx.machine ~holder value
     | Ast.PersistentX -> Core.Riv.store ctx.machine ~holder value
   with
@@ -37,9 +46,11 @@ let slot_store ctx cls holder value =
       err
         "dynamic check failed: persistentI slot at 0x%x cannot point to \
          0x%x (different NVRegion)"
-        holder target
+        (holder :> int)
+        (target :> int)
   | Core.Nvspace.Not_nv_data { addr } ->
-      err "persistentX slot cannot point to non-NVM address 0x%x" addr
+      err "persistentX slot cannot point to non-NVM address 0x%x"
+        (addr :> int)
 
 let rec eval ctx frame (e : Ir.expr) : int =
   match e with
@@ -52,7 +63,7 @@ let rec eval ctx frame (e : Ir.expr) : int =
   | Ir.LoadInt a ->
       let addr = eval ctx frame a in
       if addr = 0 then err "null dereference (int load)";
-      Memsim.load64 ctx.machine.Machine.mem addr
+      Memsim.load64 ctx.machine.Machine.mem (Vaddr.v addr)
   | Ir.SlotLoad (cls, a) -> slot_load ctx cls (eval ctx frame a)
   | Ir.Bin (op, a, b) -> begin
       match op with
@@ -91,25 +102,27 @@ let rec eval ctx frame (e : Ir.expr) : int =
   | Ir.RegionCreate size ->
       let size = eval ctx frame size in
       if size <= 0 then err "region_create: non-positive size %d" size;
-      Machine.create_region ctx.machine ~size
+      (Machine.create_region ctx.machine ~size :> int)
   | Ir.RegionOpen rid -> begin
       let rid = eval ctx frame rid in
-      try Region.rid (Machine.open_region ctx.machine rid)
+      try (Region.rid (Machine.open_region ctx.machine (Rid.v rid)) :> int)
       with Invalid_argument m | Failure m -> err "region_open: %s" m
     end
   | Ir.RootGet (rid, name) -> begin
       let rid = eval ctx frame rid in
-      match Machine.region ctx.machine rid with
+      match Machine.region ctx.machine (Rid.v rid) with
       | None -> err "root_get: region %d is not open" rid
       | Some r -> (
           match Region.root r name with
-          | Some a -> a
+          | Some a -> (a :> int)
           | None -> err "root_get: region %d has no root %S" rid name)
     end
   | Ir.RegionMigrate (rid, size) -> begin
       let rid = eval ctx frame rid in
       let size = eval ctx frame size in
-      try Region.rid (Machine.migrate_region ctx.machine rid ~size)
+      try
+        (Region.rid (Machine.migrate_region ctx.machine (Rid.v rid) ~size)
+          :> int)
       with Invalid_argument m | Failure m -> err "region_migrate: %s" m
     end
   | Ir.NewArray (rid, elem_size, count) ->
@@ -121,7 +134,7 @@ let rec eval ctx frame (e : Ir.expr) : int =
 and alloc_zeroed ctx frame rid size =
   begin
       let rid = eval ctx frame rid in
-      match Machine.region ctx.machine rid with
+      match Machine.region ctx.machine (Rid.v rid) with
       | None -> err "new: region %d is not open" rid
       | Some r ->
           let a =
@@ -132,10 +145,10 @@ and alloc_zeroed ctx frame rid size =
           (* Zero-initialize so pointer fields start null. *)
           let w = ref 0 in
           while !w < size do
-            Memsim.store64 ctx.machine.Machine.mem (a + !w) 0;
+            Memsim.store64 ctx.machine.Machine.mem (Vaddr.add a !w) 0;
             w := !w + 8
           done;
-          a
+          (a :> int)
     end
 
 and exec ctx frame (s : Ir.stmt) : unit =
@@ -146,23 +159,23 @@ and exec ctx frame (s : Ir.stmt) : unit =
       let a = eval ctx frame addr in
       if a = 0 then err "null dereference (int store)";
       let v = eval ctx frame value in
-      Memsim.store64 ctx.machine.Machine.mem a v
+      Memsim.store64 ctx.machine.Machine.mem (Vaddr.v a) v
   | Ir.SlotStore { cls; holder; value } ->
       let h = eval ctx frame holder in
       let v = eval ctx frame value in
       slot_store ctx cls h v
   | Ir.RegionClose rid -> begin
       let rid = eval ctx frame rid in
-      try Machine.close_region ctx.machine rid
+      try Machine.close_region ctx.machine (Rid.v rid)
       with Invalid_argument m -> err "region_close: %s" m
     end
   | Ir.RootSet { rid; name; value } -> begin
       let rid = eval ctx frame rid in
       let v = eval ctx frame value in
-      match Machine.region ctx.machine rid with
+      match Machine.region ctx.machine (Rid.v rid) with
       | None -> err "root_set: region %d is not open" rid
       | Some r -> (
-          try Region.set_root r name v
+          try Region.set_root r name (Vaddr.v v)
           with Invalid_argument m -> err "root_set: %s" m)
     end
   | Ir.If (c, t, e) ->

@@ -227,3 +227,27 @@ let fill t ~addr ~len c =
   for i = 0 to len - 1 do
     store8 t (addr + i) (Char.code c)
   done
+
+(* Typed facade (Kinds discipline, see Nvmpi_addr.Kinds): the public
+   signature takes typed virtual addresses; the wrappers are zero-cost
+   coercions over the int-based engine above. *)
+
+module Vaddr = Nvmpi_addr.Kinds.Vaddr
+
+let map t ~addr:(a : Vaddr.t) ~size = map t ~addr:(a :> int) ~size
+let unmap t ~addr:(a : Vaddr.t) = unmap t ~addr:(a :> int)
+let is_mapped t (a : Vaddr.t) = is_mapped t (a :> int)
+let mappings t = List.map (fun (a, s) -> (Vaddr.v a, s)) (mappings t)
+let load8 t (a : Vaddr.t) = load8 t (a :> int)
+let load16 t (a : Vaddr.t) = load16 t (a :> int)
+let load32 t (a : Vaddr.t) = load32 t (a :> int)
+let load64 t (a : Vaddr.t) = load64 t (a :> int)
+let store8 t (a : Vaddr.t) v = store8 t (a :> int) v
+let store16 t (a : Vaddr.t) v = store16 t (a :> int) v
+let store32 t (a : Vaddr.t) v = store32 t (a :> int) v
+let store64 t (a : Vaddr.t) v = store64 t (a :> int) v
+let load_sized t ~size (a : Vaddr.t) = load_sized t ~size (a :> int)
+let store_sized t ~size (a : Vaddr.t) v = store_sized t ~size (a :> int) v
+let blit_from_bytes t ~addr:(a : Vaddr.t) b = blit_from_bytes t ~addr:(a :> int) b
+let blit_to_bytes t ~addr:(a : Vaddr.t) ~len = blit_to_bytes t ~addr:(a :> int) ~len
+let fill t ~addr:(a : Vaddr.t) ~len c = fill t ~addr:(a :> int) ~len c

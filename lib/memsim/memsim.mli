@@ -16,7 +16,10 @@ type t
 type op = Load | Store
 
 type access = { op : op; addr : int; size : int }
-(** One memory access: [size] is in bytes (1, 2, 4 or 8). *)
+(** One memory access as seen on the simulated bus: [size] is in bytes
+    (1, 2, 4 or 8). The address is deliberately a raw [int] — observers
+    (the cache model) operate below the typed discipline, where every
+    word is untyped bit traffic. *)
 
 exception Fault of { addr : int; size : int; reason : string }
 (** Raised on an access to unmapped memory or a misaligned access. *)
@@ -30,21 +33,21 @@ val page_size : t -> int
 
 (** {1 Mappings} *)
 
-val map : t -> addr:int -> size:int -> unit
+val map : t -> addr:Nvmpi_addr.Kinds.Vaddr.t -> size:int -> unit
 (** [map t ~addr ~size] makes the byte range [[addr, addr+size)]
     accessible. The range is rounded outward to page boundaries. Raises
     [Invalid_argument] if it overlaps an existing mapping. *)
 
-val unmap : t -> addr:int -> unit
+val unmap : t -> addr:Nvmpi_addr.Kinds.Vaddr.t -> unit
 (** [unmap t ~addr] removes the mapping that was created at exactly
     [addr] and drops its backing pages. Raises [Invalid_argument] if no
     mapping starts at [addr]. *)
 
-val is_mapped : t -> int -> bool
+val is_mapped : t -> Nvmpi_addr.Kinds.Vaddr.t -> bool
 (** [is_mapped t a] is [true] iff address [a] falls inside a mapped
     range. *)
 
-val mappings : t -> (int * int) list
+val mappings : t -> (Nvmpi_addr.Kinds.Vaddr.t * int) list
 (** All mapped ranges as [(addr, size)] pairs, sorted by address
     (page-rounded). *)
 
@@ -67,33 +70,33 @@ val observed : t -> bool -> unit
     off-holder pointers for backward offsets); loads return exactly the
     stored [int]. *)
 
-val load8 : t -> int -> int
-val load16 : t -> int -> int
-val load32 : t -> int -> int
-val load64 : t -> int -> int
-val store8 : t -> int -> int -> unit
-val store16 : t -> int -> int -> unit
-val store32 : t -> int -> int -> unit
-val store64 : t -> int -> int -> unit
+val load8 : t -> Nvmpi_addr.Kinds.Vaddr.t -> int
+val load16 : t -> Nvmpi_addr.Kinds.Vaddr.t -> int
+val load32 : t -> Nvmpi_addr.Kinds.Vaddr.t -> int
+val load64 : t -> Nvmpi_addr.Kinds.Vaddr.t -> int
+val store8 : t -> Nvmpi_addr.Kinds.Vaddr.t -> int -> unit
+val store16 : t -> Nvmpi_addr.Kinds.Vaddr.t -> int -> unit
+val store32 : t -> Nvmpi_addr.Kinds.Vaddr.t -> int -> unit
+val store64 : t -> Nvmpi_addr.Kinds.Vaddr.t -> int -> unit
 
-val load_sized : t -> size:int -> int -> int
+val load_sized : t -> size:int -> Nvmpi_addr.Kinds.Vaddr.t -> int
 (** Dispatches to [load8/16/32/64] on [size]. *)
 
-val store_sized : t -> size:int -> int -> int -> unit
+val store_sized : t -> size:int -> Nvmpi_addr.Kinds.Vaddr.t -> int -> unit
 
 (** {1 Bulk transfers}
 
     Bulk transfers are observed as a sequence of 8-byte (then byte-sized)
     accesses. *)
 
-val blit_from_bytes : t -> addr:int -> bytes -> unit
+val blit_from_bytes : t -> addr:Nvmpi_addr.Kinds.Vaddr.t -> bytes -> unit
 (** Copies an OCaml [bytes] into simulated memory at [addr]. *)
 
-val blit_to_bytes : t -> addr:int -> len:int -> bytes
+val blit_to_bytes : t -> addr:Nvmpi_addr.Kinds.Vaddr.t -> len:int -> bytes
 (** Copies [len] bytes of simulated memory starting at [addr] out into a
     fresh OCaml [bytes]. *)
 
-val fill : t -> addr:int -> len:int -> char -> unit
+val fill : t -> addr:Nvmpi_addr.Kinds.Vaddr.t -> len:int -> char -> unit
 
 (** {1 Statistics} *)
 

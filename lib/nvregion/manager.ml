@@ -1,10 +1,16 @@
 module Layout = Nvmpi_addr.Layout
+module K = Nvmpi_addr.Kinds
+module Vaddr = K.Vaddr
+module Rid = K.Rid
+module Seg = K.Seg
 module Memsim = Nvmpi_memsim.Memsim
 
 let log_src = Logs.Src.create "nvmpi.region" ~doc:"NVRegion lifecycle"
 
 module Log = (val Logs.src_log log_src)
 
+(* The two tables index by raw ints (hash keys); every public entry
+   point converts at the boundary. *)
 type t = {
   layout : Layout.t;
   mem : Memsim.t;
@@ -46,8 +52,8 @@ let pick_nvbase t =
   in
   go 0
 
-let open_region ?at_nvbase t rid =
-  match Hashtbl.find_opt t.open_tbl rid with
+let open_region ?at_nvbase t (rid : Rid.t) =
+  match Hashtbl.find_opt t.open_tbl (rid :> int) with
   | Some r -> r
   | None ->
       let blob = Store.find_exn t.store rid in
@@ -55,11 +61,13 @@ let open_region ?at_nvbase t rid =
         invalid_arg
           (Printf.sprintf
              "Manager.open_region: region %d (%d bytes) exceeds segment size"
-             rid blob.Store.size);
+             (rid :> int)
+             blob.Store.size);
       let nvbase =
         match at_nvbase with
         | None -> pick_nvbase t
-        | Some nb ->
+        | Some (nb : Seg.t) ->
+            let nb = (nb :> int) in
             if nb < Layout.data_nvbase_min t.layout
                || nb > Nvmpi_addr.Bitops.mask t.layout.Layout.l2
             then invalid_arg "Manager.open_region: nvbase not in data area";
@@ -67,28 +75,29 @@ let open_region ?at_nvbase t rid =
               invalid_arg "Manager.open_region: nvbase occupied";
             nb
       in
-      let base = Layout.segment_base_of_nvbase t.layout nvbase in
+      let base = K.vaddr_of_seg t.layout (Seg.v nvbase) in
       Memsim.map t.mem ~addr:base ~size:blob.Store.size;
       Memsim.observed t.mem false;
       Memsim.blit_from_bytes t.mem ~addr:base blob.Store.data;
       Memsim.observed t.mem true;
       let r = Region.make ~mem:t.mem ~rid ~base ~size:blob.Store.size in
       Region.check_header r;
-      Hashtbl.add t.open_tbl rid r;
-      Hashtbl.add t.used_nvbases nvbase rid;
+      Hashtbl.add t.open_tbl (rid :> int) r;
+      Hashtbl.add t.used_nvbases nvbase (rid :> int);
       Log.debug (fun m ->
-          m "opened region %d (%d bytes) at 0x%x (nvbase 0x%x)" rid
-            blob.Store.size base nvbase);
+          m "opened region %d (%d bytes) at %a (nvbase 0x%x)" (rid :> int)
+            blob.Store.size Vaddr.pp base nvbase);
       r
 
-let region t rid = Hashtbl.find_opt t.open_tbl rid
+let region t (rid : Rid.t) = Hashtbl.find_opt t.open_tbl (rid :> int)
 
-let region_exn t rid =
+let region_exn t (rid : Rid.t) =
   match region t rid with
   | Some r -> r
-  | None -> invalid_arg (Printf.sprintf "Manager: region %d not open" rid)
+  | None ->
+      invalid_arg (Printf.sprintf "Manager: region %d not open" (rid :> int))
 
-let is_open t rid = Hashtbl.mem t.open_tbl rid
+let is_open t (rid : Rid.t) = Hashtbl.mem t.open_tbl (rid :> int)
 
 let save_region t rid =
   let r = region_exn t rid in
@@ -100,21 +109,22 @@ let save_region t rid =
   Memsim.observed t.mem true;
   Bytes.blit data 0 blob.Store.data 0 (Bytes.length data)
 
-let close_region t rid =
+let close_region t (rid : Rid.t) =
   let r = region_exn t rid in
   save_region t rid;
   Memsim.unmap t.mem ~addr:(Region.base r);
-  Hashtbl.remove t.open_tbl rid;
-  Hashtbl.remove t.used_nvbases (Layout.nvbase t.layout (Region.base r));
-  Log.debug (fun m -> m "closed region %d (image persisted)" rid)
+  Hashtbl.remove t.open_tbl (rid :> int);
+  Hashtbl.remove t.used_nvbases
+    (Seg.to_int (K.seg_of_vaddr t.layout (Region.base r)));
+  Log.debug (fun m -> m "closed region %d (image persisted)" (rid :> int))
 
 let close_all t =
-  List.iter (fun rid -> close_region t rid)
+  List.iter (fun rid -> close_region t (Rid.v rid))
     (Hashtbl.fold (fun k _ acc -> k :: acc) t.open_tbl [])
 
 let open_regions t =
   Hashtbl.fold (fun _ r acc -> r :: acc) t.open_tbl []
-  |> List.sort (fun a b -> compare (Region.rid a) (Region.rid b))
+  |> List.sort (fun a b -> Rid.compare (Region.rid a) (Region.rid b))
 
 let region_of_addr t a =
   let found = ref None in

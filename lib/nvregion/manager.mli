@@ -24,10 +24,11 @@ val layout : t -> Nvmpi_addr.Layout.t
 val store : t -> Store.t
 val mem : t -> Nvmpi_memsim.Memsim.t
 
-val create_region : t -> size:int -> int
+val create_region : t -> size:int -> Nvmpi_addr.Kinds.Rid.t
 (** Creates a new (closed) region image in the store; returns its ID. *)
 
-val open_region : ?at_nvbase:int -> t -> int -> Region.t
+val open_region :
+  ?at_nvbase:Nvmpi_addr.Kinds.Seg.t -> t -> Nvmpi_addr.Kinds.Rid.t -> Region.t
 (** [open_region t rid] maps region [rid] at a fresh random NV segment
     and returns the handle; if the region is already open the existing
     handle is returned. [at_nvbase] pins the segment (used by tests and
@@ -35,19 +36,19 @@ val open_region : ?at_nvbase:int -> t -> int -> Region.t
     @raise Invalid_argument if the region does not exist, is larger than
     a segment, or [at_nvbase] is occupied/not in the data area. *)
 
-val close_region : t -> int -> unit
+val close_region : t -> Nvmpi_addr.Kinds.Rid.t -> unit
 (** Persists the image back to the store and unmaps it. *)
 
-val save_region : t -> int -> unit
+val save_region : t -> Nvmpi_addr.Kinds.Rid.t -> unit
 (** Persists without unmapping (a checkpoint). *)
 
 val close_all : t -> unit
 
-val region : t -> int -> Region.t option
-val region_exn : t -> int -> Region.t
-val is_open : t -> int -> bool
+val region : t -> Nvmpi_addr.Kinds.Rid.t -> Region.t option
+val region_exn : t -> Nvmpi_addr.Kinds.Rid.t -> Region.t
+val is_open : t -> Nvmpi_addr.Kinds.Rid.t -> bool
 val open_regions : t -> Region.t list
 (** Open regions sorted by ID. *)
 
-val region_of_addr : t -> int -> Region.t option
+val region_of_addr : t -> Nvmpi_addr.Kinds.Vaddr.t -> Region.t option
 (** The open region containing the given address, if any. *)

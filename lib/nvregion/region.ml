@@ -1,8 +1,11 @@
 module Memsim = Nvmpi_memsim.Memsim
+module K = Nvmpi_addr.Kinds
+module Vaddr = K.Vaddr
+module Rid = K.Rid
 
-type t = { rid : int; base : int; size : int; mem : Memsim.t }
+type t = { rid : Rid.t; base : Vaddr.t; size : int; mem : Memsim.t }
 
-exception Out_of_region_memory of { rid : int; requested : int }
+exception Out_of_region_memory of { rid : Rid.t; requested : int }
 
 let make ~mem ~rid ~base ~size = { rid; base; size; mem }
 let rid t = t.rid
@@ -14,27 +17,36 @@ let addr_of_offset t off =
   if off < 0 || off >= t.size then
     invalid_arg
       (Printf.sprintf "Region.addr_of_offset: offset 0x%x outside region %d"
-         off t.rid);
-  t.base + off
+         off
+         (t.rid :> int));
+  Vaddr.add t.base off
 
 let offset_of_addr t a =
-  if a < t.base || a >= t.base + t.size then
+  let off = Vaddr.offset_in a ~base:t.base in
+  if off < 0 || off >= t.size then
     invalid_arg
-      (Printf.sprintf "Region.offset_of_addr: 0x%x outside region %d" a t.rid);
-  a - t.base
+      (Printf.sprintf "Region.offset_of_addr: 0x%x outside region %d"
+         (a :> int)
+         (t.rid :> int));
+  off
 
-let contains t a = a >= t.base && a < t.base + t.size
+let contains t a =
+  let off = Vaddr.offset_in a ~base:t.base in
+  off >= 0 && off < t.size
 
 let check_header t =
-  let m = Memsim.load64 t.mem (t.base + Header.off_magic) in
+  let m = Memsim.load64 t.mem (Vaddr.add t.base Header.off_magic) in
   if m <> Header.magic then
-    failwith (Printf.sprintf "Region %d: bad magic 0x%x" t.rid m);
-  let r = Memsim.load64 t.mem (t.base + Header.off_rid) in
-  if r <> t.rid then
-    failwith (Printf.sprintf "Region %d: header records rid %d" t.rid r)
+    failwith (Printf.sprintf "Region %d: bad magic 0x%x" (t.rid :> int) m);
+  let r = Memsim.load64 t.mem (Vaddr.add t.base Header.off_rid) in
+  if r <> (t.rid :> int) then
+    failwith
+      (Printf.sprintf "Region %d: header records rid %d" (t.rid :> int) r)
 
-let heap_top t = Memsim.load64 t.mem (t.base + Header.off_heap_top)
-let set_heap_top t v = Memsim.store64 t.mem (t.base + Header.off_heap_top) v
+let heap_top t = Memsim.load64 t.mem (Vaddr.add t.base Header.off_heap_top)
+
+let set_heap_top t v =
+  Memsim.store64 t.mem (Vaddr.add t.base Header.off_heap_top) v
 
 let alloc t ?(align = 8) n =
   if n <= 0 then invalid_arg "Region.alloc: non-positive size";
@@ -43,19 +55,19 @@ let alloc t ?(align = 8) n =
   if start + n > t.size then
     raise (Out_of_region_memory { rid = t.rid; requested = n });
   set_heap_top t (start + n);
-  t.base + start
+  Vaddr.add t.base start
 
 let free_bytes t = t.size - heap_top t
 
-let nroots t = Memsim.load64 t.mem (t.base + Header.off_nroots)
-let set_nroots t v = Memsim.store64 t.mem (t.base + Header.off_nroots) v
+let nroots t = Memsim.load64 t.mem (Vaddr.add t.base Header.off_nroots)
+let set_nroots t v = Memsim.store64 t.mem (Vaddr.add t.base Header.off_nroots) v
 
 let read_name t i =
-  let entry = t.base + Header.root_entry_off i in
+  let entry = Vaddr.add t.base (Header.root_entry_off i) in
   let b = Buffer.create Header.root_name_bytes in
   (try
      for j = 0 to Header.root_name_bytes - 1 do
-       let c = Memsim.load8 t.mem (entry + j) in
+       let c = Memsim.load8 t.mem (Vaddr.add entry j) in
        if c = 0 then raise Exit;
        Buffer.add_char b (Char.chr c)
      done
@@ -86,30 +98,38 @@ let set_root t ?(tag = 0) name addr =
         set_nroots t (n + 1);
         n
   in
-  let entry = t.base + Header.root_entry_off i in
+  let entry = Vaddr.add t.base (Header.root_entry_off i) in
   for j = 0 to Header.root_name_bytes - 1 do
     let c = if j < String.length name then Char.code name.[j] else 0 in
-    Memsim.store8 t.mem (entry + j) c
+    Memsim.store8 t.mem (Vaddr.add entry j) c
   done;
-  Memsim.store64 t.mem (entry + Header.root_off_in_entry) (addr - t.base);
-  Memsim.store64 t.mem (entry + Header.root_tag_in_entry) tag
+  (* Roots are persisted as intra-region offsets — the off-holder idea
+     applied to the structure's entry point — hence position
+     independent. *)
+  Memsim.store64 t.mem
+    (Vaddr.add entry Header.root_off_in_entry)
+    (Vaddr.offset_in addr ~base:t.base);
+  Memsim.store64 t.mem (Vaddr.add entry Header.root_tag_in_entry) tag
 
 let root t name =
   match find_index t name with
   | None -> None
   | Some i ->
-      let entry = t.base + Header.root_entry_off i in
-      Some (t.base + Memsim.load64 t.mem (entry + Header.root_off_in_entry))
+      let entry = Vaddr.add t.base (Header.root_entry_off i) in
+      Some
+        (Vaddr.add t.base
+           (Memsim.load64 t.mem (Vaddr.add entry Header.root_off_in_entry)))
 
 let root_tag t name =
   match find_index t name with
   | None -> None
   | Some i ->
-      let entry = t.base + Header.root_entry_off i in
-      Some (Memsim.load64 t.mem (entry + Header.root_tag_in_entry))
+      let entry = Vaddr.add t.base (Header.root_entry_off i) in
+      Some (Memsim.load64 t.mem (Vaddr.add entry Header.root_tag_in_entry))
 
 let roots t =
   List.init (nroots t) (fun i ->
-      let entry = t.base + Header.root_entry_off i in
+      let entry = Vaddr.add t.base (Header.root_entry_off i) in
       ( read_name t i,
-        t.base + Memsim.load64 t.mem (entry + Header.root_off_in_entry) ))
+        Vaddr.add t.base
+          (Memsim.load64 t.mem (Vaddr.add entry Header.root_off_in_entry)) ))

@@ -1,5 +1,10 @@
-type blob = { rid : int; size : int; data : Bytes.t }
+module K = Nvmpi_addr.Kinds
+module Rid = K.Rid
 
+type blob = { rid : Rid.t; size : int; data : Bytes.t }
+
+(* The store indexes blobs by raw ID: it models the NVM device, below
+   the typed discipline; [Rid.t] appears at the interface. *)
 type t = { blobs : (int, blob) Hashtbl.t; mutable next : int }
 
 let header_bytes = Header.bytes
@@ -15,7 +20,8 @@ let init_header b ~rid ~size =
   Bytes.set_int64_le b Header.off_heap_top (Int64.of_int header_bytes);
   Bytes.set_int64_le b Header.off_nroots 0L
 
-let add_with_rid t ~rid ~size =
+let add_with_rid t ~rid:(rid' : Rid.t) ~size =
+  let rid = (rid' :> int) in
   if rid <= 0 then invalid_arg "Store.add_with_rid: rid must be positive";
   if Hashtbl.mem t.blobs rid then
     invalid_arg (Printf.sprintf "Store.add_with_rid: rid %d exists" rid);
@@ -25,19 +31,20 @@ let add_with_rid t ~rid ~size =
          header_bytes);
   let data = Bytes.make size '\000' in
   init_header data ~rid ~size;
-  Hashtbl.add t.blobs rid { rid; size; data };
+  Hashtbl.add t.blobs rid { rid = rid'; size; data };
   if rid >= t.next then t.next <- rid + 1
 
 let add t ~size =
-  let rid = t.next in
+  let rid = Rid.v t.next in
   add_with_rid t ~rid ~size;
   rid
 
-let find t rid = Hashtbl.find_opt t.blobs rid
+let find t (rid : Rid.t) = Hashtbl.find_opt t.blobs (rid :> int)
 
-let grow t ~rid ~size =
-  match Hashtbl.find_opt t.blobs rid with
-  | None -> invalid_arg (Printf.sprintf "Store.grow: no region %d" rid)
+let grow t ~rid:(rid : Rid.t) ~size =
+  match Hashtbl.find_opt t.blobs (rid :> int) with
+  | None ->
+      invalid_arg (Printf.sprintf "Store.grow: no region %d" (rid :> int))
   | Some b ->
       if size <= b.size then
         invalid_arg "Store.grow: new size must exceed the current size";
@@ -45,19 +52,26 @@ let grow t ~rid ~size =
       Bytes.blit b.data 0 data 0 b.size;
       (* The header records the region size; update it in the image. *)
       Bytes.set_int64_le data Header.off_size (Int64.of_int size);
-      Hashtbl.replace t.blobs rid { b with size; data }
+      Hashtbl.replace t.blobs (rid :> int) { b with size; data }
 
-let find_exn t rid =
+let find_exn t (rid : Rid.t) =
   match find t rid with
   | Some b -> b
-  | None -> invalid_arg (Printf.sprintf "Store.find_exn: no region %d" rid)
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Store.find_exn: no region %d" (rid :> int))
 
-let mem t rid = Hashtbl.mem t.blobs rid
-let remove t rid = Hashtbl.remove t.blobs rid
-let ids t = Hashtbl.fold (fun k _ acc -> k :: acc) t.blobs [] |> List.sort compare
-let next_rid t = t.next
+let mem t (rid : Rid.t) = Hashtbl.mem t.blobs (rid :> int)
+let remove t (rid : Rid.t) = Hashtbl.remove t.blobs (rid :> int)
 
-let blob_rid b = Int64.to_int (Bytes.get_int64_le b.data Header.off_rid)
+let ids t =
+  Hashtbl.fold (fun k _ acc -> Rid.v k :: acc) t.blobs []
+  |> List.sort Rid.compare
+
+let next_rid t = Rid.v t.next
+
+let blob_rid b =
+  Rid.v (Int64.to_int (Bytes.get_int64_le b.data Header.off_rid))
 
 let file_magic = "NVMPI-STORE-1\n"
 
@@ -72,7 +86,7 @@ let save_file t path =
       List.iter
         (fun rid ->
           let b = find_exn t rid in
-          output_binary_int oc b.rid;
+          output_binary_int oc (b.rid :> int);
           output_binary_int oc b.size;
           output_bytes oc b.data)
         ids)
@@ -91,7 +105,7 @@ let load_file path =
         let size = input_binary_int ic in
         let data = Bytes.create size in
         really_input ic data 0 size;
-        Hashtbl.add t.blobs rid { rid; size; data };
+        Hashtbl.add t.blobs rid { rid = Rid.v rid; size; data };
         if rid >= t.next then t.next <- rid + 1
       done;
       t)

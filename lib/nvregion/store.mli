@@ -13,36 +13,36 @@
 type t
 
 type blob = {
-  rid : int;
+  rid : Nvmpi_addr.Kinds.Rid.t;
   size : int;  (** usable region size in bytes, header included *)
   data : Bytes.t;
 }
 
 val create : unit -> t
 
-val add : t -> size:int -> int
+val add : t -> size:int -> Nvmpi_addr.Kinds.Rid.t
 (** [add t ~size] creates a fresh region image of [size] bytes with an
     initialized header and returns its region ID. IDs are allocated
     densely starting at 1 (ID 0 is reserved as "no region"). *)
 
-val add_with_rid : t -> rid:int -> size:int -> unit
+val add_with_rid : t -> rid:Nvmpi_addr.Kinds.Rid.t -> size:int -> unit
 (** Like {!add} with an explicit ID. Raises [Invalid_argument] if the ID
     is taken or is 0. *)
 
-val grow : t -> rid:int -> size:int -> unit
+val grow : t -> rid:Nvmpi_addr.Kinds.Rid.t -> size:int -> unit
 (** [grow t ~rid ~size] enlarges a region image to [size] bytes,
     preserving its contents (the tail is zeroed). The region must not be
     open anywhere. Raises [Invalid_argument] if [size] is not strictly
     larger or the region does not exist. *)
 
-val find : t -> int -> blob option
-val find_exn : t -> int -> blob
-val mem : t -> int -> bool
-val remove : t -> int -> unit
-val ids : t -> int list
+val find : t -> Nvmpi_addr.Kinds.Rid.t -> blob option
+val find_exn : t -> Nvmpi_addr.Kinds.Rid.t -> blob
+val mem : t -> Nvmpi_addr.Kinds.Rid.t -> bool
+val remove : t -> Nvmpi_addr.Kinds.Rid.t -> unit
+val ids : t -> Nvmpi_addr.Kinds.Rid.t list
 (** All region IDs, sorted. *)
 
-val next_rid : t -> int
+val next_rid : t -> Nvmpi_addr.Kinds.Rid.t
 
 (** {1 File persistence} *)
 
@@ -65,5 +65,5 @@ val header_bytes : int
 val max_roots : int
 val magic : int
 
-val blob_rid : blob -> int
+val blob_rid : blob -> Nvmpi_addr.Kinds.Rid.t
 (** Region ID as recorded inside the image header (must match [rid]). *)

@@ -1,15 +1,16 @@
 module Memsim = Nvmpi_memsim.Memsim
 module Swizzle = Core.Swizzle
+module Vaddr = Nvmpi_addr.Kinds.Vaddr
 
 let kind_tag = 0x17
 
 module Make (P : Core.Repr_sig.S) = struct
-  type t = { node : Node.t; meta : int; order : int }
+  type t = { node : Node.t; meta : Vaddr.t; order : int }
 
   let slot = P.slot_size
   let mem t = t.node.Node.machine.Core.Machine.mem
   let m_ t = t.node.Node.machine
-  let root_holder t = t.meta + Node.head_slot_off
+  let root_holder t = Vaddr.add t.meta Node.head_slot_off
 
   (* Node layout (arrays are sized order+1 so a node can temporarily
      hold one extra entry between insertion and split):
@@ -17,17 +18,17 @@ module Make (P : Core.Repr_sig.S) = struct
        leaves:    values[order+1] then the next-leaf slot
        internal:  children[order+2] slots *)
   let keys_off = 16
-  let key_addr a i = a + keys_off + (8 * i)
+  let key_addr a i = Vaddr.add a (keys_off + (8 * i))
   let arrays_off t = keys_off + (8 * (t.order + 1))
-  let value_addr t a i = a + arrays_off t + (8 * i)
-  let next_holder t a = a + arrays_off t + (8 * (t.order + 1))
-  let child_holder t a i = a + arrays_off t + (i * slot)
+  let value_addr t a i = Vaddr.add a (arrays_off t + (8 * i))
+  let next_holder t a = Vaddr.add a (arrays_off t + (8 * (t.order + 1)))
+  let child_holder t a i = Vaddr.add a (arrays_off t + (i * slot))
   let leaf_size t = arrays_off t + (8 * (t.order + 1)) + slot
   let internal_size t = arrays_off t + ((t.order + 2) * slot)
 
   let is_leaf t a = Memsim.load64 (mem t) a = 1
-  let nkeys t a = Memsim.load64 (mem t) (a + 8)
-  let set_nkeys t a n = Memsim.store64 (mem t) (a + 8) n
+  let nkeys t a = Memsim.load64 (mem t) (Vaddr.add a 8)
+  let set_nkeys t a n = Memsim.store64 (mem t) (Vaddr.add a 8) n
   let get_key t a i = Memsim.load64 (mem t) (key_addr a i)
   let set_key t a i v = Memsim.store64 (mem t) (key_addr a i) v
   let get_value t a i = Memsim.load64 (mem t) (value_addr t a i)
@@ -53,7 +54,7 @@ module Make (P : Core.Repr_sig.S) = struct
     let a = Node.alloc_node t.node (leaf_size t) in
     Memsim.store64 (mem t) a 1;
     set_nkeys t a 0;
-    set_next t a 0;
+    set_next t a Vaddr.null;
     a
 
   let new_internal t =
@@ -145,21 +146,22 @@ module Make (P : Core.Repr_sig.S) = struct
     end
 
   let insert t ~key ~value =
-    match P.load (m_ t) ~holder:(root_holder t) with
-    | 0 ->
-        let leaf = new_leaf t in
-        leaf_insert_at t leaf 0 ~key ~value;
-        P.store (m_ t) ~holder:(root_holder t) leaf
-    | root -> (
-        match insert_rec t root ~key ~value with
-        | None -> ()
-        | Some (sep, right) ->
-            let new_root = new_internal t in
-            set_key t new_root 0 sep;
-            set_child t new_root 0 root;
-            set_child t new_root 1 right;
-            set_nkeys t new_root 1;
-            P.store (m_ t) ~holder:(root_holder t) new_root)
+    let root = P.load (m_ t) ~holder:(root_holder t) in
+    if Vaddr.is_null root then begin
+      let leaf = new_leaf t in
+      leaf_insert_at t leaf 0 ~key ~value;
+      P.store (m_ t) ~holder:(root_holder t) leaf
+    end
+    else
+      match insert_rec t root ~key ~value with
+      | None -> ()
+      | Some (sep, right) ->
+          let new_root = new_internal t in
+          set_key t new_root 0 sep;
+          set_child t new_root 0 root;
+          set_child t new_root 1 right;
+          set_nkeys t new_root 1;
+          P.store (m_ t) ~holder:(root_holder t) new_root
 
   let rec descend t a ~key =
     Node.touch t.node;
@@ -173,42 +175,42 @@ module Make (P : Core.Repr_sig.S) = struct
     end
 
   let lookup t ~key =
-    match P.load (m_ t) ~holder:(root_holder t) with
-    | 0 -> None
-    | root ->
-        let leaf = descend t root ~key in
-        let pos = find_pos t leaf ~key in
-        if pos < nkeys t leaf && get_key t leaf pos = key then
-          Some (get_value t leaf pos)
-        else None
+    let root = P.load (m_ t) ~holder:(root_holder t) in
+    if Vaddr.is_null root then None
+    else
+      let leaf = descend t root ~key in
+      let pos = find_pos t leaf ~key in
+      if pos < nkeys t leaf && get_key t leaf pos = key then
+        Some (get_value t leaf pos)
+      else None
 
   let delete t ~key =
-    match P.load (m_ t) ~holder:(root_holder t) with
-    | 0 -> false
-    | root ->
-        let leaf = descend t root ~key in
-        let pos = find_pos t leaf ~key in
-        if pos < nkeys t leaf && get_key t leaf pos = key then begin
-          let n = nkeys t leaf in
-          for i = pos to n - 2 do
-            set_key t leaf i (get_key t leaf (i + 1));
-            set_value t leaf i (get_value t leaf (i + 1))
-          done;
-          set_nkeys t leaf (n - 1);
-          true
-        end
-        else false
+    let root = P.load (m_ t) ~holder:(root_holder t) in
+    if Vaddr.is_null root then false
+    else
+      let leaf = descend t root ~key in
+      let pos = find_pos t leaf ~key in
+      if pos < nkeys t leaf && get_key t leaf pos = key then begin
+        let n = nkeys t leaf in
+        for i = pos to n - 2 do
+          set_key t leaf i (get_key t leaf (i + 1));
+          set_value t leaf i (get_value t leaf (i + 1))
+        done;
+        set_nkeys t leaf (n - 1);
+        true
+      end
+      else false
 
   let leftmost_leaf t =
-    match P.load (m_ t) ~holder:(root_holder t) with
-    | 0 -> 0
-    | root ->
-        let rec go a = if is_leaf t a then a else go (get_child t a 0) in
-        go root
+    let root = P.load (m_ t) ~holder:(root_holder t) in
+    if Vaddr.is_null root then Vaddr.null
+    else
+      let rec go a = if is_leaf t a then a else go (get_child t a 0) in
+      go root
 
   let fold_leaves t f acc =
     let rec go leaf acc =
-      if leaf = 0 then acc
+      if Vaddr.is_null leaf then acc
       else begin
         Node.touch t.node;
         let acc = ref acc in
@@ -225,38 +227,38 @@ module Make (P : Core.Repr_sig.S) = struct
 
   let min_binding t =
     let rec first leaf =
-      if leaf = 0 then None
+      if Vaddr.is_null leaf then None
       else if nkeys t leaf > 0 then Some (get_key t leaf 0, get_value t leaf 0)
       else first (get_next t leaf)
     in
     first (leftmost_leaf t)
 
   let range t ~lo ~hi =
-    match P.load (m_ t) ~holder:(root_holder t) with
-    | 0 -> []
-    | root ->
-        let rec collect leaf acc =
-          if leaf = 0 then acc
-          else begin
-            Node.touch t.node;
-            let stop = ref false in
-            let acc = ref acc in
-            for i = 0 to nkeys t leaf - 1 do
-              let k = get_key t leaf i in
-              if k > hi then stop := true
-              else if k >= lo then acc := (k, get_value t leaf i) :: !acc
-            done;
-            if !stop then !acc else collect (get_next t leaf) !acc
-          end
-        in
-        List.rev (collect (descend t root ~key:lo) [])
+    let root = P.load (m_ t) ~holder:(root_holder t) in
+    if Vaddr.is_null root then []
+    else
+      let rec collect leaf acc =
+        if Vaddr.is_null leaf then acc
+        else begin
+          Node.touch t.node;
+          let stop = ref false in
+          let acc = ref acc in
+          for i = 0 to nkeys t leaf - 1 do
+            let k = get_key t leaf i in
+            if k > hi then stop := true
+            else if k >= lo then acc := (k, get_value t leaf i) :: !acc
+          done;
+          if !stop then !acc else collect (get_next t leaf) !acc
+        end
+      in
+      List.rev (collect (descend t root ~key:lo) [])
 
   let depth t =
-    match P.load (m_ t) ~holder:(root_holder t) with
-    | 0 -> 0
-    | root ->
-        let rec go a = if is_leaf t a then 1 else 1 + go (get_child t a 0) in
-        go root
+    let root = P.load (m_ t) ~holder:(root_holder t) in
+    if Vaddr.is_null root then 0
+    else
+      let rec go a = if is_leaf t a then 1 else 1 + go (get_child t a 0) in
+      go root
 
   let traverse t =
     let n = ref 0 and sum = ref 0 in
@@ -276,30 +278,28 @@ module Make (P : Core.Repr_sig.S) = struct
           go (get_child t a i)
         done
     in
-    (match P.load (m_ t) ~holder:(root_holder t) with
-    | 0 -> ()
-    | root -> go root);
+    (let root = P.load (m_ t) ~holder:(root_holder t) in
+     if not (Vaddr.is_null root) then go root);
     (!n, !sum)
 
   let fail fmt = Printf.ksprintf failwith ("Bplus.check: " ^^ fmt)
 
   let check t =
-    match P.load (m_ t) ~holder:(root_holder t) with
-    | 0 -> ()
-    | root ->
+    let root = P.load (m_ t) ~holder:(root_holder t) in
+    if not (Vaddr.is_null root) then begin
         (* Structural walk: sorted keys, child separation, uniform
            depth; collect leaves left to right. *)
         let leaves = ref [] in
         let rec go a ~lo ~hi =
           let n = nkeys t a in
-          if a <> root && n = 0 && not (is_leaf t a) then
-            fail "empty internal node 0x%x" a;
+          if (not (Vaddr.equal a root)) && n = 0 && not (is_leaf t a) then
+            fail "empty internal node 0x%x" (a :> int);
           for i = 0 to n - 1 do
             let k = get_key t a i in
             (match lo with Some l when k < l -> fail "key %d below bound" k | _ -> ());
             (match hi with Some h when k >= h -> fail "key %d above bound" k | _ -> ());
             if i > 0 && get_key t a (i - 1) >= k then
-              fail "unsorted keys in 0x%x" a
+              fail "unsorted keys in 0x%x" (a :> int)
           done;
           if is_leaf t a then begin
             leaves := a :: !leaves;
@@ -315,7 +315,7 @@ module Make (P : Core.Repr_sig.S) = struct
             match depths with
             | d :: rest ->
                 if List.exists (fun d' -> d' <> d) rest then
-                  fail "non-uniform leaf depth under 0x%x" a;
+                  fail "non-uniform leaf depth under 0x%x" (a :> int);
                 d + 1
             | [] -> assert false
           end
@@ -326,11 +326,13 @@ module Make (P : Core.Repr_sig.S) = struct
         let structural = List.rev !leaves in
         let chained =
           let rec follow leaf acc =
-            if leaf = 0 then List.rev acc else follow (get_next t leaf) (leaf :: acc)
+            if Vaddr.is_null leaf then List.rev acc
+            else follow (get_next t leaf) (leaf :: acc)
           in
           follow (leftmost_leaf t) []
         in
-        if structural <> chained then fail "leaf chain disagrees with tree";
+        if not (List.equal Vaddr.equal structural chained) then
+          fail "leaf chain disagrees with tree";
         (* Keys across the chain are globally ascending. *)
         ignore
           (fold_leaves t
@@ -340,6 +342,7 @@ module Make (P : Core.Repr_sig.S) = struct
                | _ -> ());
                Some k)
              None)
+    end
 
   let check_swizzle () =
     if not (String.equal P.name Swizzle.name) then
@@ -354,9 +357,8 @@ module Make (P : Core.Repr_sig.S) = struct
           go (Swizzle.swizzle_slot (m_ t) ~holder:(child_holder t a i))
         done
     in
-    match Swizzle.swizzle_slot (m_ t) ~holder:(root_holder t) with
-    | 0 -> ()
-    | root -> go root
+    let root = Swizzle.swizzle_slot (m_ t) ~holder:(root_holder t) in
+    if not (Vaddr.is_null root) then go root
 
   let unswizzle t =
     check_swizzle ();
@@ -368,7 +370,6 @@ module Make (P : Core.Repr_sig.S) = struct
           go (Swizzle.unswizzle_slot (m_ t) ~holder:(child_holder t a i))
         done
     in
-    match Swizzle.unswizzle_slot (m_ t) ~holder:(root_holder t) with
-    | 0 -> ()
-    | root -> go root
+    let root = Swizzle.unswizzle_slot (m_ t) ~holder:(root_holder t) in
+    if not (Vaddr.is_null root) then go root
 end

@@ -1,10 +1,11 @@
 module Memsim = Nvmpi_memsim.Memsim
 module Swizzle = Core.Swizzle
+module Vaddr = Nvmpi_addr.Kinds.Vaddr
 
 let kind_tag = 0x12
 
 module Make (P : Core.Repr_sig.S) = struct
-  type t = { node : Node.t; meta : int }
+  type t = { node : Node.t; meta : Vaddr.t }
 
   let slot = P.slot_size
   let left_off = 0
@@ -14,7 +15,7 @@ module Make (P : Core.Repr_sig.S) = struct
   let node_size t = payload_off + t.node.Node.payload
   let mem t = t.node.Node.machine.Core.Machine.mem
   let m t = t.node.Node.machine
-  let head_holder t = t.meta + Node.head_slot_off
+  let head_holder t = Vaddr.add t.meta Node.head_slot_off
 
   let create node ~name =
     let meta = Node.write_meta node ~name ~kind:kind_tag ~aux:0 in
@@ -31,24 +32,25 @@ module Make (P : Core.Repr_sig.S) = struct
 
   let new_node t ~key =
     let a = Node.alloc_node t.node (node_size t) in
-    P.store (m t) ~holder:(a + left_off) 0;
-    P.store (m t) ~holder:(a + right_off) 0;
-    Memsim.store64 (mem t) (a + key_off) key;
-    Node.write_payload t.node ~addr:(a + payload_off) ~seed:key;
+    P.store (m t) ~holder:(Vaddr.add a left_off) Vaddr.null;
+    P.store (m t) ~holder:(Vaddr.add a right_off) Vaddr.null;
+    Memsim.store64 (mem t) (Vaddr.add a key_off) key;
+    Node.write_payload t.node ~addr:(Vaddr.add a payload_off) ~seed:key;
     a
 
   (* Descends to the node holding [key], or to the slot where it should
      be linked. Returns [`Found addr] or [`Slot holder]. *)
   let locate t ~key =
     let rec go holder =
-      match P.load (m t) ~holder with
-      | 0 -> `Slot holder
-      | cur ->
-          Node.touch t.node;
-          let k = Memsim.load64 (mem t) (cur + key_off) in
-          if key = k then `Found cur
-          else if key < k then go (cur + left_off)
-          else go (cur + right_off)
+      let cur = P.load (m t) ~holder in
+      if Vaddr.is_null cur then `Slot holder
+      else begin
+        Node.touch t.node;
+        let k = Memsim.load64 (mem t) (Vaddr.add cur key_off) in
+        if key = k then `Found cur
+        else if key < k then go (Vaddr.add cur left_off)
+        else go (Vaddr.add cur right_off)
+      end
     in
     go (head_holder t)
 
@@ -64,16 +66,16 @@ module Make (P : Core.Repr_sig.S) = struct
       invalid_arg "Bstree.insert_count: payload too small for a counter";
     match locate t ~key with
     | `Found cur ->
-        let c = Memsim.load64 (mem t) (cur + payload_off) in
-        Memsim.store64 (mem t) (cur + payload_off) (c + 1)
+        let c = Memsim.load64 (mem t) (Vaddr.add cur payload_off) in
+        Memsim.store64 (mem t) (Vaddr.add cur payload_off) (c + 1)
     | `Slot holder ->
         let a = new_node t ~key in
-        Memsim.store64 (mem t) (a + payload_off) 1;
+        Memsim.store64 (mem t) (Vaddr.add a payload_off) 1;
         P.store (m t) ~holder a
 
   let count t ~key =
     match locate t ~key with
-    | `Found cur -> Memsim.load64 (mem t) (cur + payload_off)
+    | `Found cur -> Memsim.load64 (mem t) (Vaddr.add cur payload_off)
     | `Slot _ -> 0
 
   let search t ~key =
@@ -81,11 +83,11 @@ module Make (P : Core.Repr_sig.S) = struct
 
   let iter t f =
     let rec go cur =
-      if cur <> 0 then begin
+      if not (Vaddr.is_null cur) then begin
         Node.touch t.node;
-        f ~addr:cur ~key:(Memsim.load64 (mem t) (cur + key_off));
-        go (P.load (m t) ~holder:(cur + left_off));
-        go (P.load (m t) ~holder:(cur + right_off))
+        f ~addr:cur ~key:(Memsim.load64 (mem t) (Vaddr.add cur key_off));
+        go (P.load (m t) ~holder:(Vaddr.add cur left_off));
+        go (P.load (m t) ~holder:(Vaddr.add cur right_off))
       end
     in
     go (P.load (m t) ~holder:(head_holder t))
@@ -97,25 +99,25 @@ module Make (P : Core.Repr_sig.S) = struct
 
   let depth t =
     let rec go cur =
-      if cur = 0 then 0
+      if Vaddr.is_null cur then 0
       else
         1
         + max
-            (go (P.load (m t) ~holder:(cur + left_off)))
-            (go (P.load (m t) ~holder:(cur + right_off)))
+            (go (P.load (m t) ~holder:(Vaddr.add cur left_off)))
+            (go (P.load (m t) ~holder:(Vaddr.add cur right_off)))
     in
     go (P.load (m t) ~holder:(head_holder t))
 
   let traverse t =
     let n = ref 0 and sum = ref 0 in
     let rec go cur =
-      if cur <> 0 then begin
+      if not (Vaddr.is_null cur) then begin
         Node.touch t.node;
         incr n;
-        sum := !sum + Memsim.load64 (mem t) (cur + key_off);
-        sum := !sum + Node.read_payload t.node ~addr:(cur + payload_off);
-        go (P.load (m t) ~holder:(cur + left_off));
-        go (P.load (m t) ~holder:(cur + right_off))
+        sum := !sum + Memsim.load64 (mem t) (Vaddr.add cur key_off);
+        sum := !sum + Node.read_payload t.node ~addr:(Vaddr.add cur payload_off);
+        go (P.load (m t) ~holder:(Vaddr.add cur left_off));
+        go (P.load (m t) ~holder:(Vaddr.add cur right_off))
       end
     in
     go (P.load (m t) ~holder:(head_holder t));
@@ -128,9 +130,9 @@ module Make (P : Core.Repr_sig.S) = struct
   let swizzle t =
     check_swizzle ();
     let rec go cur =
-      if cur <> 0 then begin
-        go (Swizzle.swizzle_slot (m t) ~holder:(cur + left_off));
-        go (Swizzle.swizzle_slot (m t) ~holder:(cur + right_off))
+      if not (Vaddr.is_null cur) then begin
+        go (Swizzle.swizzle_slot (m t) ~holder:(Vaddr.add cur left_off));
+        go (Swizzle.swizzle_slot (m t) ~holder:(Vaddr.add cur right_off))
       end
     in
     go (Swizzle.swizzle_slot (m t) ~holder:(head_holder t))
@@ -138,9 +140,9 @@ module Make (P : Core.Repr_sig.S) = struct
   let unswizzle t =
     check_swizzle ();
     let rec go cur =
-      if cur <> 0 then begin
-        go (Swizzle.unswizzle_slot (m t) ~holder:(cur + left_off));
-        go (Swizzle.unswizzle_slot (m t) ~holder:(cur + right_off))
+      if not (Vaddr.is_null cur) then begin
+        go (Swizzle.unswizzle_slot (m t) ~holder:(Vaddr.add cur left_off));
+        go (Swizzle.unswizzle_slot (m t) ~holder:(Vaddr.add cur right_off))
       end
     in
     go (Swizzle.unswizzle_slot (m t) ~holder:(head_holder t))

@@ -1,12 +1,13 @@
 module Memsim = Nvmpi_memsim.Memsim
 module Swizzle = Core.Swizzle
+module Vaddr = Nvmpi_addr.Kinds.Vaddr
 
 let kind_tag = 0x15
 
 module Make (P : Core.Repr_sig.S) = struct
   (* The metadata block's single slot points at an anchor carrying the
      head and tail slots (two representation-sized slots). *)
-  type t = { node : Node.t; meta : int; anchor : int }
+  type t = { node : Node.t; meta : Vaddr.t; anchor : Vaddr.t }
 
   let slot = P.slot_size
   let next_off = 0
@@ -17,16 +18,16 @@ module Make (P : Core.Repr_sig.S) = struct
   let mem t = t.node.Node.machine.Core.Machine.mem
   let m t = t.node.Node.machine
   let head_holder t = t.anchor
-  let tail_holder t = t.anchor + slot
+  let tail_holder t = Vaddr.add t.anchor slot
 
   let create node ~name =
     let meta = Node.write_meta node ~name ~kind:kind_tag ~aux:0 in
     let anchor = Node.alloc_in_home node (2 * slot) in
     let t = { node; meta; anchor } in
-    P.store t.node.Node.machine ~holder:anchor 0;
-    P.store t.node.Node.machine ~holder:(anchor + slot) 0;
+    P.store t.node.Node.machine ~holder:anchor Vaddr.null;
+    P.store t.node.Node.machine ~holder:(Vaddr.add anchor slot) Vaddr.null;
     Memsim.store64 t.node.Node.machine.Core.Machine.mem
-      (meta + Node.head_slot_off) (anchor - meta);
+      (Vaddr.add meta Node.head_slot_off) (Vaddr.offset_in anchor ~base:meta);
     t
 
   let attach node ~name =
@@ -37,85 +38,86 @@ module Make (P : Core.Repr_sig.S) = struct
     if payload <> node.Node.payload then
       failwith "Dllist.attach: payload size mismatch";
     let anchor =
-      meta
-      + Memsim.load64 node.Node.machine.Core.Machine.mem
-          (meta + Node.head_slot_off)
+      Vaddr.add meta
+        (Memsim.load64 node.Node.machine.Core.Machine.mem
+           (Vaddr.add meta Node.head_slot_off))
     in
     { node; meta; anchor }
 
   let new_node t ~key =
     let a = Node.alloc_node t.node (node_size t) in
-    P.store (m t) ~holder:(a + next_off) 0;
-    P.store (m t) ~holder:(a + prev_off) 0;
-    Memsim.store64 (mem t) (a + key_off) key;
-    Node.write_payload t.node ~addr:(a + payload_off) ~seed:key;
+    P.store (m t) ~holder:(Vaddr.add a next_off) Vaddr.null;
+    P.store (m t) ~holder:(Vaddr.add a prev_off) Vaddr.null;
+    Memsim.store64 (mem t) (Vaddr.add a key_off) key;
+    Node.write_payload t.node ~addr:(Vaddr.add a payload_off) ~seed:key;
     a
 
   let push_front t ~key =
     let a = new_node t ~key in
     let old = P.load (m t) ~holder:(head_holder t) in
-    P.store (m t) ~holder:(a + next_off) old;
-    if old = 0 then P.store (m t) ~holder:(tail_holder t) a
-    else P.store (m t) ~holder:(old + prev_off) a;
+    P.store (m t) ~holder:(Vaddr.add a next_off) old;
+    if Vaddr.is_null old then P.store (m t) ~holder:(tail_holder t) a
+    else P.store (m t) ~holder:(Vaddr.add old prev_off) a;
     P.store (m t) ~holder:(head_holder t) a
 
   let push_back t ~key =
     let a = new_node t ~key in
     let old = P.load (m t) ~holder:(tail_holder t) in
-    P.store (m t) ~holder:(a + prev_off) old;
-    if old = 0 then P.store (m t) ~holder:(head_holder t) a
-    else P.store (m t) ~holder:(old + next_off) a;
+    P.store (m t) ~holder:(Vaddr.add a prev_off) old;
+    if Vaddr.is_null old then P.store (m t) ~holder:(head_holder t) a
+    else P.store (m t) ~holder:(Vaddr.add old next_off) a;
     P.store (m t) ~holder:(tail_holder t) a
 
   let find_node t ~key =
     let rec go cur =
-      if cur = 0 then 0
+      if Vaddr.is_null cur then Vaddr.null
       else begin
         Node.touch t.node;
-        if Memsim.load64 (mem t) (cur + key_off) = key then cur
-        else go (P.load (m t) ~holder:(cur + next_off))
+        if Memsim.load64 (mem t) (Vaddr.add cur key_off) = key then cur
+        else go (P.load (m t) ~holder:(Vaddr.add cur next_off))
       end
     in
     go (P.load (m t) ~holder:(head_holder t))
 
   let remove t ~key =
-    match find_node t ~key with
-    | 0 -> false
-    | a ->
-        let next = P.load (m t) ~holder:(a + next_off) in
-        let prev = P.load (m t) ~holder:(a + prev_off) in
-        (if prev = 0 then P.store (m t) ~holder:(head_holder t) next
-         else P.store (m t) ~holder:(prev + next_off) next);
-        (if next = 0 then P.store (m t) ~holder:(tail_holder t) prev
-         else P.store (m t) ~holder:(next + prev_off) prev);
-        true
+    let a = find_node t ~key in
+    if Vaddr.is_null a then false
+    else begin
+      let next = P.load (m t) ~holder:(Vaddr.add a next_off) in
+      let prev = P.load (m t) ~holder:(Vaddr.add a prev_off) in
+      (if Vaddr.is_null prev then P.store (m t) ~holder:(head_holder t) next
+       else P.store (m t) ~holder:(Vaddr.add prev next_off) next);
+      (if Vaddr.is_null next then P.store (m t) ~holder:(tail_holder t) prev
+       else P.store (m t) ~holder:(Vaddr.add next prev_off) prev);
+      true
+    end
 
   let fold_forward t f acc =
     let rec go cur acc =
-      if cur = 0 then acc
+      if Vaddr.is_null cur then acc
       else begin
         Node.touch t.node;
         go
-          (P.load (m t) ~holder:(cur + next_off))
-          (f acc cur (Memsim.load64 (mem t) (cur + key_off)))
+          (P.load (m t) ~holder:(Vaddr.add cur next_off))
+          (f acc cur (Memsim.load64 (mem t) (Vaddr.add cur key_off)))
       end
     in
     go (P.load (m t) ~holder:(head_holder t)) acc
 
   let length t = fold_forward t (fun n _ _ -> n + 1) 0
   let to_list t = List.rev (fold_forward t (fun acc _ k -> k :: acc) [])
-  let find t ~key = find_node t ~key <> 0
+  let find t ~key = not (Vaddr.is_null (find_node t ~key))
 
   (* Walking tail-to-head while consing yields head-to-tail order, so
      the result can be compared with {!to_list} directly. *)
   let to_list_rev t =
     let rec go cur acc =
-      if cur = 0 then acc
+      if Vaddr.is_null cur then acc
       else begin
         Node.touch t.node;
         go
-          (P.load (m t) ~holder:(cur + prev_off))
-          (Memsim.load64 (mem t) (cur + key_off) :: acc)
+          (P.load (m t) ~holder:(Vaddr.add cur prev_off))
+          (Memsim.load64 (mem t) (Vaddr.add cur key_off) :: acc)
       end
     in
     go (P.load (m t) ~holder:(tail_holder t)) []
@@ -125,25 +127,25 @@ module Make (P : Core.Repr_sig.S) = struct
     fold_forward t
       (fun () cur _ ->
         incr n;
-        sum := !sum + Memsim.load64 (mem t) (cur + key_off);
-        sum := !sum + Node.read_payload t.node ~addr:(cur + payload_off))
+        sum := !sum + Memsim.load64 (mem t) (Vaddr.add cur key_off);
+        sum := !sum + Node.read_payload t.node ~addr:(Vaddr.add cur payload_off))
       ();
     (!n, !sum)
 
   let check t =
     let rec go prev cur =
-      if cur <> 0 then begin
-        let p = P.load (m t) ~holder:(cur + prev_off) in
-        if p <> prev then
+      if not (Vaddr.is_null cur) then begin
+        let p = P.load (m t) ~holder:(Vaddr.add cur prev_off) in
+        if not (Vaddr.equal p prev) then
           failwith
             (Printf.sprintf "Dllist.check: node 0x%x has prev 0x%x, expected \
-                             0x%x" cur p prev);
-        go cur (P.load (m t) ~holder:(cur + next_off))
+                             0x%x" (cur :> int) (p :> int) (prev :> int));
+        go cur (P.load (m t) ~holder:(Vaddr.add cur next_off))
       end
-      else if P.load (m t) ~holder:(tail_holder t) <> prev then
-        failwith "Dllist.check: tail does not match the last node"
+      else if not (Vaddr.equal (P.load (m t) ~holder:(tail_holder t)) prev)
+      then failwith "Dllist.check: tail does not match the last node"
     in
-    go 0 (P.load (m t) ~holder:(head_holder t))
+    go Vaddr.null (P.load (m t) ~holder:(head_holder t))
 
   let check_swizzle () =
     if not (String.equal P.name Swizzle.name) then
@@ -154,9 +156,9 @@ module Make (P : Core.Repr_sig.S) = struct
   let swizzle t =
     check_swizzle ();
     let rec go cur =
-      if cur <> 0 then begin
-        ignore (Swizzle.swizzle_slot (m t) ~holder:(cur + prev_off));
-        go (Swizzle.swizzle_slot (m t) ~holder:(cur + next_off))
+      if not (Vaddr.is_null cur) then begin
+        ignore (Swizzle.swizzle_slot (m t) ~holder:(Vaddr.add cur prev_off));
+        go (Swizzle.swizzle_slot (m t) ~holder:(Vaddr.add cur next_off))
       end
     in
     go (Swizzle.swizzle_slot (m t) ~holder:(head_holder t));
@@ -165,9 +167,9 @@ module Make (P : Core.Repr_sig.S) = struct
   let unswizzle t =
     check_swizzle ();
     let rec go cur =
-      if cur <> 0 then begin
-        ignore (Swizzle.unswizzle_slot (m t) ~holder:(cur + prev_off));
-        go (Swizzle.unswizzle_slot (m t) ~holder:(cur + next_off))
+      if not (Vaddr.is_null cur) then begin
+        ignore (Swizzle.unswizzle_slot (m t) ~holder:(Vaddr.add cur prev_off));
+        go (Swizzle.unswizzle_slot (m t) ~holder:(Vaddr.add cur next_off))
       end
     in
     go (Swizzle.unswizzle_slot (m t) ~holder:(head_holder t));

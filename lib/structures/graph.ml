@@ -1,10 +1,11 @@
 module Memsim = Nvmpi_memsim.Memsim
 module Swizzle = Core.Swizzle
+module Vaddr = Nvmpi_addr.Kinds.Vaddr
 
 let kind_tag = 0x16
 
 module Make (P : Core.Repr_sig.S) = struct
-  type t = { node : Node.t; meta : int }
+  type t = { node : Node.t; meta : Vaddr.t }
 
   let slot = P.slot_size
 
@@ -22,7 +23,7 @@ module Make (P : Core.Repr_sig.S) = struct
 
   let mem t = t.node.Node.machine.Core.Machine.mem
   let m t = t.node.Node.machine
-  let head_holder t = t.meta + Node.head_slot_off
+  let head_holder t = Vaddr.add t.meta Node.head_slot_off
 
   let create node ~name =
     let meta = Node.write_meta node ~name ~kind:kind_tag ~aux:0 in
@@ -39,26 +40,26 @@ module Make (P : Core.Repr_sig.S) = struct
 
   let find_vertex t ~key =
     let rec go cur =
-      if cur = 0 then 0
+      if Vaddr.is_null cur then Vaddr.null
       else begin
         Node.touch t.node;
-        if Memsim.load64 (mem t) (cur + key_off) = key then cur
-        else go (P.load (m t) ~holder:(cur + vnext_off))
+        if Memsim.load64 (mem t) (Vaddr.add cur key_off) = key then cur
+        else go (P.load (m t) ~holder:(Vaddr.add cur vnext_off))
       end
     in
     go (P.load (m t) ~holder:(head_holder t))
 
-  let mem_vertex t ~key = find_vertex t ~key <> 0
+  let mem_vertex t ~key = not (Vaddr.is_null (find_vertex t ~key))
 
   let add_vertex t ~key =
     if mem_vertex t ~key then false
     else begin
       let v = Node.alloc_node t.node (vertex_size t) in
-      P.store (m t) ~holder:(v + vnext_off)
+      P.store (m t) ~holder:(Vaddr.add v vnext_off)
         (P.load (m t) ~holder:(head_holder t));
-      P.store (m t) ~holder:(v + adj_off) 0;
-      Memsim.store64 (mem t) (v + key_off) key;
-      Node.write_payload t.node ~addr:(v + payload_off) ~seed:key;
+      P.store (m t) ~holder:(Vaddr.add v adj_off) Vaddr.null;
+      Memsim.store64 (mem t) (Vaddr.add v key_off) key;
+      Node.write_payload t.node ~addr:(Vaddr.add v payload_off) ~seed:key;
       P.store (m t) ~holder:(head_holder t) v;
       true
     end
@@ -66,32 +67,34 @@ module Make (P : Core.Repr_sig.S) = struct
   let add_edge t ~src ~dst =
     let sv = find_vertex t ~key:src in
     let dv = find_vertex t ~key:dst in
-    if sv = 0 then failwith (Printf.sprintf "Graph.add_edge: no vertex %d" src);
-    if dv = 0 then failwith (Printf.sprintf "Graph.add_edge: no vertex %d" dst);
+    if Vaddr.is_null sv then
+      failwith (Printf.sprintf "Graph.add_edge: no vertex %d" src);
+    if Vaddr.is_null dv then
+      failwith (Printf.sprintf "Graph.add_edge: no vertex %d" dst);
     let e = Node.alloc_node t.node edge_size in
-    P.store (m t) ~holder:(e + enext_off) (P.load (m t) ~holder:(sv + adj_off));
-    P.store (m t) ~holder:(e + target_off) dv;
-    P.store (m t) ~holder:(sv + adj_off) e
+    P.store (m t) ~holder:(Vaddr.add e enext_off) (P.load (m t) ~holder:(Vaddr.add sv adj_off));
+    P.store (m t) ~holder:(Vaddr.add e target_off) dv;
+    P.store (m t) ~holder:(Vaddr.add sv adj_off) e
 
   let fold_vertices t f acc =
     let rec go cur acc =
-      if cur = 0 then acc
+      if Vaddr.is_null cur then acc
       else begin
         Node.touch t.node;
-        go (P.load (m t) ~holder:(cur + vnext_off)) (f acc cur)
+        go (P.load (m t) ~holder:(Vaddr.add cur vnext_off)) (f acc cur)
       end
     in
     go (P.load (m t) ~holder:(head_holder t)) acc
 
   let fold_edges t v f acc =
     let rec go cur acc =
-      if cur = 0 then acc
+      if Vaddr.is_null cur then acc
       else begin
         Node.touch t.node;
-        go (P.load (m t) ~holder:(cur + enext_off)) (f acc cur)
+        go (P.load (m t) ~holder:(Vaddr.add cur enext_off)) (f acc cur)
       end
     in
-    go (P.load (m t) ~holder:(v + adj_off)) acc
+    go (P.load (m t) ~holder:(Vaddr.add v adj_off)) acc
 
   let vertex_count t = fold_vertices t (fun n _ -> n + 1) 0
 
@@ -99,20 +102,20 @@ module Make (P : Core.Repr_sig.S) = struct
     fold_vertices t (fun n v -> fold_edges t v (fun n _ -> n + 1) n) 0
 
   let successors t ~key =
-    match find_vertex t ~key with
-    | 0 -> []
-    | v ->
+    let v = find_vertex t ~key in
+    if Vaddr.is_null v then []
+    else
         List.rev
           (fold_edges t v
              (fun acc e ->
-               let dv = P.load (m t) ~holder:(e + target_off) in
-               Memsim.load64 (mem t) (dv + key_off) :: acc)
+               let dv = P.load (m t) ~holder:(Vaddr.add e target_off) in
+               Memsim.load64 (mem t) (Vaddr.add dv key_off) :: acc)
              [])
 
   let reachable t ~from =
-    match find_vertex t ~key:from with
-    | 0 -> 0
-    | start ->
+    let start = find_vertex t ~key:from in
+    if Vaddr.is_null start then 0
+    else begin
         let visited = Hashtbl.create 64 in
         let queue = Queue.create () in
         Hashtbl.replace visited start ();
@@ -123,7 +126,7 @@ module Make (P : Core.Repr_sig.S) = struct
           incr n;
           fold_edges t v
             (fun () e ->
-              let dv = P.load (m t) ~holder:(e + target_off) in
+              let dv = P.load (m t) ~holder:(Vaddr.add e target_off) in
               if not (Hashtbl.mem visited dv) then begin
                 Hashtbl.replace visited dv ();
                 Queue.push dv queue
@@ -131,19 +134,20 @@ module Make (P : Core.Repr_sig.S) = struct
             ()
         done;
         !n
+    end
 
   let traverse t =
     let n = ref 0 and sum = ref 0 in
     fold_vertices t
       (fun () v ->
         incr n;
-        sum := !sum + Memsim.load64 (mem t) (v + key_off);
-        sum := !sum + Node.read_payload t.node ~addr:(v + payload_off);
+        sum := !sum + Memsim.load64 (mem t) (Vaddr.add v key_off);
+        sum := !sum + Node.read_payload t.node ~addr:(Vaddr.add v payload_off);
         fold_edges t v
           (fun () e ->
             incr n;
-            let dv = P.load (m t) ~holder:(e + target_off) in
-            sum := !sum + Memsim.load64 (mem t) (dv + key_off))
+            let dv = P.load (m t) ~holder:(Vaddr.add e target_off) in
+            sum := !sum + Memsim.load64 (mem t) (Vaddr.add dv key_off))
           ())
       ();
     (!n, !sum)
@@ -157,15 +161,15 @@ module Make (P : Core.Repr_sig.S) = struct
   let swizzle t =
     check_swizzle ();
     let rec go_edges e =
-      if e <> 0 then begin
-        ignore (Swizzle.swizzle_slot (m t) ~holder:(e + target_off));
-        go_edges (Swizzle.swizzle_slot (m t) ~holder:(e + enext_off))
+      if not (Vaddr.is_null e) then begin
+        ignore (Swizzle.swizzle_slot (m t) ~holder:(Vaddr.add e target_off));
+        go_edges (Swizzle.swizzle_slot (m t) ~holder:(Vaddr.add e enext_off))
       end
     in
     let rec go_vertices v =
-      if v <> 0 then begin
-        go_edges (Swizzle.swizzle_slot (m t) ~holder:(v + adj_off));
-        go_vertices (Swizzle.swizzle_slot (m t) ~holder:(v + vnext_off))
+      if not (Vaddr.is_null v) then begin
+        go_edges (Swizzle.swizzle_slot (m t) ~holder:(Vaddr.add v adj_off));
+        go_vertices (Swizzle.swizzle_slot (m t) ~holder:(Vaddr.add v vnext_off))
       end
     in
     go_vertices (Swizzle.swizzle_slot (m t) ~holder:(head_holder t))
@@ -173,15 +177,15 @@ module Make (P : Core.Repr_sig.S) = struct
   let unswizzle t =
     check_swizzle ();
     let rec go_edges e =
-      if e <> 0 then begin
-        ignore (Swizzle.unswizzle_slot (m t) ~holder:(e + target_off));
-        go_edges (Swizzle.unswizzle_slot (m t) ~holder:(e + enext_off))
+      if not (Vaddr.is_null e) then begin
+        ignore (Swizzle.unswizzle_slot (m t) ~holder:(Vaddr.add e target_off));
+        go_edges (Swizzle.unswizzle_slot (m t) ~holder:(Vaddr.add e enext_off))
       end
     in
     let rec go_vertices v =
-      if v <> 0 then begin
-        go_edges (Swizzle.unswizzle_slot (m t) ~holder:(v + adj_off));
-        go_vertices (Swizzle.unswizzle_slot (m t) ~holder:(v + vnext_off))
+      if not (Vaddr.is_null v) then begin
+        go_edges (Swizzle.unswizzle_slot (m t) ~holder:(Vaddr.add v adj_off));
+        go_vertices (Swizzle.unswizzle_slot (m t) ~holder:(Vaddr.add v vnext_off))
       end
     in
     go_vertices (Swizzle.unswizzle_slot (m t) ~holder:(head_holder t))

@@ -1,11 +1,12 @@
 module Memsim = Nvmpi_memsim.Memsim
 module Swizzle = Core.Swizzle
 module Machine = Core.Machine
+module Vaddr = Nvmpi_addr.Kinds.Vaddr
 
 let kind_tag = 0x13
 
 module Make (P : Core.Repr_sig.S) = struct
-  type t = { node : Node.t; meta : int; buckets : int }
+  type t = { node : Node.t; meta : Vaddr.t; buckets : int }
 
   let slot = P.slot_size
   let key_off = slot
@@ -13,14 +14,14 @@ module Make (P : Core.Repr_sig.S) = struct
   let node_size t = payload_off + t.node.Node.payload
   let mem t = t.node.Node.machine.Machine.mem
   let m t = t.node.Node.machine
-  let table_holder t = t.meta + Node.head_slot_off
+  let table_holder t = Vaddr.add t.meta Node.head_slot_off
 
   let hash_key t ~key =
     Machine.alu (m t) 4;
     let h = key * 0x2545F4914F6CDD1 in
     (h lxor (h lsr 31)) land max_int mod t.buckets
 
-  let bucket_holder table i = table + (i * slot)
+  let bucket_holder table i = Vaddr.add table (i * slot)
 
   let create node ~name ~buckets =
     if buckets <= 0 then invalid_arg "Hashset.create: buckets";
@@ -28,7 +29,7 @@ module Make (P : Core.Repr_sig.S) = struct
     let table = Node.alloc_in_home node (buckets * slot) in
     let t = { node; meta; buckets } in
     for i = 0 to buckets - 1 do
-      P.store (m t) ~holder:(bucket_holder table i) 0
+      P.store (m t) ~holder:(bucket_holder table i) Vaddr.null
     done;
     P.store (m t) ~holder:(table_holder t) table;
     t
@@ -49,12 +50,13 @@ module Make (P : Core.Repr_sig.S) = struct
   let locate t ~key =
     let tbl = table t in
     let rec go holder =
-      match P.load (m t) ~holder with
-      | 0 -> `Slot holder
-      | cur ->
-          Node.touch t.node;
-          if Memsim.load64 (mem t) (cur + key_off) = key then `Found cur
-          else go cur
+      let cur = P.load (m t) ~holder in
+      if Vaddr.is_null cur then `Slot holder
+      else begin
+        Node.touch t.node;
+        if Memsim.load64 (mem t) (Vaddr.add cur key_off) = key then `Found cur
+        else go cur
+      end
     in
     go (bucket_holder tbl (hash_key t ~key))
 
@@ -63,9 +65,9 @@ module Make (P : Core.Repr_sig.S) = struct
     | `Found _ -> false
     | `Slot holder ->
         let a = Node.alloc_node t.node (node_size t) in
-        P.store (m t) ~holder:a 0;
-        Memsim.store64 (mem t) (a + key_off) key;
-        Node.write_payload t.node ~addr:(a + payload_off) ~seed:key;
+        P.store (m t) ~holder:a Vaddr.null;
+        Memsim.store64 (mem t) (Vaddr.add a key_off) key;
+        Node.write_payload t.node ~addr:(Vaddr.add a payload_off) ~seed:key;
         P.store (m t) ~holder a;
         true
 
@@ -76,9 +78,9 @@ module Make (P : Core.Repr_sig.S) = struct
     let tbl = table t in
     for i = 0 to t.buckets - 1 do
       let rec go cur =
-        if cur <> 0 then begin
+        if not (Vaddr.is_null cur) then begin
           Node.touch t.node;
-          f ~addr:cur ~key:(Memsim.load64 (mem t) (cur + key_off));
+          f ~addr:cur ~key:(Memsim.load64 (mem t) (Vaddr.add cur key_off));
           go (P.load (m t) ~holder:cur)
         end
       in
@@ -97,11 +99,11 @@ module Make (P : Core.Repr_sig.S) = struct
     let n = ref 0 and sum = ref 0 in
     for i = 0 to t.buckets - 1 do
       let rec go cur =
-        if cur <> 0 then begin
+        if not (Vaddr.is_null cur) then begin
           Node.touch t.node;
           incr n;
-          sum := !sum + Memsim.load64 (mem t) (cur + key_off);
-          sum := !sum + Node.read_payload t.node ~addr:(cur + payload_off);
+          sum := !sum + Memsim.load64 (mem t) (Vaddr.add cur key_off);
+          sum := !sum + Node.read_payload t.node ~addr:(Vaddr.add cur payload_off);
           go (P.load (m t) ~holder:cur)
         end
       in
@@ -118,7 +120,7 @@ module Make (P : Core.Repr_sig.S) = struct
     let tbl = Swizzle.swizzle_slot (m t) ~holder:(table_holder t) in
     for i = 0 to t.buckets - 1 do
       let rec go cur =
-        if cur <> 0 then go (Swizzle.swizzle_slot (m t) ~holder:cur)
+        if not (Vaddr.is_null cur) then go (Swizzle.swizzle_slot (m t) ~holder:cur)
       in
       go (Swizzle.swizzle_slot (m t) ~holder:(bucket_holder tbl i))
     done
@@ -129,7 +131,7 @@ module Make (P : Core.Repr_sig.S) = struct
     let tbl = Swizzle.unswizzle_slot (m t) ~holder:(table_holder t) in
     for i = 0 to t.buckets - 1 do
       let rec go cur =
-        if cur <> 0 then go (Swizzle.unswizzle_slot (m t) ~holder:cur)
+        if not (Vaddr.is_null cur) then go (Swizzle.unswizzle_slot (m t) ~holder:cur)
       in
       go (Swizzle.unswizzle_slot (m t) ~holder:(bucket_holder tbl i))
     done

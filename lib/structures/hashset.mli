@@ -22,7 +22,7 @@ module Make (P : Core.Repr_sig.S) : sig
   val traverse : t -> int * int
   (** Walks every chain; [(node count, checksum)]. *)
 
-  val iter : t -> (addr:int -> key:int -> unit) -> unit
+  val iter : t -> (addr:Nvmpi_addr.Kinds.Vaddr.t -> key:int -> unit) -> unit
   val swizzle : t -> unit
   val unswizzle : t -> unit
 end

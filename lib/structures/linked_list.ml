@@ -1,13 +1,15 @@
 module Memsim = Nvmpi_memsim.Memsim
 module Swizzle = Core.Swizzle
+module Vaddr = Nvmpi_addr.Kinds.Vaddr
 
 let kind_tag = 0x11
 
 module Make (P : Core.Repr_sig.S) = struct
   type t = {
     node : Node.t;
-    meta : int;
-    mutable tail : int; (* host cache of the last node; 0 = unknown/empty *)
+    meta : Vaddr.t;
+    mutable tail : Vaddr.t;
+        (* host cache of the last node; null = unknown/empty *)
   }
 
   let slot = P.slot_size
@@ -16,11 +18,11 @@ module Make (P : Core.Repr_sig.S) = struct
   let node_size t = payload_off + t.node.Node.payload
   let mem t = t.node.Node.machine.Core.Machine.mem
   let m t = t.node.Node.machine
-  let head_holder t = t.meta + Node.head_slot_off
+  let head_holder t = Vaddr.add t.meta Node.head_slot_off
 
   let create node ~name =
     let meta = Node.write_meta node ~name ~kind:kind_tag ~aux:0 in
-    { node; meta; tail = 0 }
+    { node; meta; tail = Vaddr.null }
 
   let attach node ~name =
     let meta, payload, _ =
@@ -29,12 +31,12 @@ module Make (P : Core.Repr_sig.S) = struct
     in
     if payload <> node.Node.payload then
       failwith "Linked_list.attach: payload size mismatch";
-    { node; meta; tail = 0 }
+    { node; meta; tail = Vaddr.null }
 
   let new_node t ~key =
     let a = Node.alloc_node t.node (node_size t) in
-    Memsim.store64 (mem t) (a + key_off) key;
-    Node.write_payload t.node ~addr:(a + payload_off) ~seed:key;
+    Memsim.store64 (mem t) (Vaddr.add a key_off) key;
+    Node.write_payload t.node ~addr:(Vaddr.add a payload_off) ~seed:key;
     a
 
   let push_front t ~key =
@@ -42,27 +44,29 @@ module Make (P : Core.Repr_sig.S) = struct
     let old_head = P.load (m t) ~holder:(head_holder t) in
     P.store (m t) ~holder:a old_head;
     P.store (m t) ~holder:(head_holder t) a;
-    if old_head = 0 then t.tail <- a
+    if Vaddr.is_null old_head then t.tail <- a
 
   let find_tail t =
     let rec go cur =
-      match P.load (m t) ~holder:cur with 0 -> cur | next -> go next
+      let next = P.load (m t) ~holder:cur in
+      if Vaddr.is_null next then cur else go next
     in
-    match P.load (m t) ~holder:(head_holder t) with 0 -> 0 | h -> go h
+    let h = P.load (m t) ~holder:(head_holder t) in
+    if Vaddr.is_null h then Vaddr.null else go h
 
   let append t ~key =
     let a = new_node t ~key in
-    P.store (m t) ~holder:a 0;
-    let tail = if t.tail <> 0 then t.tail else find_tail t in
-    if tail = 0 then P.store (m t) ~holder:(head_holder t) a
+    P.store (m t) ~holder:a Vaddr.null;
+    let tail = if not (Vaddr.is_null t.tail) then t.tail else find_tail t in
+    if Vaddr.is_null tail then P.store (m t) ~holder:(head_holder t) a
     else P.store (m t) ~holder:tail a;
     t.tail <- a
 
   let iter t f =
     let rec go cur =
-      if cur <> 0 then begin
+      if not (Vaddr.is_null cur) then begin
         Node.touch t.node;
-        f ~addr:cur ~key:(Memsim.load64 (mem t) (cur + key_off));
+        f ~addr:cur ~key:(Memsim.load64 (mem t) (Vaddr.add cur key_off));
         go (P.load (m t) ~holder:cur)
       end
     in
@@ -76,11 +80,11 @@ module Make (P : Core.Repr_sig.S) = struct
   let traverse t =
     let n = ref 0 and sum = ref 0 in
     let rec go cur =
-      if cur <> 0 then begin
+      if not (Vaddr.is_null cur) then begin
         Node.touch t.node;
         incr n;
-        sum := !sum + Memsim.load64 (mem t) (cur + key_off);
-        sum := !sum + Node.read_payload t.node ~addr:(cur + payload_off);
+        sum := !sum + Memsim.load64 (mem t) (Vaddr.add cur key_off);
+        sum := !sum + Node.read_payload t.node ~addr:(Vaddr.add cur payload_off);
         go (P.load (m t) ~holder:cur)
       end
     in
@@ -89,10 +93,10 @@ module Make (P : Core.Repr_sig.S) = struct
 
   let find t ~key =
     let rec go cur =
-      cur <> 0
+      (not (Vaddr.is_null cur))
       &&
       (Node.touch t.node;
-       Memsim.load64 (mem t) (cur + key_off) = key
+       Memsim.load64 (mem t) (Vaddr.add cur key_off) = key
        || go (P.load (m t) ~holder:cur))
     in
     go (P.load (m t) ~holder:(head_holder t))
@@ -104,14 +108,16 @@ module Make (P : Core.Repr_sig.S) = struct
   let swizzle t =
     check_swizzle ();
     let rec go cur =
-      if cur <> 0 then go (Swizzle.swizzle_slot (m t) ~holder:cur)
+      if not (Vaddr.is_null cur) then
+        go (Swizzle.swizzle_slot (m t) ~holder:cur)
     in
     go (Swizzle.swizzle_slot (m t) ~holder:(head_holder t))
 
   let unswizzle t =
     check_swizzle ();
     let rec go cur =
-      if cur <> 0 then go (Swizzle.unswizzle_slot (m t) ~holder:cur)
+      if not (Vaddr.is_null cur) then
+        go (Swizzle.unswizzle_slot (m t) ~holder:cur)
     in
     go (Swizzle.unswizzle_slot (m t) ~holder:(head_holder t))
 end

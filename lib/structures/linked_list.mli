@@ -31,7 +31,7 @@ module Make (P : Core.Repr_sig.S) : sig
   val find : t -> key:int -> bool
   (** Linear search by key. *)
 
-  val iter : t -> (addr:int -> key:int -> unit) -> unit
+  val iter : t -> (addr:Nvmpi_addr.Kinds.Vaddr.t -> key:int -> unit) -> unit
   (** Host-side iteration (uncharged pointer chasing is still charged;
       the callback itself runs outside the simulation). *)
 

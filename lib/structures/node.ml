@@ -2,6 +2,7 @@ module Machine = Core.Machine
 module Region = Nvmpi_nvregion.Region
 module Memsim = Nvmpi_memsim.Memsim
 module Objstore = Nvmpi_tx.Objstore
+module Vaddr = Nvmpi_addr.Kinds.Vaddr
 
 type alloc_mode = Plain of Region.t array | Wrapped of Objstore.t array
 
@@ -58,20 +59,20 @@ let payload_word ~seed i =
 let write_payload t ~addr ~seed =
   let words = t.payload / 8 in
   for i = 0 to words - 1 do
-    Memsim.store64 (mem t) (addr + (i * 8)) (payload_word ~seed i)
+    Memsim.store64 (mem t) (Vaddr.add addr (i * 8)) (payload_word ~seed i)
   done;
   for j = words * 8 to t.payload - 1 do
-    Memsim.store8 (mem t) (addr + j) ((seed + j) land 0xFF)
+    Memsim.store8 (mem t) (Vaddr.add addr j) ((seed + j) land 0xFF)
   done
 
 let read_payload t ~addr =
   let words = t.payload / 8 in
   let sum = ref 0 in
   for i = 0 to words - 1 do
-    sum := !sum + Memsim.load64 (mem t) (addr + (i * 8))
+    sum := !sum + Memsim.load64 (mem t) (Vaddr.add addr (i * 8))
   done;
   for j = words * 8 to t.payload - 1 do
-    sum := !sum + Memsim.load8 (mem t) (addr + j)
+    sum := !sum + Memsim.load8 (mem t) (Vaddr.add addr j)
   done;
   !sum
 
@@ -94,11 +95,11 @@ let head_slot_off = 32
 let write_meta t ~name ~kind ~aux =
   let addr = alloc_in_home t meta_bytes in
   Memsim.store64 (mem t) addr kind;
-  Memsim.store64 (mem t) (addr + 8) t.payload;
-  Memsim.store64 (mem t) (addr + 16) aux;
-  Memsim.store64 (mem t) (addr + 24) 0;
-  Memsim.store64 (mem t) (addr + head_slot_off) 0;
-  Memsim.store64 (mem t) (addr + head_slot_off + 8) 0;
+  Memsim.store64 (mem t) (Vaddr.add addr 8) t.payload;
+  Memsim.store64 (mem t) (Vaddr.add addr 16) aux;
+  Memsim.store64 (mem t) (Vaddr.add addr 24) 0;
+  Memsim.store64 (mem t) (Vaddr.add addr head_slot_off) 0;
+  Memsim.store64 (mem t) (Vaddr.add addr (head_slot_off + 8)) 0;
   Region.set_root (home_region t) ~tag:kind name addr;
   addr
 
@@ -112,4 +113,6 @@ let find_meta machine region ~name ~kind =
         failwith
           (Printf.sprintf "Node.find_meta: root %S has kind %d, expected %d"
              name k kind);
-      (addr, Memsim.load64 mem (addr + 8), Memsim.load64 mem (addr + 16))
+      ( addr,
+        Memsim.load64 mem (Vaddr.add addr 8),
+        Memsim.load64 mem (Vaddr.add addr 16) )

@@ -26,12 +26,12 @@ val regions : t -> Nvmpi_nvregion.Region.t array
 val home_region : t -> Nvmpi_nvregion.Region.t
 (** The first region: metadata and roots live here. *)
 
-val alloc_node : t -> int -> int
+val alloc_node : t -> int -> Nvmpi_addr.Kinds.Vaddr.t
 (** [alloc_node t size] allocates [size] bytes for a node in the next
     region of the round-robin rotation and returns its absolute
     address. *)
 
-val alloc_in_home : t -> int -> int
+val alloc_in_home : t -> int -> Nvmpi_addr.Kinds.Vaddr.t
 (** Allocation pinned to the home region (metadata, bucket tables). *)
 
 val touch : t -> unit
@@ -40,11 +40,11 @@ val touch : t -> unit
 
 (** {1 Payload} *)
 
-val write_payload : t -> addr:int -> seed:int -> unit
+val write_payload : t -> addr:Nvmpi_addr.Kinds.Vaddr.t -> seed:int -> unit
 (** Fills the [payload]-byte area at [addr] with words derived from
     [seed]. *)
 
-val read_payload : t -> addr:int -> int
+val read_payload : t -> addr:Nvmpi_addr.Kinds.Vaddr.t -> int
 (** Reads the payload area word by word (charged) and returns a
     checksum. *)
 
@@ -62,12 +62,12 @@ val payload_checksum : payload:int -> seed:int -> int
 val meta_bytes : int
 val head_slot_off : int
 
-val write_meta : t -> name:string -> kind:int -> aux:int -> int
+val write_meta : t -> name:string -> kind:int -> aux:int -> Nvmpi_addr.Kinds.Vaddr.t
 (** Allocates a metadata block in the home region, registers the root,
     and returns the block's address. *)
 
 val find_meta : Core.Machine.t -> Nvmpi_nvregion.Region.t -> name:string ->
-  kind:int -> int * int * int
+  kind:int -> Nvmpi_addr.Kinds.Vaddr.t * int * int
 (** [find_meta m r ~name ~kind] reads the metadata block back:
     [(addr, payload_size, aux)].
     @raise Failure if the root is missing or the kind tag differs. *)

@@ -1,11 +1,12 @@
 module Memsim = Nvmpi_memsim.Memsim
 module Swizzle = Core.Swizzle
+module Vaddr = Nvmpi_addr.Kinds.Vaddr
 
 let kind_tag = 0x14
 let fanout = 26
 
 module Make (P : Core.Repr_sig.S) = struct
-  type t = { node : Node.t; meta : int }
+  type t = { node : Node.t; meta : Vaddr.t }
 
   let slot = P.slot_size
   let flag_off = fanout * slot
@@ -13,8 +14,8 @@ module Make (P : Core.Repr_sig.S) = struct
   let node_size t = payload_off + t.node.Node.payload
   let mem t = t.node.Node.machine.Core.Machine.mem
   let m t = t.node.Node.machine
-  let head_holder t = t.meta + Node.head_slot_off
-  let child_holder a c = a + (c * slot)
+  let head_holder t = Vaddr.add t.meta Node.head_slot_off
+  let child_holder a c = Vaddr.add a (c * slot)
 
   let create node ~name =
     let meta = Node.write_meta node ~name ~kind:kind_tag ~aux:0 in
@@ -38,27 +39,28 @@ module Make (P : Core.Repr_sig.S) = struct
   let new_node t ~seed =
     let a = Node.alloc_node t.node (node_size t) in
     for c = 0 to fanout - 1 do
-      P.store (m t) ~holder:(child_holder a c) 0
+      P.store (m t) ~holder:(child_holder a c) Vaddr.null
     done;
-    Memsim.store64 (mem t) (a + flag_off) 0;
-    Node.write_payload t.node ~addr:(a + payload_off) ~seed;
+    Memsim.store64 (mem t) (Vaddr.add a flag_off) 0;
+    Node.write_payload t.node ~addr:(Vaddr.add a payload_off) ~seed;
     a
 
   (* The root node is created lazily on first insert. *)
   let root t ~create_missing =
-    match P.load (m t) ~holder:(head_holder t) with
-    | 0 when create_missing ->
-        let a = new_node t ~seed:0 in
-        P.store (m t) ~holder:(head_holder t) a;
-        a
-    | a -> a
+    let a = P.load (m t) ~holder:(head_holder t) in
+    if Vaddr.is_null a && create_missing then begin
+      let a = new_node t ~seed:0 in
+      P.store (m t) ~holder:(head_holder t) a;
+      a
+    end
+    else a
 
   let insert t word =
     if String.length word = 0 then invalid_arg "Trie.insert: empty word";
     let rec go a i =
       if i = String.length word then begin
-        let fresh = Memsim.load64 (mem t) (a + flag_off) = 0 in
-        Memsim.store64 (mem t) (a + flag_off) 1;
+        let fresh = Memsim.load64 (mem t) (Vaddr.add a flag_off) = 0 in
+        Memsim.store64 (mem t) (Vaddr.add a flag_off) 1;
         fresh
       end
       else begin
@@ -66,12 +68,13 @@ module Make (P : Core.Repr_sig.S) = struct
         let c = letter word i in
         let holder = child_holder a c in
         let next =
-          match P.load (m t) ~holder with
-          | 0 ->
-              let b = new_node t ~seed:((i * 31) + c) in
-              P.store (m t) ~holder b;
-              b
-          | b -> b
+          let b = P.load (m t) ~holder in
+          if Vaddr.is_null b then begin
+            let b = new_node t ~seed:((i * 31) + c) in
+            P.store (m t) ~holder b;
+            b
+          end
+          else b
         in
         go next (i + 1)
       end
@@ -81,11 +84,11 @@ module Make (P : Core.Repr_sig.S) = struct
   let contains t word =
     if String.length word = 0 then invalid_arg "Trie.contains: empty word";
     let rec go a i =
-      a <> 0
+      (not (Vaddr.is_null a))
       &&
       if i = String.length word then (
         Node.touch t.node;
-        Memsim.load64 (mem t) (a + flag_off) = 1)
+        Memsim.load64 (mem t) (Vaddr.add a flag_off) = 1)
       else begin
         Node.touch t.node;
         go (P.load (m t) ~holder:(child_holder a (letter word i))) (i + 1)
@@ -96,18 +99,18 @@ module Make (P : Core.Repr_sig.S) = struct
   let fold t f acc =
     let buf = Buffer.create 16 in
     let rec go a acc =
-      if a = 0 then acc
+      if Vaddr.is_null a then acc
       else begin
         Node.touch t.node;
         let acc =
-          if Memsim.load64 (mem t) (a + flag_off) = 1 then
+          if Memsim.load64 (mem t) (Vaddr.add a flag_off) = 1 then
             f acc (Buffer.contents buf)
           else acc
         in
         let acc = ref acc in
         for c = 0 to fanout - 1 do
           let child = P.load (m t) ~holder:(child_holder a c) in
-          if child <> 0 then begin
+          if not (Vaddr.is_null child) then begin
             Buffer.add_char buf (Char.chr (Char.code 'a' + c));
             acc := go child !acc;
             Buffer.truncate buf (Buffer.length buf - 1)
@@ -123,7 +126,7 @@ module Make (P : Core.Repr_sig.S) = struct
 
   let node_count t =
     let rec go a =
-      if a = 0 then 0
+      if Vaddr.is_null a then 0
       else begin
         let n = ref 1 in
         for c = 0 to fanout - 1 do
@@ -137,11 +140,11 @@ module Make (P : Core.Repr_sig.S) = struct
   let traverse t =
     let n = ref 0 and sum = ref 0 in
     let rec go a =
-      if a <> 0 then begin
+      if not (Vaddr.is_null a) then begin
         Node.touch t.node;
         incr n;
-        sum := !sum + Memsim.load64 (mem t) (a + flag_off);
-        sum := !sum + Node.read_payload t.node ~addr:(a + payload_off);
+        sum := !sum + Memsim.load64 (mem t) (Vaddr.add a flag_off);
+        sum := !sum + Node.read_payload t.node ~addr:(Vaddr.add a payload_off);
         for c = 0 to fanout - 1 do
           go (P.load (m t) ~holder:(child_holder a c))
         done
@@ -157,7 +160,7 @@ module Make (P : Core.Repr_sig.S) = struct
   let swizzle t =
     check_swizzle ();
     let rec go a =
-      if a <> 0 then
+      if not (Vaddr.is_null a) then
         for c = 0 to fanout - 1 do
           go (Swizzle.swizzle_slot (m t) ~holder:(child_holder a c))
         done
@@ -167,7 +170,7 @@ module Make (P : Core.Repr_sig.S) = struct
   let unswizzle t =
     check_swizzle ();
     let rec go a =
-      if a <> 0 then
+      if not (Vaddr.is_null a) then
         for c = 0 to fanout - 1 do
           go (Swizzle.unswizzle_slot (m t) ~holder:(child_holder a c))
         done

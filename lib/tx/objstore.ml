@@ -4,11 +4,12 @@ module Memsim = Nvmpi_memsim.Memsim
 module Timing = Nvmpi_cachesim.Timing
 module Freelist = Nvmpi_alloc.Freelist
 module Bitops = Nvmpi_addr.Bitops
+module Vaddr = Nvmpi_addr.Kinds.Vaddr
 
 type t = {
   machine : Machine.t;
   region : Region.t;
-  meta : int; (* absolute address of the store's metadata block *)
+  meta : Vaddr.t; (* absolute address of the store's metadata block *)
   heap : Freelist.t;
 }
 
@@ -34,40 +35,44 @@ let machine t = t.machine
 let region t = t.region
 let mem t = t.machine.Machine.mem
 
-let meta_get t field = Memsim.load64 (mem t) (t.meta + field)
-let meta_set t field v = Memsim.store64 (mem t) (t.meta + field) v
+let meta_get t field = Memsim.load64 (mem t) (Vaddr.add t.meta field)
+let meta_set t field v = Memsim.store64 (mem t) (Vaddr.add t.meta field) v
 
 let create machine region ?(log_cap = 256 * 1024) () =
   let mem = machine.Machine.mem in
   let meta = Region.alloc region meta_bytes in
   let log = Region.alloc region log_cap in
   (* Everything left in the region becomes the object heap. *)
-  let heap_lo = Region.base region + Region.heap_top region in
+  let base = (Region.base region :> int) in
+  let heap_lo = base + Region.heap_top region in
   let heap_lo = Bitops.align_up heap_lo 8 in
-  let heap_hi = Region.base region + Region.size region in
+  let heap_hi = base + Region.size region in
   let heap_hi = heap_hi land lnot 7 in
-  Region.set_heap_top region (heap_hi - Region.base region);
-  let heap = Freelist.init mem ~lo:heap_lo ~hi:heap_hi in
+  Region.set_heap_top region (heap_hi - base);
+  let heap = Freelist.init mem ~lo:(Vaddr.v heap_lo) ~hi:(Vaddr.v heap_hi) in
   let t = { machine; region; meta; heap } in
-  Memsim.store64 mem (meta + m_magic) magic;
-  meta_set t m_log_off (log - Region.base region);
+  Memsim.store64 mem (Vaddr.add meta m_magic) magic;
+  meta_set t m_log_off (Vaddr.offset_in log ~base:(Region.base region));
   meta_set t m_log_cap log_cap;
   meta_set t m_log_len 0;
-  meta_set t m_heap_lo (heap_lo - Region.base region);
-  meta_set t m_heap_hi (heap_hi - Region.base region);
+  meta_set t m_heap_lo (heap_lo - base);
+  meta_set t m_heap_hi (heap_hi - base);
   meta_set t m_alive 0;
   Region.set_root region root_name meta;
   t
 
+(* The log is addressed region-relative in its persisted form; these
+   helpers rebuild absolute addresses from the region base. *)
+let log_base t = Vaddr.add (Region.base t.region) (meta_get t m_log_off)
+
 let log_entries_of t =
   (* Count entries by walking the log. *)
-  let base = Region.base t.region in
-  let log = base + meta_get t m_log_off in
+  let log = log_base t in
   let len = meta_get t m_log_len in
   let rec go pos n =
     if pos >= len then n
     else
-      let elen = Memsim.load64 (mem t) (log + pos + 8) in
+      let elen = Memsim.load64 (mem t) (Vaddr.add log (pos + 8)) in
       go (pos + 16 + Bitops.align_up elen 8) (n + 1)
   in
   go 0 0
@@ -76,25 +81,27 @@ let log_entries t = log_entries_of t
 
 let log_reset t =
   meta_set t m_log_len 0;
-  Timing.flush t.machine.Machine.timing ~addr:(t.meta + m_log_len);
+  Timing.flush t.machine.Machine.timing ~addr:((t.meta :> int) + m_log_len);
   Timing.fence t.machine.Machine.timing
 
 let log_rollback t =
   let base = Region.base t.region in
-  let log = base + meta_get t m_log_off in
+  let log = log_base t in
   let len = meta_get t m_log_len in
   (* Collect entry positions, then restore newest-first. *)
   let rec collect pos acc =
     if pos >= len then acc
     else
-      let elen = Memsim.load64 (mem t) (log + pos + 8) in
+      let elen = Memsim.load64 (mem t) (Vaddr.add log (pos + 8)) in
       collect (pos + 16 + Bitops.align_up elen 8) ((pos, elen) :: acc)
   in
   List.iter
     (fun (pos, elen) ->
-      let off = Memsim.load64 (mem t) (log + pos) in
-      let data = Memsim.blit_to_bytes (mem t) ~addr:(log + pos + 16) ~len:elen in
-      Memsim.blit_from_bytes (mem t) ~addr:(base + off) data)
+      let off = Memsim.load64 (mem t) (Vaddr.add log pos) in
+      let data =
+        Memsim.blit_to_bytes (mem t) ~addr:(Vaddr.add log (pos + 16)) ~len:elen
+      in
+      Memsim.blit_from_bytes (mem t) ~addr:(Vaddr.add base off) data)
     (collect 0 []);
   log_reset t
 
@@ -103,11 +110,11 @@ let attach machine region =
   | None -> failwith "Objstore.attach: region holds no object store"
   | Some meta ->
       let mem = machine.Machine.mem in
-      if Memsim.load64 mem (meta + m_magic) <> magic then
+      if Memsim.load64 mem (Vaddr.add meta m_magic) <> magic then
         failwith "Objstore.attach: bad object-store magic";
       let base = Region.base region in
-      let heap_lo = base + Memsim.load64 mem (meta + m_heap_lo) in
-      let heap_hi = base + Memsim.load64 mem (meta + m_heap_hi) in
+      let heap_lo = Vaddr.add base (Memsim.load64 mem (Vaddr.add meta m_heap_lo)) in
+      let heap_hi = Vaddr.add base (Memsim.load64 mem (Vaddr.add meta m_heap_hi)) in
       let heap = Freelist.attach mem ~lo:heap_lo ~hi:heap_hi in
       let t = { machine; region; meta; heap } in
       (* A non-empty persisted log means a transaction was interrupted:
@@ -116,21 +123,21 @@ let attach machine region =
       t
 
 let log_append t ~addr ~len =
-  let base = Region.base t.region in
-  let log = base + meta_get t m_log_off in
+  let log = log_base t in
   let pos = meta_get t m_log_len in
   let entry_len = 16 + Bitops.align_up len 8 in
   if pos + entry_len > meta_get t m_log_cap then
     failwith "Objstore.log_append: undo log full";
-  Memsim.store64 (mem t) (log + pos) (addr - base);
-  Memsim.store64 (mem t) (log + pos + 8) len;
+  Memsim.store64 (mem t) (Vaddr.add log pos)
+    (Vaddr.offset_in addr ~base:(Region.base t.region));
+  Memsim.store64 (mem t) (Vaddr.add log (pos + 8)) len;
   let data = Memsim.blit_to_bytes (mem t) ~addr ~len in
-  Memsim.blit_from_bytes (mem t) ~addr:(log + pos + 16) data;
+  Memsim.blit_from_bytes (mem t) ~addr:(Vaddr.add log (pos + 16)) data;
   (* Persist the entry before the in-place store may happen. *)
   let timing = t.machine.Machine.timing in
   let line = 1 lsl (Timing.cfg timing).Nvmpi_cachesim.Timing_config.line_bits in
-  let first = (log + pos) land lnot (line - 1) in
-  let last = (log + pos + entry_len - 1) land lnot (line - 1) in
+  let first = ((log :> int) + pos) land lnot (line - 1) in
+  let last = ((log :> int) + pos + entry_len - 1) land lnot (line - 1) in
   let a = ref first in
   while !a <= last do
     Timing.flush timing ~addr:!a;
@@ -138,7 +145,7 @@ let log_append t ~addr ~len =
   done;
   Timing.fence timing;
   meta_set t m_log_len (pos + entry_len);
-  Timing.flush timing ~addr:(t.meta + m_log_len);
+  Timing.flush timing ~addr:((t.meta :> int) + m_log_len);
   Timing.fence timing
 
 (* Objects: [header | payload], allocated from the freelist in
@@ -149,17 +156,20 @@ let alloc t ?(tag = 0) ~size () =
   let total = Bitops.align_up (header_bytes + size) wrap_unit in
   let block = Freelist.alloc t.heap total in
   Memsim.store64 (mem t) block tag;
-  Memsim.store64 (mem t) (block + 8) size;
-  Memsim.store64 (mem t) (block + 16) 1;
-  Memsim.store64 (mem t) (block + 24) 0;
+  Memsim.store64 (mem t) (Vaddr.add block 8) size;
+  Memsim.store64 (mem t) (Vaddr.add block 16) 1;
+  Memsim.store64 (mem t) (Vaddr.add block 24) 0;
   meta_set t m_alive (meta_get t m_alive + 1);
-  block + header_bytes
+  Vaddr.add block header_bytes
 
 let free t payload =
-  Freelist.free t.heap (payload - header_bytes);
+  Freelist.free t.heap (Vaddr.add payload (-header_bytes));
   meta_set t m_alive (meta_get t m_alive - 1)
 
-let obj_tag t payload = Memsim.load64 (mem t) (payload - header_bytes)
-let obj_size t payload = Memsim.load64 (mem t) (payload - header_bytes + 8)
+let obj_tag t payload = Memsim.load64 (mem t) (Vaddr.add payload (-header_bytes))
+
+let obj_size t payload =
+  Memsim.load64 (mem t) (Vaddr.add payload (-header_bytes + 8))
+
 let touch_read t = Machine.alu t.machine read_overhead_cycles
 let objects_alive t = meta_get t m_alive

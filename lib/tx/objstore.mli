@@ -38,15 +38,15 @@ val attach : Core.Machine.t -> Nvmpi_nvregion.Region.t -> t
 val machine : t -> Core.Machine.t
 val region : t -> Nvmpi_nvregion.Region.t
 
-val alloc : t -> ?tag:int -> size:int -> unit -> int
+val alloc : t -> ?tag:int -> size:int -> unit -> Nvmpi_addr.Kinds.Vaddr.t
 (** Allocates a wrapped object with a [size]-byte payload and returns
     the {e payload} address. *)
 
-val free : t -> int -> unit
+val free : t -> Nvmpi_addr.Kinds.Vaddr.t -> unit
 (** Frees an object by payload address. *)
 
-val obj_tag : t -> int -> int
-val obj_size : t -> int -> int
+val obj_tag : t -> Nvmpi_addr.Kinds.Vaddr.t -> int
+val obj_size : t -> Nvmpi_addr.Kinds.Vaddr.t -> int
 (** Metadata of the object owning the given payload address. *)
 
 val touch_read : t -> unit
@@ -56,7 +56,7 @@ val objects_alive : t -> int
 
 (** {1 Undo log plumbing (used by {!Tx})} *)
 
-val log_append : t -> addr:int -> len:int -> unit
+val log_append : t -> addr:Nvmpi_addr.Kinds.Vaddr.t -> len:int -> unit
 (** Persists an undo record of [len] bytes at [addr] (current contents)
     into the log: data copy, log-head update, flush, fence. *)
 

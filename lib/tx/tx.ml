@@ -1,6 +1,7 @@
 module Machine = Core.Machine
 module Memsim = Nvmpi_memsim.Memsim
 module Timing = Nvmpi_cachesim.Timing
+module Vaddr = Nvmpi_addr.Kinds.Vaddr
 
 type t = {
   os : Objstore.t;
@@ -62,9 +63,10 @@ let run t f =
       abort t;
       raise e
 
-let add_range t ~addr ~len =
+let add_range t ~addr:(addr : Vaddr.t) ~len =
   if not t.active then raise Not_in_transaction;
   Objstore.log_append t.os ~addr ~len;
+  let addr = (addr :> int) in
   let rec mark a =
     if a < addr + len then begin
       Hashtbl.replace t.logged (a land lnot 7) ();
@@ -75,16 +77,16 @@ let add_range t ~addr ~len =
   Hashtbl.replace t.dirty (line_of t addr) ();
   Hashtbl.replace t.dirty (line_of t (addr + len - 1)) ()
 
-let store64 t a v =
+let store64 t (a : Vaddr.t) v =
   if t.active then begin
-    if not (Hashtbl.mem t.logged a) then begin
+    if not (Hashtbl.mem t.logged (a :> int)) then begin
       Objstore.log_append t.os ~addr:a ~len:8;
-      Hashtbl.replace t.logged a ()
+      Hashtbl.replace t.logged (a :> int) ()
     end;
-    Hashtbl.replace t.dirty (line_of t a) ()
+    Hashtbl.replace t.dirty (line_of t (a :> int)) ()
   end;
   Memsim.store64 (mem t) a v
 
-let load64 t a =
+let load64 t (a : Vaddr.t) =
   Objstore.touch_read t.os;
   Memsim.load64 (mem t) a

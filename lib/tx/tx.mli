@@ -41,15 +41,15 @@ val run : t -> (unit -> 'a) -> 'a
 (** [run t f] wraps [f] in begin/commit; any exception aborts and is
     re-raised. *)
 
-val store64 : t -> int -> int -> unit
+val store64 : t -> Nvmpi_addr.Kinds.Vaddr.t -> int -> unit
 (** Transactional store: undo-logs the word on first touch, then writes.
     Outside a transaction it behaves as a plain store. *)
 
-val load64 : t -> int -> int
+val load64 : t -> Nvmpi_addr.Kinds.Vaddr.t -> int
 (** Plain load (reads need no logging), charged with the object-store
     read-accessor overhead. *)
 
-val add_range : t -> addr:int -> len:int -> unit
+val add_range : t -> addr:Nvmpi_addr.Kinds.Vaddr.t -> len:int -> unit
 (** Pre-logs an arbitrary byte range (PMEM.IO's [TX_ADD]); subsequent
     plain stores to it are then crash-safe within this transaction. *)
 

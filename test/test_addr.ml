@@ -91,6 +91,81 @@ let test_riv_pack () =
     (Invalid_argument "Layout.riv_pack: bad offset") (fun () ->
       ignore (Layout.riv_pack l ~rid:1 ~offset:(Layout.segment_size l)))
 
+(* Exact-boundary checks for the five classification predicates: the
+   first/last address of each area is classified correctly and the
+   address one byte outside is not. Run on every preset so the bit math
+   is exercised at three different field widths. *)
+let test_classification_boundaries () =
+  List.iter
+    (fun (name, l) ->
+      let nv = Layout.nv_start l in
+      let chk msg = check_bool (name ^ ": " ^ msg) in
+      (* NV-space border: nv_start is the first NV address; nv_start - 1
+         is the last volatile one. *)
+      chk "nv_start in nv space" true (Layout.in_nv_space l nv);
+      chk "nv_start - 1 volatile" true (Layout.is_volatile l (nv - 1));
+      chk "nv_start - 1 not nv" false (Layout.in_nv_space l (nv - 1));
+      chk "nv_start not volatile" false (Layout.is_volatile l nv);
+      chk "top of address space in nv" true
+        (Layout.in_nv_space l ((1 lsl l.Layout.word_bits) - 1));
+      (* Data area: the first data address is the base of the first
+         data-area segment; one byte below it is not data. *)
+      let first_data =
+        Layout.segment_base_of_nvbase l (Layout.data_nvbase_min l)
+      in
+      chk "first data address" true (Layout.is_data_addr l first_data);
+      chk "below first data address" false
+        (Layout.is_data_addr l (first_data - 1));
+      let last_data =
+        Layout.segment_base_of_nvbase l ((1 lsl l.Layout.l2) - 1)
+        + Layout.segment_size l - 1
+      in
+      chk "last data address" true (Layout.is_data_addr l last_data);
+      (* RID table: entries exist for data-area nvbases only. The first
+         entry is the one for the first data segment; the last entry's
+         last byte is the table's last byte. *)
+      let s_r = Bitops.log2_exact (Layout.rid_entry_bytes l) in
+      let rid_lo = nv + (Layout.data_nvbase_min l lsl s_r) in
+      let rid_hi = nv + (1 lsl (l.Layout.l2 + s_r)) - 1 in
+      chk "first rid entry" true (Layout.is_rid_table_addr l rid_lo);
+      chk "below first rid entry" false
+        (Layout.is_rid_table_addr l (rid_lo - 1));
+      chk "last rid table byte" true (Layout.is_rid_table_addr l rid_hi);
+      chk "past rid table" false (Layout.is_rid_table_addr l (rid_hi + 1));
+      chk "first rid entry from entry_addr" true
+        (Layout.is_rid_table_addr l (Layout.rid_entry_addr l first_data));
+      chk "last rid entry from entry_addr" true
+        (Layout.is_rid_table_addr l (Layout.rid_entry_addr l last_data));
+      (* Base table: one entry per region ID up to max_rid. *)
+      let s_b = Bitops.log2_exact (Layout.base_entry_bytes l) in
+      let base_lo = nv + (1 lsl (l.Layout.l4 + s_b)) in
+      let base_hi = nv + (1 lsl (l.Layout.l4 + s_b + 1)) - 1 in
+      chk "first base entry" true (Layout.is_base_table_addr l base_lo);
+      chk "below first base entry" false
+        (Layout.is_base_table_addr l (base_lo - 1));
+      chk "last base table byte" true (Layout.is_base_table_addr l base_hi);
+      chk "past base table" false (Layout.is_base_table_addr l (base_hi + 1));
+      (* The max_rid entry is the last one: its final byte is the final
+         byte of the table. *)
+      let last_entry = Layout.base_entry_addr l ~rid:(Layout.max_rid l) in
+      chk "max_rid entry in table" true
+        (Layout.is_base_table_addr l last_entry);
+      check (name ^ ": max_rid entry is the last entry") base_hi
+        (last_entry + Layout.base_entry_bytes l - 1);
+      (* The areas are mutually exclusive at their boundaries. *)
+      List.iter
+        (fun a ->
+          let d = Layout.is_data_addr l a
+          and r = Layout.is_rid_table_addr l a
+          and b = Layout.is_base_table_addr l a in
+          chk (Printf.sprintf "0x%x in at most one area" a) true
+            ((if d then 1 else 0) + (if r then 1 else 0)
+             + (if b then 1 else 0) <= 1))
+        [ first_data; first_data - 1; last_data; rid_lo; rid_hi; rid_hi + 1;
+          base_lo; base_hi; base_hi + 1 ])
+    [ ("default", Layout.default); ("small", Layout.small);
+      ("large", Layout.large_segments) ]
+
 let test_space_formulas () =
   let l = Layout.default in
   check "physical overhead 20 regions"
@@ -167,6 +242,7 @@ let prop_extract_deposit_inverse =
       = field land Bitops.mask len)
 
 module Two_level = Core.Two_level
+module Kinds = Core.Kinds
 
 (* Two-level layouts (Section 4.3 extension) *)
 
@@ -194,22 +270,23 @@ let test_two_level_classify_and_fields () =
   List.iter
     (fun c ->
       let nb = Two_level.data_nvbase_min t c + 9 in
-      let base = Two_level.segment_base t c ~nvbase:nb in
+      let base = Two_level.segment_base t c ~nvbase:(Kinds.Seg.v nb) in
       check_bool "in nv space" true (Two_level.in_nv_space t base);
       check_bool "classified" true (Two_level.class_of t base = c);
       check_bool "data addr" true (Two_level.is_data_addr t base);
-      check "nvbase" nb (Two_level.nvbase t base);
-      check "offset" 4242 (Two_level.seg_offset t (base + 4242));
-      check "get_base" base (Two_level.get_base t (base + 4242)))
+      check "nvbase" nb (Two_level.nvbase t base :> int);
+      check "offset" 4242 (Two_level.seg_offset t (Kinds.Vaddr.add base 4242));
+      check "get_base" (base :> int)
+        (Two_level.get_base t (Kinds.Vaddr.add base 4242) :> int))
     [ Two_level.Small; Two_level.Large ]
 
 let test_two_level_pack_roundtrip () =
   let t = Two_level.default in
   List.iter
     (fun c ->
-      let v = Two_level.pack t c ~rid:77 ~offset:0xBEEF0 in
+      let v = Two_level.pack t c ~rid:(Kinds.Rid.v 77) ~offset:0xBEEF0 in
       check_bool "class" true (Two_level.unpack_cls t v = c);
-      check "rid" 77 (Two_level.unpack_rid t v);
+      check "rid" 77 (Two_level.unpack_rid t v :> int);
       check "offset" 0xBEEF0 (Two_level.unpack_offset t v))
     [ Two_level.Small; Two_level.Large ]
 
@@ -236,11 +313,11 @@ let prop_two_level_no_overlap =
         + (nb_off mod Two_level.usable_segments t c)
       in
       let rid = 1 + (rid mod Two_level.max_rid t) in
-      let base = Two_level.segment_base t c ~nvbase:nb in
-      let data = base + 12345 in
+      let base = Two_level.segment_base t c ~nvbase:(Kinds.Seg.v nb) in
+      let data = Kinds.Vaddr.add base 12345 in
       let re = Two_level.rid_entry_addr t data in
-      let be = Two_level.base_entry_addr t c ~rid in
-      let be_other = Two_level.base_entry_addr t other ~rid in
+      let be = Two_level.base_entry_addr t c ~rid:(Kinds.Rid.v rid) in
+      let be_other = Two_level.base_entry_addr t other ~rid:(Kinds.Rid.v rid) in
       (* Entries stay in their own class and their own area, and the two
          classes' tables never collide. *)
       Two_level.class_of t re = c
@@ -274,6 +351,8 @@ let () =
           Alcotest.test_case "rid entry uniform in segment" `Quick
             test_rid_entry_same_for_all_addrs_in_segment;
           Alcotest.test_case "riv pack" `Quick test_riv_pack;
+          Alcotest.test_case "classification boundaries" `Quick
+            test_classification_boundaries;
           Alcotest.test_case "space formulas" `Quick test_space_formulas;
           Alcotest.test_case "large-segments preset" `Quick
             test_large_segments_preset;

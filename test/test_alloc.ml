@@ -1,20 +1,26 @@
 module Freelist = Core.Freelist
 module Memsim = Core.Memsim
+module Vaddr = Core.Kinds.Vaddr
+
+(* Tests drive the typed API with host integers: [va] blesses a literal
+   at the Figure 8 trust boundary, [ia] reads an address back out. *)
+let va = Vaddr.v
+let ia (a : Vaddr.t) = (a :> int)
 
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
 let fresh ?(size = 64 * 1024) () =
   let mem = Memsim.create () in
-  Memsim.map mem ~addr:0x1000 ~size;
-  (mem, Freelist.init mem ~lo:0x1000 ~hi:(0x1000 + size))
+  Memsim.map mem ~addr:(va 0x1000) ~size;
+  (mem, Freelist.init mem ~lo:(va 0x1000) ~hi:(va (0x1000 + size)))
 
 let test_basic_alloc_free () =
   let _, fl = fresh () in
   let a = Freelist.alloc fl 100 in
   let b = Freelist.alloc fl 100 in
-  check_bool "distinct" true (b >= a + 100 || a >= b + 100);
-  check_bool "aligned" true (a land 7 = 0 && b land 7 = 0);
+  check_bool "distinct" true (ia b >= ia a + 100 || ia a >= ia b + 100);
+  check_bool "aligned" true (ia a land 7 = 0 && ia b land 7 = 0);
   Freelist.check fl;
   Freelist.free fl a;
   Freelist.check fl;
@@ -29,7 +35,7 @@ let test_reuse_after_free () =
   let a = Freelist.alloc fl 64 in
   Freelist.free fl a;
   let b = Freelist.alloc fl 64 in
-  check "freed block reused" a b
+  check "freed block reused" (ia a) (ia b)
 
 let test_usable_size () =
   let _, fl = fresh () in
@@ -78,7 +84,7 @@ let test_bogus_free_detected () =
   let _ = Freelist.alloc fl 64 in
   check_bool "bogus pointer" true
     (try
-       Freelist.free fl 0x1008;
+       Freelist.free fl (va 0x1008);
        false
      with Freelist.Corrupted _ -> true)
 
@@ -86,18 +92,18 @@ let test_attach_after_move () =
   (* Format a heap, copy its bytes elsewhere (as if the region were
      remapped), re-attach: all offsets must still make sense. *)
   let mem = Memsim.create () in
-  Memsim.map mem ~addr:0x1000 ~size:8192;
-  Memsim.map mem ~addr:0x100000 ~size:8192;
-  let fl = Freelist.init mem ~lo:0x1000 ~hi:(0x1000 + 8192) in
+  Memsim.map mem ~addr:(va 0x1000) ~size:8192;
+  Memsim.map mem ~addr:(va 0x100000) ~size:8192;
+  let fl = Freelist.init mem ~lo:(va 0x1000) ~hi:(va (0x1000 + 8192)) in
   let a = Freelist.alloc fl 64 in
   let b = Freelist.alloc fl 128 in
   Freelist.free fl a;
-  let image = Memsim.blit_to_bytes mem ~addr:0x1000 ~len:8192 in
-  Memsim.blit_from_bytes mem ~addr:0x100000 image;
-  let fl' = Freelist.attach mem ~lo:0x100000 ~hi:(0x100000 + 8192) in
+  let image = Memsim.blit_to_bytes mem ~addr:(va 0x1000) ~len:8192 in
+  Memsim.blit_from_bytes mem ~addr:(va 0x100000) image;
+  let fl' = Freelist.attach mem ~lo:(va 0x100000) ~hi:(va (0x100000 + 8192)) in
   Freelist.check fl';
   (* The same logical blocks exist at the new base. *)
-  Freelist.free fl' (b - 0x1000 + 0x100000);
+  Freelist.free fl' (va (ia b - 0x1000 + 0x100000));
   Freelist.check fl';
   let alloc_blocks, _ = Freelist.block_count fl' in
   check "all freed after move" 0 alloc_blocks
@@ -155,7 +161,9 @@ let prop_no_overlap =
         (fun (a, sa) ->
           List.for_all
             (fun (b, _) ->
-              a = b || b >= a + sa || a >= b + Freelist.usable_size fl b)
+              Vaddr.equal a b
+              || ia b >= ia a + sa
+              || ia a >= ia b + Freelist.usable_size fl b)
             blocks)
         blocks)
 

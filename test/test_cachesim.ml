@@ -3,6 +3,10 @@ module Cache_level = Core.Cache_level
 module Timing = Core.Timing
 module Timing_config = Core.Timing_config
 module Memsim = Core.Memsim
+module Vaddr = Core.Kinds.Vaddr
+
+(* Tests bless literal addresses at the Figure 8 trust boundary. *)
+let va = Vaddr.v
 
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -108,8 +112,8 @@ let cfg = Timing_config.default
 
 let test_dram_vs_nvm_latency () =
   let mem, clock, _ = machine_parts () in
-  let dram = 0x10000 in
-  let nvm = Core.Layout.nv_start layout in
+  let dram = va 0x10000 in
+  let nvm = va (Core.Layout.nv_start layout) in
   Memsim.map mem ~addr:dram ~size:0x1000;
   Memsim.map mem ~addr:nvm ~size:0x1000;
   let (), d_dram = Clock.delta clock (fun () -> ignore (Memsim.load64 mem dram)) in
@@ -125,7 +129,7 @@ let test_dram_vs_nvm_latency () =
 
 let test_warm_hit_cost () =
   let mem, clock, _ = machine_parts () in
-  let a = 0x10000 in
+  let a = va 0x10000 in
   Memsim.map mem ~addr:a ~size:0x1000;
   ignore (Memsim.load64 mem a);
   let (), d = Clock.delta clock (fun () -> ignore (Memsim.load64 mem a)) in
@@ -133,7 +137,7 @@ let test_warm_hit_cost () =
 
 let test_alu_flush_fence () =
   let mem, clock, timing = machine_parts () in
-  let nvm = Core.Layout.nv_start layout in
+  let nvm = va (Core.Layout.nv_start layout) in
   Memsim.map mem ~addr:nvm ~size:0x1000;
   let (), d = Clock.delta clock (fun () -> Timing.alu timing 3) in
   check "alu" 3 d;
@@ -141,20 +145,20 @@ let test_alu_flush_fence () =
   check "fence" cfg.Timing_config.wbarrier d;
   (* Flush of a dirty NVM line costs clflush + NVM write. *)
   Memsim.store64 mem nvm 1;
-  let (), d = Clock.delta clock (fun () -> Timing.flush timing ~addr:nvm) in
+  let (), d = Clock.delta clock (fun () -> Timing.flush timing ~addr:(nvm :> int)) in
   check "dirty flush"
     (cfg.Timing_config.clflush + cfg.Timing_config.nvm_write)
     d;
   (* Second flush: line no longer cached, only issue cost. *)
-  let (), d = Clock.delta clock (fun () -> Timing.flush timing ~addr:nvm) in
+  let (), d = Clock.delta clock (fun () -> Timing.flush timing ~addr:(nvm :> int)) in
   check "clean flush" cfg.Timing_config.clflush d
 
 let test_mem_stats () =
   let mem, _, timing = machine_parts () in
-  let nvm = Core.Layout.nv_start layout in
-  Memsim.map mem ~addr:0x10000 ~size:0x1000;
+  let nvm = va (Core.Layout.nv_start layout) in
+  Memsim.map mem ~addr:(va 0x10000) ~size:0x1000;
   Memsim.map mem ~addr:nvm ~size:0x1000;
-  ignore (Memsim.load64 mem 0x10000);
+  ignore (Memsim.load64 mem (va 0x10000));
   ignore (Memsim.load64 mem nvm);
   ignore (Memsim.load64 mem nvm);
   let s = Timing.mem_stats timing in
@@ -167,12 +171,12 @@ let test_working_set_behaviour () =
   (* A working set larger than L1 but within L2 should mostly hit L2 on a
      second pass. *)
   let mem, clock, _ = machine_parts () in
-  let a = 0x100000 in
+  let a = va 0x100000 in
   let n = 1024 (* 64 KiB of lines: 2x L1, well within L2 *) in
-  Memsim.map mem ~addr:a ~size:(n * 64) ;
+  Memsim.map mem ~addr:a ~size:(n * 64);
   let pass () =
     for i = 0 to n - 1 do
-      ignore (Memsim.load64 mem (a + (i * 64)))
+      ignore (Memsim.load64 mem (Vaddr.add a (i * 64)))
     done
   in
   pass ();
@@ -187,11 +191,11 @@ let test_dirty_writeback_charged () =
   (* Write enough distinct NVM lines to force dirty evictions through
      L1/L2/L3; the model must charge NVM writes for them. *)
   let mem, _, timing = machine_parts () in
-  let nvm = Core.Layout.nv_start layout in
+  let nvm = va (Core.Layout.nv_start layout) in
   let lines = (2 * cfg.Timing_config.l3_size) / 64 in
   Memsim.map mem ~addr:nvm ~size:(lines * 64);
   for i = 0 to lines - 1 do
-    Memsim.store64 mem (nvm + (i * 64)) i
+    Memsim.store64 mem (Vaddr.add nvm (i * 64)) i
   done;
   let s = Timing.mem_stats timing in
   check_bool "dirty evictions reached NVM" true (s.Timing.nvm_writes > 0)
@@ -203,11 +207,11 @@ let test_pp_stats_renders () =
 
 let test_invalidate_caches_forces_misses () =
   let mem, clock, timing = machine_parts () in
-  Memsim.map mem ~addr:0x10000 ~size:0x1000;
-  ignore (Memsim.load64 mem 0x10000);
-  ignore (Memsim.load64 mem 0x10000);
+  Memsim.map mem ~addr:(va 0x10000) ~size:0x1000;
+  ignore (Memsim.load64 mem (va 0x10000));
+  ignore (Memsim.load64 mem (va 0x10000));
   Timing.invalidate_caches timing;
-  let (), d = Clock.delta clock (fun () -> ignore (Memsim.load64 mem 0x10000)) in
+  let (), d = Clock.delta clock (fun () -> ignore (Memsim.load64 mem (va 0x10000))) in
   check_bool "miss after invalidation" true (d > cfg.Timing_config.l1_hit)
 
 (* Property: the cache level agrees with a naive reference model (a

@@ -7,6 +7,15 @@ module Store = Core.Store
 module Layout = Core.Layout
 module Memsim = Core.Memsim
 module Clock = Core.Clock
+module Kinds = Core.Kinds
+module Vaddr = Kinds.Vaddr
+
+(* Tests bless host integers at the Figure 8 trust boundary and coerce
+   typed results back out for Alcotest's int checkers. *)
+let va = Vaddr.v
+let ia (a : Vaddr.t) = (a :> int)
+let ri = Kinds.Rid.v
+let ir (r : Kinds.Rid.t) = (r :> int)
 
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -26,29 +35,31 @@ let with_region ?seed ?(size = 1 lsl 20) () =
 let test_nvspace_register_and_convert () =
   let _, m, r = with_region ~seed:1 () in
   let base = Region.base r in
-  check "id2addr" base (Nvspace.id2addr m.Machine.nvspace (Region.rid r));
-  check "addr2id" (Region.rid r)
-    (Nvspace.addr2id m.Machine.nvspace (base + 12345));
-  check "get_base" base (Nvspace.get_base m.Machine.nvspace (base + 12345))
+  check "id2addr" (ia base)
+    (ia (Nvspace.id2addr m.Machine.nvspace (Region.rid r)));
+  check "addr2id" (ir (Region.rid r))
+    (ir (Nvspace.addr2id m.Machine.nvspace (Vaddr.add base 12345)));
+  check "get_base" (ia base)
+    (ia (Nvspace.get_base m.Machine.nvspace (Vaddr.add base 12345)))
 
 let test_nvspace_x2p_p2x_roundtrip () =
   let _, m, r = with_region ~seed:2 () in
   let a = Region.alloc r 64 in
   let v = Nvspace.p2x m.Machine.nvspace a in
-  check "roundtrip" a (Nvspace.x2p m.Machine.nvspace v);
-  check "null p2x" 0 (Nvspace.p2x m.Machine.nvspace 0);
-  check "null x2p" 0 (Nvspace.x2p m.Machine.nvspace 0)
+  check "roundtrip" (ia a) (ia (Nvspace.x2p m.Machine.nvspace v));
+  check "null p2x" 0 (Nvspace.p2x m.Machine.nvspace Vaddr.null :> int);
+  check "null x2p" 0 (ia (Nvspace.x2p m.Machine.nvspace Kinds.Riv.null))
 
 let test_nvspace_unknown_region () =
   let _, m, _ = with_region ~seed:3 () in
   check_bool "unknown rid" true
     (try
-       ignore (Nvspace.id2addr m.Machine.nvspace 999);
+       ignore (Nvspace.id2addr m.Machine.nvspace (ri 999));
        false
      with Nvspace.Unknown_region _ -> true);
   check_bool "non-data addr" true
     (try
-       ignore (Nvspace.addr2id m.Machine.nvspace 0x10000);
+       ignore (Nvspace.addr2id m.Machine.nvspace (va 0x10000));
        false
      with Nvspace.Not_nv_data _ -> true)
 
@@ -71,27 +82,28 @@ let test_nvspace_multi_region () =
   in
   List.iter
     (fun r ->
-      check "each id resolves" (Region.base r)
-        (Nvspace.id2addr m.Machine.nvspace (Region.rid r));
-      check "each base resolves" (Region.rid r)
-        (Nvspace.addr2id m.Machine.nvspace (Region.base r + 8000)))
+      check "each id resolves" (ia (Region.base r))
+        (ia (Nvspace.id2addr m.Machine.nvspace (Region.rid r)));
+      check "each base resolves" (ir (Region.rid r))
+        (ir (Nvspace.addr2id m.Machine.nvspace (Vaddr.add (Region.base r) 8000))))
     regions
 
 (* Fat table *)
 
 let test_fat_table_basic () =
   let _, m, r = with_region ~seed:6 () in
-  check "lookup" (Region.base r) (Fat_table.lookup m.Machine.fat (Region.rid r));
-  check "rid_of_addr" (Region.rid r)
-    (Fat_table.rid_of_addr m.Machine.fat (Region.base r + 512));
+  check "lookup" (ia (Region.base r))
+    (ia (Fat_table.lookup m.Machine.fat (Region.rid r)));
+  check "rid_of_addr" (ir (Region.rid r))
+    (ir (Fat_table.rid_of_addr m.Machine.fat (Vaddr.add (Region.base r) 512)));
   check_bool "unknown" true
     (try
-       ignore (Fat_table.lookup m.Machine.fat 777);
+       ignore (Fat_table.lookup m.Machine.fat (ri 777));
        false
      with Fat_table.Unknown_region _ -> true);
   check_bool "no region for addr" true
     (try
-       ignore (Fat_table.rid_of_addr m.Machine.fat 0x40000);
+       ignore (Fat_table.rid_of_addr m.Machine.fat (va 0x40000));
        false
      with Fat_table.No_region_for_addr _ -> true)
 
@@ -104,10 +116,10 @@ let test_fat_table_many_regions () =
   in
   List.iter
     (fun r ->
-      check "lookup" (Region.base r)
-        (Fat_table.lookup m.Machine.fat (Region.rid r));
-      check "reverse" (Region.rid r)
-        (Fat_table.rid_of_addr m.Machine.fat (Region.base r)))
+      check "lookup" (ia (Region.base r))
+        (ia (Fat_table.lookup m.Machine.fat (Region.rid r)));
+      check "reverse" (ir (Region.rid r))
+        (ir (Fat_table.rid_of_addr m.Machine.fat (Region.base r))))
     rs;
   (* Close half, the rest still resolves. *)
   List.iteri
@@ -116,8 +128,8 @@ let test_fat_table_many_regions () =
   List.iteri
     (fun i r ->
       if i mod 2 = 1 then
-        check "survivor" (Region.base r)
-          (Fat_table.lookup m.Machine.fat (Region.rid r))
+        check "survivor" (ia (Region.base r))
+          (ia (Fat_table.lookup m.Machine.fat (Region.rid r)))
       else
         check_bool "closed gone" true
           (try
@@ -139,7 +151,8 @@ let test_roundtrip_same_region () =
       let holder = Region.alloc r P.slot_size in
       let target = Region.alloc r 64 in
       P.store m ~holder target;
-      check (Repr.to_string kind ^ " roundtrip") target (P.load m ~holder))
+      check (Repr.to_string kind ^ " roundtrip") (ia target)
+        (ia (P.load m ~holder)))
     all_reprs
 
 let test_null_roundtrip () =
@@ -149,8 +162,8 @@ let test_null_roundtrip () =
       if kind = Repr.Based then Machine.set_based_region m (Region.rid r);
       let (module P) = Repr.m kind in
       let holder = Region.alloc r P.slot_size in
-      P.store m ~holder 0;
-      check (Repr.to_string kind ^ " null") 0 (P.load m ~holder))
+      P.store m ~holder Vaddr.null;
+      check (Repr.to_string kind ^ " null") 0 (ia (P.load m ~holder)))
     all_reprs
 
 let test_backward_pointer () =
@@ -159,7 +172,7 @@ let test_backward_pointer () =
   let target = Region.alloc r 64 in
   let holder = Region.alloc r 8 in
   Core.Off_holder.store m ~holder target;
-  check "backward off-holder" target (Core.Off_holder.load m ~holder)
+  check "backward off-holder" (ia target) (ia (Core.Off_holder.load m ~holder))
 
 let test_cross_region_raises_for_intra_only () =
   let _, m = machine ~seed:11 () in
@@ -188,7 +201,7 @@ let test_cross_region_works_for_riv_fat () =
       let (module P) = Repr.m kind in
       let holder = Region.alloc r1 P.slot_size in
       P.store m ~holder target;
-      check (Repr.to_string kind ^ " cross") target (P.load m ~holder))
+      check (Repr.to_string kind ^ " cross") (ia target) (ia (P.load m ~holder)))
     [ Repr.Riv; Repr.Fat; Repr.Fat_cached; Repr.Packed_fat; Repr.Hw_oid ]
 
 let test_based_requires_base () =
@@ -208,18 +221,19 @@ let test_swizzle_slot_roundtrip () =
   let target = Region.alloc r 64 in
   Core.Swizzle.store_packed m ~holder target;
   (* Packed form is not an absolute address. *)
-  check_bool "packed differs" true (Machine.load64 m holder <> target);
-  check "swizzle returns target" target (Core.Swizzle.swizzle_slot m ~holder);
-  check "now absolute" target (Machine.load64 m holder);
-  check "steady-state load" target (Core.Swizzle.load m ~holder);
-  check "unswizzle returns target" target
-    (Core.Swizzle.unswizzle_slot m ~holder);
-  check_bool "packed again" true (Machine.load64 m holder <> target);
+  check_bool "packed differs" true (Machine.load64 m holder <> ia target);
+  check "swizzle returns target" (ia target)
+    (ia (Core.Swizzle.swizzle_slot m ~holder));
+  check "now absolute" (ia target) (Machine.load64 m holder);
+  check "steady-state load" (ia target) (ia (Core.Swizzle.load m ~holder));
+  check "unswizzle returns target" (ia target)
+    (ia (Core.Swizzle.unswizzle_slot m ~holder));
+  check_bool "packed again" true (Machine.load64 m holder <> ia target);
   (* Null slots pass through both directions. *)
   let nholder = Region.alloc r 8 in
-  Core.Swizzle.store_packed m ~holder:nholder 0;
-  check "null swizzle" 0 (Core.Swizzle.swizzle_slot m ~holder:nholder);
-  check "null unswizzle" 0 (Core.Swizzle.unswizzle_slot m ~holder:nholder)
+  Core.Swizzle.store_packed m ~holder:nholder Vaddr.null;
+  check "null swizzle" 0 (ia (Core.Swizzle.swizzle_slot m ~holder:nholder));
+  check "null unswizzle" 0 (ia (Core.Swizzle.unswizzle_slot m ~holder:nholder))
 
 (* Position independence across runs *)
 
@@ -243,11 +257,13 @@ let repr_survives kind =
   let m2 = Machine.create ~seed:200 ~store () in
   let r2 = Machine.open_region m2 rid in
   if kind = Repr.Based then Machine.set_based_region m2 rid;
-  assert (Region.base r2 <> base1);
+  assert (not (Vaddr.equal (Region.base r2) base1));
   let holder' = Option.get (Region.root r2 "holder") in
   let target' = Option.get (Region.root r2 "target") in
   match P.load m2 ~holder:holder' with
-  | loaded -> loaded = target' && Memsim.load64 m2.Machine.mem target' = 0xABCD
+  | loaded ->
+      Vaddr.equal loaded target'
+      && Memsim.load64 m2.Machine.mem target' = 0xABCD
   | exception Memsim.Fault _ -> false
 
 let test_position_independent_reprs_survive_remap () =
@@ -276,9 +292,9 @@ let test_swizzle_survives_via_passes () =
   let r2 = Machine.open_region m2 rid in
   let holder' = Option.get (Region.root r2 "holder") in
   let target' = Option.get (Region.root r2 "target") in
-  check "swizzle pass resolves new target" target'
-    (Core.Swizzle.swizzle_slot m2 ~holder:holder');
-  check "steady state" target' (Core.Swizzle.load m2 ~holder:holder')
+  check "swizzle pass resolves new target" (ia target')
+    (ia (Core.Swizzle.swizzle_slot m2 ~holder:holder'));
+  check "steady state" (ia target') (ia (Core.Swizzle.load m2 ~holder:holder'))
 
 (* The Mnemosyne alternative (related work): pinning a region to the
    same virtual address in every run makes even normal pointers survive —
@@ -290,7 +306,7 @@ let test_pinned_mapping_mnemosyne_style () =
   let nb = Layout.data_nvbase_min Layout.default + 42 in
   let m1 = Machine.create ~seed:300 ~store () in
   let rid = Machine.create_region m1 ~size:65536 in
-  let r1 = Machine.open_region ~at_nvbase:nb m1 rid in
+  let r1 = Machine.open_region ~at_nvbase:(Kinds.Seg.v nb) m1 rid in
   let holder = Region.alloc r1 8 in
   let target = Region.alloc r1 8 in
   Memsim.store64 m1.Machine.mem target 1234;
@@ -299,17 +315,17 @@ let test_pinned_mapping_mnemosyne_style () =
   Machine.close_region m1 rid;
   (* Run 2 pins the same segment: normal pointers keep working. *)
   let m2 = Machine.create ~seed:301 ~store () in
-  let r2 = Machine.open_region ~at_nvbase:nb m2 rid in
+  let r2 = Machine.open_region ~at_nvbase:(Kinds.Seg.v nb) m2 rid in
   let holder' = Option.get (Region.root r2 "h") in
   check "pinned mapping keeps normal pointers alive" 1234
     (Memsim.load64 m2.Machine.mem (Core.Normal_ptr.load m2 ~holder:holder'));
   (* ...but the scheme collapses when the address is already taken. *)
   let m3 = Machine.create ~seed:302 ~store () in
   let other = Machine.create_region m3 ~size:65536 in
-  let _ = Machine.open_region ~at_nvbase:nb m3 other in
+  let _ = Machine.open_region ~at_nvbase:(Kinds.Seg.v nb) m3 other in
   check_bool "pinned address already occupied" true
     (try
-       ignore (Machine.open_region ~at_nvbase:nb m3 rid);
+       ignore (Machine.open_region ~at_nvbase:(Kinds.Seg.v nb) m3 rid);
        false
      with Invalid_argument _ -> true)
 
@@ -332,17 +348,19 @@ let test_based_wrong_base_misresolves () =
   Machine.set_based_region m (Region.rid r2);
   let wrong = Core.Based_ptr.load m ~holder in
   check_bool "resolves into the wrong region" true (Region.contains r2 wrong);
-  check_bool "silently wrong, not faulting" true (wrong <> target);
+  check_bool "silently wrong, not faulting" true
+    (not (Vaddr.equal wrong target));
   (* Restoring the right base restores correctness — the caller must
      carry the base around, which is Figure 11's point. *)
   Machine.set_based_region m (Region.rid r1);
-  check "correct with the right base" target (Core.Based_ptr.load m ~holder);
+  check "correct with the right base" (ia target)
+    (ia (Core.Based_ptr.load m ~holder));
   (* The same slot under off-holder needs no external state at all. *)
   let holder2 = Region.alloc r1 8 in
   Core.Off_holder.store m ~holder:holder2 target;
   Machine.set_based_region m (Region.rid r2);
-  check "off-holder immune to base rebinding" target
-    (Core.Off_holder.load m ~holder:holder2)
+  check "off-holder immune to base rebinding" (ia target)
+    (ia (Core.Off_holder.load m ~holder:holder2))
 
 (* Section 4.4 migration: growing a full region and remapping it. *)
 
@@ -370,8 +388,9 @@ let test_migrate_region_grows_and_survives () =
   (* Migrate to a 4x larger region; the structure must survive and keep
      growing. *)
   let r2 = Machine.migrate_region m rid ~size:65536 in
-  check "same rid" rid (Region.rid r2);
-  check_bool "moved" true (Region.base r2 <> Region.base r);
+  check "same rid" (ir rid) (ir (Region.rid r2));
+  check_bool "moved" true
+    (not (Vaddr.equal (Region.base r2) (Region.base r)));
   let nd2 =
     Nvmpi_structures.Node.make m
       ~mode:(Nvmpi_structures.Node.Plain [| r2 |])
@@ -441,15 +460,16 @@ let test_dram_alloc () =
   let a = Machine.dram_alloc m 100 in
   let b = Machine.dram_alloc m ~align:64 8 in
   check_bool "dram volatile" true (not (Machine.is_nvm m a));
-  check_bool "ordered" true (b >= a + 100);
-  check "alignment" 0 (b land 63)
+  check_bool "ordered" true (ia b >= ia a + 100);
+  check "alignment" 0 (ia b land 63)
 
 let test_rid_of_addr_exn () =
   let _, m, r = with_region ~seed:18 () in
-  check "found" (Region.rid r) (Machine.rid_of_addr_exn m (Region.base r + 64));
+  check "found" (ir (Region.rid r))
+    (ir (Machine.rid_of_addr_exn m (Vaddr.add (Region.base r) 64)));
   check_bool "not found" true
     (try
-       ignore (Machine.rid_of_addr_exn m 0x40000);
+       ignore (Machine.rid_of_addr_exn m (va 0x40000));
        false
      with Invalid_argument _ -> true)
 
@@ -481,7 +501,7 @@ let test_fat_cache_effectiveness () =
   let holder = Region.alloc r 16 in
   let target = Region.alloc r 64 in
   Core.Fat.store m ~holder target;
-  let warm (load : Machine.t -> holder:int -> int) =
+  let warm (load : Machine.t -> holder:Vaddr.t -> Vaddr.t) =
     for _ = 1 to 3 do
       ignore (load m ~holder)
     done;
@@ -497,9 +517,9 @@ let test_deterministic_placement_with_seed () =
     let m = Machine.create ~seed ~store () in
     Region.base (Machine.open_region m (Machine.create_region m ~size:65536))
   in
-  check "same seed, same placement" (base_of 1234) (base_of 1234);
+  check "same seed, same placement" (ia (base_of 1234)) (ia (base_of 1234));
   check_bool "different seed, different placement" true
-    (base_of 1234 <> base_of 4321)
+    (not (Vaddr.equal (base_of 1234) (base_of 4321)))
 
 let test_registry_flags_for_ablation_reprs () =
   check_bool "packed-fat is implicit self-contained (but slow)" true
@@ -529,7 +549,8 @@ let prop_random_pointer_graph =
             (fun i j -> P.store m ~holder:holders.(i) targets.(j))
             links;
           Array.for_all
-            (fun i -> P.load m ~holder:holders.(i) = targets.(links.(i)))
+            (fun i ->
+              Vaddr.equal (P.load m ~holder:holders.(i)) targets.(links.(i)))
             (Array.init n Fun.id))
         [ Repr.Off_holder; Repr.Riv; Repr.Fat; Repr.Fat_cached; Repr.Based;
           Repr.Packed_fat; Repr.Hw_oid ])

@@ -1,0 +1,198 @@
+(* Every Kinds conversion checked against the Layout bit math it wraps.
+   Kinds is the typed facade over Layout's untyped words; these tests
+   pin the facade to the substrate so neither can drift from Figure 8's
+   rules without a failure here.
+
+   Tests bless host integers at the Figure 8 trust boundary and coerce
+   typed results back out for Alcotest's int checkers. *)
+
+module Layout = Core.Layout
+module K = Core.Kinds
+module Vaddr = K.Vaddr
+module Off = K.Off
+module Riv = K.Riv
+module Rid = K.Rid
+module Seg = K.Seg
+
+let va = Vaddr.v
+let ia (a : Vaddr.t) = (a :> int)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let layouts =
+  [ ("default", Layout.default); ("small", Layout.small);
+    ("large", Layout.large_segments) ]
+
+(* A data-area address to exercise the conversions with: segment 3 of
+   the data area, 0x1234 bytes in. *)
+let sample l =
+  let nb = Layout.data_nvbase_min l + 3 in
+  let base = Layout.segment_base_of_nvbase l nb in
+  (nb, base, base + 0x1234)
+
+(* Wrapper algebra: add/diff/offset_in are plain word arithmetic. *)
+
+let test_vaddr_algebra () =
+  check "to_int inverts v" 0xABCD (Vaddr.to_int (va 0xABCD));
+  check "add" 0x1010 (ia (Vaddr.add (va 0x1000) 0x10));
+  check "add negative" 0xFF0 (ia (Vaddr.add (va 0x1000) (-0x10)));
+  check "diff" 0x10 (Vaddr.diff (va 0x1010) (va 0x1000));
+  check "offset_in" 0x234 (Vaddr.offset_in (va 0x1234) ~base:(va 0x1000));
+  check_bool "null is 0" true (ia Vaddr.null = 0);
+  check_bool "is_null" true (Vaddr.is_null (va 0));
+  check_bool "not null" false (Vaddr.is_null (va 8));
+  check_bool "equal" true (Vaddr.equal (va 5) (va 5));
+  check_bool "compare" true (Vaddr.compare (va 4) (va 5) < 0);
+  check "off null" 0 (Off.to_int Off.null);
+  check_bool "off is_null" true (Off.is_null (Off.v 0));
+  check "riv null matches Layout" Layout.riv_null (Riv.to_int Riv.null);
+  check_bool "riv is_null" true (Riv.is_null (Riv.v Layout.riv_null));
+  check "rid none" 0 (Rid.to_int Rid.none);
+  check_bool "rid is_none" true (Rid.is_none (Rid.v 0));
+  check_bool "rid equal" true (Rid.equal (Rid.v 9) (Rid.v 9));
+  check "seg to_int" 7 (Seg.to_int (Seg.v 7))
+
+(* Figure 8 persistentI rules: encode is target - holder, decode is the
+   inverse. *)
+
+let test_off_holder_rules () =
+  let holder = va 0x2000 and target = va 0x2A40 in
+  let o = K.off_of_vaddr ~holder target in
+  check "encode is target - holder" (0x2A40 - 0x2000) (Off.to_int o);
+  check "decode inverts encode" (ia target) (ia (K.vaddr_of_off ~holder o));
+  (* Backward links encode as negative deltas. *)
+  let back = K.off_of_vaddr ~holder:target holder in
+  check "backward delta" (0x2000 - 0x2A40) (Off.to_int back);
+  check "backward decode" (ia holder)
+    (ia (K.vaddr_of_off ~holder:target back))
+
+(* Figure 8 persistentX rules: pack/unpack agree with Layout.riv_*, and
+   the decode's final step rebuilds the address from the segment base
+   id2addr returned. *)
+
+let test_riv_rules () =
+  List.iter
+    (fun (name, l) ->
+      let _, base, addr = sample l in
+      let rid = 42 and offset = Layout.seg_offset l addr in
+      let v = K.riv_of_rid_off l ~rid:(Rid.v rid) ~offset in
+      check (name ^ " pack matches Layout") (Layout.riv_pack l ~rid ~offset)
+        (Riv.to_int v);
+      check (name ^ " rid field") (Layout.riv_rid l (Riv.to_int v))
+        (Rid.to_int (K.rid_of_riv l v));
+      check (name ^ " offset field") (Layout.riv_offset l (Riv.to_int v))
+        (K.offset_of_riv l v);
+      check (name ^ " decode rebuilds address") addr
+        (ia (K.vaddr_of_riv l ~via:(va base) v)))
+    layouts
+
+(* Segment-number conversions (Figures 6 and 7). *)
+
+let test_seg_rules () =
+  List.iter
+    (fun (name, l) ->
+      let nb, base, addr = sample l in
+      check (name ^ " seg_of_vaddr is the nvbase field") (Layout.nvbase l addr)
+        (Seg.to_int (K.seg_of_vaddr l (va addr)));
+      check (name ^ " seg field value") nb
+        (Seg.to_int (K.seg_of_vaddr l (va addr)));
+      check (name ^ " vaddr_of_seg rebuilds the base")
+        (Layout.segment_base_of_nvbase l nb)
+        (ia (K.vaddr_of_seg l (Seg.v nb)));
+      check (name ^ " base_of_vaddr is getBase") (Layout.get_base l addr)
+        (ia (K.base_of_vaddr l (va addr)));
+      check (name ^ " getBase of a base is itself") base
+        (ia (K.base_of_vaddr l (va base)));
+      check (name ^ " seg_offset") (Layout.seg_offset l addr)
+        (K.seg_offset l (va addr));
+      check (name ^ " vaddr_in_segment recombines") addr
+        (ia
+           (K.vaddr_in_segment l ~base:(va base)
+              ~offset:(Layout.seg_offset l addr))))
+    layouts
+
+(* Direct-mapped table addressing (Figure 7). *)
+
+let test_table_rules () =
+  List.iter
+    (fun (name, l) ->
+      let _, base, addr = sample l in
+      check (name ^ " rid entry matches Layout") (Layout.rid_entry_addr l addr)
+        (ia (K.rid_entry_vaddr l (va addr)));
+      check (name ^ " rid entry uniform in segment")
+        (ia (K.rid_entry_vaddr l (va base)))
+        (ia (K.rid_entry_vaddr l (va addr)));
+      check (name ^ " base entry matches Layout")
+        (Layout.base_entry_addr l ~rid:42)
+        (ia (K.base_entry_vaddr l ~rid:(Rid.v 42))))
+    layouts
+
+(* Typed predicates agree with Layout's on both sides of each border. *)
+
+let test_typed_predicates () =
+  List.iter
+    (fun (name, l) ->
+      let _, _, addr = sample l in
+      let probes =
+        [ 0; 0x10000; Layout.nv_start l - 1; Layout.nv_start l; addr;
+          Layout.rid_entry_addr l addr; Layout.base_entry_addr l ~rid:1 ]
+      in
+      List.iter
+        (fun a ->
+          let t = va a in
+          check_bool (Printf.sprintf "%s in_nv_space 0x%x" name a)
+            (Layout.in_nv_space l a) (K.in_nv_space l t);
+          check_bool (Printf.sprintf "%s is_volatile 0x%x" name a)
+            (Layout.is_volatile l a) (K.is_volatile l t);
+          check_bool (Printf.sprintf "%s is_data_addr 0x%x" name a)
+            (Layout.is_data_addr l a) (K.is_data_addr l t);
+          check_bool (Printf.sprintf "%s is_rid_table_addr 0x%x" name a)
+            (Layout.is_rid_table_addr l a) (K.is_rid_table_addr l t);
+          check_bool (Printf.sprintf "%s is_base_table_addr 0x%x" name a)
+            (Layout.is_base_table_addr l a) (K.is_base_table_addr l t))
+        probes;
+      check (name ^ " nv_start") (Layout.nv_start l) (ia (K.nv_start l)))
+    layouts
+
+(* Property: for random data-area addresses, encode/decode through the
+   typed functions is the identity, exactly as through raw Layout math. *)
+
+let prop_roundtrips =
+  QCheck2.Test.make ~name:"typed conversions roundtrip" ~count:1000
+    QCheck2.Gen.(
+      tup3 (int_range 0 1000000) (int_range 1 100000) (int_range 0 0xFFFFF))
+    (fun (nb_off, rid, off) ->
+      let l = Layout.default in
+      let nb = Layout.data_nvbase_min l + (nb_off mod Layout.usable_segments l) in
+      let rid = Rid.v (1 + (rid mod Layout.max_rid l)) in
+      let base = K.vaddr_of_seg l (Seg.v nb) in
+      let addr = K.vaddr_in_segment l ~base ~offset:off in
+      (* persistentI *)
+      let holder = Vaddr.add base 8 in
+      let i = K.off_of_vaddr ~holder addr in
+      (* persistentX *)
+      let x = K.riv_of_rid_off l ~rid ~offset:(K.seg_offset l addr) in
+      Vaddr.equal addr (K.vaddr_of_off ~holder i)
+      && Rid.equal rid (K.rid_of_riv l x)
+      && Vaddr.equal addr (K.vaddr_of_riv l ~via:(K.base_of_vaddr l addr) x)
+      && Seg.equal (Seg.v nb) (K.seg_of_vaddr l addr)
+      && Vaddr.equal base (K.base_of_vaddr l addr))
+
+let () =
+  Alcotest.run "kinds"
+    [
+      ( "wrappers",
+        [ Alcotest.test_case "vaddr algebra + nulls" `Quick test_vaddr_algebra ]
+      );
+      ( "figure8",
+        [
+          Alcotest.test_case "persistentI encode/decode" `Quick
+            test_off_holder_rules;
+          Alcotest.test_case "persistentX pack/unpack" `Quick test_riv_rules;
+          Alcotest.test_case "segment conversions" `Quick test_seg_rules;
+          Alcotest.test_case "table addressing" `Quick test_table_rules;
+          Alcotest.test_case "typed predicates" `Quick test_typed_predicates;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_roundtrips ]);
+    ]

@@ -1,10 +1,15 @@
 module Memsim = Core.Memsim
+module Vaddr = Core.Kinds.Vaddr
+
+(* Tests bless literal addresses at the Figure 8 trust boundary. *)
+let va = Vaddr.v
 
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
 let fresh ?(base = 0x1000) ?(size = 0x10000) () =
   let m = Memsim.create () in
+  let base = va base in
   Memsim.map m ~addr:base ~size;
   (m, base)
 
@@ -12,12 +17,12 @@ let test_roundtrip_sizes () =
   let m, base = fresh () in
   Memsim.store8 m base 0xAB;
   check "load8" 0xAB (Memsim.load8 m base);
-  Memsim.store16 m (base + 2) 0xBEEF;
-  check "load16" 0xBEEF (Memsim.load16 m (base + 2));
-  Memsim.store32 m (base + 4) 0xDEADBEEF;
-  check "load32" 0xDEADBEEF (Memsim.load32 m (base + 4));
-  Memsim.store64 m (base + 8) 0x123456789ABCDEF;
-  check "load64" 0x123456789ABCDEF (Memsim.load64 m (base + 8))
+  Memsim.store16 m (Vaddr.add base 2) 0xBEEF;
+  check "load16" 0xBEEF (Memsim.load16 m (Vaddr.add base 2));
+  Memsim.store32 m (Vaddr.add base 4) 0xDEADBEEF;
+  check "load32" 0xDEADBEEF (Memsim.load32 m (Vaddr.add base 4));
+  Memsim.store64 m (Vaddr.add base 8) 0x123456789ABCDEF;
+  check "load64" 0x123456789ABCDEF (Memsim.load64 m (Vaddr.add base 8))
 
 let test_negative_int64 () =
   let m, base = fresh () in
@@ -28,7 +33,7 @@ let test_negative_int64 () =
 
 let test_zero_fill () =
   let m, base = fresh () in
-  check "untouched page reads zero" 0 (Memsim.load64 m (base + 0x800))
+  check "untouched page reads zero" 0 (Memsim.load64 m (Vaddr.add base 0x800))
 
 let test_truncation () =
   let m, base = fresh () in
@@ -42,7 +47,7 @@ let test_unmapped_faults () =
   check_bool "fault"
     true
     (try
-       ignore (Memsim.load64 m 0x999998);
+       ignore (Memsim.load64 m (va 0x999998));
        false
      with Memsim.Fault _ -> true)
 
@@ -50,12 +55,12 @@ let test_misaligned_faults () =
   let m, base = fresh () in
   check_bool "misaligned 64" true
     (try
-       ignore (Memsim.load64 m (base + 4));
+       ignore (Memsim.load64 m (Vaddr.add base 4));
        false
      with Memsim.Fault _ -> true);
   check_bool "misaligned 16" true
     (try
-       Memsim.store16 m (base + 1) 3;
+       Memsim.store16 m (Vaddr.add base 1) 3;
        false
      with Memsim.Fault _ -> true)
 
@@ -63,7 +68,7 @@ let test_map_overlap_rejected () =
   let m, base = fresh () in
   check_bool "overlap rejected" true
     (try
-       Memsim.map m ~addr:(base + 0x100) ~size:16;
+       Memsim.map m ~addr:(Vaddr.add base 0x100) ~size:16;
        false
      with Invalid_argument _ -> true)
 
@@ -91,17 +96,17 @@ let test_blit () =
 let test_blit_unaligned () =
   let m, base = fresh () in
   let src = Bytes.of_string "abcdefghijk" in
-  Memsim.blit_from_bytes m ~addr:(base + 3) src;
-  let out = Memsim.blit_to_bytes m ~addr:(base + 3) ~len:11 in
+  Memsim.blit_from_bytes m ~addr:(Vaddr.add base 3) src;
+  let out = Memsim.blit_to_bytes m ~addr:(Vaddr.add base 3) ~len:11 in
   Alcotest.(check string) "unaligned blit" "abcdefghijk" (Bytes.to_string out)
 
 let test_blit_cross_page () =
   let m = Memsim.create () in
-  Memsim.map m ~addr:0x1000 ~size:0x3000;
+  Memsim.map m ~addr:(va 0x1000) ~size:0x3000;
   let src = Bytes.make 0x1800 'x' in
   Bytes.set src 0x17FF 'y';
-  Memsim.blit_from_bytes m ~addr:0x1800 src;
-  check "last byte" (Char.code 'y') (Memsim.load8 m (0x1800 + 0x17FF))
+  Memsim.blit_from_bytes m ~addr:(va 0x1800) src;
+  check "last byte" (Char.code 'y') (Memsim.load8 m (va (0x1800 + 0x17FF)))
 
 let test_observers () =
   let m, base = fresh () in
@@ -127,23 +132,23 @@ let test_stats () =
   let s = Memsim.stats m in
   let l0 = s.Memsim.loads in
   ignore (Memsim.load64 m base);
-  ignore (Memsim.load64 m (base + 0x1000));
+  ignore (Memsim.load64 m (Vaddr.add base 0x1000));
   check "loads counted" (l0 + 2) s.Memsim.loads;
   check_bool "pages materialized" true (s.Memsim.pages >= 2)
 
 let test_high_addresses () =
   (* NV-space-like addresses near the top of the 62-bit space. *)
   let m = Memsim.create () in
-  let base = Core.Layout.nv_start Core.Layout.default in
+  let base = va (Core.Layout.nv_start Core.Layout.default) in
   Memsim.map m ~addr:base ~size:0x2000;
-  Memsim.store64 m (base + 0x100) 0xCAFE;
-  check "high addr" 0xCAFE (Memsim.load64 m (base + 0x100))
+  Memsim.store64 m (Vaddr.add base 0x100) 0xCAFE;
+  check "high addr" 0xCAFE (Memsim.load64 m (Vaddr.add base 0x100))
 
 let test_fill () =
   let m, base = fresh () in
   Memsim.fill m ~addr:base ~len:32 'z';
-  check "fill" (Char.code 'z') (Memsim.load8 m (base + 31));
-  check "fill end" 0 (Memsim.load8 m (base + 32))
+  check "fill" (Char.code 'z') (Memsim.load8 m (Vaddr.add base 31));
+  check "fill end" 0 (Memsim.load8 m (Vaddr.add base 32))
 
 let test_sized_dispatch () =
   let m, base = fresh () in
@@ -170,12 +175,12 @@ let test_multiple_observers () =
 
 let test_mappings_listing () =
   let m = Memsim.create () in
-  Memsim.map m ~addr:0x1000 ~size:0x1000;
-  Memsim.map m ~addr:0x10000 ~size:0x2000;
+  Memsim.map m ~addr:(va 0x1000) ~size:0x1000;
+  Memsim.map m ~addr:(va 0x10000) ~size:0x2000;
   Alcotest.(check (list (pair int int)))
     "sorted ranges"
     [ (0x1000, 0x1000); (0x10000, 0x2000) ]
-    (Memsim.mappings m);
+    (List.map (fun (a, n) -> ((a : Vaddr.t :> int), n)) (Memsim.mappings m));
   check "page size" 4096 (Memsim.page_size m)
 
 let prop_store_load_64 =
@@ -184,7 +189,7 @@ let prop_store_load_64 =
     QCheck2.Gen.(pair (int_range 0 8190) int)
     (fun (woff, v) ->
       let m, base = fresh () in
-      let a = base + (woff * 8) in
+      let a = Vaddr.add base (woff * 8) in
       Memsim.store64 m a v;
       Memsim.load64 m a = v)
 
@@ -194,11 +199,11 @@ let prop_blit_arbitrary_bytes =
     QCheck2.Gen.(pair (string_size (int_range 1 9000)) (int_range 0 64))
     (fun (payload, off) ->
       let m = Memsim.create () in
-      Memsim.map m ~addr:0x1000 ~size:0x4000;
+      Memsim.map m ~addr:(va 0x1000) ~size:0x4000;
       let b = Bytes.of_string payload in
-      Memsim.blit_from_bytes m ~addr:(0x1000 + off) b;
+      Memsim.blit_from_bytes m ~addr:(va (0x1000 + off)) b;
       Bytes.equal b
-        (Memsim.blit_to_bytes m ~addr:(0x1000 + off) ~len:(Bytes.length b)))
+        (Memsim.blit_to_bytes m ~addr:(va (0x1000 + off)) ~len:(Bytes.length b)))
 
 let prop_disjoint_writes =
   QCheck2.Test.make ~name:"writes to distinct words do not interfere"
@@ -208,10 +213,10 @@ let prop_disjoint_writes =
     (fun ((w1, w2), (v1, v2)) ->
       QCheck2.assume (w1 <> w2);
       let m, base = fresh () in
-      Memsim.store64 m (base + (w1 * 8)) v1;
-      Memsim.store64 m (base + (w2 * 8)) v2;
-      Memsim.load64 m (base + (w1 * 8)) = v1
-      && Memsim.load64 m (base + (w2 * 8)) = v2)
+      Memsim.store64 m (Vaddr.add base (w1 * 8)) v1;
+      Memsim.store64 m (Vaddr.add base (w2 * 8)) v2;
+      Memsim.load64 m (Vaddr.add base (w1 * 8)) = v1
+      && Memsim.load64 m (Vaddr.add base (w2 * 8)) = v2)
 
 let () =
   Alcotest.run "memsim"

@@ -3,6 +3,15 @@ module Region = Core.Region
 module Manager = Core.Manager
 module Memsim = Core.Memsim
 module Layout = Core.Layout
+module Kinds = Core.Kinds
+module Vaddr = Kinds.Vaddr
+
+(* Tests bless host integers at the Figure 8 trust boundary and coerce
+   typed results back out for Alcotest's int checkers. *)
+let va = Vaddr.v
+let ia (a : Vaddr.t) = (a :> int)
+let ri = Kinds.Rid.v
+let ir (r : Kinds.Rid.t) = (r :> int)
 
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -20,24 +29,24 @@ let test_store_ids () =
   let s = Store.create () in
   let r1 = Store.add s ~size:65536 in
   let r2 = Store.add s ~size:65536 in
-  check "first id" 1 r1;
-  check "second id" 2 r2;
+  check "first id" 1 (ir r1);
+  check "second id" 2 (ir r2);
   check_bool "mem" true (Store.mem s r1);
-  Alcotest.(check (list int)) "ids" [ 1; 2 ] (Store.ids s);
+  Alcotest.(check (list int)) "ids" [ 1; 2 ] (List.map ir (Store.ids s));
   Store.remove s r1;
   check_bool "removed" false (Store.mem s r1);
-  Store.add_with_rid s ~rid:100 ~size:65536;
-  check "next after explicit" 101 (Store.next_rid s)
+  Store.add_with_rid s ~rid:(ri 100) ~size:65536;
+  check "next after explicit" 101 (ir (Store.next_rid s))
 
 let test_store_rejects () =
   let s = Store.create () in
   Alcotest.check_raises "rid 0"
     (Invalid_argument "Store.add_with_rid: rid must be positive") (fun () ->
-      Store.add_with_rid s ~rid:0 ~size:65536);
+      Store.add_with_rid s ~rid:(ri 0) ~size:65536);
   let _ = Store.add s ~size:65536 in
   check_bool "duplicate rejected" true
     (try
-       Store.add_with_rid s ~rid:1 ~size:65536;
+       Store.add_with_rid s ~rid:(ri 1) ~size:65536;
        false
      with Invalid_argument _ -> true);
   check_bool "too small rejected" true
@@ -50,7 +59,7 @@ let test_store_header () =
   let s = Store.create () in
   let rid = Store.add s ~size:65536 in
   let b = Store.find_exn s rid in
-  check "header rid" rid (Store.blob_rid b);
+  check "header rid" (ir rid) (ir (Store.blob_rid b));
   check "blob size" 65536 b.Store.size
 
 let test_store_file_roundtrip () =
@@ -64,7 +73,7 @@ let test_store_file_roundtrip () =
   Sys.remove path;
   let b' = Store.find_exn s' rid in
   Alcotest.(check char) "payload byte" 'Q' (Bytes.get b'.Store.data 8192);
-  check "next_rid preserved" (Store.next_rid s) (Store.next_rid s')
+  check "next_rid preserved" (ir (Store.next_rid s)) (ir (Store.next_rid s'))
 
 (* Regions through a manager *)
 
@@ -72,10 +81,11 @@ let test_open_place_and_header () =
   let _, mgr = manager ~seed:1 () in
   let rid = Manager.create_region mgr ~size:65536 in
   let r = Manager.open_region mgr rid in
-  check "rid" rid (Region.rid r);
-  check_bool "base in data area" true (Layout.is_data_addr layout (Region.base r));
+  check "rid" (ir rid) (ir (Region.rid r));
+  check_bool "base in data area" true
+    (Layout.is_data_addr layout (ia (Region.base r)));
   check_bool "base segment-aligned" true
-    (Layout.seg_offset layout (Region.base r) = 0);
+    (Layout.seg_offset layout (ia (Region.base r)) = 0);
   Region.check_header r
 
 let test_open_twice_same_handle () =
@@ -83,7 +93,7 @@ let test_open_twice_same_handle () =
   let rid = Manager.create_region mgr ~size:65536 in
   let r1 = Manager.open_region mgr rid in
   let r2 = Manager.open_region mgr rid in
-  check "same base" (Region.base r1) (Region.base r2)
+  check "same base" (ia (Region.base r1)) (ia (Region.base r2))
 
 let test_alloc_and_roots () =
   let _, mgr = manager ~seed:2 () in
@@ -91,17 +101,18 @@ let test_alloc_and_roots () =
   let r = Manager.open_region mgr rid in
   let a = Region.alloc r 100 in
   let b = Region.alloc r 8 in
-  check_bool "allocations ordered" true (b >= a + 100);
-  check_bool "aligned" true (a land 7 = 0 && b land 7 = 0);
+  check_bool "allocations ordered" true (ia b >= ia a + 100);
+  check_bool "aligned" true (ia a land 7 = 0 && ia b land 7 = 0);
   Region.set_root r "head" a;
   Region.set_root r "tail" ~tag:7 b;
-  check "root head" a (Option.get (Region.root r "head"));
-  check "root tail" b (Option.get (Region.root r "tail"));
+  check "root head" (ia a) (ia (Option.get (Region.root r "head")));
+  check "root tail" (ia b) (ia (Option.get (Region.root r "tail")));
   check "tag" 7 (Option.get (Region.root_tag r "tail"));
-  Alcotest.(check (option int)) "missing root" None (Region.root r "nope");
+  Alcotest.(check (option int)) "missing root" None
+    (Option.map ia (Region.root r "nope"));
   (* Replacing a root keeps the table size. *)
   Region.set_root r "head" b;
-  check "replaced" b (Option.get (Region.root r "head"));
+  check "replaced" (ia b) (ia (Option.get (Region.root r "head")));
   check "two roots" 2 (List.length (Region.roots r))
 
 let test_alloc_exhaustion () =
@@ -130,7 +141,7 @@ let test_root_table_overflow () =
   (* Replacing an existing root still works when full. *)
   let a = Region.alloc r 8 in
   Region.set_root r "r00" a;
-  check "replace works when full" a (Option.get (Region.root r "r00"))
+  check "replace works when full" (ia a) (ia (Option.get (Region.root r "r00")))
 
 let test_persistence_across_runs () =
   let store = Store.create () in
@@ -149,13 +160,14 @@ let test_persistence_across_runs () =
   (* Run 2: reopen under a different placement seed. *)
   let mem = Memsim.create () in
   let mgr = Manager.create ~seed:11 ~layout ~mem ~store () in
-  let r = Manager.open_region mgr 1 in
-  check_bool "different base across runs" true (Region.base r <> base1);
+  let r = Manager.open_region mgr (ri 1) in
+  check_bool "different base across runs" true
+    (not (Vaddr.equal (Region.base r) base1));
   let a = Option.get (Region.root r "data") in
   check "payload survived" 0xFEED (Memsim.load64 mem a);
   (* Heap cursor persisted: the next allocation does not overlap. *)
   let b = Region.alloc r 8 in
-  check_bool "alloc continues past old data" true (b > a)
+  check_bool "alloc continues past old data" true (ia b > ia a)
 
 let test_close_unmaps () =
   let _, mgr = manager ~seed:4 () in
@@ -179,7 +191,7 @@ let test_save_region_checkpoint () =
   Manager.save_region mgr rid;
   (* The blob now contains the value even though the region stays open. *)
   let blob = Store.find_exn store rid in
-  let off = a - Region.base r in
+  let off = Vaddr.offset_in a ~base:(Region.base r) in
   check "checkpointed" 42
     (Int64.to_int (Bytes.get_int64_le blob.Store.data off))
 
@@ -187,12 +199,12 @@ let test_pinned_placement () =
   let _, mgr = manager ~seed:6 () in
   let rid = Manager.create_region mgr ~size:65536 in
   let nb = Layout.data_nvbase_min layout + 5 in
-  let r = Manager.open_region ~at_nvbase:nb mgr rid in
-  check "pinned" (Layout.segment_base_of_nvbase layout nb) (Region.base r);
+  let r = Manager.open_region ~at_nvbase:(Kinds.Seg.v nb) mgr rid in
+  check "pinned" (Layout.segment_base_of_nvbase layout nb) (ia (Region.base r));
   let rid2 = Manager.create_region mgr ~size:65536 in
   check_bool "occupied nvbase rejected" true
     (try
-       ignore (Manager.open_region ~at_nvbase:nb mgr rid2);
+       ignore (Manager.open_region ~at_nvbase:(Kinds.Seg.v nb) mgr rid2);
        false
      with Invalid_argument _ -> true)
 
@@ -200,11 +212,11 @@ let test_region_of_addr () =
   let _, mgr = manager ~seed:7 () in
   let rid = Manager.create_region mgr ~size:65536 in
   let r = Manager.open_region mgr rid in
-  (match Manager.region_of_addr mgr (Region.base r + 100) with
-  | Some r' -> check "found" rid (Region.rid r')
+  (match Manager.region_of_addr mgr (Vaddr.add (Region.base r) 100) with
+  | Some r' -> check "found" (ir rid) (ir (Region.rid r'))
   | None -> Alcotest.fail "region_of_addr missed");
   check_bool "miss outside" true
-    (Manager.region_of_addr mgr 0x10000 = None)
+    (Manager.region_of_addr mgr (va 0x10000) = None)
 
 let test_too_large_region_rejected () =
   let _, mgr = manager ~seed:8 () in
@@ -239,7 +251,7 @@ let test_offset_addr_conversions () =
      with Invalid_argument _ -> true);
   check_bool "bad addr" true
     (try
-       ignore (Region.offset_of_addr r (Region.base r - 8));
+       ignore (Region.offset_of_addr r (Vaddr.add (Region.base r) (-8)));
        false
      with Invalid_argument _ -> true)
 
@@ -257,7 +269,10 @@ let prop_roots_random =
             a)
       in
       List.for_all2
-        (fun i a -> Region.root r (Printf.sprintf "root%02d" i) = Some a)
+        (fun i a ->
+          match Region.root r (Printf.sprintf "root%02d" i) with
+          | Some b -> Vaddr.equal a b
+          | None -> false)
         (List.init n Fun.id) addrs)
 
 let () =

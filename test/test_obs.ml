@@ -10,6 +10,9 @@ module Region = Core.Region
 module Store = Core.Store
 module Timing_config = Core.Timing_config
 module Runner = Nvmpi_experiments.Runner
+module Vaddr = Core.Kinds.Vaddr
+
+let ia (a : Vaddr.t) = (a :> int)
 
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -57,7 +60,7 @@ let test_repr_op_counters () =
       check (P.name ^ " store counts no loads") 0
         (get ("repr." ^ P.name ^ ".loads") ds);
       let v, dl = delta m (fun () -> P.load m ~holder) in
-      check (P.name ^ " load value") target v;
+      check (P.name ^ " load value") (ia target) (ia v);
       check (P.name ^ " loads counter") 1 (get ("repr." ^ P.name ^ ".loads") dl);
       check (P.name ^ " load counts no stores") 0
         (get ("repr." ^ P.name ^ ".stores") dl))
@@ -73,7 +76,7 @@ let test_riv_load_breakdown () =
   let target = Region.alloc r 64 in
   P.store m ~holder target;
   let v, d = delta m (fun () -> P.load m ~holder) in
-  check "target" target v;
+  check "target" (ia target) (ia v);
   check "riv.x2p" 1 (get "riv.x2p" d);
   check "riv.base_table_loads" 1 (get "riv.base_table_loads" d);
   check "mem.loads" 2 (get "mem.loads" d)
@@ -87,7 +90,7 @@ let test_fat_load_breakdown () =
   let target = Region.alloc r 64 in
   P.store m ~holder target;
   let v, d = delta m (fun () -> P.load m ~holder) in
-  check "target" target v;
+  check "target" (ia target) (ia v);
   check "fat.lookups" 1 (get "fat.lookups" d);
   let probes = get "fat.probe_loads" d in
   check_bool "at least one probe" true (probes >= 1);
@@ -115,12 +118,55 @@ let test_fat_cache_null () =
   let _, m, r = with_region ~seed:9 () in
   let (module P) = Repr.m Repr.Fat_cached in
   let holder = Region.alloc r P.slot_size in
-  P.store m ~holder 0;
+  P.store m ~holder Vaddr.null;
   let v, d = delta m (fun () -> P.load m ~holder) in
-  check "null" 0 v;
+  check "null" 0 (ia v);
   check "null lookup" 1 (get "fat.null_lookups" d);
   check "no hit" 0 (get "fat.cache_hits" d);
   check "no miss" 0 (get "fat.cache_misses" d)
+
+(* Section 4.4's dynamic same-region check, observationally: for the
+   representations that cannot encode a cross-region target
+   ([cross_region = false]), a cross-region store raises
+   [Machine.Cross_region_store] — and does so before any simulated work,
+   so the failed store charges no cycles and bumps no counters. The
+   counter claim is a metrics-snapshot diff ([Metrics.diff] drops zero
+   deltas, so the empty list asserts every registered counter is
+   untouched); the cycle claim compares [Machine.cycles]. *)
+let test_cross_region_store_raises_free () =
+  List.iter
+    (fun kind ->
+      let _, m, r1 = with_region ~seed:11 () in
+      let rid2 = Machine.create_region m ~size:(1 lsl 20) in
+      let r2 = Machine.open_region m rid2 in
+      if kind = Repr.Based then Machine.set_based_region m (Region.rid r1);
+      let (module P) = Repr.m kind in
+      check_bool (P.name ^ " declares intra-region only") false P.cross_region;
+      let holder = Region.alloc r1 P.slot_size in
+      let target = Region.alloc r2 64 in
+      let cycles_before = Machine.cycles m in
+      let raised, d =
+        delta m (fun () ->
+            match P.store m ~holder target with
+            | () -> false
+            | exception Machine.Cross_region_store payload ->
+                check (P.name ^ " fault holder") (ia holder) (ia payload.holder);
+                check (P.name ^ " fault target") (ia target) (ia payload.target);
+                Alcotest.(check string)
+                  (P.name ^ " fault repr") P.name payload.repr;
+                true)
+      in
+      check_bool (P.name ^ " cross-region store raises") true raised;
+      check_bool (P.name ^ " raise bumps no counters") true (d = []);
+      check (P.name ^ " raise charges no cycles") cycles_before
+        (Machine.cycles m);
+      (* The same slot still accepts an intra-region target: the check
+         rejects the store, not the holder. *)
+      let ok_target = Region.alloc r1 64 in
+      P.store m ~holder ok_target;
+      check (P.name ^ " intra-region store still works") (ia ok_target)
+        (ia (P.load m ~holder)))
+    (List.filter (fun k -> not (Repr.cross_region k)) Repr.all)
 
 (* Registry semantics. *)
 let test_metrics_registry () =
@@ -228,6 +274,8 @@ let () =
           Alcotest.test_case "fat cache hit/miss" `Quick
             test_fat_cache_hit_miss;
           Alcotest.test_case "fat cache null" `Quick test_fat_cache_null;
+          Alcotest.test_case "cross-region store raises, free" `Quick
+            test_cross_region_store_raises_free;
         ] );
       ( "json",
         [ Alcotest.test_case "codec round-trip" `Quick

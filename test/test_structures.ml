@@ -752,7 +752,7 @@ let test_corrupt_normal_pointer_faults () =
   List.iter (fun k -> L_norm.append l ~key:k) [ 1; 2; 3; 4 ];
   (* Overwrite the second node's next-slot with a wild absolute address
      (unmapped virtual memory). *)
-  let second = ref 0 in
+  let second = ref Core.Kinds.Vaddr.null in
   L_norm.iter l (fun ~addr ~key -> if key = 2 then second := addr);
   Core.Memsim.store64 m.Machine.mem !second 0x1234_5678_0000;
   check_bool "traverse faults on wild pointer" true
@@ -766,7 +766,7 @@ let test_corrupt_riv_pointer_detected () =
   let module L = Nvmpi_structures.Linked_list.Make (Core.Riv) in
   let l = L.create nd ~name:"l" in
   List.iter (fun k -> L.append l ~key:k) [ 1; 2; 3 ];
-  let second = ref 0 in
+  let second = ref Core.Kinds.Vaddr.null in
   L.iter l (fun ~addr ~key -> if key = 2 then second := addr);
   (* A packed RIV value naming a region that is not open. *)
   Core.Memsim.store64 m.Machine.mem !second
@@ -775,17 +775,17 @@ let test_corrupt_riv_pointer_detected () =
     (try
        ignore (L.traverse l);
        false
-     with Core.Nvspace.Unknown_region { rid } -> rid = 999)
+     with Core.Nvspace.Unknown_region { rid } -> (rid :> int) = 999)
 
 let test_corrupt_payload_changes_checksum () =
   let _, m, nd = node ~payload:32 () in
   let l = L_norm.create nd ~name:"l" in
   List.iter (fun k -> L_norm.append l ~key:k) [ 1; 2; 3 ];
   let _, sum_before = L_norm.traverse l in
-  let second = ref 0 in
+  let second = ref Core.Kinds.Vaddr.null in
   L_norm.iter l (fun ~addr ~key -> if key = 2 then second := addr);
   (* Flip one payload byte (payload starts after next-slot and key). *)
-  let payload_addr = !second + 8 + 8 in
+  let payload_addr = Core.Kinds.Vaddr.add !second (8 + 8) in
   let b = Core.Memsim.load8 m.Machine.mem payload_addr in
   Core.Memsim.store8 m.Machine.mem payload_addr (b lxor 0xFF);
   let _, sum_after = L_norm.traverse l in

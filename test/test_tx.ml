@@ -4,6 +4,9 @@ module Store = Core.Store
 module Memsim = Core.Memsim
 module Objstore = Nvmpi_tx.Objstore
 module Tx = Nvmpi_tx.Tx
+module Vaddr = Core.Kinds.Vaddr
+
+let ia (a : Vaddr.t) = (a :> int)
 
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -25,7 +28,8 @@ let test_alloc_wrapping () =
   check "alive" 1 (Objstore.objects_alive os);
   (* 128-byte wrapping: two small objects are at least 128 bytes apart. *)
   let b = Objstore.alloc os ~size:8 () in
-  check_bool "wrap unit spacing" true (abs (b - a) >= Objstore.wrap_unit);
+  check_bool "wrap unit spacing" true
+    (abs (Vaddr.diff b a) >= Objstore.wrap_unit);
   Objstore.free os a;
   check "alive after free" 1 (Objstore.objects_alive os)
 
@@ -34,7 +38,7 @@ let test_alloc_reuse () =
   let a = Objstore.alloc os ~size:64 () in
   Objstore.free os a;
   let b = Objstore.alloc os ~size:64 () in
-  check "freed slot reused" a b
+  check "freed slot reused" (ia a) (ia b)
 
 let test_attach_after_remap () =
   let store = Store.create () in
@@ -55,7 +59,7 @@ let test_attach_after_remap () =
   check "alive count survives" 1 (Objstore.objects_alive os2);
   (* The freelist still works at the new base. *)
   let b = Objstore.alloc os2 ~size:16 () in
-  check_bool "fresh alloc in new run" true (b <> 0)
+  check_bool "fresh alloc in new run" true (not (Vaddr.is_null b))
 
 let test_attach_requires_store () =
   let store = Store.create () in
@@ -154,18 +158,18 @@ let test_add_range () =
   let _, m, _, os = with_store () in
   let a = Objstore.alloc os ~size:64 () in
   for i = 0 to 7 do
-    Memsim.store64 m.Machine.mem (a + (i * 8)) i
+    Memsim.store64 m.Machine.mem (Vaddr.add a (i * 8)) i
   done;
   let tx = Tx.create os in
   Tx.begin_tx tx;
   Tx.add_range tx ~addr:a ~len:64;
   for i = 0 to 7 do
-    Memsim.store64 m.Machine.mem (a + (i * 8)) (100 + i)
+    Memsim.store64 m.Machine.mem (Vaddr.add a (i * 8)) (100 + i)
   done;
   Tx.abort tx;
   for i = 0 to 7 do
     check (Printf.sprintf "word %d restored" i) i
-      (Memsim.load64 m.Machine.mem (a + (i * 8)))
+      (Memsim.load64 m.Machine.mem (Vaddr.add a (i * 8)))
   done
 
 let test_tx_state_errors () =
@@ -206,7 +210,7 @@ let test_log_full_detected () =
   check_bool "log overflow detected" true
     (try
        for i = 0 to 7 do
-         Tx.store64 tx (a + (i * 8)) i
+         Tx.store64 tx (Vaddr.add a (i * 8)) i
        done;
        false
      with Failure _ -> true);
