@@ -9,7 +9,8 @@
      dune exec bench/main.exe -- --full-wordcount  # 1M/2M-word inputs
      dune exec bench/main.exe -- --json out.json fig12  # + JSON snapshot
      dune exec bench/main.exe -- check BENCH_seed.json  # regression check
-     dune exec bench/main.exe -- bechamel      # host-time micro-benchmarks *)
+     dune exec bench/main.exe -- bechamel      # host-time micro-benchmarks
+     dune exec bench/main.exe -- faultsim      # crash-point recovery sweep *)
 
 open Nvmpi_experiments
 
@@ -18,7 +19,7 @@ let usage_text =
    [experiment ...]\n\
   \       main.exe check BASELINE.json [--tolerance F]\n\
    experiments: fig12 payload table1 fig13 fig14 regions fig15 breakdown \
-   ablations bechamel all\n\
+   ablations bechamel faultsim all\n\
    check re-runs the experiments recorded in BASELINE.json with its own \
    parameters\n\
    and fails on per-cell cycle deviations beyond the tolerance (default \
@@ -104,6 +105,19 @@ let bechamel_suite () =
     tests;
   print_newline ()
 
+(* Crash-consistency sweep: like bechamel, not part of the Suite — its
+   result is a pass/fail verdict over crash points, not a cycle table,
+   so it never enters (or perturbs) BENCH JSON snapshots. *)
+let faultsim_suite ~seed =
+  let open Nvmpi_faultsim in
+  let seed = Option.value seed ~default:42 in
+  let metrics = Nvmpi_obs.Metrics.create () in
+  let report =
+    Sweep.run ~metrics ~seed (Scenario.defaults () @ Scenario.selftests ())
+  in
+  Format.printf "%a" Sweep.pp_report report;
+  if not (Sweep.ok report) then exit 1
+
 (* Run mode ---------------------------------------------------------- *)
 
 let run_main args =
@@ -145,18 +159,20 @@ let run_main args =
      surface only after minutes of earlier experiments. *)
   List.iter
     (fun name ->
-      if not (Suite.mem name || name = "bechamel" || name = "all") then
-        fail "unknown experiment %S" name)
+      if not (Suite.mem name || name = "bechamel" || name = "faultsim"
+              || name = "all")
+      then fail "unknown experiment %S" name)
     picked;
   let suite_names =
     List.concat_map
       (fun name ->
         if name = "all" then Suite.names
-        else if name = "bechamel" then []
+        else if name = "bechamel" || name = "faultsim" then []
         else [ name ])
       picked
   in
   let want_bechamel = List.exists (fun n -> n = "bechamel" || n = "all") picked in
+  let want_faultsim = List.exists (fun n -> n = "faultsim" || n = "all") picked in
   let params =
     {
       Suite.scale = !scale;
@@ -173,6 +189,7 @@ let run_main args =
       suite_names
   in
   if want_bechamel then bechamel_suite ();
+  if want_faultsim then faultsim_suite ~seed:!seed;
   match !json_path with
   | None -> ()
   | Some path ->

@@ -4,6 +4,8 @@
    - [nvmpi check FILE]   regression-check against a benchmark snapshot
    - [nvmpi run FILE]     compile and run an NVC program against a
                           (optionally file-backed) NVM store
+   - [nvmpi crash ...]    sweep crash points with the fault-injection
+                          harness and verify recovery invariants
    - [nvmpi inspect FILE] list the regions and roots of a store image
    - [nvmpi layout]       print the NV-space layout parameters *)
 
@@ -167,6 +169,68 @@ let run_cmd =
        ~doc:"Compile and run an NVC program on the simulated machine.")
     Term.(const run $ file $ store_path $ seed $ entry $ args $ verbose)
 
+(* crash *)
+
+let crash_cmd =
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ]
+             ~doc:"Workload and region-placement seed; recovery machines \
+                   derive per-crash-point seeds from it, so a run is fully \
+                   reproducible.")
+  in
+  let exhaustive =
+    Arg.(value & flag
+         & info [ "exhaustive" ]
+             ~doc:"Inject a crash after every recorded event (store, flush, \
+                   fence) instead of only after fences.")
+  in
+  let sample =
+    Arg.(value & opt (some int) None
+         & info [ "sample" ] ~docv:"N"
+             ~doc:"Inject crashes at N seeded random event indices per \
+                   scenario (plus the endpoints). Overrides --exhaustive.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the sweep report as JSON (see docs/FAULTSIM.md).")
+  in
+  let skip_selftest =
+    Arg.(value & flag
+         & info [ "skip-selftest" ]
+             ~doc:"Skip the fence-dropping doubles that prove the harness \
+                   catches real durability bugs.")
+  in
+  let run seed exhaustive sample json skip_selftest =
+    let open Nvmpi_faultsim in
+    let mode =
+      match sample with
+      | Some n -> Sweep.Sampled n
+      | None -> if exhaustive then Sweep.Exhaustive else Sweep.After_fences
+    in
+    let scenarios =
+      Scenario.defaults ()
+      @ (if skip_selftest then [] else Scenario.selftests ())
+    in
+    let metrics = Core.Metrics.create () in
+    let report = Sweep.run ~mode ~metrics ~seed scenarios in
+    Format.printf "%a" Sweep.pp_report report;
+    (match json with
+    | None -> ()
+    | Some path ->
+        Core.Json.to_file path (Sweep.json_of_report report);
+        Printf.printf "wrote %s\n" path);
+    if not (Sweep.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "crash"
+       ~doc:"Sweep crash points over the durability event log: materialize \
+             the durable image at each point, reopen it at fresh segments \
+             and verify recovery invariants for every pointer \
+             representation.")
+    Term.(const run $ seed $ exhaustive $ sample $ json $ skip_selftest)
+
 (* inspect *)
 
 let inspect_cmd =
@@ -236,4 +300,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "nvmpi" ~doc)
-          [ bench_cmd; check_cmd; run_cmd; inspect_cmd; layout_cmd ]))
+          [ bench_cmd; check_cmd; run_cmd; crash_cmd; inspect_cmd; layout_cmd ]))

@@ -5,6 +5,7 @@ module Objstore = Nvmpi_tx.Objstore
 module Tx = Nvmpi_tx.Tx
 module Repr = Core.Repr
 module Vaddr = Nvmpi_addr.Kinds.Vaddr
+module Bitops = Nvmpi_addr.Bitops
 
 let kind_tag = 0x4B56 (* "KV" *)
 
@@ -40,6 +41,16 @@ let store_slot_tx t holder target =
 let store_slot_raw t holder target =
   let (module P) = t.repr in
   P.store (machine t) ~holder target
+
+(* Objects allocated inside the current transaction are filled with
+   plain stores; register their whole wrapped block so the commit
+   flushes them — a committed pointer must never reference bytes that
+   were still sitting in the cache when power failed. *)
+let tx_fresh t payload ~size =
+  if Tx.active t.tx then
+    Tx.add_fresh t.tx
+      ~addr:(Vaddr.add payload (-Objstore.header_bytes))
+      ~len:(Bitops.align_up (Objstore.header_bytes + size) Objstore.wrap_unit)
 
 let next_off = 0
 let key_off t = slot t
@@ -116,6 +127,7 @@ let read_value t entry =
 let alloc_value t data =
   let len = String.length data in
   let v = Objstore.alloc t.os ~tag:kind_tag ~size:(8 + len) () in
+  tx_fresh t v ~size:(8 + len);
   Memsim.store64 (memory t) v len;
   if len > 0 then
     Memsim.blit_from_bytes (memory t) ~addr:(Vaddr.add v 8)
@@ -131,6 +143,7 @@ let put_body t ~key data =
       old
   | `Missing holder ->
       let entry = Objstore.alloc t.os ~tag:kind_tag ~size:(entry_size t) () in
+      tx_fresh t entry ~size:(entry_size t);
       store_slot_raw t (Vaddr.add entry next_off) Vaddr.null;
       Memsim.store64 (memory t) (Vaddr.add entry (key_off t)) key;
       store_slot_raw t (Vaddr.add entry (val_off t)) fresh_value;

@@ -29,6 +29,8 @@ type counters = {
   c_l3_m : int ref;
 }
 
+type persist_event = Flushed of int | Fenced
+
 type t = {
   cfg : Timing_config.t;
   clock : Clock.t;
@@ -38,6 +40,7 @@ type t = {
   l3 : Cache_level.t;
   stats : mem_stats;
   c : counters;
+  mutable persist_hook : (persist_event -> unit) option;
 }
 
 let create ?(cfg = Timing_config.default) ?metrics ~clock ~is_nvm () =
@@ -81,7 +84,10 @@ let create ?(cfg = Timing_config.default) ?metrics ~clock ~is_nvm () =
         c_l3_h = c "cache.l3.hits";
         c_l3_m = c "cache.l3.misses";
       };
+    persist_hook = None;
   }
+
+let set_persist_hook t hook = t.persist_hook <- hook
 
 let cfg t = t.cfg
 let clock t = t.clock
@@ -185,12 +191,14 @@ let flush t ~addr =
   let d1 = Cache_level.flush_line t.l1 ~addr in
   let d2 = Cache_level.flush_line t.l2 ~addr in
   let d3 = Cache_level.flush_line t.l3 ~addr in
-  if d1 || d2 || d3 then charge_mem_write t addr
+  if d1 || d2 || d3 then charge_mem_write t addr;
+  match t.persist_hook with Some f -> f (Flushed addr) | None -> ()
 
 let fence t =
   t.stats.fences <- t.stats.fences + 1;
   incr t.c.c_fences;
-  Clock.tick t.clock t.cfg.wbarrier
+  Clock.tick t.clock t.cfg.wbarrier;
+  match t.persist_hook with Some f -> f Fenced | None -> ()
 
 let reset_stats t =
   Cache_level.reset_stats t.l1;

@@ -65,6 +65,20 @@ val flush : t -> addr:int -> unit
 val fence : t -> unit
 (** Persist barrier ([wbarrier]). *)
 
+(** {1 Persistence observers} *)
+
+type persist_event =
+  | Flushed of int  (** a {!flush} retired for the line holding this address *)
+  | Fenced  (** a {!fence} retired *)
+
+val set_persist_hook : t -> (persist_event -> unit) option -> unit
+(** Installs (or, with [None], removes) a callback invoked after each
+    {!flush}/{!fence} is charged — the attachment point the
+    fault-injection subsystem uses to derive durability state from the
+    persist-instruction stream. The hook only observes: with no hook
+    installed (the default) behaviour and cycle accounting are
+    bit-for-bit unchanged, and the hook itself must not issue charges. *)
+
 val l1 : t -> Cache_level.t
 val l2 : t -> Cache_level.t
 val l3 : t -> Cache_level.t

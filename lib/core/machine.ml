@@ -22,6 +22,7 @@ type t = {
   metrics : Metrics.t;
   mutable based_base : Vaddr.t;
       (* Vaddr.null = unset; the data area never contains address 0 *)
+  mutable crash_hook : (unit -> unit) option;
   mutable dram_cursor : int;
   dram_limit : int;
 }
@@ -71,6 +72,7 @@ let create ?(layout = Layout.default) ?cfg ?metrics ?seed ~store () =
     fat;
     metrics;
     based_base = Vaddr.null;
+    crash_hook = None;
     dram_cursor = dram_base + heap_off;
     dram_limit = dram_base + dram_size;
   }

@@ -32,6 +32,12 @@ type t = {
   mutable based_base : Nvmpi_addr.Kinds.Vaddr.t;
       (** base register for based pointers; {!Nvmpi_addr.Kinds.Vaddr.null}
           = unset *)
+  mutable crash_hook : (unit -> unit) option;
+      (** materializes a power failure on this machine: reverts every
+          tracked region to its durable bytes and cold-starts the caches.
+          Installed by [Nvmpi_faultsim.Tracker.attach]; [None] (the
+          default) means no durability tracker is attached and
+          [Tx.simulate_crash] conservatively leaves memory as-is. *)
   mutable dram_cursor : int;
   dram_limit : int;
 }

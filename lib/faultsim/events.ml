@@ -1,0 +1,12 @@
+type t =
+  | Store of { addr : int; size : int }
+  | Flush of { lo : int; snap : Bytes.t }
+  | Fence
+
+let pp ppf = function
+  | Store { addr; size } -> Format.fprintf ppf "store 0x%x+%d" addr size
+  | Flush { lo; snap } ->
+      Format.fprintf ppf "flush 0x%x (%dB)" lo (Bytes.length snap)
+  | Fence -> Format.fprintf ppf "fence"
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,22 @@
+(** One entry of the ordered persistence event log a {!Tracker} records.
+
+    The log is the complete persist-relevant history of a run: every NVM
+    store into a tracked region, every cache-line flush of such a region
+    (with the line's contents {e at flush time} — a clwb writes back
+    whatever the line holds when it retires, not what the program last
+    stored), and every persist fence. Crash points are positions in this
+    log; the {!Image} durability state machine folds a prefix of it into
+    the exact bytes NVM would hold at that point. *)
+
+type t =
+  | Store of { addr : int; size : int }
+      (** a simulated store of [size] bytes at [addr]; the bytes are now
+          dirty in the cache, not yet durable *)
+  | Flush of { lo : int; snap : Bytes.t }
+      (** clwb of one cache line, clamped to the tracked region:
+          [snap] is the line's content starting at address [lo], captured
+          when the flush retired; it becomes durable at the next fence *)
+  | Fence  (** persist barrier: all flushed-but-pending lines are durable *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,462 @@
+module Machine = Core.Machine
+module Repr = Core.Repr
+module Store = Nvmpi_nvregion.Store
+module Region = Nvmpi_nvregion.Region
+module Memsim = Nvmpi_memsim.Memsim
+module Metrics = Nvmpi_obs.Metrics
+module Rid = Nvmpi_addr.Kinds.Rid
+module Vaddr = Nvmpi_addr.Kinds.Vaddr
+module Node = Nvmpi_structures.Node
+module Instance = Nvmpi_experiments.Instance
+module Workload = Nvmpi_experiments.Workload
+module Objstore = Nvmpi_tx.Objstore
+module Tx = Nvmpi_tx.Tx
+module Kvstore = Nvmpi_apps.Kvstore
+
+type run = {
+  tracker : Tracker.t;
+  verify :
+    seq:int ->
+    Machine.t ->
+    (Rid.t * Region.t) list ->
+    (unit, string) result;
+}
+
+type t = {
+  name : string;
+  expect_fail : bool;
+  run : metrics:Metrics.t -> seed:int -> run;
+}
+
+let region_size = 1 lsl 20
+let payload = 32
+
+let boot ~metrics ~seed =
+  let store = Store.create () in
+  let machine = Machine.create ~metrics ~seed ~store () in
+  let rid = Machine.create_region machine ~size:region_size in
+  let region = Machine.open_region machine rid in
+  (machine, rid, region)
+
+let find_region rid regions =
+  match List.assoc_opt rid regions with
+  | Some r -> r
+  | None -> failwith "recovered store lost the region"
+
+(* {1 Plain-mode structures}
+
+   The structure is built between checkpoints; the oracle is the state
+   at the last checkpoint whose fence precedes the crash point — between
+   fences the durable image cannot change, so recovery must reproduce
+   that checkpoint exactly: node count, payload checksum, and membership
+   of every key inserted so far (probed through the recovered pointers
+   at the new segment). *)
+
+type checkpointed = {
+  upto : int; (* first crash point at which this state is durable *)
+  count : int;
+  checksum : int;
+  present : int list;
+}
+
+let structure_scenario ?(keys = 12) ?(batch = 4) ?(fence = true)
+    ?(pinned_dependent = false) structure repr =
+  let name =
+    let base =
+      Printf.sprintf "%s/%s"
+        (Instance.structure_name structure)
+        (Repr.to_string repr)
+    in
+    if not fence then "selftest-nofence-" ^ base
+    else if pinned_dependent then "pinned-dependent-" ^ base
+    else "struct-" ^ base
+  in
+  let run ~metrics ~seed =
+    let machine, rid, region = boot ~metrics ~seed in
+    if repr = Repr.Based then Machine.set_based_region machine rid;
+    let node = Node.make machine ~mode:(Node.Plain [| region |]) ~payload in
+    let root = "faultsim" in
+    let inst = Instance.create structure repr node ~name:root in
+    let ks = Workload.keys ~n:keys ~seed:(seed + 17) in
+    (* The pinned scenario must have live pointers in the durable base
+       image at arm time — an empty structure would (correctly) survive
+       the remap, leaving nothing to pin. *)
+    let pre =
+      if pinned_dependent then
+        Array.to_list (Workload.keys ~n:4 ~seed:(seed + 91))
+      else []
+    in
+    List.iter inst.Instance.insert pre;
+    let original_base = Region.base region in
+    let tracker = Tracker.attach machine in
+    Tracker.arm tracker;
+    let cps = ref [] in
+    let record present =
+      let count, checksum = inst.Instance.traverse () in
+      cps := { upto = Tracker.seq tracker; count; checksum; present } :: !cps
+    in
+    record pre;
+    let inserted = ref pre in
+    Array.iteri
+      (fun i k ->
+        inst.Instance.insert k;
+        inserted := k :: !inserted;
+        if (i + 1) mod batch = 0 || i = Array.length ks - 1 then begin
+          Tracker.checkpoint ~fence tracker;
+          record !inserted
+        end)
+      ks;
+    let cps = List.rev !cps in
+    let all_keys = Array.to_list ks @ pre in
+    let absent_probe = List.fold_left max 0 all_keys + 1 in
+    let check_against cp machine' region' =
+      if repr = Repr.Based then
+        Machine.set_based_region machine' (Region.rid region');
+      let node' =
+        Node.make machine' ~mode:(Node.Plain [| region' |]) ~payload
+      in
+      let inst' = Instance.attach structure repr node' ~name:root in
+      let count, checksum = inst'.Instance.traverse () in
+      if count <> cp.count then
+        Error
+          (Printf.sprintf "traverse visited %d nodes, durable state holds %d"
+             count cp.count)
+      else if checksum <> cp.checksum then
+        Error
+          (Printf.sprintf "traverse checksum 0x%x, durable state has 0x%x"
+             checksum cp.checksum)
+      else begin
+        match
+          List.find_opt
+            (fun k -> inst'.Instance.search k <> List.mem k cp.present)
+            all_keys
+        with
+        | Some k ->
+            Error
+              (Printf.sprintf "key %d %s after recovery" k
+                 (if List.mem k cp.present then "missing" else "present"))
+        | None ->
+            if inst'.Instance.search absent_probe then
+              Error
+                (Printf.sprintf "never-inserted key %d found after recovery"
+                   absent_probe)
+            else Ok ()
+      end
+    in
+    let verify ~seq machine' regions' =
+      let region' = find_region rid regions' in
+      let cp =
+        List.fold_left
+          (fun acc c -> if c.upto <= seq then c else acc)
+          (List.hd cps) cps
+      in
+      if not pinned_dependent then check_against cp machine' region'
+      else if Vaddr.equal (Region.base region') original_base then
+        (* The random remap landed on the original segment: absolute
+           pointers happen to be valid, nothing to pin. *)
+        Ok ()
+      else begin
+        (* Pinned failure mode: the durable image carries absolute
+           pointers from the previous mapping; after the remap the
+           corruption must be observable. *)
+        match check_against cp machine' region' with
+        | Error _ | (exception _) -> Ok ()
+        | Ok () ->
+            Error
+              "position-dependent image recovered cleanly after remap; \
+               expected corruption went undetected"
+      end
+    in
+    { tracker; verify }
+  in
+  { name; expect_fail = not fence; run }
+
+(* {1 Kvstore over transactions}
+
+   Each put/delete is one undo-logged transaction. At any crash point
+   the recovered store must equal the map after all transactions whose
+   commit is durable, except that the single in-flight transaction (if
+   the crash lands inside its window) may be either fully absent or
+   fully applied — never torn. *)
+
+type kv_op = {
+  before : int;
+  after : int;
+  apply : (int * string) list -> (int * string) list;
+}
+
+let model_put k v m = (k, v) :: List.remove_assoc k m
+let model_del k m = List.remove_assoc k m
+let canon m = List.sort compare m
+
+let describe_map m =
+  "{"
+  ^ String.concat "; "
+      (List.map (fun (k, v) -> Printf.sprintf "%d:%S" k v) m)
+  ^ "}"
+
+let kv_scenario ?(ops = 8) repr =
+  let name = Printf.sprintf "kvstore/%s" (Repr.to_string repr) in
+  let run ~metrics ~seed =
+    let machine, rid, region = boot ~metrics ~seed in
+    if repr = Repr.Based then Machine.set_based_region machine rid;
+    let os = Objstore.create machine region () in
+    let kv = Kvstore.create os ~repr ~name:"kv" ~buckets:8 () in
+    let initial = ref [] in
+    for k = 1 to 3 do
+      let v = Printf.sprintf "init-%d" k in
+      Kvstore.put kv ~key:k v;
+      initial := model_put k v !initial
+    done;
+    let tracker = Tracker.attach machine in
+    Tracker.arm tracker;
+    let log = ref [] in
+    for i = 1 to ops do
+      let key = (i mod 5) + 1 in
+      let before = Tracker.seq tracker in
+      let apply =
+        if i mod 4 = 0 then begin
+          ignore (Kvstore.delete kv ~key);
+          model_del key
+        end
+        else begin
+          let v = Printf.sprintf "v%d-%d" i key in
+          Kvstore.put kv ~key v;
+          model_put key v
+        end
+      in
+      let after = Tracker.seq tracker in
+      log := { before; after; apply } :: !log
+    done;
+    let log = List.rev !log in
+    let universe = [ 1; 2; 3; 4; 5; 6 ] in
+    let initial = !initial in
+    let verify ~seq machine' regions' =
+      let region' = find_region rid regions' in
+      if repr = Repr.Based then
+        Machine.set_based_region machine' (Region.rid region');
+      let os' = Objstore.attach machine' region' in
+      if Objstore.log_entries os' <> 0 then
+        Error "undo log still has records after recovery"
+      else begin
+        let kv' = Kvstore.attach os' ~repr ~name:"kv" in
+        let committed =
+          List.fold_left
+            (fun m op -> if op.after <= seq then op.apply m else m)
+            initial log
+        in
+        let candidates =
+          canon committed
+          ::
+          (match
+             List.find_opt (fun op -> op.before < seq && seq < op.after) log
+           with
+          | Some op -> [ canon (op.apply committed) ]
+          | None -> [])
+        in
+        let actual =
+          List.filter_map
+            (fun k ->
+              match Kvstore.get kv' ~key:k with
+              | Some v -> Some (k, v)
+              | None -> None)
+            universe
+          |> canon
+        in
+        if List.mem actual candidates then Ok ()
+        else
+          Error
+            (Printf.sprintf "read-your-writes: recovered %s, expected %s"
+               (describe_map actual)
+               (String.concat " or " (List.map describe_map candidates)))
+      end
+    in
+    { tracker; verify }
+  in
+  { name; expect_fail = false; run }
+
+(* {1 Raw object-store transactions}
+
+   A bank-cell workload straight on Tx.store64: each transaction writes
+   two of eight cells. Atomicity per transaction, checked against the
+   durable commit prefix. *)
+
+let tx_cells_scenario ?(txs = 6) () =
+  let name = "objstore-tx-cells" in
+  let run ~metrics ~seed =
+    let machine, rid, region = boot ~metrics ~seed in
+    let os = Objstore.create machine region () in
+    let cells = Objstore.alloc os ~tag:0xCE11 ~size:64 () in
+    let mem = machine.Machine.mem in
+    for i = 0 to 7 do
+      Memsim.store64 mem (Vaddr.add cells (8 * i)) (100 + i)
+    done;
+    Region.set_root region "cells" cells;
+    let tracker = Tracker.attach machine in
+    Tracker.arm tracker;
+    let tx = Tx.create os in
+    let log = ref [] in
+    for j = 1 to txs do
+      let i1 = j mod 8 and i2 = (3 * j) mod 8 in
+      let v1 = (j * 1000) + i1 and v2 = (j * 1000) + i2 + 7 in
+      let before = Tracker.seq tracker in
+      Tx.begin_tx tx;
+      Tx.store64 tx (Vaddr.add cells (8 * i1)) v1;
+      Tx.store64 tx (Vaddr.add cells (8 * i2)) v2;
+      Tx.commit tx;
+      let after = Tracker.seq tracker in
+      log := (before, after, [ (i1, v1); (i2, v2) ]) :: !log
+    done;
+    let log = List.rev !log in
+    let verify ~seq machine' regions' =
+      let region' = find_region rid regions' in
+      let os' = Objstore.attach machine' region' in
+      if Objstore.log_entries os' <> 0 then
+        Error "undo log still has records after recovery"
+      else begin
+        let cells' =
+          match Region.root region' "cells" with
+          | Some a -> a
+          | None -> failwith "cells root lost"
+        in
+        let apply writes arr =
+          List.iter (fun (i, v) -> arr.(i) <- v) writes
+        in
+        let committed = Array.init 8 (fun i -> 100 + i) in
+        List.iter
+          (fun (_, after, writes) ->
+            if after <= seq then apply writes committed)
+          log;
+        let actual =
+          Array.init 8 (fun i ->
+              Memsim.load64 machine'.Machine.mem (Vaddr.add cells' (8 * i)))
+        in
+        let show a =
+          String.concat "," (Array.to_list (Array.map string_of_int a))
+        in
+        if actual = committed then Ok ()
+        else begin
+          match
+            List.find_opt (fun (b, a, _) -> b < seq && seq < a) log
+          with
+          | Some (_, _, writes)
+            when actual
+                 =
+                 let v = Array.copy committed in
+                 apply writes v;
+                 v ->
+              Ok ()
+          | _ ->
+              Error
+                (Printf.sprintf "torn cells after recovery: [%s], expected [%s]"
+                   (show actual) (show committed))
+        end
+      end
+    in
+    { tracker; verify }
+  in
+  { name; expect_fail = false; run }
+
+(* {1 The swizzle window}
+
+   Between the swizzle (load-time) and unswizzle (save-time) passes a
+   swizzled structure is position dependent on NVM. A crash while the
+   image is packed recovers; a crash after a persist of the swizzled
+   form must observably fail after the remap — the pinned failure mode
+   this scenario documents. *)
+
+let swizzle_window_scenario ?(keys = 8) () =
+  let name = "swizzle-unswizzle-window" in
+  let run ~metrics ~seed =
+    let machine, rid, region = boot ~metrics ~seed in
+    let node = Node.make machine ~mode:(Node.Plain [| region |]) ~payload in
+    let root = "swz" in
+    let inst = Instance.create Instance.List Repr.Swizzle node ~name:root in
+    let ks = Workload.keys ~n:keys ~seed:(seed + 23) in
+    Array.iter (fun k -> inst.Instance.insert k) ks;
+    let expected = inst.Instance.traverse () in
+    inst.Instance.unswizzle ();
+    let original_base = Region.base region in
+    let tracker = Tracker.attach machine in
+    Tracker.arm tracker;
+    inst.Instance.swizzle ();
+    Tracker.checkpoint tracker;
+    (* The fence just issued persisted absolute pointers: every crash
+       point from here until the post-unswizzle fence inherits them. *)
+    let bad_from = Tracker.seq tracker in
+    inst.Instance.unswizzle ();
+    Tracker.checkpoint tracker;
+    let good_from = Tracker.seq tracker in
+    let verify ~seq machine' regions' =
+      let region' = find_region rid regions' in
+      let attempt =
+        try
+          let node' =
+            Node.make machine' ~mode:(Node.Plain [| region' |]) ~payload
+          in
+          let inst' =
+            Instance.attach Instance.List Repr.Swizzle node' ~name:root
+          in
+          inst'.Instance.swizzle ();
+          Ok (inst'.Instance.traverse ())
+        with e -> Error (Printexc.to_string e)
+      in
+      let in_window = seq >= bad_from && seq < good_from in
+      if not in_window then begin
+        match attempt with
+        | Ok got when got = expected -> Ok ()
+        | Ok (c, s) ->
+            Error
+              (Printf.sprintf
+                 "packed image recovered to %d nodes (0x%x), expected %d \
+                  (0x%x)"
+                 c s (fst expected) (snd expected))
+        | Error msg ->
+            Error ("recovery failed outside the swizzled window: " ^ msg)
+      end
+      else if Vaddr.equal (Region.base region') original_base then Ok ()
+      else begin
+        match attempt with
+        | Error _ -> Ok () (* dangling absolute pointer faulted: pinned *)
+        | Ok got when got <> expected -> Ok () (* visible corruption *)
+        | Ok _ ->
+            Error
+              "swizzled (position-dependent) image recovered cleanly after \
+               remap; expected corruption went undetected"
+      end
+    in
+    { tracker; verify }
+  in
+  { name; expect_fail = false; run }
+
+(* {1 Catalogues} *)
+
+let paper_structures =
+  [ Instance.List; Instance.Btree; Instance.Hashset; Instance.Trie ]
+
+let pi_reprs =
+  [
+    Repr.Off_holder;
+    Repr.Riv;
+    Repr.Fat;
+    Repr.Fat_cached;
+    Repr.Based;
+    Repr.Packed_fat;
+    Repr.Hw_oid;
+  ]
+
+let core_reprs = [ Repr.Off_holder; Repr.Riv; Repr.Fat_cached ]
+
+let defaults () =
+  List.concat_map
+    (fun s -> List.map (fun r -> structure_scenario s r) pi_reprs)
+    paper_structures
+  @ List.map (fun r -> kv_scenario r) core_reprs
+  @ [
+      tx_cells_scenario ();
+      swizzle_window_scenario ();
+      structure_scenario ~pinned_dependent:true Instance.List Repr.Normal;
+    ]
+
+let selftests () =
+  [ structure_scenario ~fence:false Instance.List Repr.Riv ]

@@ -1,0 +1,70 @@
+(** Crash-consistency scenarios: workloads instrumented with durability
+    checkpoints plus an oracle that, given a crash point, decides whether
+    a recovered machine is in a legal state.
+
+    A scenario's [run] builds the workload on a fresh machine, arms a
+    {!Tracker} at the point from which crashes are injected, and returns
+    the tracker together with a [verify] function. [verify ~seq] is
+    called on a {e recovery} machine booted from the durable image at
+    crash point [seq] (regions remapped to fresh random segments) and
+    returns [Ok ()] or [Error reason].
+
+    [expect_fail] marks self-test doubles (e.g. a fence-dropping
+    checkpoint): the sweep inverts the verdict — such a scenario passes
+    only if at least one crash point produces a violation, proving the
+    harness detects real durability bugs. *)
+
+type run = {
+  tracker : Tracker.t;
+  verify :
+    seq:int ->
+    Core.Machine.t ->
+    (Nvmpi_addr.Kinds.Rid.t * Nvmpi_nvregion.Region.t) list ->
+    (unit, string) result;
+}
+
+type t = {
+  name : string;
+  expect_fail : bool;
+  run : metrics:Nvmpi_obs.Metrics.t -> seed:int -> run;
+}
+
+val structure_scenario :
+  ?keys:int ->
+  ?batch:int ->
+  ?fence:bool ->
+  ?pinned_dependent:bool ->
+  Nvmpi_experiments.Instance.structure ->
+  Core.Repr.kind ->
+  t
+(** Builds the structure in batches with a {!Tracker.checkpoint} after
+    each; the oracle is the live (count, checksum, membership) captured
+    at the last durable checkpoint. [~fence:false] makes the self-test
+    double. [~pinned_dependent:true] inverts the per-point verdict:
+    recovery of the position-{e dependent} image after a remap must
+    observably fail (used to pin [Normal]'s expected behaviour). *)
+
+val kv_scenario : ?ops:int -> Core.Repr.kind -> t
+(** Transactional key-value store: read-your-writes against the durable
+    commit prefix, allowing the single in-flight transaction to be
+    either fully applied or fully absent. *)
+
+val tx_cells_scenario : ?txs:int -> unit -> t
+(** Undo-logged multi-word transactions on one object: no crash point
+    may expose a torn transaction. *)
+
+val swizzle_window_scenario : ?keys:int -> unit -> t
+(** Pins the swizzle representation's inherent crash window: between the
+    load-time swizzle persist and the save-time unswizzle persist the
+    image is position dependent, and recovery at a fresh segment must
+    detectably fail; outside the window it must succeed exactly. *)
+
+val defaults : unit -> t list
+(** The full sweep: the paper's four structures under every
+    position-independent representation, the kvstore under the core
+    representations, raw transactions, the swizzle window, and the
+    pinned position-dependent baseline — all nine representations
+    appear. *)
+
+val selftests : unit -> t list
+(** Deliberately broken doubles the sweep must flag ([expect_fail]). *)

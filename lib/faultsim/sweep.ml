@@ -1,0 +1,192 @@
+module Metrics = Nvmpi_obs.Metrics
+module Json = Nvmpi_obs.Json
+
+type mode = After_fences | Exhaustive | Sampled of int
+
+let mode_to_string = function
+  | After_fences -> "after-fences"
+  | Exhaustive -> "exhaustive"
+  | Sampled k -> Printf.sprintf "sampled-%d" k
+
+type failure = {
+  seq : int;
+  detail : string;
+  window : (int * Events.t) list;
+}
+
+type scenario_result = {
+  name : string;
+  expect_fail : bool;
+  points : int;
+  failures : failure list;
+  durable_bytes : int;
+  volatile_bytes : int;
+}
+
+type report = { seed : int; mode : mode; scenarios : scenario_result list }
+
+let scenario_ok r =
+  if r.expect_fail then r.failures <> [] else r.failures = []
+
+let ok report = List.for_all scenario_ok report.scenarios
+
+let crash_points tracker mode ~seed =
+  let n = Tracker.seq tracker in
+  let pts =
+    match mode with
+    | Exhaustive -> List.init (n + 1) Fun.id
+    | After_fences ->
+        let after_fences = ref [ 0; n ] in
+        for i = 0 to n - 1 do
+          match Tracker.event tracker i with
+          | Events.Fence -> after_fences := (i + 1) :: !after_fences
+          | _ -> ()
+        done;
+        !after_fences
+    | Sampled k ->
+        let st = Random.State.make [| seed; n; 0x5EED |] in
+        let draws = List.init k (fun _ -> Random.State.int st (n + 1)) in
+        0 :: n :: draws
+  in
+  List.sort_uniq compare pts
+
+let run_scenario ~metrics ~seed ~mode (sc : Scenario.t) =
+  let { Scenario.tracker; verify } = sc.Scenario.run ~metrics ~seed in
+  (* The workload is over; stop recording so recovery machines and the
+     verification itself cannot grow the log under the cursor. *)
+  Tracker.disarm tracker;
+  let durable_bytes = Tracker.durable_bytes tracker in
+  let volatile_bytes = Tracker.volatile_bytes tracker in
+  let points = crash_points tracker mode ~seed in
+  let cursor = Replay.create tracker in
+  let c_points = Metrics.counter metrics "faultsim.crash_points" in
+  let c_pass = Metrics.counter metrics "faultsim.schedules.passed" in
+  let c_fail = Metrics.counter metrics "faultsim.schedules.failed" in
+  let failures =
+    List.filter_map
+      (fun p ->
+        Replay.advance cursor ~upto:p;
+        incr c_points;
+        let recovery_seed = (seed * 1_000_003) + p in
+        let outcome =
+          try
+            let machine', regions' =
+              Recovery.boot ~seed:recovery_seed (Replay.images cursor)
+            in
+            verify ~seq:p machine' regions'
+          with e -> Error ("recovery raised " ^ Printexc.to_string e)
+        in
+        match outcome with
+        | Ok () ->
+            incr c_pass;
+            None
+        | Error detail ->
+            incr c_fail;
+            Some
+              {
+                seq = p;
+                detail;
+                window = Tracker.event_window tracker ~upto:p ~width:6;
+              })
+      points
+  in
+  {
+    name = sc.Scenario.name;
+    expect_fail = sc.Scenario.expect_fail;
+    points = List.length points;
+    failures;
+    durable_bytes;
+    volatile_bytes;
+  }
+
+let run ?(mode = After_fences) ~metrics ~seed scenarios =
+  let scenarios =
+    List.map (fun sc -> run_scenario ~metrics ~seed ~mode sc) scenarios
+  in
+  let durable =
+    List.fold_left (fun a r -> a + r.durable_bytes) 0 scenarios
+  in
+  let volatile =
+    List.fold_left (fun a r -> a + r.volatile_bytes) 0 scenarios
+  in
+  Metrics.incr ~by:durable metrics "faultsim.bytes.durable";
+  Metrics.incr ~by:volatile metrics "faultsim.bytes.volatile";
+  { seed; mode; scenarios }
+
+(* {1 Reporting} *)
+
+let json_of_failure f =
+  Json.Obj
+    [
+      ("seq", Json.Int f.seq);
+      ("detail", Json.String f.detail);
+      ( "window",
+        Json.List
+          (List.map
+             (fun (i, e) ->
+               Json.Obj
+                 [
+                   ("seq", Json.Int i);
+                   ("event", Json.String (Events.to_string e));
+                 ])
+             f.window) );
+    ]
+
+let json_of_scenario r =
+  Json.Obj
+    [
+      ("name", Json.String r.name);
+      ("expect_fail", Json.Bool r.expect_fail);
+      ("ok", Json.Bool (scenario_ok r));
+      ("crash_points", Json.Int r.points);
+      ("violations", Json.Int (List.length r.failures));
+      ("durable_bytes", Json.Int r.durable_bytes);
+      ("volatile_bytes", Json.Int r.volatile_bytes);
+      ("failures", Json.List (List.map json_of_failure r.failures));
+    ]
+
+let json_of_report report =
+  Json.Obj
+    [
+      ("schema_version", Json.Int 1);
+      ("kind", Json.String "faultsim");
+      ("seed", Json.Int report.seed);
+      ("mode", Json.String (mode_to_string report.mode));
+      ("ok", Json.Bool (ok report));
+      ( "total_crash_points",
+        Json.Int
+          (List.fold_left (fun a r -> a + r.points) 0 report.scenarios) );
+      ("scenarios", Json.List (List.map json_of_scenario report.scenarios));
+    ]
+
+let pp_failure ppf f =
+  Format.fprintf ppf "@[<v 2>at crash point %d: %s" f.seq f.detail;
+  List.iter
+    (fun (i, e) -> Format.fprintf ppf "@,  [%d] %s" i (Events.to_string e))
+    f.window;
+  Format.fprintf ppf "@]"
+
+let pp_report ppf report =
+  Format.fprintf ppf "faultsim sweep: seed=%d mode=%s@." report.seed
+    (mode_to_string report.mode);
+  List.iter
+    (fun r ->
+      let verdict =
+        if scenario_ok r then "ok"
+        else if r.expect_fail then "FAIL (expected violations, saw none)"
+        else "FAIL"
+      in
+      Format.fprintf ppf "  %-42s %4d points  %3d violations  %s%s@." r.name
+        r.points
+        (List.length r.failures)
+        verdict
+        (if r.expect_fail && r.failures <> [] then " (expected)" else "");
+      if not (scenario_ok r) then
+        List.iter (fun f -> Format.fprintf ppf "    %a@." pp_failure f)
+          r.failures)
+    report.scenarios;
+  let total = List.fold_left (fun a r -> a + r.points) 0 report.scenarios in
+  Format.fprintf ppf "  total: %d scenarios, %d crash points — %s@."
+    (List.length report.scenarios)
+    total
+    (if ok report then "all invariants hold" else "INVARIANT VIOLATIONS")

@@ -1,0 +1,56 @@
+(** The crash-point sweep: runs a scenario once, then for every selected
+    crash point materializes the durable image, boots a recovery machine
+    at fresh segments and asks the scenario's oracle for a verdict.
+
+    One {!Replay} cursor walks the points in ascending order, so a whole
+    sweep costs a single fold over the event log regardless of how many
+    points are explored. *)
+
+type mode =
+  | After_fences
+      (** one point after every fence, plus the endpoints — the moments
+          a crash can actually expose distinct durable states *)
+  | Exhaustive  (** every event index (after every store/flush/fence) *)
+  | Sampled of int  (** [k] seeded uniform draws, plus the endpoints *)
+
+val mode_to_string : mode -> string
+
+type failure = {
+  seq : int;  (** crash point *)
+  detail : string;  (** violated invariant *)
+  window : (int * Events.t) list;  (** trailing event context *)
+}
+
+type scenario_result = {
+  name : string;
+  expect_fail : bool;
+  points : int;
+  failures : failure list;
+  durable_bytes : int;
+  volatile_bytes : int;
+}
+
+type report = { seed : int; mode : mode; scenarios : scenario_result list }
+
+val scenario_ok : scenario_result -> bool
+(** Failures empty — inverted for [expect_fail] self-test doubles, which
+    pass only when the sweep caught at least one violation. *)
+
+val ok : report -> bool
+
+val run_scenario :
+  metrics:Nvmpi_obs.Metrics.t ->
+  seed:int ->
+  mode:mode ->
+  Scenario.t ->
+  scenario_result
+
+val run :
+  ?mode:mode ->
+  metrics:Nvmpi_obs.Metrics.t ->
+  seed:int ->
+  Scenario.t list ->
+  report
+
+val json_of_report : report -> Nvmpi_obs.Json.t
+val pp_report : Format.formatter -> report -> unit

@@ -228,6 +228,42 @@ let fill t ~addr ~len c =
     store8 t (addr + i) (Char.code c)
   done
 
+(* Debug port: raw access that bypasses the access pipeline entirely —
+   no observers, no load/store statistics or counters. Harness-only
+   (the fault-injection subsystem's snapshot/restore machinery); never
+   use it to model a program access. *)
+
+let peek_bytes t ~addr ~len =
+  if addr < 0 || len < 0 then invalid_arg "Memsim.peek_bytes";
+  let b = Bytes.create len in
+  let i = ref 0 in
+  while !i < len do
+    let a = addr + !i in
+    let p = a lsr t.page_bits in
+    let poff = off t a in
+    let chunk = min (len - !i) (page_size t - poff) in
+    (match Hashtbl.find_opt t.pages p with
+    | Some page -> Bytes.blit page poff b !i chunk
+    | None ->
+        if not (page_in_ranges t p) then fault a chunk "unmapped (peek)";
+        Bytes.fill b !i chunk '\000');
+    i := !i + chunk
+  done;
+  b
+
+let poke_bytes t ~addr b =
+  if addr < 0 then invalid_arg "Memsim.poke_bytes";
+  let len = Bytes.length b in
+  let i = ref 0 in
+  while !i < len do
+    let a = addr + !i in
+    let page = get_page t a 1 in
+    let poff = off t a in
+    let chunk = min (len - !i) (page_size t - poff) in
+    Bytes.blit b !i page poff chunk;
+    i := !i + chunk
+  done
+
 (* Typed facade (Kinds discipline, see Nvmpi_addr.Kinds): the public
    signature takes typed virtual addresses; the wrappers are zero-cost
    coercions over the int-based engine above. *)
@@ -251,3 +287,5 @@ let store_sized t ~size (a : Vaddr.t) v = store_sized t ~size (a :> int) v
 let blit_from_bytes t ~addr:(a : Vaddr.t) b = blit_from_bytes t ~addr:(a :> int) b
 let blit_to_bytes t ~addr:(a : Vaddr.t) ~len = blit_to_bytes t ~addr:(a :> int) ~len
 let fill t ~addr:(a : Vaddr.t) ~len c = fill t ~addr:(a :> int) ~len c
+let peek_bytes t ~addr:(a : Vaddr.t) ~len = peek_bytes t ~addr:(a :> int) ~len
+let poke_bytes t ~addr:(a : Vaddr.t) b = poke_bytes t ~addr:(a :> int) b

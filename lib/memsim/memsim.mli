@@ -98,6 +98,23 @@ val blit_to_bytes : t -> addr:Nvmpi_addr.Kinds.Vaddr.t -> len:int -> bytes
 
 val fill : t -> addr:Nvmpi_addr.Kinds.Vaddr.t -> len:int -> char -> unit
 
+(** {1 Debug port}
+
+    Raw access below the access pipeline: no observers fire, no
+    statistics or counters move. The fault-injection harness uses these
+    to snapshot line contents at flush time and to overwrite live memory
+    with a materialized crash image; they must never stand in for a
+    program access. *)
+
+val peek_bytes : t -> addr:Nvmpi_addr.Kinds.Vaddr.t -> len:int -> bytes
+(** [peek_bytes t ~addr ~len] copies [len] bytes out without observing
+    or materializing pages (untouched mapped pages read as zeros).
+    Raises {!Fault} if the range leaves mapped memory. *)
+
+val poke_bytes : t -> addr:Nvmpi_addr.Kinds.Vaddr.t -> bytes -> unit
+(** [poke_bytes t ~addr b] overwrites simulated memory with [b] without
+    observing. Raises {!Fault} if the range leaves mapped memory. *)
+
 (** {1 Statistics} *)
 
 type stats = { mutable loads : int; mutable stores : int; mutable pages : int }

@@ -51,7 +51,15 @@ let simulate_crash t =
   if not t.active then raise Not_in_transaction;
   t.active <- false;
   Hashtbl.reset t.logged;
-  Hashtbl.reset t.dirty
+  Hashtbl.reset t.dirty;
+  (* With a faultsim tracker attached, materialize the full-cache-loss
+     crash: live memory reverts to its durable (flushed-and-fenced)
+     bytes. Without one there is no durability record, so memory is
+     conservatively left as-is — every dirty line "happened" to reach
+     NVM, the worst torn state the undo log must recover from. *)
+  match (Objstore.machine t.os).Machine.crash_hook with
+  | Some materialize -> materialize ()
+  | None -> ()
 
 let run t f =
   begin_tx t;
@@ -76,6 +84,34 @@ let add_range t ~addr:(addr : Vaddr.t) ~len =
   mark (addr land lnot 7);
   Hashtbl.replace t.dirty (line_of t addr) ();
   Hashtbl.replace t.dirty (line_of t (addr + len - 1)) ()
+
+(* Freshly allocated ranges hold no old data worth undo-logging, but
+   their bytes still have to reach NVM when the transaction commits —
+   otherwise a crash after commit leaves durable pointers into
+   never-persisted objects. Marking the words as logged suppresses
+   per-store log records; marking every covered line dirty makes
+   [commit] flush them. *)
+let add_fresh t ~addr:(addr : Vaddr.t) ~len =
+  if not t.active then raise Not_in_transaction;
+  if len <= 0 then invalid_arg "Tx.add_fresh";
+  let addr = (addr :> int) in
+  let rec mark a =
+    if a < addr + len then begin
+      Hashtbl.replace t.logged (a land lnot 7) ();
+      mark (a + 8)
+    end
+  in
+  mark (addr land lnot 7);
+  let line = line_of t addr in
+  let last = line_of t (addr + len - 1) in
+  let step = 1 lsl (Timing.cfg (timing t)).Nvmpi_cachesim.Timing_config.line_bits in
+  let rec cover l =
+    if l <= last then begin
+      Hashtbl.replace t.dirty l ();
+      cover (l + step)
+    end
+  in
+  cover line
 
 let store64 t (a : Vaddr.t) v =
   if t.active then begin

@@ -14,9 +14,9 @@
           Tx.store64 tx b 2)
     ]}
 
-    A crash is simulated by dropping the host-side transaction state
-    without committing ({!simulate_crash}); the next {!Objstore.attach}
-    rolls the persisted log back. *)
+    A crash is simulated with {!simulate_crash}, which models a full
+    cache-loss power failure; the next {!Objstore.attach} rolls the
+    persisted log back. *)
 
 type t
 
@@ -53,7 +53,22 @@ val add_range : t -> addr:Nvmpi_addr.Kinds.Vaddr.t -> len:int -> unit
 (** Pre-logs an arbitrary byte range (PMEM.IO's [TX_ADD]); subsequent
     plain stores to it are then crash-safe within this transaction. *)
 
+val add_fresh : t -> addr:Nvmpi_addr.Kinds.Vaddr.t -> len:int -> unit
+(** Registers a {e freshly allocated} byte range with the transaction:
+    no undo record is written (there is no old data to restore — on
+    rollback the allocation is simply garbage), but every covered cache
+    line is flushed by {!commit}, so objects built with plain stores are
+    durable exactly when the pointers committed to them are. Raises
+    {!Not_in_transaction} outside a transaction and [Invalid_argument]
+    on an empty range. *)
+
 val simulate_crash : t -> unit
-(** Drops the in-flight transaction as a power failure would: no commit,
-    no rollback, host state cleared. The persisted undo log keeps its
-    records; recovery happens at the next {!Objstore.attach}. *)
+(** Models a full cache-loss power failure in the middle of the
+    transaction: no commit, no rollback, host transaction state cleared.
+    When a fault-injection tracker is attached to the machine
+    ([Core.Machine.crash_hook]), live memory is reverted to its durable
+    bytes — exactly the contents an [Nvmpi_faultsim] crash image would
+    hold — and the caches are cold-started; without a tracker memory is
+    conservatively left as-is (every dirty line "reached" NVM). The
+    persisted undo log keeps its records either way; recovery happens at
+    the next {!Objstore.attach}. *)
