@@ -16,14 +16,20 @@ open Nvmpi_experiments
 
 let usage_text =
   "usage: main.exe [--scale F] [--seed N] [--full-wordcount] [--json FILE] \
-   [experiment ...]\n\
-  \       main.exe check BASELINE.json [--tolerance F]\n\
+   [--jobs N] [--wall] [experiment ...]\n\
+  \       main.exe check BASELINE.json [--tolerance F] [--jobs N]\n\
+  \       main.exe perf [--ops N]\n\
    experiments: fig12 payload table1 fig13 fig14 regions fig15 breakdown \
    ablations bechamel faultsim all\n\
    check re-runs the experiments recorded in BASELINE.json with its own \
    parameters\n\
    and fails on per-cell cycle deviations beyond the tolerance (default \
-   0.10)."
+   0.10);\n\
+   --jobs runs independent work items on N domains (identical results, \
+   wall-clock only);\n\
+   --wall adds a host wall-clock section to the JSON snapshot; perf \
+   prints a\n\
+   host-nanosecond profile of the simulator's access hot path."
 
 let usage () =
   print_endline usage_text;
@@ -74,10 +80,31 @@ let bechamel_suite () =
       ~name:("traverse-" ^ Instance.structure_name structure)
       (Staged.stage (fun () -> ignore (inst.Instance.traverse ())))
   in
+  (* One full dereference — translate the stored pointer, then read 8
+     bytes through the resulting absolute address. Unlike pointer-load
+     this includes the data access the translation exists to serve, so
+     it is the host-side cost of the simulator's per-deref fast path
+     (TLB'd page lookup + single-observer dispatch + L1 hit). *)
+  let deref_test kind =
+    let store = Core.Store.create () in
+    let m = Machine.create ~seed:1 ~store () in
+    let r = Machine.open_region m (Machine.create_region m ~size:(1 lsl 20)) in
+    let (module P) = Core.Repr.m kind in
+    let holder = Region.alloc r P.slot_size in
+    let target = Region.alloc r 64 in
+    P.store m ~holder target;
+    let mem = m.Machine.mem in
+    Test.make ~name:(Core.Repr.to_string kind)
+      (Staged.stage (fun () ->
+           ignore (Nvmpi_memsim.Memsim.load64 mem (P.load m ~holder))))
+  in
   let tests =
     [
       Test.make_grouped ~name:"pointer-load" ~fmt:"%s/%s"
         (List.map load_test Core.Repr.all);
+      Test.make_grouped ~name:"single-deref" ~fmt:"%s/%s"
+        (List.map deref_test
+           Core.Repr.[ Riv; Fat; Fat_cached; Off_holder ]);
       Test.make_grouped ~name:"riv-traversal" ~fmt:"%s/%s"
         (List.map traverse_test Instance.structures);
     ]
@@ -108,15 +135,104 @@ let bechamel_suite () =
 (* Crash-consistency sweep: like bechamel, not part of the Suite — its
    result is a pass/fail verdict over crash points, not a cycle table,
    so it never enters (or perturbs) BENCH JSON snapshots. *)
-let faultsim_suite ~seed =
+let faultsim_suite ~jobs ~seed =
   let open Nvmpi_faultsim in
   let seed = Option.value seed ~default:42 in
   let metrics = Nvmpi_obs.Metrics.create () in
   let report =
-    Sweep.run ~metrics ~seed (Scenario.defaults () @ Scenario.selftests ())
+    Sweep.run ~jobs ~metrics ~seed (Scenario.defaults () @ Scenario.selftests ())
   in
   Format.printf "%a" Sweep.pp_report report;
   if not (Sweep.ok report) then exit 1
+
+(* Perf mode ---------------------------------------------------------- *)
+
+(* A host-nanosecond profile of the simulator's access hot path: raw
+   loads/stores with no observers (the Memsim fast path alone), the same
+   accesses with the timing model attached (the common configuration for
+   every experiment), and the full faultsim pipeline with an armed
+   tracker. All numbers are host wall-clock — nothing here reads or
+   perturbs simulated cycles. *)
+let perf_main args =
+  let module Memsim = Nvmpi_memsim.Memsim in
+  let module Vaddr = Nvmpi_addr.Kinds.Vaddr in
+  let module Wall = Nvmpi_parsweep.Wall in
+  let ops = ref 1_000_000 in
+  let rec parse = function
+    | [] -> ()
+    | "--ops" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n > 0 -> ops := n
+        | _ -> fail "--ops needs a positive integer, got %S" v);
+        parse rest
+    | [ "--ops" ] -> fail "option --ops needs a value"
+    | ("--help" | "-h") :: _ -> usage ()
+    | flag :: _ -> fail "perf: unknown argument %S" flag
+  in
+  parse args;
+  let n = !ops in
+  let measure name f =
+    f (n / 100);
+    (* warm-up: materialize pages, settle caches *)
+    let (), ns = Wall.time (fun () -> f n) in
+    Printf.printf "  %-44s %7.1f ns/op\n%!" name (float_of_int ns /. float_of_int n)
+  in
+  let base = 0x100000 in
+  let page = 4096 in
+  let fresh_mem () =
+    let mem = Memsim.create () in
+    Memsim.map mem ~addr:(Vaddr.v base) ~size:(4 * page);
+    mem
+  in
+  (* Sequential loads inside one page: every access hits the one-entry
+     page TLB. The 0x7f mask keeps 128 slots of 8 bytes in play. *)
+  let seq_addr i = Vaddr.v (base + (i land 0x7f) * 8) in
+  (* Alternating pages: every access misses the TLB and pays the
+     Hashtbl lookup. *)
+  let alt_addr i = Vaddr.v (base + (i land 1) * page) in
+  Printf.printf "== simulator hot-path profile (%d ops per row, host ns) ==\n" n;
+  let mem = fresh_mem () in
+  measure "load64, no observers, same page (TLB hit)" (fun k ->
+      for i = 0 to k - 1 do
+        ignore (Memsim.load64 mem (seq_addr i))
+      done);
+  measure "load64, no observers, alternating pages" (fun k ->
+      for i = 0 to k - 1 do
+        ignore (Memsim.load64 mem (alt_addr i))
+      done);
+  measure "store64, no observers, same page" (fun k ->
+      for i = 0 to k - 1 do
+        Memsim.store64 mem (seq_addr i) i
+      done);
+  let mem_t = fresh_mem () in
+  let clock = Nvmpi_cachesim.Clock.create () in
+  let timing =
+    Nvmpi_cachesim.Timing.create ~clock ~is_nvm:(fun _ -> false) ()
+  in
+  Nvmpi_cachesim.Timing.attach timing mem_t;
+  measure "load64, timing attached, same page (L1 hit)" (fun k ->
+      for i = 0 to k - 1 do
+        ignore (Memsim.load64 mem_t (seq_addr i))
+      done);
+  measure "store64, timing attached, same page" (fun k ->
+      for i = 0 to k - 1 do
+        Memsim.store64 mem_t (seq_addr i) i
+      done);
+  let module Machine = Core.Machine in
+  let module Region = Core.Region in
+  let store = Core.Store.create () in
+  let m = Machine.create ~seed:1 ~store () in
+  let r = Machine.open_region m (Machine.create_region m ~size:(1 lsl 20)) in
+  let buf = Region.alloc r 1024 in
+  let tracker = Nvmpi_faultsim.Tracker.attach m in
+  Nvmpi_faultsim.Tracker.arm tracker;
+  measure "store64, machine + armed tracker" (fun k ->
+      for i = 0 to k - 1 do
+        Memsim.store64 m.Machine.mem (Vaddr.add buf ((i land 0x7f) * 8)) i
+      done);
+  Printf.printf
+    "  (tracker rows grow the event log; re-run perf rather than \
+     comparing across --ops values)\n"
 
 (* Run mode ---------------------------------------------------------- *)
 
@@ -125,6 +241,8 @@ let run_main args =
   let seed = ref None in
   let full_wordcount = ref false in
   let json_path = ref None in
+  let jobs = ref 1 in
+  let wall = ref false in
   let picked = ref [] in
   let rec parse = function
     | [] -> ()
@@ -141,8 +259,16 @@ let run_main args =
     | "--json" :: path :: rest ->
         json_path := Some path;
         parse rest
-    | [ (("--scale" | "--seed" | "--json") as flag) ] ->
+    | "--jobs" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some j when j >= 1 -> jobs := j
+        | _ -> fail "--jobs needs a positive integer, got %S" v);
+        parse rest
+    | [ (("--scale" | "--seed" | "--json" | "--jobs") as flag) ] ->
         fail "option %s needs a value" flag
+    | "--wall" :: rest ->
+        wall := true;
+        parse rest
     | "--full-wordcount" :: rest ->
         full_wordcount := true;
         parse rest
@@ -181,19 +307,29 @@ let run_main args =
     }
   in
   let results =
-    List.map
-      (fun name ->
-        let r = Suite.run params name in
-        List.iter Table.print r.Suite.tables;
-        r)
-      suite_names
+    if !jobs > 1 then begin
+      (* Parallel: run everything first, then print in request order. *)
+      let results = Suite.run_all ~jobs:!jobs params suite_names in
+      List.iter
+        (fun r -> List.iter Table.print r.Suite.tables)
+        results;
+      results
+    end
+    else
+      List.map
+        (fun name ->
+          let r = Suite.run params name in
+          List.iter Table.print r.Suite.tables;
+          r)
+        suite_names
   in
   if want_bechamel then bechamel_suite ();
-  if want_faultsim then faultsim_suite ~seed:!seed;
+  if want_faultsim then faultsim_suite ~jobs:!jobs ~seed:!seed;
   match !json_path with
   | None -> ()
   | Some path ->
-      Nvmpi_obs.Json.to_file path (Suite.snapshot_of params results);
+      Nvmpi_obs.Json.to_file path
+        (Suite.snapshot_of ~wall:!wall params results);
       Printf.printf "wrote %s (%d experiment(s), schema_version %d)\n" path
         (List.length results) Suite.schema_version
 
@@ -201,6 +337,7 @@ let run_main args =
 
 let check_main args =
   let tolerance = ref 0.10 in
+  let jobs = ref 1 in
   let baseline_path = ref None in
   let rec parse = function
     | [] -> ()
@@ -209,7 +346,13 @@ let check_main args =
         | Some f when f >= 0.0 -> tolerance := f
         | _ -> fail "--tolerance needs a non-negative number, got %S" v);
         parse rest
-    | [ "--tolerance" ] -> fail "option --tolerance needs a value"
+    | "--jobs" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some j when j >= 1 -> jobs := j
+        | _ -> fail "--jobs needs a positive integer, got %S" v);
+        parse rest
+    | [ (("--tolerance" | "--jobs") as flag) ] ->
+        fail "option %s needs a value" flag
     | ("--help" | "-h") :: _ -> usage ()
     | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
         fail "unknown option %S" flag
@@ -246,7 +389,9 @@ let check_main args =
     (match params.Suite.seed with Some s -> string_of_int s | None -> "default")
     (if params.Suite.wordcount_full then ", full wordcount" else "")
     path (100.0 *. !tolerance);
-  let fresh = Suite.snapshot_of params (Suite.run_all params names) in
+  let fresh =
+    Suite.snapshot_of params (Suite.run_all ~jobs:!jobs params names)
+  in
   let* compared, mismatches =
     Suite.check ~tolerance:!tolerance ~baseline ~fresh ()
   in
@@ -265,4 +410,5 @@ let check_main args =
 let () =
   match List.tl (Array.to_list Sys.argv) with
   | "check" :: rest -> check_main rest
+  | "perf" :: rest -> perf_main rest
   | args -> run_main args

@@ -42,7 +42,14 @@ let bench_cmd =
                    results (cycle counts, baselines, per-counter \
                    breakdowns; see docs/METRICS.md).")
   in
-  let run names scale seed full json =
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Run experiments on N domains. Results (and the JSON \
+                   snapshot) are identical to a serial run; only \
+                   wall-clock changes.")
+  in
+  let run names scale seed full json jobs =
     let open Nvmpi_experiments in
     let params = { Suite.scale; seed; wordcount_full = full } in
     let names =
@@ -51,12 +58,20 @@ let bench_cmd =
         names
     in
     let results =
-      List.map
-        (fun name ->
-          let r = Suite.run params name in
-          List.iter Table.print r.Suite.tables;
-          r)
-        names
+      if jobs > 1 then begin
+        let results = Suite.run_all ~jobs params names in
+        List.iter
+          (fun r -> List.iter Table.print r.Suite.tables)
+          results;
+        results
+      end
+      else
+        List.map
+          (fun name ->
+            let r = Suite.run params name in
+            List.iter Table.print r.Suite.tables;
+            r)
+          names
     in
     match json with
     | None -> ()
@@ -66,7 +81,7 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate the paper's evaluation tables/figures.")
-    Term.(const run $ names $ scale $ seed $ full $ json)
+    Term.(const run $ names $ scale $ seed $ full $ json $ jobs)
 
 (* check *)
 
@@ -202,7 +217,21 @@ let crash_cmd =
              ~doc:"Skip the fence-dropping doubles that prove the harness \
                    catches real durability bugs.")
   in
-  let run seed exhaustive sample json skip_selftest =
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Evaluate each scenario's crash points on N domains. \
+                   The report (and its JSON) is identical to a serial \
+                   sweep; only wall-clock changes.")
+  in
+  let wall_json =
+    Arg.(value & opt (some string) None
+         & info [ "wall-json" ] ~docv:"FILE"
+             ~doc:"Write host wall-clock timings (total and per scenario) \
+                   as a separate JSON document. Kept apart from --json, \
+                   which stays deterministic.")
+  in
+  let run seed exhaustive sample json skip_selftest jobs wall_json =
     let open Nvmpi_faultsim in
     let mode =
       match sample with
@@ -214,12 +243,17 @@ let crash_cmd =
       @ (if skip_selftest then [] else Scenario.selftests ())
     in
     let metrics = Core.Metrics.create () in
-    let report = Sweep.run ~mode ~metrics ~seed scenarios in
+    let report = Sweep.run ~jobs ~mode ~metrics ~seed scenarios in
     Format.printf "%a" Sweep.pp_report report;
     (match json with
     | None -> ()
     | Some path ->
         Core.Json.to_file path (Sweep.json_of_report report);
+        Printf.printf "wrote %s\n" path);
+    (match wall_json with
+    | None -> ()
+    | Some path ->
+        Core.Json.to_file path (Sweep.wall_json_of_report ~jobs report);
         Printf.printf "wrote %s\n" path);
     if not (Sweep.ok report) then exit 1
   in
@@ -229,7 +263,8 @@ let crash_cmd =
              the durable image at each point, reopen it at fresh segments \
              and verify recovery invariants for every pointer \
              representation.")
-    Term.(const run $ seed $ exhaustive $ sample $ json $ skip_selftest)
+    Term.(const run $ seed $ exhaustive $ sample $ json $ skip_selftest
+          $ jobs $ wall_json)
 
 (* inspect *)
 

@@ -11,7 +11,11 @@ type t = {
   stats : stats;
 }
 
-type result = Hit | Miss of { evicted_dirty : int option }
+(* Unboxed result encoding for [access]: negative values are the two
+   allocation-free outcomes, any value >= 0 is the line-aligned address
+   of a dirty victim that must be written back. *)
+let hit = -1
+let miss_clean = -2
 
 let create ~size_bytes ~ways ~line_bits =
   let line = 1 lsl line_bits in
@@ -56,7 +60,7 @@ let access t ~addr ~write =
     t.age.(i) <- t.tick;
     if write then t.dirty.(i) <- true;
     t.stats.hits <- t.stats.hits + 1;
-    Hit
+    hit
   end
   else begin
     t.stats.misses <- t.stats.misses + 1;
@@ -76,14 +80,14 @@ let access t ~addr ~write =
        done
      with Exit -> ());
     let i = base + !victim in
-    let evicted_dirty =
-      if t.tags.(i) >= 0 && t.dirty.(i) then Some (t.tags.(i) lsl t.line_bits)
-      else None
+    let result =
+      if t.tags.(i) >= 0 && t.dirty.(i) then t.tags.(i) lsl t.line_bits
+      else miss_clean
     in
     t.tags.(i) <- line;
     t.dirty.(i) <- write;
     t.age.(i) <- t.tick;
-    Miss { evicted_dirty }
+    result
   end
 
 let flush_line t ~addr =

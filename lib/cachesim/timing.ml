@@ -33,6 +33,8 @@ type persist_event = Flushed of int | Fenced
 
 type t = {
   cfg : Timing_config.t;
+  line : int; (* 1 lsl cfg.line_bits, precomputed for the access path *)
+  line_mask : int; (* lnot (line - 1): line-aligns an address *)
   clock : Clock.t;
   is_nvm : int -> bool;
   l1 : Cache_level.t;
@@ -53,6 +55,8 @@ let create ?(cfg = Timing_config.default) ?metrics ~clock ~is_nvm () =
   let c name = Metrics.counter metrics name in
   {
     cfg;
+    line = 1 lsl cfg.line_bits;
+    line_mask = lnot ((1 lsl cfg.line_bits) - 1);
     clock;
     is_nvm;
     l1 = lvl cfg.l1_size cfg.l1_ways;
@@ -121,63 +125,62 @@ let charge_mem_write t addr =
   end
 
 (* A dirty line evicted from L3 is written back; lower-level dirty
-   evictions land in the next level (modelled by re-accessing it there). *)
-let rec access_level t level ~addr ~write =
-  match level with
-  | `L1 -> begin
-      match Cache_level.access t.l1 ~addr ~write with
-      | Cache_level.Hit ->
-          incr t.c.c_l1_h;
-          Clock.tick t.clock t.cfg.l1_hit
-      | Cache_level.Miss { evicted_dirty } ->
-          incr t.c.c_l1_m;
-          Clock.tick t.clock t.cfg.l1_hit;
-          (match evicted_dirty with
-          | Some e -> access_level t `L2 ~addr:e ~write:true
-          | None -> ());
-          access_level t `L2 ~addr ~write:false
-    end
-  | `L2 -> begin
-      match Cache_level.access t.l2 ~addr ~write with
-      | Cache_level.Hit ->
-          incr t.c.c_l2_h;
-          Clock.tick t.clock t.cfg.l2_hit
-      | Cache_level.Miss { evicted_dirty } ->
-          incr t.c.c_l2_m;
-          Clock.tick t.clock t.cfg.l2_hit;
-          (match evicted_dirty with
-          | Some e -> access_level t `L3 ~addr:e ~write:true
-          | None -> ());
-          access_level t `L3 ~addr ~write:false
-    end
-  | `L3 -> begin
-      match Cache_level.access t.l3 ~addr ~write with
-      | Cache_level.Hit ->
-          incr t.c.c_l3_h;
-          Clock.tick t.clock t.cfg.l3_hit
-      | Cache_level.Miss { evicted_dirty } ->
-          incr t.c.c_l3_m;
-          Clock.tick t.clock t.cfg.l3_hit;
-          (match evicted_dirty with
-          | Some e -> charge_mem_write t e
-          | None -> ());
-          charge_mem_read t addr
-    end
+   evictions land in the next level (modelled by re-accessing it there).
+   One specialized function per level — no level-tag dispatch on the
+   per-line path — consuming Cache_level's unboxed result encoding. *)
+let access_l3 t ~addr ~write =
+  let r = Cache_level.access t.l3 ~addr ~write in
+  if r = Cache_level.hit then begin
+    incr t.c.c_l3_h;
+    Clock.tick t.clock t.cfg.l3_hit
+  end
+  else begin
+    incr t.c.c_l3_m;
+    Clock.tick t.clock t.cfg.l3_hit;
+    if r >= 0 then charge_mem_write t r;
+    charge_mem_read t addr
+  end
+
+let access_l2 t ~addr ~write =
+  let r = Cache_level.access t.l2 ~addr ~write in
+  if r = Cache_level.hit then begin
+    incr t.c.c_l2_h;
+    Clock.tick t.clock t.cfg.l2_hit
+  end
+  else begin
+    incr t.c.c_l2_m;
+    Clock.tick t.clock t.cfg.l2_hit;
+    if r >= 0 then access_l3 t ~addr:r ~write:true;
+    access_l3 t ~addr ~write:false
+  end
+
+let access_l1 t ~addr ~write =
+  let r = Cache_level.access t.l1 ~addr ~write in
+  if r = Cache_level.hit then begin
+    incr t.c.c_l1_h;
+    Clock.tick t.clock t.cfg.l1_hit
+  end
+  else begin
+    incr t.c.c_l1_m;
+    Clock.tick t.clock t.cfg.l1_hit;
+    if r >= 0 then access_l2 t ~addr:r ~write:true;
+    access_l2 t ~addr ~write:false
+  end
 
 let access t ~addr ~size ~write =
-  let line = 1 lsl t.cfg.line_bits in
-  let first = addr land lnot (line - 1) in
-  let last = (addr + size - 1) land lnot (line - 1) in
-  let a = ref first in
-  while !a <= last do
-    access_level t `L1 ~addr:!a ~write;
-    a := !a + line
-  done
+  let first = addr land t.line_mask in
+  let last = (addr + size - 1) land t.line_mask in
+  if first = last then access_l1 t ~addr:first ~write
+  else begin
+    let a = ref first in
+    while !a <= last do
+      access_l1 t ~addr:!a ~write;
+      a := !a + t.line
+    done
+  end
 
 let attach t mem =
-  Memsim.add_observer mem (fun (acc : Memsim.access) ->
-      access t ~addr:acc.addr ~size:acc.size
-        ~write:(match acc.op with Memsim.Store -> true | Memsim.Load -> false))
+  Memsim.add_observer mem (fun ~write ~addr ~size -> access t ~addr ~size ~write)
 
 let alu t n =
   t.stats.alu_cycles <- t.stats.alu_cycles + n;

@@ -1,6 +1,10 @@
 module Json = Nvmpi_obs.Json
 
-let schema_version = 1
+let schema_version = 2
+
+(* v1 snapshots differ from v2 only by the optional "wall" section, which
+   the cycle check never reads, so both remain checkable. *)
+let readable_versions = [ 1; 2 ]
 
 type params = { scale : float; seed : int option; wordcount_full : bool }
 
@@ -33,14 +37,22 @@ let experiments =
 let names = List.map fst experiments
 let mem name = List.mem_assoc name experiments
 
-type result = { name : string; tables : Table.t list }
+type result = { name : string; tables : Table.t list; wall_ns : int }
 
 let run p name =
   match List.assoc_opt name experiments with
-  | Some f -> { name; tables = f p }
+  | Some f ->
+      let tables, wall_ns = Nvmpi_parsweep.Wall.time (fun () -> f p) in
+      { name; tables; wall_ns }
   | None -> invalid_arg (Printf.sprintf "Suite.run: unknown experiment %S" name)
 
-let run_all p names = List.map (run p) names
+(* Experiments build private machines and metrics registries, so they can
+   run on separate domains; results come back in request order either way. *)
+let run_all ?(jobs = 1) p names =
+  if jobs <= 1 then List.map (run p) names
+  else
+    Nvmpi_parsweep.Pool.map ~jobs
+      (List.map (fun name () -> run p name) names)
 
 (* Snapshot (de)serialization -------------------------------------- *)
 
@@ -52,8 +64,8 @@ let params_to_json p =
       ("wordcount_full", Json.Bool p.wordcount_full);
     ]
 
-let snapshot_of p results =
-  Json.Obj
+let snapshot_of ?(wall = false) p results =
+  let base =
     [
       ("schema_version", Json.Int schema_version);
       ("params", params_to_json p);
@@ -68,6 +80,34 @@ let snapshot_of p results =
                  ])
              results) );
     ]
+  in
+  (* Wall-clock is host noise, not simulated time: it lives in its own
+     section, off by default, so snapshots stay byte-comparable and the
+     cycle check below never sees it. *)
+  let wall_section =
+    if not wall then []
+    else
+      [
+        ( "wall",
+          Json.Obj
+            [
+              ( "total_ns",
+                Json.Int
+                  (List.fold_left (fun a r -> a + r.wall_ns) 0 results) );
+              ( "experiments",
+                Json.List
+                  (List.map
+                     (fun r ->
+                       Json.Obj
+                         [
+                           ("name", Json.String r.name);
+                           ("wall_ns", Json.Int r.wall_ns);
+                         ])
+                     results) );
+            ] );
+      ]
+  in
+  Json.Obj (base @ wall_section)
 
 let ( let* ) = Result.bind
 
@@ -102,11 +142,12 @@ let params_of_json doc =
 let check_version doc =
   let* v = field "schema_version" doc in
   match Json.as_int v with
-  | Some v when v = schema_version -> Ok ()
+  | Some v when List.mem v readable_versions -> Ok ()
   | Some v ->
       Error
-        (Printf.sprintf "snapshot: schema_version %d, this binary expects %d" v
-           schema_version)
+        (Printf.sprintf "snapshot: schema_version %d, this binary reads %s" v
+           (String.concat ", "
+              (List.map string_of_int readable_versions)))
   | None -> Error "snapshot: schema_version is not an integer"
 
 let names_of_json doc =

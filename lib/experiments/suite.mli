@@ -6,9 +6,10 @@
     writes (see [docs/METRICS.md] for the full schema):
 
     {v
-    { "schema_version": 1,
+    { "schema_version": 2,
       "params": { "scale": ..., "seed": ..., "wordcount_full": ... },
-      "experiments": [ { "name": "fig12", "tables": [ ... ] }, ... ] }
+      "experiments": [ { "name": "fig12", "tables": [ ... ] }, ... ],
+      "wall": { ... }   (optional, host wall-clock — never checked) }
     v}
 
     [check] compares the per-cell ["cycles"] values of two snapshots'
@@ -36,16 +37,25 @@ val names : string list
 val mem : string -> bool
 (** Whether a string names a suite experiment. *)
 
-type result = { name : string; tables : Table.t list }
+type result = { name : string; tables : Table.t list; wall_ns : int }
+(** [wall_ns] is the host wall-clock the experiment took to {e run};
+    it never appears in the table cells. *)
 
 val run : params -> string -> result
 (** Runs one named experiment.
     @raise Invalid_argument on an unknown name (check {!mem} first). *)
 
-val run_all : params -> string list -> result list
+val run_all : ?jobs:int -> params -> string list -> result list
+(** [jobs > 1] runs the experiments on a {!Nvmpi_parsweep.Pool} — each
+    experiment already builds private machines and metrics registries —
+    and returns results in request order, identical to the serial run
+    except for [wall_ns]. *)
 
-val snapshot_of : params -> result list -> Nvmpi_obs.Json.t
-(** The schema-versioned snapshot document for a set of results. *)
+val snapshot_of : ?wall:bool -> params -> result list -> Nvmpi_obs.Json.t
+(** The schema-versioned snapshot document for a set of results.
+    [~wall:true] (default false) appends a ["wall"] section with
+    per-experiment and total [wall_ns]; {!check} ignores it, and
+    determinism tests compare snapshots without it. *)
 
 val params_of_json :
   Nvmpi_obs.Json.t -> (params, string) Stdlib.result

@@ -21,6 +21,7 @@ type scenario_result = {
   failures : failure list;
   durable_bytes : int;
   volatile_bytes : int;
+  wall_ns : int;
 }
 
 type report = { seed : int; mode : mode; scenarios : scenario_result list }
@@ -50,32 +51,41 @@ let crash_points tracker mode ~seed =
   in
   List.sort_uniq compare pts
 
-let run_scenario ~metrics ~seed ~mode (sc : Scenario.t) =
-  let { Scenario.tracker; verify } = sc.Scenario.run ~metrics ~seed in
-  (* The workload is over; stop recording so recovery machines and the
-     verification itself cannot grow the log under the cursor. *)
-  Tracker.disarm tracker;
-  let durable_bytes = Tracker.durable_bytes tracker in
-  let volatile_bytes = Tracker.volatile_bytes tracker in
-  let points = crash_points tracker mode ~seed in
+(* Evaluate an ascending run of crash points with a private cursor. Pure
+   with respect to shared state: the tracker is disarmed (read-only), the
+   cursor replays into images it owns, and every recovery machine gets a
+   private metrics registry — which is what lets chunks of points run on
+   separate domains and still merge byte-identically. *)
+let eval_points ~tracker ~verify ~seed points =
   let cursor = Replay.create tracker in
+  List.map
+    (fun p ->
+      Replay.advance cursor ~upto:p;
+      let recovery_seed = (seed * 1_000_003) + p in
+      let outcome =
+        try
+          let machine', regions' =
+            Recovery.boot ~seed:recovery_seed (Replay.images cursor)
+          in
+          verify ~seq:p machine' regions'
+        with e -> Error ("recovery raised " ^ Printexc.to_string e)
+      in
+      (p, outcome))
+    points
+
+(* Fold a scenario's evaluated outcomes (in ascending point order) into
+   the shared registry and a result record. Shared-registry counters
+   move only here, on the calling domain — identical totals for any
+   [jobs]. *)
+let merge_scenario ~metrics ~tracker (sc : Scenario.t) ~points ~outcomes
+    ~wall_ns =
   let c_points = Metrics.counter metrics "faultsim.crash_points" in
   let c_pass = Metrics.counter metrics "faultsim.schedules.passed" in
   let c_fail = Metrics.counter metrics "faultsim.schedules.failed" in
   let failures =
     List.filter_map
-      (fun p ->
-        Replay.advance cursor ~upto:p;
+      (fun (p, outcome) ->
         incr c_points;
-        let recovery_seed = (seed * 1_000_003) + p in
-        let outcome =
-          try
-            let machine', regions' =
-              Recovery.boot ~seed:recovery_seed (Replay.images cursor)
-            in
-            verify ~seq:p machine' regions'
-          with e -> Error ("recovery raised " ^ Printexc.to_string e)
-        in
         match outcome with
         | Ok () ->
             incr c_pass;
@@ -88,20 +98,95 @@ let run_scenario ~metrics ~seed ~mode (sc : Scenario.t) =
                 detail;
                 window = Tracker.event_window tracker ~upto:p ~width:6;
               })
-      points
+      outcomes
   in
   {
     name = sc.Scenario.name;
     expect_fail = sc.Scenario.expect_fail;
     points = List.length points;
     failures;
-    durable_bytes;
-    volatile_bytes;
+    durable_bytes = Tracker.durable_bytes tracker;
+    volatile_bytes = Tracker.volatile_bytes tracker;
+    wall_ns;
   }
 
-let run ?(mode = After_fences) ~metrics ~seed scenarios =
+let run_scenario ?(jobs = 1) ~metrics ~seed ~mode (sc : Scenario.t) =
+  let t0 = Nvmpi_parsweep.Wall.now_ns () in
+  let { Scenario.tracker; verify } = sc.Scenario.run ~metrics ~seed in
+  (* The workload is over; stop recording so recovery machines and the
+     verification itself cannot grow the log under the cursor. *)
+  Tracker.disarm tracker;
+  let points = crash_points tracker mode ~seed in
+  let outcomes =
+    if jobs <= 1 then eval_points ~tracker ~verify ~seed points
+    else
+      Nvmpi_parsweep.Pool.chunks ~jobs points
+      |> List.map (fun chunk () -> eval_points ~tracker ~verify ~seed chunk)
+      |> Nvmpi_parsweep.Pool.map ~jobs
+      |> List.concat
+  in
+  merge_scenario ~metrics ~tracker sc ~points ~outcomes
+    ~wall_ns:(Nvmpi_parsweep.Wall.now_ns () - t0)
+
+let rec take_drop n lst =
+  if n = 0 then ([], lst)
+  else
+    match lst with
+    | [] -> ([], [])
+    | x :: rest ->
+        let taken, rest = take_drop (n - 1) rest in
+        (x :: taken, rest)
+
+let run ?(jobs = 1) ?(mode = After_fences) ~metrics ~seed scenarios =
   let scenarios =
-    List.map (fun sc -> run_scenario ~metrics ~seed ~mode sc) scenarios
+    if jobs <= 1 then
+      List.map (fun sc -> run_scenario ~metrics ~seed ~mode sc) scenarios
+    else begin
+      (* Workloads feed the shared registry: run them serially, in
+         order. Chunk evaluation is where the time goes, so every chunk
+         of every scenario is submitted to ONE pool — domains are
+         spawned once per sweep, not once per scenario. *)
+      let prepared =
+        List.map
+          (fun sc ->
+            let prep, workload_ns =
+              Nvmpi_parsweep.Wall.time (fun () ->
+                  let { Scenario.tracker; verify } =
+                    sc.Scenario.run ~metrics ~seed
+                  in
+                  Tracker.disarm tracker;
+                  let points = crash_points tracker mode ~seed in
+                  (tracker, verify, points,
+                   Nvmpi_parsweep.Pool.chunks ~jobs points))
+            in
+            (sc, prep, workload_ns))
+          scenarios
+      in
+      let tasks =
+        List.concat_map
+          (fun (_, (tracker, verify, _, chunks), _) ->
+            List.map
+              (fun chunk () ->
+                Nvmpi_parsweep.Wall.time (fun () ->
+                    eval_points ~tracker ~verify ~seed chunk))
+              chunks)
+          prepared
+      in
+      let evaluated = ref (Nvmpi_parsweep.Pool.map ~jobs tasks) in
+      List.map
+        (fun (sc, (tracker, _, points, chunks), workload_ns) ->
+          let mine, rest = take_drop (List.length chunks) !evaluated in
+          evaluated := rest;
+          let outcomes = List.concat_map fst mine in
+          (* Under a parallel sweep, a scenario's wall_ns is its serial
+             workload time plus the summed (CPU-like) time of its
+             chunks, which overlap other scenarios' chunks on the
+             pool. *)
+          let eval_ns = List.fold_left (fun a (_, ns) -> a + ns) 0 mine in
+          merge_scenario ~metrics ~tracker sc ~points ~outcomes
+            ~wall_ns:(workload_ns + eval_ns))
+        prepared
+    end
   in
   let durable =
     List.fold_left (fun a r -> a + r.durable_bytes) 0 scenarios
@@ -157,6 +242,31 @@ let json_of_report report =
         Json.Int
           (List.fold_left (fun a r -> a + r.points) 0 report.scenarios) );
       ("scenarios", Json.List (List.map json_of_scenario report.scenarios));
+    ]
+
+(* Host wall-clock lives in its own document: the sweep report above is
+   byte-identical across hosts and jobs values, this one never is. *)
+let wall_json_of_report ~jobs report =
+  Json.Obj
+    [
+      ("schema_version", Json.Int 1);
+      ("kind", Json.String "faultsim-wall");
+      ("seed", Json.Int report.seed);
+      ("mode", Json.String (mode_to_string report.mode));
+      ("jobs", Json.Int jobs);
+      ( "total_ns",
+        Json.Int
+          (List.fold_left (fun a r -> a + r.wall_ns) 0 report.scenarios) );
+      ( "scenarios",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("name", Json.String r.name);
+                   ("wall_ns", Json.Int r.wall_ns);
+                 ])
+             report.scenarios) );
     ]
 
 let pp_failure ppf f =

@@ -28,6 +28,11 @@ type scenario_result = {
   failures : failure list;
   durable_bytes : int;
   volatile_bytes : int;
+  wall_ns : int;
+      (** host wall-clock for the whole scenario (workload + sweep).
+          Deliberately absent from {!json_of_report}, which stays
+          byte-identical across hosts and [jobs] values; [nvmpi crash
+          --wall-json] writes wall numbers to a separate document. *)
 }
 
 type report = { seed : int; mode : mode; scenarios : scenario_result list }
@@ -39,18 +44,42 @@ val scenario_ok : scenario_result -> bool
 val ok : report -> bool
 
 val run_scenario :
+  ?jobs:int ->
   metrics:Nvmpi_obs.Metrics.t ->
   seed:int ->
   mode:mode ->
   Scenario.t ->
   scenario_result
+(** [jobs > 1] splits the crash points into contiguous chunks evaluated
+    on a {!Nvmpi_parsweep.Pool} — one private {!Replay} cursor per
+    chunk, recovery machines on private metrics registries — and merges
+    outcomes in ascending point order on the calling domain. The result
+    (and the shared registry's counters) are identical for any [jobs];
+    only wall-clock changes. *)
 
 val run :
+  ?jobs:int ->
   ?mode:mode ->
   metrics:Nvmpi_obs.Metrics.t ->
   seed:int ->
   Scenario.t list ->
   report
+(** Scenario workloads always run serially on the calling domain (they
+    feed the shared metrics registry); [jobs] then evaluates {e every}
+    chunk of {e every} scenario's crash points on a single Domain pool
+    (one spawn per sweep), merging per scenario as in {!run_scenario}.
+    Under [jobs > 1] each [wall_ns] is the scenario's serial workload
+    time plus the summed chunk-evaluation time — chunks of different
+    scenarios overlap, so per-scenario numbers are CPU-like; only the
+    report total is comparable to elapsed time at [jobs = 1]. *)
 
 val json_of_report : report -> Nvmpi_obs.Json.t
+(** Deterministic sweep report (kind ["faultsim"]) — byte-identical for
+    a given seed and mode whatever the host or [jobs] value. *)
+
+val wall_json_of_report : jobs:int -> report -> Nvmpi_obs.Json.t
+(** Host wall-clock companion document (kind ["faultsim-wall"]):
+    [jobs], total and per-scenario [wall_ns]. Kept separate from
+    {!json_of_report} precisely because it is nondeterministic. *)
+
 val pp_report : Format.formatter -> report -> unit

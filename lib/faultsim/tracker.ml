@@ -105,9 +105,8 @@ let attach machine =
       c_fences = Metrics.counter metrics "faultsim.events.fences";
     }
   in
-  Memsim.add_observer machine.Machine.mem (fun acc ->
-      if t.armed && acc.Memsim.op = Memsim.Store then
-        on_store t acc.Memsim.addr acc.Memsim.size);
+  Memsim.add_observer machine.Machine.mem (fun ~write ~addr ~size ->
+      if t.armed && write then on_store t addr size);
   Timing.set_persist_hook machine.Machine.timing
     (Some
        (function

@@ -1,20 +1,34 @@
-type op = Load | Store
-type access = { op : op; addr : int; size : int }
 type stats = { mutable loads : int; mutable stores : int; mutable pages : int }
 
 exception Fault of { addr : int; size : int; reason : string }
 
 module Metrics = Nvmpi_obs.Metrics
 
+type observer = write:bool -> addr:int -> size:int -> unit
+
+let no_observer : observer = fun ~write:_ ~addr:_ ~size:_ -> ()
+let no_page = Bytes.create 0
+
 type t = {
   page_bits : int;
+  page_mask : int; (* page_size - 1, precomputed for the access path *)
   pages : (int, Bytes.t) Hashtbl.t;
   mutable ranges : (int * int) array; (* (first_page, last_page) sorted *)
-  mutable observers : (access -> unit) list;
+  (* Observers live in a growable array: O(1) amortized registration and
+     index-loop dispatch with no list cells on the notify path. [obs0]
+     mirrors slot 0 so the common single-observer machine pays one
+     direct closure call per access. *)
+  mutable obs : observer array;
+  mutable n_obs : int;
+  mutable obs0 : observer;
   mutable notify : bool;
+  (* Single-entry TLB: the last page touched through the access path.
+     Invalidated by unmap (the only operation that drops pages). *)
+  mutable tlb_page : int; (* -1 = invalid *)
+  mutable tlb_bytes : Bytes.t;
   stats : stats;
-  (* Counter cells resolved once at creation: [notify] runs on every
-     simulated access, so it must not pay a registry lookup. *)
+  (* Counter cells resolved once at creation: the access path runs on
+     every simulated load/store, so it must not pay a registry lookup. *)
   c_loads : int ref;
   c_stores : int ref;
 }
@@ -26,10 +40,15 @@ let create ?(page_bits = 12) ?metrics () =
   in
   {
     page_bits;
+    page_mask = (1 lsl page_bits) - 1;
     pages = Hashtbl.create 1024;
     ranges = [||];
-    observers = [];
+    obs = [||];
+    n_obs = 0;
+    obs0 = no_observer;
     notify = true;
+    tlb_page = -1;
+    tlb_bytes = no_page;
     stats = { loads = 0; stores = 0; pages = 0 };
     c_loads = Metrics.counter metrics "mem.loads";
     c_stores = Metrics.counter metrics "mem.stores";
@@ -65,7 +84,9 @@ let map t ~addr ~size =
              addr))
     t.ranges;
   let ranges = Array.append t.ranges [| (first, last) |] in
-  Array.sort compare ranges;
+  (* Ranges are disjoint, so ordering by first page is a total order;
+     the monomorphic comparator avoids polymorphic compare. *)
+  Array.sort (fun (a, _) (b, _) -> Int.compare a b) ranges;
   t.ranges <- ranges
 
 let unmap t ~addr =
@@ -84,8 +105,20 @@ let unmap t ~addr =
           t.stats.pages <- t.stats.pages - 1
         end
       done;
-      t.ranges <- Array.of_list
-          (List.filter (fun r -> r <> (f, l)) (Array.to_list t.ranges))
+      (* Drop the range in place: [f] is unique among disjoint ranges. *)
+      let n = Array.length t.ranges in
+      let out = Array.make (n - 1) (0, 0) in
+      let j = ref 0 in
+      Array.iter
+        (fun ((rf, _) as r) ->
+          if rf <> f then begin
+            out.(!j) <- r;
+            incr j
+          end)
+        t.ranges;
+      t.ranges <- out;
+      t.tlb_page <- -1;
+      t.tlb_bytes <- no_page
 
 let is_mapped t a = a >= 0 && page_in_ranges t (a lsr t.page_bits)
 
@@ -94,86 +127,110 @@ let mappings t =
   |> List.map (fun (f, l) ->
          (f lsl t.page_bits, (l - f + 1) lsl t.page_bits))
 
-let add_observer t f = t.observers <- t.observers @ [ f ]
+let add_observer t f =
+  if t.n_obs = Array.length t.obs then begin
+    let grown = Array.make (max 4 (2 * t.n_obs)) no_observer in
+    Array.blit t.obs 0 grown 0 t.n_obs;
+    t.obs <- grown
+  end;
+  t.obs.(t.n_obs) <- f;
+  if t.n_obs = 0 then t.obs0 <- f;
+  t.n_obs <- t.n_obs + 1
+
 let observed t b = t.notify <- b
 
-let notify t op addr size =
-  (match op with
-  | Load ->
-      t.stats.loads <- t.stats.loads + 1;
-      incr t.c_loads
-  | Store ->
-      t.stats.stores <- t.stats.stores + 1;
-      incr t.c_stores);
-  if t.notify then
-    match t.observers with
-    | [] -> ()
-    | [ f ] -> f { op; addr; size }
-    | fs -> List.iter (fun f -> f { op; addr; size }) fs
+let notify t write addr size =
+  if write then begin
+    t.stats.stores <- t.stats.stores + 1;
+    incr t.c_stores
+  end
+  else begin
+    t.stats.loads <- t.stats.loads + 1;
+    incr t.c_loads
+  end;
+  if t.notify then begin
+    let n = t.n_obs in
+    if n = 1 then t.obs0 ~write ~addr ~size
+    else if n > 1 then
+      let obs = t.obs in
+      for i = 0 to n - 1 do
+        (Array.unsafe_get obs i) ~write ~addr ~size
+      done
+  end
 
-let get_page t addr size =
+let materialize t p addr size =
+  if not (page_in_ranges t p) then fault addr size "unmapped";
+  let page = Bytes.make (t.page_mask + 1) '\000' in
+  Hashtbl.add t.pages p page;
+  t.stats.pages <- t.stats.pages + 1;
+  page
+
+let[@inline] get_page t addr size =
   let p = addr lsr t.page_bits in
-  match Hashtbl.find_opt t.pages p with
-  | Some page -> page
-  | None ->
-      if not (page_in_ranges t p) then fault addr size "unmapped";
-      let page = Bytes.make (page_size t) '\000' in
-      Hashtbl.add t.pages p page;
-      t.stats.pages <- t.stats.pages + 1;
-      page
+  if p = t.tlb_page then t.tlb_bytes
+  else begin
+    let page =
+      match Hashtbl.find t.pages p with
+      | page -> page
+      | exception Not_found -> materialize t p addr size
+    in
+    t.tlb_page <- p;
+    t.tlb_bytes <- page;
+    page
+  end
 
 let check_align addr size =
   if addr land (size - 1) <> 0 then fault addr size "misaligned"
 
-let off t addr = addr land (page_size t - 1)
+let off t addr = addr land t.page_mask
 
 let load8 t a =
   if a < 0 then fault a 1 "negative address";
   let page = get_page t a 1 in
-  notify t Load a 1;
-  Char.code (Bytes.get page (off t a))
+  notify t false a 1;
+  Char.code (Bytes.get page (a land t.page_mask))
 
 let load16 t a =
   check_align a 2;
   let page = get_page t a 2 in
-  notify t Load a 2;
-  Bytes.get_uint16_le page (off t a)
+  notify t false a 2;
+  Bytes.get_uint16_le page (a land t.page_mask)
 
 let load32 t a =
   check_align a 4;
   let page = get_page t a 4 in
-  notify t Load a 4;
-  Int32.to_int (Bytes.get_int32_le page (off t a)) land 0xFFFFFFFF
+  notify t false a 4;
+  Int32.to_int (Bytes.get_int32_le page (a land t.page_mask)) land 0xFFFFFFFF
 
 let load64 t a =
   check_align a 8;
   let page = get_page t a 8 in
-  notify t Load a 8;
-  Int64.to_int (Bytes.get_int64_le page (off t a))
+  notify t false a 8;
+  Int64.to_int (Bytes.get_int64_le page (a land t.page_mask))
 
 let store8 t a v =
   if a < 0 then fault a 1 "negative address";
   let page = get_page t a 1 in
-  notify t Store a 1;
-  Bytes.set page (off t a) (Char.chr (v land 0xFF))
+  notify t true a 1;
+  Bytes.set page (a land t.page_mask) (Char.chr (v land 0xFF))
 
 let store16 t a v =
   check_align a 2;
   let page = get_page t a 2 in
-  notify t Store a 2;
-  Bytes.set_uint16_le page (off t a) (v land 0xFFFF)
+  notify t true a 2;
+  Bytes.set_uint16_le page (a land t.page_mask) (v land 0xFFFF)
 
 let store32 t a v =
   check_align a 4;
   let page = get_page t a 4 in
-  notify t Store a 4;
-  Bytes.set_int32_le page (off t a) (Int32.of_int (v land 0xFFFFFFFF))
+  notify t true a 4;
+  Bytes.set_int32_le page (a land t.page_mask) (Int32.of_int (v land 0xFFFFFFFF))
 
 let store64 t a v =
   check_align a 8;
   let page = get_page t a 8 in
-  notify t Store a 8;
-  Bytes.set_int64_le page (off t a) (Int64.of_int v)
+  notify t true a 8;
+  Bytes.set_int64_le page (a land t.page_mask) (Int64.of_int v)
 
 let load_sized t ~size a =
   match size with
@@ -205,7 +262,7 @@ let blit_from_bytes t ~addr b =
     let poff = off t a in
     let chunk = min (len - !i) (page_size t - poff) in
     Bytes.blit b !i page poff chunk;
-    notify t Store a chunk;
+    notify t true a chunk;
     i := !i + chunk
   done
 
@@ -218,7 +275,7 @@ let blit_to_bytes t ~addr ~len =
     let poff = off t a in
     let chunk = min (len - !i) (page_size t - poff) in
     Bytes.blit page poff b !i chunk;
-    notify t Load a chunk;
+    notify t false a chunk;
     i := !i + chunk
   done;
   b

@@ -13,13 +13,14 @@
 
 type t
 
-type op = Load | Store
-
-type access = { op : op; addr : int; size : int }
-(** One memory access as seen on the simulated bus: [size] is in bytes
-    (1, 2, 4 or 8). The address is deliberately a raw [int] — observers
-    (the cache model) operate below the typed discipline, where every
-    word is untyped bit traffic. *)
+type observer = write:bool -> addr:int -> size:int -> unit
+(** One memory access as seen on the simulated bus, delivered as three
+    unboxed arguments — no record or variant is allocated per access.
+    [write] is [true] for a store; [size] is in bytes (1, 2, 4 or 8 for
+    typed accesses, up to a page for bulk-transfer chunks). The address
+    is deliberately a raw [int] — observers (the cache model) operate
+    below the typed discipline, where every word is untyped bit
+    traffic. *)
 
 exception Fault of { addr : int; size : int; reason : string }
 (** Raised on an access to unmapped memory or a misaligned access. *)
@@ -53,9 +54,11 @@ val mappings : t -> (Nvmpi_addr.Kinds.Vaddr.t * int) list
 
 (** {1 Observers} *)
 
-val add_observer : t -> (access -> unit) -> unit
+val add_observer : t -> observer -> unit
 (** Registers a callback invoked on every load and store, after the
-    access has been validated. *)
+    access has been validated. Registration is O(1) amortized; a memory
+    with a single observer (the common case: the timing model) pays one
+    direct closure call per access. *)
 
 val observed : t -> bool -> unit
 (** [observed t false] temporarily disables observer notification (used

@@ -1,0 +1,63 @@
+let split_n lst n =
+  let rec go acc k = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (x :: acc) (k - 1) rest
+  in
+  go [] n lst
+
+let chunks ~jobs lst =
+  let n = List.length lst in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then if n = 0 then [] else [ lst ]
+  else
+    (* First [n mod jobs] chunks get one extra element, so sizes differ by
+       at most one and concatenation preserves the original order. *)
+    let base = n / jobs and extra = n mod jobs in
+    let rec go i rest =
+      if i = jobs then []
+      else
+        let size = base + if i < extra then 1 else 0 in
+        let chunk, rest = split_n rest size in
+        chunk :: go (i + 1) rest
+    in
+    go 0 lst
+
+let map ~jobs tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then Array.to_list (Array.map (fun f -> f ()) tasks)
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r =
+            match tasks.(i) () with
+            | v -> Ok v
+            | exception e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      List.init (jobs - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join domains;
+    (* Deterministic index-ordered merge: errors re-raise in task order
+       regardless of which domain hit them first. *)
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+           | None -> assert false)
+         results)
+  end

@@ -1,0 +1,21 @@
+(** A small Domain pool for embarrassingly parallel sweeps.
+
+    Work items must be independent: each task builds its own machines,
+    metrics registries and cursors, and the caller folds the returned
+    list — in input order — into shared state on the calling domain.
+    That discipline is what makes [--jobs N] byte-identical to the
+    serial run (see [docs/PERF.md]). *)
+
+val map : jobs:int -> (unit -> 'a) list -> 'a list
+(** [map ~jobs tasks] runs every task and returns their results in
+    input order. At most [jobs] domains run concurrently (the calling
+    domain participates as a worker; [jobs <= 1] runs everything
+    serially in order on the calling domain with no spawns). If any
+    task raises, the exception of the {e lowest-indexed} failing task
+    is re-raised with its backtrace after all domains have joined. *)
+
+val chunks : jobs:int -> 'a list -> 'a list list
+(** [chunks ~jobs lst] splits [lst] into at most [jobs] contiguous
+    chunks whose sizes differ by at most one;
+    [List.concat (chunks ~jobs lst) = lst]. Empty input yields no
+    chunks. *)

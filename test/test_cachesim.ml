@@ -33,19 +33,22 @@ let test_clock_seconds () =
 
 (* Cache level *)
 
+(* [Cache_level.access] returns an unboxed int: [Cache_level.hit],
+   [Cache_level.miss_clean], or the line-aligned address (>= 0) of the
+   dirty victim written back. *)
+let is_hit r = r = Cache_level.hit
+let is_miss r = r <> Cache_level.hit
+
 let test_cache_hit_miss () =
   let c = Cache_level.create ~size_bytes:1024 ~ways:2 ~line_bits:6 in
   check "sets" 8 (Cache_level.sets c);
-  (match Cache_level.access c ~addr:0x100 ~write:false with
-  | Cache_level.Miss _ -> ()
-  | Cache_level.Hit -> Alcotest.fail "cold access must miss");
-  (match Cache_level.access c ~addr:0x100 ~write:false with
-  | Cache_level.Hit -> ()
-  | Cache_level.Miss _ -> Alcotest.fail "second access must hit");
+  check_bool "cold access must miss" true
+    (is_miss (Cache_level.access c ~addr:0x100 ~write:false));
+  check_bool "second access must hit" true
+    (is_hit (Cache_level.access c ~addr:0x100 ~write:false));
   (* Same line, different byte. *)
-  (match Cache_level.access c ~addr:0x13F ~write:false with
-  | Cache_level.Hit -> ()
-  | Cache_level.Miss _ -> Alcotest.fail "same-line access must hit")
+  check_bool "same-line access must hit" true
+    (is_hit (Cache_level.access c ~addr:0x13F ~write:false))
 
 let test_cache_lru_eviction () =
   let c = Cache_level.create ~size_bytes:1024 ~ways:2 ~line_bits:6 in
@@ -55,26 +58,20 @@ let test_cache_lru_eviction () =
   ignore (Cache_level.access c ~addr:a1 ~write:false);
   (* Touch a0 so a1 is LRU. *)
   ignore (Cache_level.access c ~addr:a0 ~write:false);
-  (match Cache_level.access c ~addr:a2 ~write:false with
-  | Cache_level.Miss { evicted_dirty = None } -> ()
-  | Cache_level.Miss { evicted_dirty = Some _ } ->
-      Alcotest.fail "evicted line a1 was clean"
-  | Cache_level.Hit -> Alcotest.fail "a2 must miss");
+  check "a2 must miss; evicted line a1 was clean" Cache_level.miss_clean
+    (Cache_level.access c ~addr:a2 ~write:false);
   (* a0 must still be resident, a1 evicted. *)
-  (match Cache_level.access c ~addr:a0 ~write:false with
-  | Cache_level.Hit -> ()
-  | Cache_level.Miss _ -> Alcotest.fail "a0 was evicted against LRU");
-  match Cache_level.access c ~addr:a1 ~write:false with
-  | Cache_level.Miss _ -> ()
-  | Cache_level.Hit -> Alcotest.fail "a1 must have been evicted"
+  check_bool "a0 was evicted against LRU" true
+    (is_hit (Cache_level.access c ~addr:a0 ~write:false));
+  check_bool "a1 must have been evicted" true
+    (is_miss (Cache_level.access c ~addr:a1 ~write:false))
 
 let test_cache_dirty_eviction () =
   let c = Cache_level.create ~size_bytes:128 ~ways:1 ~line_bits:6 in
   (* Direct-mapped, 2 sets: 0 and 128 collide. *)
   ignore (Cache_level.access c ~addr:0 ~write:true);
-  (match Cache_level.access c ~addr:128 ~write:false with
-  | Cache_level.Miss { evicted_dirty = Some 0 } -> ()
-  | _ -> Alcotest.fail "dirty line 0 must be written back");
+  check "dirty line 0 must be written back" 0
+    (Cache_level.access c ~addr:128 ~write:false);
   (* Flushing a clean line reports no write-back. *)
   ignore (Cache_level.access c ~addr:64 ~write:false);
   check_bool "clean flush" false (Cache_level.flush_line c ~addr:64);
@@ -89,9 +86,8 @@ let test_cache_stats_and_invalidate () =
   check "hits" 1 s.Cache_level.hits;
   check "misses" 1 s.Cache_level.misses;
   Cache_level.invalidate_all c;
-  (match Cache_level.access c ~addr:0 ~write:false with
-  | Cache_level.Miss _ -> ()
-  | Cache_level.Hit -> Alcotest.fail "hit after invalidate_all");
+  check_bool "hit after invalidate_all" true
+    (is_miss (Cache_level.access c ~addr:0 ~write:false));
   Cache_level.reset_stats c;
   check "stats reset" 0 (Cache_level.stats c).Cache_level.hits
 
@@ -238,9 +234,7 @@ let prop_cache_matches_reference =
             reference.(s) <-
               List.filteri (fun i _ -> i < ways) reference.(s);
           let hit_c =
-            match Cache_level.access c ~addr ~write:false with
-            | Cache_level.Hit -> true
-            | Cache_level.Miss _ -> false
+            Cache_level.access c ~addr ~write:false = Cache_level.hit
           in
           hit_c = hit_ref)
         lines)

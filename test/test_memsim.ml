@@ -111,10 +111,8 @@ let test_blit_cross_page () =
 let test_observers () =
   let m, base = fresh () in
   let loads = ref 0 and stores = ref 0 in
-  Memsim.add_observer m (fun a ->
-      match a.Memsim.op with
-      | Memsim.Load -> incr loads
-      | Memsim.Store -> incr stores);
+  Memsim.add_observer m (fun ~write ~addr:_ ~size:_ ->
+      if write then incr stores else incr loads);
   Memsim.store64 m base 1;
   ignore (Memsim.load64 m base);
   ignore (Memsim.load8 m base);
@@ -167,11 +165,45 @@ let test_sized_dispatch () =
 let test_multiple_observers () =
   let m, base = fresh () in
   let a = ref 0 and b = ref 0 in
-  Memsim.add_observer m (fun _ -> incr a);
-  Memsim.add_observer m (fun _ -> incr b);
+  Memsim.add_observer m (fun ~write:_ ~addr:_ ~size:_ -> incr a);
+  Memsim.add_observer m (fun ~write:_ ~addr:_ ~size:_ -> incr b);
   ignore (Memsim.load64 m base);
   check "first observer" 1 !a;
   check "second observer" 1 !b
+
+let test_many_observers_in_order () =
+  (* The growable observer array must preserve registration order and
+     notify every observer (regression for the former quadratic list
+     append). *)
+  let m, base = fresh () in
+  let seen = ref [] in
+  for i = 0 to 9 do
+    Memsim.add_observer m (fun ~write:_ ~addr:_ ~size:_ ->
+        seen := i :: !seen)
+  done;
+  ignore (Memsim.load64 m base);
+  Alcotest.(check (list int))
+    "all observers fire in registration order"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !seen)
+
+let test_map_after_unmap_overlapping () =
+  (* Regression: unmap must really drop the range (and its pages), so an
+     overlapping range can be mapped afterwards and reads back zeroed. *)
+  let m = Memsim.create () in
+  Memsim.map m ~addr:(va 0x4000) ~size:0x3000;
+  Memsim.store64 m (va 0x5000) 0xFEED;
+  Memsim.unmap m ~addr:(va 0x4000);
+  (* Overlaps the dropped [0x4000, 0x7000) range with a shifted window. *)
+  Memsim.map m ~addr:(va 0x5000) ~size:0x3000;
+  check "remapped page reads zero" 0 (Memsim.load64 m (va 0x5000));
+  Memsim.store64 m (va 0x7008) 0xBEE;
+  check "new tail page works" 0xBEE (Memsim.load64 m (va 0x7008));
+  check_bool "old head page is gone" true
+    (try
+       ignore (Memsim.load64 m (va 0x4000));
+       false
+     with Memsim.Fault _ -> true)
 
 let test_mappings_listing () =
   let m = Memsim.create () in
@@ -204,6 +236,79 @@ let prop_blit_arbitrary_bytes =
       Memsim.blit_from_bytes m ~addr:(va (0x1000 + off)) b;
       Bytes.equal b
         (Memsim.blit_to_bytes m ~addr:(va (0x1000 + off)) ~len:(Bytes.length b)))
+
+(* The TLB'd fast path must be observationally identical to a reference
+   slow path (a byte map plus a mapped-slot table) over arbitrary
+   interleavings of map / unmap / store / load — unmap in particular
+   must invalidate the last-page cache. Four disjoint page-aligned
+   slots keep map overlap decidable per slot. *)
+let prop_tlb_matches_reference =
+  let slot_base s = 0x4000 * (s + 1) in
+  let slot_size = 0x2000 in
+  let op_gen =
+    QCheck2.Gen.(
+      let slot = int_range 0 3 in
+      let off = int_range 0 (slot_size - 1) in
+      oneof
+        [
+          map (fun s -> `Map s) slot;
+          map (fun s -> `Unmap s) slot;
+          map3 (fun s o v -> `Store (s, o, v)) slot off (int_range 0 255);
+          map2 (fun s o -> `Load (s, o)) slot off;
+        ])
+  in
+  QCheck2.Test.make
+    ~name:"TLB'd fast path matches the reference model on random traces"
+    ~count:300
+    QCheck2.Gen.(list_size (int_range 10 200) op_gen)
+    (fun ops ->
+      let m = Memsim.create () in
+      let mapped = Array.make 4 false in
+      let model : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Map s ->
+              let expect_ok = not mapped.(s) in
+              let got_ok =
+                try
+                  Memsim.map m ~addr:(va (slot_base s)) ~size:slot_size;
+                  true
+                with Invalid_argument _ -> false
+              in
+              if got_ok then mapped.(s) <- true;
+              got_ok = expect_ok
+          | `Unmap s ->
+              let expect_ok = mapped.(s) in
+              let got_ok =
+                try
+                  Memsim.unmap m ~addr:(va (slot_base s));
+                  true
+                with Invalid_argument _ -> false
+              in
+              if got_ok then begin
+                mapped.(s) <- false;
+                for a = slot_base s to slot_base s + slot_size - 1 do
+                  Hashtbl.remove model a
+                done
+              end;
+              got_ok = expect_ok
+          | `Store (s, o, v) -> (
+              let a = slot_base s + o in
+              match Memsim.store8 m (va a) v with
+              | () ->
+                  Hashtbl.replace model a v;
+                  mapped.(s)
+              | exception Memsim.Fault _ -> not mapped.(s))
+          | `Load (s, o) -> (
+              let a = slot_base s + o in
+              match Memsim.load8 m (va a) with
+              | got ->
+                  mapped.(s)
+                  && got
+                     = Option.value ~default:0 (Hashtbl.find_opt model a)
+              | exception Memsim.Fault _ -> not mapped.(s)))
+        ops)
 
 let prop_disjoint_writes =
   QCheck2.Test.make ~name:"writes to distinct words do not interfere"
@@ -239,6 +344,8 @@ let () =
           Alcotest.test_case "overlapping map rejected" `Quick
             test_map_overlap_rejected;
           Alcotest.test_case "unmap drops pages" `Quick test_unmap;
+          Alcotest.test_case "map after unmap of overlapping range" `Quick
+            test_map_after_unmap_overlapping;
         ] );
       ( "bulk",
         [
@@ -253,12 +360,15 @@ let () =
           Alcotest.test_case "sized dispatch" `Quick test_sized_dispatch;
           Alcotest.test_case "multiple observers" `Quick
             test_multiple_observers;
+          Alcotest.test_case "many observers in order" `Quick
+            test_many_observers_in_order;
           Alcotest.test_case "mappings listing" `Quick test_mappings_listing;
         ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_store_load_64;
           QCheck_alcotest.to_alcotest prop_blit_arbitrary_bytes;
+          QCheck_alcotest.to_alcotest prop_tlb_matches_reference;
           QCheck_alcotest.to_alcotest prop_disjoint_writes;
         ] );
     ]
