@@ -10,7 +10,8 @@
      dune exec bench/main.exe -- --json out.json fig12  # + JSON snapshot
      dune exec bench/main.exe -- check BENCH_seed.json  # regression check
      dune exec bench/main.exe -- bechamel      # host-time micro-benchmarks
-     dune exec bench/main.exe -- faultsim      # crash-point recovery sweep *)
+     dune exec bench/main.exe -- faultsim      # crash-point recovery sweep
+     dune exec bench/main.exe -- conform       # conformance smoke run *)
 
 open Nvmpi_experiments
 
@@ -20,7 +21,7 @@ let usage_text =
   \       main.exe check BASELINE.json [--tolerance F] [--jobs N]\n\
   \       main.exe perf [--ops N]\n\
    experiments: fig12 payload table1 fig13 fig14 regions fig15 breakdown \
-   ablations bechamel faultsim all\n\
+   ablations bechamel faultsim conform all\n\
    check re-runs the experiments recorded in BASELINE.json with its own \
    parameters\n\
    and fails on per-cell cycle deviations beyond the tolerance (default \
@@ -144,6 +145,28 @@ let faultsim_suite ~jobs ~seed =
   in
   Format.printf "%a" Sweep.pp_report report;
   if not (Sweep.ok report) then exit 1
+
+(* Conformance smoke run: a short differential sweep of every pointer
+   representation against the reference model (lib/conform). Like
+   bechamel and faultsim it is not part of the Suite — its result is a
+   divergence count, not a cycle table, so BENCH JSON snapshots never
+   see it. The full-size sweep lives in `nvmpi fuzz` and CI. *)
+let conform_suite ~jobs ~seed =
+  let module Engine = Nvmpi_conform.Engine in
+  let seed = Option.value seed ~default:42 in
+  let traces = 30 in
+  let report = Engine.run ~jobs ~seed ~traces () in
+  Printf.printf
+    "conform: %d traces (seed %d, %d with remaps), %d divergence(s)\n" traces
+    seed report.Engine.traces_with_remap
+    (List.length report.Engine.failures);
+  List.iter
+    (fun f ->
+      Printf.printf "  trace %d: %s\n    repro: %s\n" f.Engine.f_trace
+        f.Engine.f_detail
+        (Nvmpi_conform.Trace.to_string f.Engine.f_shrunk))
+    report.Engine.failures;
+  if report.Engine.failures <> [] then exit 1
 
 (* Perf mode ---------------------------------------------------------- *)
 
@@ -286,19 +309,21 @@ let run_main args =
   List.iter
     (fun name ->
       if not (Suite.mem name || name = "bechamel" || name = "faultsim"
-              || name = "all")
+              || name = "conform" || name = "all")
       then fail "unknown experiment %S" name)
     picked;
   let suite_names =
     List.concat_map
       (fun name ->
         if name = "all" then Suite.names
-        else if name = "bechamel" || name = "faultsim" then []
+        else if name = "bechamel" || name = "faultsim" || name = "conform"
+        then []
         else [ name ])
       picked
   in
   let want_bechamel = List.exists (fun n -> n = "bechamel" || n = "all") picked in
   let want_faultsim = List.exists (fun n -> n = "faultsim" || n = "all") picked in
+  let want_conform = List.exists (fun n -> n = "conform" || n = "all") picked in
   let params =
     {
       Suite.scale = !scale;
@@ -325,6 +350,7 @@ let run_main args =
   in
   if want_bechamel then bechamel_suite ();
   if want_faultsim then faultsim_suite ~jobs:!jobs ~seed:!seed;
+  if want_conform then conform_suite ~jobs:!jobs ~seed:!seed;
   match !json_path with
   | None -> ()
   | Some path ->

@@ -266,6 +266,97 @@ let crash_cmd =
     Term.(const run $ seed $ exhaustive $ sample $ json $ skip_selftest
           $ jobs $ wall_json)
 
+(* fuzz *)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ]
+             ~doc:"Trace-generation seed; every trace (including machine \
+                   placement) derives from it, so a run is fully \
+                   reproducible.")
+  in
+  let traces =
+    Arg.(value & opt int 200
+         & info [ "traces" ] ~docv:"K" ~doc:"Number of random traces.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the conformance report as JSON (deterministic: \
+                   byte-identical across runs and across --jobs; see \
+                   docs/CONFORM.md).")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Check traces on N domains. The report (and its JSON) is \
+                   identical to a serial run; only wall-clock changes.")
+  in
+  let replay =
+    Arg.(value & opt (some file) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Instead of generating traces, replay one failing-trace \
+                   s-expression (as printed in a failure report) against \
+                   every applicable representation.")
+  in
+  let run seed traces json jobs replay =
+    let open Nvmpi_conform in
+    match replay with
+    | Some path -> (
+        let src = In_channel.with_open_text path In_channel.input_all in
+        match Trace.of_string (String.trim src) with
+        | Error msg ->
+            Printf.eprintf "%s: %s\n" path msg;
+            exit 2
+        | Ok tr ->
+            let fails = Engine.check_trace ~index:(-1) tr in
+            if fails = [] then print_endline "replay: PASS (no divergence)"
+            else begin
+              List.iter
+                (fun f ->
+                  Printf.printf "replay: FAIL [%s] %s\n"
+                    (String.concat ","
+                       (List.map Core.Repr.to_string f.Engine.f_reprs))
+                    f.Engine.f_detail)
+                fails;
+              exit 1
+            end)
+    | None ->
+        let metrics = Core.Metrics.create () in
+        let report = Engine.run ~jobs ~metrics ~seed ~traces () in
+        Printf.printf
+          "conform: %d traces (seed %d, %d with remaps), %d divergence(s)\n"
+          report.Engine.traces report.Engine.seed
+          report.Engine.traces_with_remap
+          (List.length report.Engine.failures);
+        List.iter
+          (fun f ->
+            Printf.printf "  trace %d [%s] %s\n    shrunk to %d op(s): %s\n"
+              f.Engine.f_trace
+              (String.concat ","
+                 (List.map Core.Repr.to_string f.Engine.f_reprs))
+              f.Engine.f_detail
+              (List.length f.Engine.f_shrunk.Trace.ops)
+              (Trace.to_string f.Engine.f_shrunk))
+          report.Engine.failures;
+        (match json with
+        | None -> ()
+        | Some path ->
+            Core.Json.to_file path (Engine.report_to_json report);
+            Printf.printf "wrote %s\n" path);
+        if report.Engine.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential conformance fuzzing: run random map/remap/pointer/\
+             structure traces simultaneously against the pure reference \
+             model and every applicable pointer representation on a real \
+             simulated machine, cross-check the position-independent \
+             representations pairwise after each remap, and shrink any \
+             divergence to a replayable s-expression.")
+    Term.(const run $ seed $ traces $ json $ jobs $ replay)
+
 (* inspect *)
 
 let inspect_cmd =
@@ -335,4 +426,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "nvmpi" ~doc)
-          [ bench_cmd; check_cmd; run_cmd; crash_cmd; inspect_cmd; layout_cmd ]))
+          [ bench_cmd; check_cmd; run_cmd; crash_cmd; fuzz_cmd; inspect_cmd;
+            layout_cmd ]))

@@ -55,13 +55,7 @@ let build store =
   Machine.close_region m catalog_rid;
   (orders_rid, catalog_rid)
 
-let read store (orders_rid, catalog_rid) =
-  let m = Machine.create ~seed:777 ~store () in
-  let orders = Machine.open_region m orders_rid in
-  let catalog = Machine.open_region m catalog_rid in
-  Printf.printf "reader: orders at 0x%x, catalog at 0x%x (both moved)\n"
-    (Region.base orders :> int)
-    (Region.base catalog :> int);
+let walk m orders =
   let cur = ref (Option.get (Region.root orders "orders")) in
   let total = ref 0 in
   while not (Vaddr.is_null !cur) do
@@ -73,8 +67,29 @@ let read store (orders_rid, catalog_rid) =
     total := !total + (qty * price);
     cur := OffH.load m ~holder:(Vaddr.add !cur next_off)
   done;
-  Printf.printf "reader: order total = %d\n" !total;
-  assert (!total = (1 * 100) + (2 * 200) + (3 * 300))
+  !total
+
+let read store (orders_rid, catalog_rid) =
+  let m = Machine.create ~seed:777 ~store () in
+  let orders = Machine.open_region m orders_rid in
+  let catalog = Machine.open_region m catalog_rid in
+  Printf.printf "reader: orders at 0x%x, catalog at 0x%x (both moved)\n"
+    (Region.base orders :> int)
+    (Region.base catalog :> int);
+  let total = walk m orders in
+  Printf.printf "reader: order total = %d\n" total;
+  assert (total = (1 * 100) + (2 * 200) + (3 * 300));
+  (* Same process, regions moved again under our feet: remap_region
+     closes and reopens each region at a fresh base in one call. The
+     off-holder/RIV links don't care. *)
+  let orders = Machine.remap_region m orders_rid in
+  let catalog = Machine.remap_region m catalog_rid in
+  Printf.printf "reader: remapped in-run to 0x%x and 0x%x\n"
+    (Region.base orders :> int)
+    (Region.base catalog :> int);
+  let total' = walk m orders in
+  Printf.printf "reader: order total after remap = %d\n" total';
+  assert (total' = total)
 
 let () =
   let store = Store.create () in

@@ -1,0 +1,81 @@
+(** Seeded random trace generation.
+
+    Everything is derived from an explicit [Random.State.t] so the
+    driver is replayable: [trace ~seed ~index] is a pure function, and
+    QCheck properties reuse {!trace_rand} through a state they control.
+
+    Roughly a quarter of traces carry no remap (those also exercise the
+    normal-pointer baseline); every other trace is guaranteed at least
+    one remap, which is the acceptance bar for the position-independent
+    representations. *)
+
+let pick st l = List.nth l (Random.State.int st (List.length l))
+
+(* Generate one op against the world's dimensions. *)
+let gen_op st ~with_remap ~slots ~nobjs ~structures ~deletable =
+  let has_structs = structures <> [] in
+  let weighted =
+    [
+      (5, `Pstore); (5, `Pload);
+      ((if with_remap then 2 else 0), `Remap);
+      ((if has_structs then 3 else 0), `Ins);
+      ((if deletable <> [] then 2 else 0), `Del);
+      ((if has_structs then 3 else 0), `Mem);
+      ((if has_structs then 2 else 0), `Dig);
+    ]
+  in
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 weighted in
+  let rec choose n = function
+    | (w, x) :: rest -> if n < w then x else choose (n - w) rest
+    | [] -> assert false
+  in
+  let key () = Random.State.int st 50 in
+  match choose (Random.State.int st total) weighted with
+  | `Remap -> Trace.Remap (Random.State.int st 2)
+  | `Pstore ->
+      let target =
+        if Random.State.int st 5 = 0 then None
+        else Some (Random.State.int st nobjs)
+      in
+      Trace.Pstore (Random.State.int st slots, target)
+  | `Pload -> Trace.Pload (Random.State.int st slots)
+  | `Ins -> Trace.Ins (pick st structures, key ())
+  | `Del -> Trace.Del (pick st deletable, key ())
+  | `Mem -> Trace.Mem (pick st structures, key ())
+  | `Dig -> Trace.Dig (pick st structures)
+
+let trace_rand ?(structures = true) st =
+  let mseed = Random.State.bits st in
+  let slots = 1 + Random.State.int st 4 in
+  let objs0 = 1 + Random.State.int st 4 in
+  let objs1 = 1 + Random.State.int st 4 in
+  let structures =
+    if not structures then []
+    else List.filter (fun _ -> Random.State.bool st) Trace.all_structures
+  in
+  let deletable =
+    List.filter (fun s -> s = Trace.Slist || s = Trace.Shash) structures
+  in
+  let with_remap = Random.State.int st 4 > 0 in
+  let nops = 5 + Random.State.int st 30 in
+  let ops =
+    List.init nops (fun _ ->
+        gen_op st ~with_remap ~slots ~nobjs:(objs0 + objs1) ~structures
+          ~deletable)
+  in
+  (* The remap guarantee: a trace drawn as remapping really remaps. *)
+  let ops =
+    if with_remap && not (List.exists (function Trace.Remap _ -> true | _ -> false) ops)
+    then begin
+      let at = Random.State.int st nops in
+      List.mapi
+        (fun i op -> if i = at then Trace.Remap (Random.State.int st 2) else op)
+        ops
+    end
+    else ops
+  in
+  { Trace.mseed; slots; objs0; objs1; structures; ops }
+
+let trace ?structures ~seed ~index () =
+  let st = Random.State.make [| 0xC04F; seed; index |] in
+  trace_rand ?structures st

@@ -1,0 +1,158 @@
+(** The executable reference model — the oracle.
+
+    A pure OCaml rendering of the paper's semantics with no simulator,
+    no addresses and no bit tricks: a pointer {e is} an object identity
+    (the trace's flat object index, i.e. a [(region, offset)] pair by
+    construction), a slot is an [int option], and each structure is the
+    obvious mathematical object (a key sequence, two key sets, a word
+    set plus its created-prefix set). Remapping a region is — by
+    definition of position independence — a no-op on every observable.
+
+    The only machine-dependent knob is {!caps}: an intra-region-only
+    representation ([cross_region = false]) must reject a store whose
+    target lives in region 1 (slots all live in region 0), observed as
+    {!obs.Raised}. Everything else is representation-independent, which
+    is exactly the paper's observational-equivalence claim.
+
+    Digests replicate what a structure's full walk checksums: per node,
+    key (or flag) plus {!Nvmpi_structures.Node.payload_checksum} of the
+    node's payload seed. *)
+
+module IntSet = Set.Make (Int)
+module StrSet = Set.Make (String)
+
+type obs =
+  | Done  (** op completed with no value: remap, accepted pstore *)
+  | Raised  (** pstore rejected: [Machine.Cross_region_store] *)
+  | Ptr of int option  (** pload: target object index, or null *)
+  | Bool of bool  (** ins / del / mem answer *)
+  | Digest of int * int  (** dig: (node count, checksum) *)
+
+let obs_to_string = function
+  | Done -> "done"
+  | Raised -> "raised"
+  | Ptr None -> "null"
+  | Ptr (Some o) -> Printf.sprintf "obj%d" o
+  | Bool b -> string_of_bool b
+  | Digest (n, c) -> Printf.sprintf "(nodes %d checksum %d)" n c
+
+type caps = { cross_region : bool }
+
+type state = {
+  slots : int option array;
+  mutable list : int list;  (** append order, duplicates allowed *)
+  mutable btree : IntSet.t;
+  mutable hash : IntSet.t;
+  mutable words : StrSet.t;
+  mutable prefixes : StrSet.t;  (** nonempty prefixes ever created *)
+  mutable trie_rooted : bool;
+}
+
+let pc ~payload seed = Nvmpi_structures.Node.payload_checksum ~payload ~seed
+
+let key_digest ~payload keys =
+  List.fold_left (fun acc k -> acc + k + pc ~payload k) 0 keys
+
+let trie_prefix_seed p =
+  let n = String.length p in
+  ((n - 1) * 31) + (Char.code p.[n - 1] - Char.code 'a')
+
+let digest ~payload st s =
+  match (st : Trace.structure) with
+  | Slist -> (List.length s.list, key_digest ~payload s.list)
+  | Sbtree ->
+      let keys = IntSet.elements s.btree in
+      (List.length keys, key_digest ~payload keys)
+  | Shash ->
+      let keys = IntSet.elements s.hash in
+      (List.length keys, key_digest ~payload keys)
+  | Strie ->
+      if not s.trie_rooted then (0, 0)
+      else
+        let nodes = 1 + StrSet.cardinal s.prefixes in
+        let sum =
+          StrSet.fold
+            (fun p acc -> acc + pc ~payload (trie_prefix_seed p))
+            s.prefixes
+            (pc ~payload 0 (* the root's seed *))
+        in
+        (nodes, StrSet.cardinal s.words + sum)
+
+let remove_first key l =
+  let rec go acc = function
+    | [] -> None
+    | k :: rest when k = key -> Some (List.rev_append acc rest)
+    | k :: rest -> go (k :: acc) rest
+  in
+  go [] l
+
+let add_prefixes s word =
+  s.trie_rooted <- true;
+  for i = 1 to String.length word do
+    s.prefixes <- StrSet.add (String.sub word 0 i) s.prefixes
+  done
+
+let exec_op ~payload ~caps (tr : Trace.t) s (op : Trace.op) : obs =
+  match op with
+  | Remap _ -> Done
+  | Pstore (sl, target) -> (
+      match target with
+      | None ->
+          s.slots.(sl) <- None;
+          Done
+      | Some o ->
+          if (not caps.cross_region) && o >= tr.objs0 then Raised
+          else begin
+            s.slots.(sl) <- Some o;
+            Done
+          end)
+  | Pload sl -> Ptr s.slots.(sl)
+  | Ins (Slist, k) ->
+      s.list <- s.list @ [ k ];
+      Bool true
+  | Ins (Sbtree, k) ->
+      let fresh = not (IntSet.mem k s.btree) in
+      s.btree <- IntSet.add k s.btree;
+      Bool fresh
+  | Ins (Shash, k) ->
+      let fresh = not (IntSet.mem k s.hash) in
+      s.hash <- IntSet.add k s.hash;
+      Bool fresh
+  | Ins (Strie, k) ->
+      let w = Trace.word_of_key k in
+      let fresh = not (StrSet.mem w s.words) in
+      s.words <- StrSet.add w s.words;
+      add_prefixes s w;
+      Bool fresh
+  | Del (Slist, k) -> (
+      match remove_first k s.list with
+      | Some l ->
+          s.list <- l;
+          Bool true
+      | None -> Bool false)
+  | Del (Shash, k) ->
+      let present = IntSet.mem k s.hash in
+      s.hash <- IntSet.remove k s.hash;
+      Bool present
+  | Del ((Sbtree | Strie), _) -> Bool false (* ungenerated; no removal *)
+  | Mem (Slist, k) -> Bool (List.mem k s.list)
+  | Mem (Sbtree, k) -> Bool (IntSet.mem k s.btree)
+  | Mem (Shash, k) -> Bool (IntSet.mem k s.hash)
+  | Mem (Strie, k) -> Bool (StrSet.mem (Trace.word_of_key k) s.words)
+  | Dig st ->
+      let n, c = digest ~payload st s in
+      Digest (n, c)
+
+let run ~caps ~payload (tr : Trace.t) : obs array =
+  let s =
+    {
+      slots = Array.make tr.slots None;
+      list = [];
+      btree = IntSet.empty;
+      hash = IntSet.empty;
+      words = StrSet.empty;
+      prefixes = StrSet.empty;
+      trie_rooted = false;
+    }
+  in
+  Array.of_list (List.map (exec_op ~payload ~caps tr s) tr.ops)

@@ -1,0 +1,64 @@
+(** A deliberately tiny s-expression codec for conformance traces: atoms
+    are bare tokens (no quoting — trace grammar atoms are all
+    [[a-z0-9-]]), lists are parenthesized. Small enough to audit, which
+    matters for the thing that prints failure repros. *)
+
+type t = Atom of string | List of t list
+
+let rec add_to b = function
+  | Atom s -> Buffer.add_string b s
+  | List l ->
+      Buffer.add_char b '(';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ' ';
+          add_to b x)
+        l;
+      Buffer.add_char b ')'
+
+let to_string t =
+  let b = Buffer.create 256 in
+  add_to b t;
+  Buffer.contents b
+
+let is_space c = c = ' ' || c = '\n' || c = '\t' || c = '\r'
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let skip () = while !pos < n && is_space s.[!pos] do incr pos done in
+  let rec parse () =
+    skip ();
+    if !pos >= n then Error "unexpected end of input"
+    else if s.[!pos] = '(' then begin
+      incr pos;
+      let rec items acc =
+        skip ();
+        if !pos >= n then Error "unterminated list"
+        else if s.[!pos] = ')' then begin
+          incr pos;
+          Ok (List (List.rev acc))
+        end
+        else
+          match parse () with
+          | Ok x -> items (x :: acc)
+          | Error _ as e -> e
+      in
+      items []
+    end
+    else if s.[!pos] = ')' then Error (Printf.sprintf "stray ')' at %d" !pos)
+    else begin
+      let start = !pos in
+      while !pos < n && (not (is_space s.[!pos])) && s.[!pos] <> '('
+            && s.[!pos] <> ')' do
+        incr pos
+      done;
+      Ok (Atom (String.sub s start (!pos - start)))
+    end
+  in
+  match parse () with
+  | Error _ as e -> e
+  | Ok x ->
+      skip ();
+      if !pos <> n then Error (Printf.sprintf "trailing input at %d" !pos)
+      else Ok x

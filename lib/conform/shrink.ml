@@ -1,0 +1,87 @@
+(** Greedy delta-debugging minimizer for failing traces.
+
+    Repeatedly tries to delete contiguous windows of ops (halving the
+    window size down to single ops), keeping any deletion under which
+    the trace {e still fails} the caller's predicate, then trims the
+    world dimensions (slots/objects/structures) down to what the
+    surviving ops mention. Deterministic: same trace and predicate, same
+    minimum. Every candidate execution is one [conform.shrink_steps]. *)
+
+module Metrics = Nvmpi_obs.Metrics
+
+let drop_window l lo len =
+  List.filteri (fun i _ -> i < lo || i >= lo + len) l
+
+(* One sweep at window size [size]; returns the reduced trace. *)
+let sweep ~attempt (tr : Trace.t) size =
+  let rec go lo tr =
+    let n = List.length tr.Trace.ops in
+    if lo >= n then tr
+    else begin
+      let len = min size (n - lo) in
+      let cand = { tr with Trace.ops = drop_window tr.Trace.ops lo len } in
+      if attempt cand then go lo cand (* window gone; same lo is new ops *)
+      else go (lo + 1) tr
+    end
+  in
+  go 0 tr
+
+let trim_world ~attempt (tr : Trace.t) =
+  let used_structs =
+    List.filter
+      (fun s ->
+        List.exists
+          (function
+            | Trace.Ins (s', _) | Trace.Del (s', _) | Trace.Mem (s', _) ->
+                s = s'
+            | Trace.Dig s' -> s = s'
+            | _ -> false)
+          tr.ops)
+      tr.structures
+  in
+  let max_over f d = List.fold_left (fun a op -> max a (f op)) d tr.ops in
+  let slots =
+    1
+    + max_over
+        (function
+          | Trace.Pstore (sl, _) | Trace.Pload sl -> sl | _ -> -1)
+        (-1)
+  in
+  let objs_used =
+    max_over (function Trace.Pstore (_, Some o) -> o | _ -> -1) (-1)
+  in
+  let cand =
+    {
+      tr with
+      Trace.structures = used_structs;
+      slots = max 1 slots;
+      objs0 = max 1 (min tr.objs0 (objs_used + 1));
+      objs1 = max 0 (min tr.objs1 (objs_used + 1 - tr.objs0));
+    }
+  in
+  (* Object indices are positional ((region, offset) identities), so
+     objs0 cannot shrink without renumbering; only take the trimmed
+     world if the failure survives it verbatim. *)
+  if cand <> tr && attempt cand then cand else tr
+
+let minimize ?metrics ~still_fails (tr : Trace.t) =
+  let attempt cand =
+    (match metrics with
+    | Some m -> Metrics.incr m "conform.shrink_steps"
+    | None -> ());
+    Trace.valid cand && still_fails cand
+  in
+  let rec fixpoint tr =
+    let n = List.length tr.Trace.ops in
+    let rec sizes tr size =
+      if size < 1 then tr
+      else begin
+        let tr' = sweep ~attempt tr size in
+        sizes tr' (if size = 1 then 0 else max 1 (size / 2))
+      end
+    in
+    let tr' = sizes tr (max 1 (n / 2)) in
+    if List.length tr'.Trace.ops < n then fixpoint tr' else tr'
+  in
+  let tr = fixpoint tr in
+  trim_world ~attempt tr

@@ -1,0 +1,192 @@
+(** Conformance traces: the adversarial programs both the reference
+    model and the real machine execute (grammar in docs/CONFORM.md).
+
+    A trace operates on a fixed small world set up before the first op:
+    two regions; [objs0]/[objs1] anonymous 32-byte objects (the pointer
+    targets) at repr-independent offsets; [slots] pointer slots in
+    region 0 (the "playground" the [Pstore]/[Pload] ops drive through
+    {!Core.Repr_sig.S}); and up to four persistent structures, all
+    anchored in region 0. Objects are named by a flat index: [o <
+    objs0] lives in region 0, the rest in region 1 — which is what
+    makes a [Pstore] cross-region or not. *)
+
+type structure = Slist | Sbtree | Shash | Strie
+
+let all_structures = [ Slist; Sbtree; Shash; Strie ]
+
+let structure_name = function
+  | Slist -> "list"
+  | Sbtree -> "btree"
+  | Shash -> "hash"
+  | Strie -> "trie"
+
+let structure_of_name = function
+  | "list" -> Some Slist
+  | "btree" -> Some Sbtree
+  | "hash" -> Some Shash
+  | "trie" -> Some Strie
+  | _ -> None
+
+(* Injective key-to-word encoding for the trie (little-endian base 26),
+   shared verbatim by the model and the machine executor. *)
+let word_of_key k =
+  let k = abs k in
+  let b = Buffer.create 4 in
+  let rec go k =
+    Buffer.add_char b (Char.chr (Char.code 'a' + (k mod 26)));
+    if k >= 26 then go (k / 26)
+  in
+  go k;
+  Buffer.contents b
+
+type op =
+  | Remap of int  (** region index 0/1: close + reopen at a fresh base *)
+  | Pstore of int * int option  (** slot, target object (None = null) *)
+  | Pload of int  (** slot: decode and observe the target *)
+  | Ins of structure * int
+  | Del of structure * int  (** list and hash only *)
+  | Mem of structure * int
+  | Dig of structure  (** full-walk digest *)
+
+type t = {
+  mseed : int;  (** machine placement seed — part of the repro *)
+  slots : int;
+  objs0 : int;
+  objs1 : int;
+  structures : structure list;
+  ops : op list;
+}
+
+let has_remap t = List.exists (function Remap _ -> true | _ -> false) t.ops
+
+(** {1 S-expression round-trip} *)
+
+let sexp_of_op op =
+  let open Sexp in
+  let i n = Atom (string_of_int n) in
+  let s st = Atom (structure_name st) in
+  match op with
+  | Remap r -> List [ Atom "remap"; i r ]
+  | Pstore (sl, Some o) -> List [ Atom "pstore"; i sl; List [ Atom "obj"; i o ] ]
+  | Pstore (sl, None) -> List [ Atom "pstore"; i sl; Atom "null" ]
+  | Pload sl -> List [ Atom "pload"; i sl ]
+  | Ins (st, k) -> List [ Atom "ins"; s st; i k ]
+  | Del (st, k) -> List [ Atom "del"; s st; i k ]
+  | Mem (st, k) -> List [ Atom "mem"; s st; i k ]
+  | Dig st -> List [ Atom "dig"; s st ]
+
+let to_sexp t =
+  let open Sexp in
+  let i n = Atom (string_of_int n) in
+  List
+    [
+      Atom "trace";
+      List [ Atom "mseed"; i t.mseed ];
+      List [ Atom "slots"; i t.slots ];
+      List [ Atom "objs"; i t.objs0; i t.objs1 ];
+      List (Atom "structures" :: List.map (fun s -> Atom (structure_name s)) t.structures);
+      List (Atom "ops" :: List.map sexp_of_op t.ops);
+    ]
+
+let to_string t = Sexp.to_string (to_sexp t)
+
+let int_of_atom = function
+  | Sexp.Atom a -> (try Ok (int_of_string a) with _ -> Error ("not an int: " ^ a))
+  | Sexp.List _ -> Error "expected int atom"
+
+let structure_of_atom = function
+  | Sexp.Atom a -> (
+      match structure_of_name a with
+      | Some s -> Ok s
+      | None -> Error ("unknown structure: " ^ a))
+  | Sexp.List _ -> Error "expected structure atom"
+
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+let op_of_sexp = function
+  | Sexp.List [ Sexp.Atom "remap"; r ] ->
+      let* r = int_of_atom r in
+      Ok (Remap r)
+  | Sexp.List [ Sexp.Atom "pstore"; sl; Sexp.List [ Sexp.Atom "obj"; o ] ] ->
+      let* sl = int_of_atom sl in
+      let* o = int_of_atom o in
+      Ok (Pstore (sl, Some o))
+  | Sexp.List [ Sexp.Atom "pstore"; sl; Sexp.Atom "null" ] ->
+      let* sl = int_of_atom sl in
+      Ok (Pstore (sl, None))
+  | Sexp.List [ Sexp.Atom "pload"; sl ] ->
+      let* sl = int_of_atom sl in
+      Ok (Pload sl)
+  | Sexp.List [ Sexp.Atom "ins"; st; k ] ->
+      let* st = structure_of_atom st in
+      let* k = int_of_atom k in
+      Ok (Ins (st, k))
+  | Sexp.List [ Sexp.Atom "del"; st; k ] ->
+      let* st = structure_of_atom st in
+      let* k = int_of_atom k in
+      Ok (Del (st, k))
+  | Sexp.List [ Sexp.Atom "mem"; st; k ] ->
+      let* st = structure_of_atom st in
+      let* k = int_of_atom k in
+      Ok (Mem (st, k))
+  | Sexp.List [ Sexp.Atom "dig"; st ] ->
+      let* st = structure_of_atom st in
+      Ok (Dig st)
+  | x -> Error ("unrecognized op: " ^ Sexp.to_string x)
+
+let rec ops_of_sexps = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* op = op_of_sexp x in
+      let* ops = ops_of_sexps rest in
+      Ok (op :: ops)
+
+let rec structures_of_sexps = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* s = structure_of_atom x in
+      let* ss = structures_of_sexps rest in
+      Ok (s :: ss)
+
+let of_sexp = function
+  | Sexp.List
+      [
+        Sexp.Atom "trace";
+        Sexp.List [ Sexp.Atom "mseed"; mseed ];
+        Sexp.List [ Sexp.Atom "slots"; slots ];
+        Sexp.List [ Sexp.Atom "objs"; o0; o1 ];
+        Sexp.List (Sexp.Atom "structures" :: ss);
+        Sexp.List (Sexp.Atom "ops" :: ops);
+      ] ->
+      let* mseed = int_of_atom mseed in
+      let* slots = int_of_atom slots in
+      let* objs0 = int_of_atom o0 in
+      let* objs1 = int_of_atom o1 in
+      let* structures = structures_of_sexps ss in
+      let* ops = ops_of_sexps ops in
+      Ok { mseed; slots; objs0; objs1; structures; ops }
+  | x -> Error ("not a trace: " ^ Sexp.to_string x)
+
+let of_string s =
+  let* x = Sexp.of_string s in
+  of_sexp x
+
+(** Structural well-formedness: every index an op mentions exists and
+    every structure op names a declared structure (with [Del] confined
+    to the structures that support removal). *)
+let valid t =
+  t.slots > 0 && t.objs0 > 0 && t.objs1 >= 0
+  && List.for_all
+       (fun op ->
+         match op with
+         | Remap r -> r = 0 || r = 1
+         | Pstore (sl, o) ->
+             sl >= 0 && sl < t.slots
+             && (match o with
+                | None -> true
+                | Some o -> o >= 0 && o < t.objs0 + t.objs1)
+         | Pload sl -> sl >= 0 && sl < t.slots
+         | Del (st, _) ->
+             (st = Slist || st = Shash) && List.mem st t.structures
+         | Ins (st, _) | Mem (st, _) | Dig st -> List.mem st t.structures)
+       t.ops

@@ -20,12 +20,14 @@ let base_of m ~holder ~target =
   b
 
 let store m ~holder (target : Vaddr.t) =
-  let b = base_of m ~holder ~target in
   if Vaddr.is_null target then begin
+    (* Encoding NULL is base-independent (Figure 8 stores the constant),
+       so it must work before any based region is selected. *)
     Machine.count m "repr.based.stores";
     Machine.store64 m holder 0
   end
   else begin
+    let b = base_of m ~holder ~target in
     (* Section 4.4's dynamic check, before any cycle or counter: a
        faulting store is observationally free. *)
     (match Machine.region_of_addr m target with

@@ -85,12 +85,27 @@ let open_region ?at_nvbase t rid =
   Fat_table.put t.fat ~rid ~base:(Region.base r);
   r
 
+(* The one-entry fat-pointer cache ([lastID]/[lastAddr]) may hold the
+   region being unmapped; a later reopen at a different segment must not
+   resolve through the stale base. The drop goes through the unobserved
+   debug port: like the manager's image copies, unmapping is an OS-level
+   operation whose bookkeeping is not part of any measured pointer
+   operation (region IDs are never 0, so zeroing means "empty"). *)
+let invalidate_fat_cache t rid =
+  let lastid = Vaddr.v (dram_base + globals_off) in
+  let cached =
+    Bytes.get_int64_le (Memsim.peek_bytes t.mem ~addr:lastid ~len:8) 0
+  in
+  if Int64.to_int cached = (rid : Rid.t :> int) then
+    Memsim.poke_bytes t.mem ~addr:lastid (Bytes.make 16 '\000')
+
 let close_region t rid =
   let r = Manager.region_exn t.manager rid in
   let base = Region.base r in
   Manager.close_region t.manager rid;
   Nvspace.unregister_region t.nvspace ~rid ~base;
   Fat_table.remove t.fat ~rid;
+  invalidate_fat_cache t rid;
   if Vaddr.equal t.based_base base then t.based_base <- Vaddr.null
 
 (* Section 4.4's migration to a larger region: persist, grow the image,
@@ -104,6 +119,27 @@ let migrate_region t rid ~size =
   if Manager.region t.manager rid <> None then close_region t rid;
   Store.grow (Manager.store t.manager) ~rid ~size;
   let r = open_region t rid in
+  if was_based then t.based_base <- Region.base r;
+  r
+
+(* Remap within one run: close (persisting the image) and reopen at a
+   fresh randomized segment, retrying until the segment actually differs
+   — the manager's placement is random and may repeat. Deterministic
+   under a seeded manager; replaces the unmap+map-at-new-base sequences
+   previously copy-pasted by examples and tests. *)
+let remap_region t rid =
+  let old_base = Region.base (Manager.region_exn t.manager rid) in
+  let was_based = Vaddr.equal t.based_base old_base in
+  close_region t rid;
+  let rec reopen tries =
+    let r = open_region t rid in
+    if Vaddr.equal (Region.base r) old_base && tries > 0 then begin
+      close_region t rid;
+      reopen (tries - 1)
+    end
+    else r
+  in
+  let r = reopen 64 in
   if was_based then t.based_base <- Region.base r;
   r
 

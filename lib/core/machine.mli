@@ -86,7 +86,23 @@ val migrate_region :
     @raise Invalid_argument if [size] does not exceed the current size
     or exceeds a segment. *)
 
+val remap_region :
+  t -> Nvmpi_addr.Kinds.Rid.t -> Nvmpi_nvregion.Region.t
+(** Closes the region (persisting its image) and reopens it at a fresh
+    randomized NV segment, guaranteed different from the one it just
+    vacated. Models "the region moved" within a single run — the
+    adversarial event every position-independent representation must
+    survive and absolute pointers must not. Preserves the based-pointer
+    base register if it pointed at this region (retargeting it to the
+    new base). Deterministic under a seeded machine.
+    @raise Invalid_argument if the region is not open. *)
+
 val close_region : t -> Nvmpi_addr.Kinds.Rid.t -> unit
+(** Persists the image back to the store, unmaps the region, and drops
+    it from the RIV tables, the fat runtime and — if it holds this
+    region — the one-entry [lastID]/[lastAddr] fat-pointer cache (an
+    unobserved bookkeeping write, like the manager's image copies). *)
+
 val close_all : t -> unit
 val region : t -> Nvmpi_addr.Kinds.Rid.t -> Nvmpi_nvregion.Region.t option
 val region_exn : t -> Nvmpi_addr.Kinds.Rid.t -> Nvmpi_nvregion.Region.t

@@ -40,7 +40,11 @@ module type S = sig
       in-flight pointers are absolute ({!Nvmpi_addr.Kinds.Vaddr.t});
       only the slot holds the representation's encoded form.
       @raise Machine.Cross_region_store if the representation is
-      intra-region-only and [target] lies outside the holder's region.
+      intra-region-only ([cross_region = false]: off-holder and based)
+      and [target] lies outside the holder's region. This is the {e one}
+      sanctioned store exception — no representation signals the
+      condition with an ad-hoc [Failure]/[Invalid_argument], so callers
+      (the conformance harness in particular) can match on it precisely.
       The raise happens before any cycle is charged or counter bumped:
       a faulting store is observationally free. *)
 

@@ -123,6 +123,8 @@ module Make (P : Core.Repr_sig.S) = struct
     go (P.load (m t) ~holder:(head_holder t));
     (!n, !sum)
 
+  let digest t = Digest_obs.v (traverse t)
+
   let check_swizzle () =
     if not (String.equal P.name Swizzle.name) then
       invalid_arg "Bstree: swizzle pass on a non-swizzle representation"

@@ -29,6 +29,10 @@ module Make (P : Core.Repr_sig.S) : sig
   val traverse : t -> int * int
   (** Depth-first walk; [(node count, checksum)]. *)
 
+  val digest : t -> Digest_obs.t
+  (** {!traverse} packaged as the uniform observable digest the
+      conformance harness compares across representations. *)
+
   val iter : t -> (addr:Nvmpi_addr.Kinds.Vaddr.t -> key:int -> unit) -> unit
 
   val swizzle : t -> unit

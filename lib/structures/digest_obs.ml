@@ -1,0 +1,14 @@
+(** The uniform observable digest of a persistent structure: what a full
+    walk sees, reduced to a comparable value. This is the hook the
+    conformance harness ([lib/conform]) checks structures through — two
+    executions agree exactly when their digests (plus membership
+    answers) agree — and it is deliberately representation-free: only
+    node count and content checksum, never addresses. *)
+
+type t = { nodes : int; checksum : int }
+
+let v (nodes, checksum) = { nodes; checksum }
+let equal a b = a.nodes = b.nodes && a.checksum = b.checksum
+
+let to_string d =
+  Printf.sprintf "(nodes %d checksum %d)" d.nodes d.checksum

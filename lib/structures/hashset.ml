@@ -74,6 +74,23 @@ module Make (P : Core.Repr_sig.S) = struct
   let contains t ~key =
     match locate t ~key with `Found _ -> true | `Slot _ -> false
 
+  let remove t ~key =
+    let tbl = table t in
+    let rec go holder =
+      let cur = P.load (m t) ~holder in
+      if Vaddr.is_null cur then false
+      else begin
+        Node.touch t.node;
+        if Memsim.load64 (mem t) (Vaddr.add cur key_off) = key then begin
+          P.store (m t) ~holder (P.load (m t) ~holder:cur);
+          (* Node storage is leaked: region heaps are bump allocators. *)
+          true
+        end
+        else go cur
+      end
+    in
+    go (bucket_holder tbl (hash_key t ~key))
+
   let iter t f =
     let tbl = table t in
     for i = 0 to t.buckets - 1 do
@@ -110,6 +127,8 @@ module Make (P : Core.Repr_sig.S) = struct
       go (P.load (m t) ~holder:(bucket_holder tbl i))
     done;
     (!n, !sum)
+
+  let digest t = Digest_obs.v (traverse t)
 
   let check_swizzle () =
     if not (String.equal P.name Swizzle.name) then

@@ -16,11 +16,20 @@ module Make (P : Core.Repr_sig.S) : sig
   (** Appends [key] to its chain; returns [false] if already present. *)
 
   val contains : t -> key:int -> bool
+
+  val remove : t -> key:int -> bool
+  (** Unlinks [key]'s node from its bucket chain; returns whether it was
+      present. Storage is not reclaimed (bump allocators). *)
+
   val size : t -> int
   val buckets : t -> int
 
   val traverse : t -> int * int
   (** Walks every chain; [(node count, checksum)]. *)
+
+  val digest : t -> Digest_obs.t
+  (** {!traverse} packaged as the uniform observable digest the
+      conformance harness compares across representations. *)
 
   val iter : t -> (addr:Nvmpi_addr.Kinds.Vaddr.t -> key:int -> unit) -> unit
   val swizzle : t -> unit

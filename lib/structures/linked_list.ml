@@ -91,6 +91,8 @@ module Make (P : Core.Repr_sig.S) = struct
     go (P.load (m t) ~holder:(head_holder t));
     (!n, !sum)
 
+  let digest t = Digest_obs.v (traverse t)
+
   let find t ~key =
     let rec go cur =
       (not (Vaddr.is_null cur))
@@ -100,6 +102,23 @@ module Make (P : Core.Repr_sig.S) = struct
        || go (P.load (m t) ~holder:cur))
     in
     go (P.load (m t) ~holder:(head_holder t))
+
+  let remove t ~key =
+    let rec go prev_holder cur =
+      if Vaddr.is_null cur then false
+      else begin
+        Node.touch t.node;
+        if Memsim.load64 (mem t) (Vaddr.add cur key_off) = key then begin
+          let next = P.load (m t) ~holder:cur in
+          P.store (m t) ~holder:prev_holder next;
+          (* Node storage is leaked: region heaps are bump allocators. *)
+          t.tail <- Vaddr.null;
+          true
+        end
+        else go cur (P.load (m t) ~holder:cur)
+      end
+    in
+    go (head_holder t) (P.load (m t) ~holder:(head_holder t))
 
   let check_swizzle () =
     if not (String.equal P.name Swizzle.name) then

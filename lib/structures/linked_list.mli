@@ -28,8 +28,17 @@ module Make (P : Core.Repr_sig.S) : sig
   (** Full walk; returns [(node count, payload checksum)]. Every node
       visit costs one pointer load, a key read and a payload read. *)
 
+  val digest : t -> Digest_obs.t
+  (** {!traverse} packaged as the uniform observable digest the
+      conformance harness compares across representations. *)
+
   val find : t -> key:int -> bool
   (** Linear search by key. *)
+
+  val remove : t -> key:int -> bool
+  (** Unlinks the first node carrying [key]; returns whether one
+      existed. The node's storage is not reclaimed (region heaps are
+      bump allocators). *)
 
   val iter : t -> (addr:Nvmpi_addr.Kinds.Vaddr.t -> key:int -> unit) -> unit
   (** Host-side iteration (uncharged pointer chasing is still charged;

@@ -153,6 +153,8 @@ module Make (P : Core.Repr_sig.S) = struct
     go (root t ~create_missing:false);
     (!n, !sum)
 
+  let digest t = Digest_obs.v (traverse t)
+
   let check_swizzle () =
     if not (String.equal P.name Swizzle.name) then
       invalid_arg "Trie: swizzle pass on a non-swizzle representation"

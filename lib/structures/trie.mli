@@ -22,6 +22,10 @@ module Make (P : Core.Repr_sig.S) : sig
   val traverse : t -> int * int
   (** Full DFS; [(node count, checksum over payloads and flags)]. *)
 
+  val digest : t -> Digest_obs.t
+  (** {!traverse} packaged as the uniform observable digest the
+      conformance harness compares across representations. *)
+
   val iter_words : t -> (string -> unit) -> unit
   val swizzle : t -> unit
   val unswizzle : t -> unit

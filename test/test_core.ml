@@ -296,6 +296,153 @@ let test_swizzle_survives_via_passes () =
     (ia (Core.Swizzle.swizzle_slot m2 ~holder:holder'));
   check "steady state" (ia target') (ia (Core.Swizzle.load m2 ~holder:holder'))
 
+(* The cross-region audit: every representation either crosses regions
+   and round-trips, or rejects the store with the one sanctioned
+   exception — [Machine.Cross_region_store], carrying the offending
+   addresses and the repr's name, raised before any cycle is charged.
+   The registry flag is the single source of truth for which side each
+   repr falls on. *)
+
+let test_cross_region_audit_all_reprs () =
+  List.iter
+    (fun kind ->
+      let _, m = machine ~seed:41 () in
+      let r1 = Machine.open_region m (Machine.create_region m ~size:65536) in
+      let r2 = Machine.open_region m (Machine.create_region m ~size:65536) in
+      if kind = Repr.Based then Machine.set_based_region m (Region.rid r1);
+      let (module P) = Repr.m kind in
+      let name = Repr.to_string kind in
+      let holder = Region.alloc r1 P.slot_size in
+      let target = Region.alloc r2 64 in
+      P.store m ~holder Vaddr.null;
+      if Repr.cross_region kind then begin
+        P.store m ~holder target;
+        check (name ^ " crosses regions") (ia target) (ia (P.load m ~holder))
+      end
+      else begin
+        let c0 = Machine.cycles m in
+        check_bool (name ^ " raises the sanctioned exception") true
+          (try
+             P.store m ~holder target;
+             false
+           with Machine.Cross_region_store { holder = h; target = t; repr } ->
+             Vaddr.equal h holder && Vaddr.equal t target
+             && repr = P.name);
+        check (name ^ " charges no cycles for the rejected store")
+          c0 (Machine.cycles m);
+        check (name ^ " leaves the slot untouched") 0 (ia (P.load m ~holder))
+      end)
+    all_reprs
+
+(* Machine.remap_region: close + reopen at a guaranteed-fresh base,
+   within one run — the move every conformance trace leans on. *)
+
+let test_remap_region_moves_and_preserves () =
+  let _, m, r = with_region ~seed:42 ~size:65536 () in
+  let rid = Region.rid r in
+  let target = Region.alloc r 64 in
+  let holder = Region.alloc r 8 in
+  Core.Off_holder.store m ~holder target;
+  Region.set_root r "t" target;
+  let t_off = Region.offset_of_addr r target in
+  let h_off = Region.offset_of_addr r holder in
+  let base0 = Region.base r in
+  let r' = Machine.remap_region m rid in
+  check_bool "base moved" true (ia (Region.base r') <> ia base0);
+  let target' = Region.addr_of_offset r' t_off in
+  check "named root retargeted" (ia target')
+    (ia (Option.get (Region.root r' "t")));
+  check "off-holder slot survives in place" (ia target')
+    (ia (Core.Off_holder.load m ~holder:(Region.addr_of_offset r' h_off)))
+
+let test_remap_region_requires_open () =
+  let _, m = machine ~seed:43 () in
+  let rid = Machine.create_region m ~size:65536 in
+  check_bool "remap of a closed region rejected" true
+    (try
+       ignore (Machine.remap_region m rid);
+       false
+     with Invalid_argument _ -> true)
+
+let test_remap_region_retargets_based_base () =
+  let _, m, r = with_region ~seed:44 ~size:65536 () in
+  let rid = Region.rid r in
+  Machine.set_based_region m rid;
+  let target = Region.alloc r 64 in
+  let holder = Region.alloc r 8 in
+  Core.Based_ptr.store m ~holder target;
+  let t_off = Region.offset_of_addr r target in
+  let h_off = Region.offset_of_addr r holder in
+  let r' = Machine.remap_region m rid in
+  check "based pointer follows its base register"
+    (ia (Region.addr_of_offset r' t_off))
+    (ia (Core.Based_ptr.load m ~holder:(Region.addr_of_offset r' h_off)))
+
+let test_remap_region_invalidates_fat_cache () =
+  (* Regression the conformance harness flushed out: lastID/lastAddr
+     used to survive close_region, so a fat-cached load after a
+     same-run remap resolved at the vacated base. *)
+  let _, m, r = with_region ~seed:45 ~size:65536 () in
+  let rid = Region.rid r in
+  let target = Region.alloc r 64 in
+  let holder = Region.alloc r Core.Fat_cached.slot_size in
+  Core.Fat_cached.store m ~holder target;
+  check "cache primed at the old base" (ia target)
+    (ia (Core.Fat_cached.load m ~holder));
+  let t_off = Region.offset_of_addr r target in
+  let h_off = Region.offset_of_addr r holder in
+  let r' = Machine.remap_region m rid in
+  check "load resolves at the new base"
+    (ia (Region.addr_of_offset r' t_off))
+    (ia (Core.Fat_cached.load m ~holder:(Region.addr_of_offset r' h_off)))
+
+(* The swizzle window (Section 5): remaps are safe exactly when
+   bracketed by unswizzle-before / swizzle-after passes. *)
+
+let test_swizzle_window_roundtrips_back_to_back () =
+  let _, m, r = with_region ~seed:46 ~size:65536 () in
+  let rid = Region.rid r in
+  let target = Region.alloc r 64 in
+  let holder = Region.alloc r 8 in
+  Core.Swizzle.store_packed m ~holder target;
+  ignore (Core.Swizzle.swizzle_slot m ~holder);
+  let t_off = Region.offset_of_addr r target in
+  let h_off = Region.offset_of_addr r holder in
+  let remap_in_window r =
+    ignore
+      (Core.Swizzle.unswizzle_slot m ~holder:(Region.addr_of_offset r h_off));
+    let r' = Machine.remap_region m rid in
+    ignore
+      (Core.Swizzle.swizzle_slot m ~holder:(Region.addr_of_offset r' h_off));
+    r'
+  in
+  let r1 = remap_in_window r in
+  check "survives the first bracketed remap"
+    (ia (Region.addr_of_offset r1 t_off))
+    (ia (Core.Swizzle.load m ~holder:(Region.addr_of_offset r1 h_off)));
+  let r2 = remap_in_window r1 in
+  check "and a second one back-to-back"
+    (ia (Region.addr_of_offset r2 t_off))
+    (ia (Core.Swizzle.load m ~holder:(Region.addr_of_offset r2 h_off)))
+
+let test_swizzle_outside_window_dangles () =
+  (* The documented failure mode: move the region while a slot is still
+     swizzled (absolute form at rest) and it dangles exactly like a
+     normal pointer — the old absolute address, not the moved target. *)
+  let _, m, r = with_region ~seed:47 ~size:65536 () in
+  let rid = Region.rid r in
+  let target = Region.alloc r 64 in
+  let holder = Region.alloc r 8 in
+  Core.Swizzle.store_packed m ~holder target;
+  ignore (Core.Swizzle.swizzle_slot m ~holder);
+  let t_off = Region.offset_of_addr r target in
+  let h_off = Region.offset_of_addr r holder in
+  let r' = Machine.remap_region m rid in
+  let stale = Core.Swizzle.load m ~holder:(Region.addr_of_offset r' h_off) in
+  check "slot still holds the vacated address" (ia target) (ia stale);
+  check_bool "which misses the moved target" true
+    (ia stale <> ia (Region.addr_of_offset r' t_off))
+
 (* The Mnemosyne alternative (related work): pinning a region to the
    same virtual address in every run makes even normal pointers survive —
    but only while the address is free, which is exactly the paper's
@@ -584,6 +731,8 @@ let () =
             test_cross_region_raises_for_intra_only;
           Alcotest.test_case "cross-region works (riv/fat)" `Quick
             test_cross_region_works_for_riv_fat;
+          Alcotest.test_case "cross-region audit (all nine)" `Quick
+            test_cross_region_audit_all_reprs;
           Alcotest.test_case "based requires base" `Quick
             test_based_requires_base;
           Alcotest.test_case "swizzle slot conversions" `Quick
@@ -602,6 +751,18 @@ let () =
             test_normal_pointer_breaks_on_remap;
           Alcotest.test_case "swizzle survives via passes" `Quick
             test_swizzle_survives_via_passes;
+          Alcotest.test_case "remap_region moves and preserves" `Quick
+            test_remap_region_moves_and_preserves;
+          Alcotest.test_case "remap_region requires an open region" `Quick
+            test_remap_region_requires_open;
+          Alcotest.test_case "remap_region retargets the base register"
+            `Quick test_remap_region_retargets_based_base;
+          Alcotest.test_case "remap_region invalidates the fat cache" `Quick
+            test_remap_region_invalidates_fat_cache;
+          Alcotest.test_case "swizzle window round-trips back-to-back" `Quick
+            test_swizzle_window_roundtrips_back_to_back;
+          Alcotest.test_case "swizzle outside the window dangles" `Quick
+            test_swizzle_outside_window_dangles;
           Alcotest.test_case "pinned mapping (Mnemosyne-style)" `Quick
             test_pinned_mapping_mnemosyne_style;
           Alcotest.test_case "region migration (section 4.4)" `Quick
