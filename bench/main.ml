@@ -11,7 +11,13 @@
      dune exec bench/main.exe -- check BENCH_seed.json  # regression check
      dune exec bench/main.exe -- bechamel      # host-time micro-benchmarks
      dune exec bench/main.exe -- faultsim      # crash-point recovery sweep
-     dune exec bench/main.exe -- conform       # conformance smoke run *)
+     dune exec bench/main.exe -- conform       # conformance smoke run
+     dune exec bench/main.exe -- server        # multi-tenant server smoke run
+
+   The last four are "extra" experiments: they live outside the Suite
+   (their results are verdicts/host-times/separate JSON kinds, not cycle
+   tables), so BENCH JSON snapshots never see them. They register in the
+   [extras] table below; adding one more is a single table entry. *)
 
 open Nvmpi_experiments
 
@@ -21,7 +27,7 @@ let usage_text =
   \       main.exe check BASELINE.json [--tolerance F] [--jobs N]\n\
   \       main.exe perf [--ops N]\n\
    experiments: fig12 payload table1 fig13 fig14 regions fig15 breakdown \
-   ablations bechamel faultsim conform all\n\
+   ablations bechamel faultsim conform server all\n\
    check re-runs the experiments recorded in BASELINE.json with its own \
    parameters\n\
    and fails on per-cell cycle deviations beyond the tolerance (default \
@@ -168,6 +174,32 @@ let conform_suite ~jobs ~seed =
     report.Engine.failures;
   if report.Engine.failures <> [] then exit 1
 
+(* Multi-tenant server smoke run: a small zipfian workload with enough
+   tenants and a tight residency cap to force map/unmap churn on every
+   representation. The full-size knobbed run lives in `nvmpi serve`
+   (see docs/SERVER.md). *)
+let server_suite ~jobs ~seed =
+  let open Nvmpi_server in
+  let config =
+    { Server.default with
+      Server.tenants = 300;
+      ops = 1500;
+      resident = 24;
+      seed = Option.value seed ~default:Server.default.Server.seed }
+  in
+  Server.print_report (Server.run ~jobs config)
+
+(* The extra experiments: everything runnable from this harness that is
+   NOT a Suite cycle-table experiment. Run in table order when selected
+   (or under "all"), after the Suite experiments. *)
+let extras =
+  [
+    ("bechamel", fun ~jobs:_ ~seed:_ -> bechamel_suite ());
+    ("faultsim", fun ~jobs ~seed -> faultsim_suite ~jobs ~seed);
+    ("conform", fun ~jobs ~seed -> conform_suite ~jobs ~seed);
+    ("server", fun ~jobs ~seed -> server_suite ~jobs ~seed);
+  ]
+
 (* Perf mode ---------------------------------------------------------- *)
 
 (* A host-nanosecond profile of the simulator's access hot path: raw
@@ -308,22 +340,21 @@ let run_main args =
      surface only after minutes of earlier experiments. *)
   List.iter
     (fun name ->
-      if not (Suite.mem name || name = "bechamel" || name = "faultsim"
-              || name = "conform" || name = "all")
+      if not (Suite.mem name || List.mem_assoc name extras || name = "all")
       then fail "unknown experiment %S" name)
     picked;
   let suite_names =
     List.concat_map
       (fun name ->
         if name = "all" then Suite.names
-        else if name = "bechamel" || name = "faultsim" || name = "conform"
-        then []
+        else if List.mem_assoc name extras then []
         else [ name ])
       picked
   in
-  let want_bechamel = List.exists (fun n -> n = "bechamel" || n = "all") picked in
-  let want_faultsim = List.exists (fun n -> n = "faultsim" || n = "all") picked in
-  let want_conform = List.exists (fun n -> n = "conform" || n = "all") picked in
+  let wanted_extras =
+    let want name = List.exists (fun n -> n = name || n = "all") picked in
+    List.filter (fun (name, _) -> want name) extras
+  in
   let params =
     {
       Suite.scale = !scale;
@@ -348,9 +379,7 @@ let run_main args =
           r)
         suite_names
   in
-  if want_bechamel then bechamel_suite ();
-  if want_faultsim then faultsim_suite ~jobs:!jobs ~seed:!seed;
-  if want_conform then conform_suite ~jobs:!jobs ~seed:!seed;
+  List.iter (fun (_, run) -> run ~jobs:!jobs ~seed:!seed) wanted_extras;
   match !json_path with
   | None -> ()
   | Some path ->

@@ -6,6 +6,10 @@
                           (optionally file-backed) NVM store
    - [nvmpi crash ...]    sweep crash points with the fault-injection
                           harness and verify recovery invariants
+   - [nvmpi fuzz ...]     differential conformance fuzzing against the
+                          pure reference model
+   - [nvmpi serve ...]    multi-tenant region server under a zipfian
+                          YCSB-style workload
    - [nvmpi inspect FILE] list the regions and roots of a store image
    - [nvmpi layout]       print the NV-space layout parameters *)
 
@@ -357,6 +361,124 @@ let fuzz_cmd =
              divergence to a replayable s-expression.")
     Term.(const run $ seed $ traces $ json $ jobs $ replay)
 
+(* serve *)
+
+let serve_cmd =
+  let open Nvmpi_server in
+  let d = Server.default in
+  let tenants =
+    Arg.(value & opt int d.Server.tenants
+         & info [ "tenants" ] ~docv:"N" ~doc:"Total tenant count.")
+  in
+  let theta =
+    Arg.(value & opt float d.Server.theta
+         & info [ "theta" ]
+             ~doc:"Zipfian skew for tenant and key popularity; 0 is \
+                   uniform, must be < 1.")
+  in
+  let mix =
+    Arg.(value & opt string "b"
+         & info [ "mix" ]
+             ~doc:"Operation mix: a preset (a = 50/50 read/update, \
+                   b = 95/5, c = read-only, insert = 50/25/25) or an \
+                   explicit read:F,update:F,insert:F triple.")
+  in
+  let ops =
+    Arg.(value & opt int d.Server.ops
+         & info [ "ops" ] ~docv:"N"
+             ~doc:"Requests per representation (split across shards).")
+  in
+  let seed =
+    Arg.(value & opt int d.Server.seed
+         & info [ "seed" ]
+             ~doc:"Workload seed; every RNG (tenant/key draws, op \
+                   classes, machine placement) derives from it.")
+  in
+  let shards =
+    Arg.(value & opt int d.Server.shards
+         & info [ "shards" ] ~docv:"S"
+             ~doc:"Static tenant shards. A workload parameter, never \
+                   derived from --jobs: changing it changes the \
+                   workload, changing --jobs never does.")
+  in
+  let resident =
+    Arg.(value & opt int d.Server.resident
+         & info [ "resident" ] ~docv:"R"
+             ~doc:"LRU residency capacity per shard (max concurrently \
+                   mapped tenants).")
+  in
+  let keys =
+    Arg.(value & opt int d.Server.keys_per_tenant
+         & info [ "keys" ] ~docv:"K" ~doc:"Base keyspace size per tenant.")
+  in
+  let value_bytes =
+    Arg.(value & opt int d.Server.value_bytes
+         & info [ "value-bytes" ] ~docv:"B" ~doc:"Payload size of values.")
+  in
+  let reprs =
+    Arg.(value & opt (some string) None
+         & info [ "reprs" ] ~docv:"R1,R2,..."
+             ~doc:"Comma-separated representations to drive (default: \
+                   all nine).")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the server report as JSON (deterministic: \
+                   byte-identical across reruns and across --jobs; see \
+                   docs/SERVER.md).")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Run the (representation, shard) work items on N \
+                   domains. The report (and its JSON) is identical to a \
+                   serial run; only wall-clock changes.")
+  in
+  let run tenants theta mix ops seed shards resident keys value_bytes reprs
+      json jobs =
+    let fail msg =
+      Printf.eprintf "serve: %s\n" msg;
+      exit 2
+    in
+    let mix =
+      match Server.mix_of_string mix with Ok m -> m | Error msg -> fail msg
+    in
+    let reprs =
+      match reprs with
+      | None -> d.Server.reprs
+      | Some s ->
+          List.map
+            (fun name ->
+              match Core.Repr.of_string (String.trim name) with
+              | Some r -> r
+              | None -> fail (Printf.sprintf "unknown representation %S" name))
+            (String.split_on_char ',' s)
+    in
+    let config =
+      { d with Server.tenants; theta; mix; ops; seed; shards; resident;
+        keys_per_tenant = keys; value_bytes; reprs }
+    in
+    (match Server.validate config with
+    | Ok () -> ()
+    | Error msg -> fail msg);
+    let report = Server.run ~jobs config in
+    Server.print_report report;
+    match json with
+    | None -> ()
+    | Some path ->
+        Core.Json.to_file path (Server.report_to_json report);
+        Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Host one NVRegion-backed kvstore per tenant behind a \
+             deterministic request loop and drive a YCSB-style zipfian \
+             workload across every pointer representation, with LRU \
+             map/unmap residency churn.")
+    Term.(const run $ tenants $ theta $ mix $ ops $ seed $ shards $ resident
+          $ keys $ value_bytes $ reprs $ json $ jobs)
+
 (* inspect *)
 
 let inspect_cmd =
@@ -426,5 +548,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "nvmpi" ~doc)
-          [ bench_cmd; check_cmd; run_cmd; crash_cmd; fuzz_cmd; inspect_cmd;
-            layout_cmd ]))
+          [ bench_cmd; check_cmd; run_cmd; crash_cmd; fuzz_cmd; serve_cmd;
+            inspect_cmd; layout_cmd ]))

@@ -1,0 +1,36 @@
+(** The zipfian request-popularity generator behind the server's
+    YCSB-style workload.
+
+    Rank [r] (0-based) is drawn with probability exactly
+    [1 / (r+1)^theta / zeta(n, theta)] — sampled by inverting the
+    precomputed cumulative distribution with a binary search, so draws
+    match {!expected_prob} exactly (no continuous-approximation bias,
+    unlike the classic Gray et al. SIGMOD'94 O(1) inversion YCSB uses,
+    whose per-rank error at small [n] defeats a chi-square check).
+    Construction is O(n), a draw is O(log n). [theta = 0] degenerates
+    to the uniform distribution and is special-cased to an exact
+    [Random.State.int] draw.
+
+    Draws consume exactly one [Random.State] value, so a generator is
+    deterministic under a seeded state — the property the server's
+    [--jobs]-independent sharding relies on (see [docs/WORKLOADS.md]
+    for the math and the seeding discipline). *)
+
+type t
+
+val v : n:int -> theta:float -> t
+(** Generator over ranks [0 .. n-1] with skew [theta].
+    @raise Invalid_argument unless [n >= 1] and [0 <= theta < 1]
+    (the harmonic normalization diverges at [theta = 1]). *)
+
+val n : t -> int
+val theta : t -> float
+
+val next : t -> Random.State.t -> int
+(** One draw: a rank in [0 .. n-1], most popular first (rank 0 is the
+    hottest item). *)
+
+val expected_prob : t -> int -> float
+(** [expected_prob t r] is the probability of rank [r]
+    ([1/(r+1)^theta / zeta(n, theta)]) — what the chi-square test in
+    [test/test_server.ml] checks draws against. *)
