@@ -23,8 +23,9 @@ open Nvmpi_experiments
 
 let usage_text =
   "usage: main.exe [--scale F] [--seed N] [--full-wordcount] [--json FILE] \
-   [--jobs N] [--wall] [experiment ...]\n\
-  \       main.exe check BASELINE.json [--tolerance F] [--jobs N]\n\
+   [--jobs N] [--wall] [--engine staged|dispatch] [experiment ...]\n\
+  \       main.exe check BASELINE.json [--tolerance F] [--jobs N] [--engine \
+   staged|dispatch]\n\
   \       main.exe perf [--ops N]\n\
    experiments: fig12 payload table1 fig13 fig14 regions fig15 breakdown \
    ablations bechamel faultsim conform server all\n\
@@ -34,9 +35,12 @@ let usage_text =
    0.10);\n\
    --jobs runs independent work items on N domains (identical results, \
    wall-clock only);\n\
-   --wall adds a host wall-clock section to the JSON snapshot; perf \
-   prints a\n\
-   host-nanosecond profile of the simulator's access hot path."
+   --wall adds a host wall-clock section (with per-representation deref \
+   ns) to the JSON snapshot;\n\
+   --engine selects the staged (pre-instantiated, default) or dispatch \
+   (first-class-module) call graph;\n\
+   perf prints a host-nanosecond profile of the simulator's access hot \
+   path."
 
 let usage () =
   print_endline usage_text;
@@ -91,27 +95,38 @@ let bechamel_suite () =
      bytes through the resulting absolute address. Unlike pointer-load
      this includes the data access the translation exists to serve, so
      it is the host-side cost of the simulator's per-deref fast path
-     (TLB'd page lookup + single-observer dispatch + L1 hit). *)
-  let deref_test kind =
+     (TLB'd page lookup + single-observer dispatch + L1 hit). Measured
+     under both engines for every representation: [staged] runs the
+     fused [Core.Engine.deref] (per-kind direct dispatch into the
+     specialized path); [dispatch] unpacks the first-class module and
+     chains the generic [Memsim.load64] — the historical call graph. *)
+  let deref_test ~staged kind =
     let store = Core.Store.create () in
     let m = Machine.create ~seed:1 ~store () in
     let r = Machine.open_region m (Machine.create_region m ~size:(1 lsl 20)) in
-    let (module P) = Core.Repr.m kind in
-    let holder = Region.alloc r P.slot_size in
+    if kind = Core.Repr.Based then Machine.set_based_region m (Region.rid r);
+    let holder = Region.alloc r (Core.Repr.slot_size kind) in
     let target = Region.alloc r 64 in
-    P.store m ~holder target;
-    let mem = m.Machine.mem in
-    Test.make ~name:(Core.Repr.to_string kind)
-      (Staged.stage (fun () ->
-           ignore (Nvmpi_memsim.Memsim.load64 mem (P.load m ~holder))))
+    Core.Engine.store kind m ~holder target;
+    let name = Core.Repr.to_string kind in
+    if staged then
+      Test.make ~name
+        (Staged.stage (fun () -> ignore (Core.Engine.deref kind m ~holder)))
+    else
+      let (module P) = Core.Repr.m kind in
+      let mem = m.Machine.mem in
+      Test.make ~name
+        (Staged.stage (fun () ->
+             ignore (Nvmpi_memsim.Memsim.load64 mem (P.load m ~holder))))
   in
   let tests =
     [
       Test.make_grouped ~name:"pointer-load" ~fmt:"%s/%s"
         (List.map load_test Core.Repr.all);
-      Test.make_grouped ~name:"single-deref" ~fmt:"%s/%s"
-        (List.map deref_test
-           Core.Repr.[ Riv; Fat; Fat_cached; Off_holder ]);
+      Test.make_grouped ~name:"single-deref-staged" ~fmt:"%s/%s"
+        (List.map (deref_test ~staged:true) Core.Repr.all);
+      Test.make_grouped ~name:"single-deref-dispatch" ~fmt:"%s/%s"
+        (List.map (deref_test ~staged:false) Core.Repr.all);
       Test.make_grouped ~name:"riv-traversal" ~fmt:"%s/%s"
         (List.map traverse_test Instance.structures);
     ]
@@ -289,6 +304,41 @@ let perf_main args =
     "  (tracker rows grow the event log; re-run perf rather than \
      comparing across --ops values)\n"
 
+(* Per-representation single-dereference cost in host nanoseconds,
+   measured with plain deterministic loops under the active engine.
+   This backs the ["deref_ns_per_op"] object of the --wall JSON section:
+   unlike the bechamel estimates (sampling-based, and implausibly
+   inflated on some virtualized hosts), a fixed-count loop over the
+   fused path divides two monotonic-clock readings — crude, but honest
+   and reproducible enough to track the staged engine's regression
+   budget per representation. *)
+let deref_ns_per_op () =
+  let module Machine = Core.Machine in
+  let module Region = Core.Region in
+  let module Wall = Nvmpi_parsweep.Wall in
+  let ops = 2_000_000 in
+  List.map
+    (fun kind ->
+      let store = Core.Store.create () in
+      let m = Machine.create ~seed:1 ~store () in
+      let r =
+        Machine.open_region m (Machine.create_region m ~size:(1 lsl 20))
+      in
+      if kind = Core.Repr.Based then
+        Machine.set_based_region m (Region.rid r);
+      let holder = Region.alloc r (Core.Repr.slot_size kind) in
+      let target = Region.alloc r 64 in
+      Core.Engine.store kind m ~holder target;
+      let loop k =
+        for _ = 1 to k do
+          ignore (Core.Engine.deref kind m ~holder)
+        done
+      in
+      loop (ops / 10);
+      let (), ns = Wall.time (fun () -> loop ops) in
+      (Core.Repr.to_string kind, float_of_int ns /. float_of_int ops))
+    Core.Repr.all
+
 (* Run mode ---------------------------------------------------------- *)
 
 let run_main args =
@@ -383,8 +433,9 @@ let run_main args =
   match !json_path with
   | None -> ()
   | Some path ->
+      let deref_ns = if !wall then deref_ns_per_op () else [] in
       Nvmpi_obs.Json.to_file path
-        (Suite.snapshot_of ~wall:!wall params results);
+        (Suite.snapshot_of ~wall:!wall ~deref_ns params results);
       Printf.printf "wrote %s (%d experiment(s), schema_version %d)\n" path
         (List.length results) Suite.schema_version
 
@@ -463,7 +514,23 @@ let check_main args =
   end
 
 let () =
-  match List.tl (Array.to_list Sys.argv) with
+  (* --engine is process-global: it selects the instance-construction
+     call graph for the whole run (set here, before any domain spawns),
+     so it is stripped ahead of mode dispatch and is accepted by run and
+     check alike. Recorded parameters and snapshot schemas do not
+     mention it — staged and dispatch runs stay byte-comparable. *)
+  let rec strip_engine acc = function
+    | [] -> List.rev acc
+    | "--engine" :: v :: rest ->
+        (match Core.Engine.mode_of_string v with
+        | Some m ->
+            Core.Engine.set_default_mode m;
+            strip_engine acc rest
+        | None -> fail "--engine needs staged or dispatch, got %S" v)
+    | [ "--engine" ] -> fail "option --engine needs a value"
+    | a :: rest -> strip_engine (a :: acc) rest
+  in
+  match strip_engine [] (List.tl (Array.to_list Sys.argv)) with
   | "check" :: rest -> check_main rest
   | "perf" :: rest -> perf_main rest
   | args -> run_main args

@@ -17,6 +17,25 @@ open Cmdliner
 
 let experiments = Nvmpi_experiments.Suite.names @ [ "all" ]
 
+(* --engine: which instance-construction call graph the process uses —
+   staged (pre-instantiated per-representation modules, the default) or
+   dispatch (the historical first-class-module path). Process-global,
+   set at command start before any domains spawn; the two are
+   observationally identical, so every JSON artifact is byte-identical
+   across engines and only host time differs. Shared by the subcommands
+   that construct representation-parameterized structures. *)
+let engine =
+  let engine_conv =
+    Arg.enum
+      [ ("staged", Core.Engine.Staged); ("dispatch", Core.Engine.Dispatch) ]
+  in
+  Arg.(value & opt engine_conv Core.Engine.Staged
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine: $(b,staged) (pre-instantiated \
+                 per-representation modules, the default) or \
+                 $(b,dispatch) (first-class-module dispatch). Results \
+                 are identical; only host time differs.")
+
 (* bench *)
 
 let bench_cmd =
@@ -53,7 +72,8 @@ let bench_cmd =
                    snapshot) are identical to a serial run; only \
                    wall-clock changes.")
   in
-  let run names scale seed full json jobs =
+  let run engine names scale seed full json jobs =
+    Core.Engine.set_default_mode engine;
     let open Nvmpi_experiments in
     let params = { Suite.scale; seed; wordcount_full = full } in
     let names =
@@ -85,7 +105,7 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate the paper's evaluation tables/figures.")
-    Term.(const run $ names $ scale $ seed $ full $ json $ jobs)
+    Term.(const run $ engine $ names $ scale $ seed $ full $ json $ jobs)
 
 (* check *)
 
@@ -100,7 +120,8 @@ let check_cmd =
          & info [ "tolerance" ]
              ~doc:"Allowed relative deviation per cycle count.")
   in
-  let run path tolerance =
+  let run engine path tolerance =
+    Core.Engine.set_default_mode engine;
     let open Nvmpi_experiments in
     let ( let* ) r f =
       match r with
@@ -128,7 +149,7 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Re-run the experiments a benchmark snapshot records and fail \
              on cycle-count regressions beyond the tolerance.")
-    Term.(const run $ baseline $ tolerance)
+    Term.(const run $ engine $ baseline $ tolerance)
 
 (* run *)
 
@@ -235,7 +256,8 @@ let crash_cmd =
                    as a separate JSON document. Kept apart from --json, \
                    which stays deterministic.")
   in
-  let run seed exhaustive sample json skip_selftest jobs wall_json =
+  let run engine seed exhaustive sample json skip_selftest jobs wall_json =
+    Core.Engine.set_default_mode engine;
     let open Nvmpi_faultsim in
     let mode =
       match sample with
@@ -267,8 +289,8 @@ let crash_cmd =
              the durable image at each point, reopen it at fresh segments \
              and verify recovery invariants for every pointer \
              representation.")
-    Term.(const run $ seed $ exhaustive $ sample $ json $ skip_selftest
-          $ jobs $ wall_json)
+    Term.(const run $ engine $ seed $ exhaustive $ sample $ json
+          $ skip_selftest $ jobs $ wall_json)
 
 (* fuzz *)
 
@@ -304,7 +326,8 @@ let fuzz_cmd =
                    s-expression (as printed in a failure report) against \
                    every applicable representation.")
   in
-  let run seed traces json jobs replay =
+  let run engine seed traces json jobs replay =
+    Core.Engine.set_default_mode engine;
     let open Nvmpi_conform in
     match replay with
     | Some path -> (
@@ -359,7 +382,7 @@ let fuzz_cmd =
              simulated machine, cross-check the position-independent \
              representations pairwise after each remap, and shrink any \
              divergence to a replayable s-expression.")
-    Term.(const run $ seed $ traces $ json $ jobs $ replay)
+    Term.(const run $ engine $ seed $ traces $ json $ jobs $ replay)
 
 (* serve *)
 
@@ -435,8 +458,9 @@ let serve_cmd =
                    domains. The report (and its JSON) is identical to a \
                    serial run; only wall-clock changes.")
   in
-  let run tenants theta mix ops seed shards resident keys value_bytes reprs
-      json jobs =
+  let run engine tenants theta mix ops seed shards resident keys value_bytes
+      reprs json jobs =
+    Core.Engine.set_default_mode engine;
     let fail msg =
       Printf.eprintf "serve: %s\n" msg;
       exit 2
@@ -476,8 +500,8 @@ let serve_cmd =
              deterministic request loop and drive a YCSB-style zipfian \
              workload across every pointer representation, with LRU \
              map/unmap residency churn.")
-    Term.(const run $ tenants $ theta $ mix $ ops $ seed $ shards $ resident
-          $ keys $ value_bytes $ reprs $ json $ jobs)
+    Term.(const run $ engine $ tenants $ theta $ mix $ ops $ seed $ shards
+          $ resident $ keys $ value_bytes $ reprs $ json $ jobs)
 
 (* inspect *)
 

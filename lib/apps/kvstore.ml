@@ -4,6 +4,7 @@ module Memsim = Nvmpi_memsim.Memsim
 module Objstore = Nvmpi_tx.Objstore
 module Tx = Nvmpi_tx.Tx
 module Repr = Core.Repr
+module Engine = Core.Engine
 module Vaddr = Nvmpi_addr.Kinds.Vaddr
 module Bitops = Nvmpi_addr.Bitops
 
@@ -16,7 +17,7 @@ let kind_tag = 0x4B56 (* "KV" *)
 type t = {
   os : Objstore.t;
   tx : Tx.t;
-  repr : (module Core.Repr_sig.S);
+  repr : Repr.kind;
   meta : Vaddr.t;
   table : Vaddr.t;
   buckets : int;
@@ -24,23 +25,21 @@ type t = {
 
 let machine t = Objstore.machine t.os
 let memory t = (machine t).Machine.mem
-let slot t = let (module P) = t.repr in P.slot_size
+let slot t = Repr.slot_size t.repr
 
-let load_slot t holder =
-  let (module P) = t.repr in
-  P.load (machine t) ~holder
+(* Slot operations go through the engine's per-kind direct dispatch:
+   one match on the kind, no first-class module unpacked per call. *)
+let load_slot t holder = Engine.load t.repr (machine t) ~holder
 
 (* Index mutations are undo-logged before the representation writes the
    slot, so an interrupted transaction restores the previous encoding
    whatever the representation. *)
 let store_slot_tx t holder target =
-  let (module P) = t.repr in
-  Tx.add_range t.tx ~addr:holder ~len:P.slot_size;
-  P.store (machine t) ~holder target
+  Tx.add_range t.tx ~addr:holder ~len:(slot t);
+  Engine.store t.repr (machine t) ~holder target
 
 let store_slot_raw t holder target =
-  let (module P) = t.repr in
-  P.store (machine t) ~holder target
+  Engine.store t.repr (machine t) ~holder target
 
 (* Objects allocated inside the current transaction are filled with
    plain stores; register their whole wrapped block so the commit
@@ -68,17 +67,16 @@ let create os ~repr ~name ?(buckets = 256) () =
   if buckets <= 0 then invalid_arg "Kvstore.create: buckets";
   let machine = Objstore.machine os in
   let region = Objstore.region os in
-  let (module P) = Repr.m repr in
   let meta = Objstore.alloc os ~tag:kind_tag ~size:32 () in
-  let table = Objstore.alloc os ~tag:kind_tag ~size:(buckets * P.slot_size) () in
-  let t =
-    { os; tx = Tx.create os; repr = (module P); meta; table; buckets }
+  let table =
+    Objstore.alloc os ~tag:kind_tag ~size:(buckets * Repr.slot_size repr) ()
   in
-  Memsim.store64 machine.Machine.mem meta kind_tag;
-  Memsim.store64 machine.Machine.mem (Vaddr.add meta 8) buckets;
-  Memsim.store64 machine.Machine.mem (Vaddr.add meta 16)
+  let t = { os; tx = Tx.create os; repr; meta; table; buckets } in
+  Machine.store64_fast machine meta kind_tag;
+  Machine.store64_fast machine (Vaddr.add meta 8) buckets;
+  Machine.store64_fast machine (Vaddr.add meta 16)
     (Vaddr.offset_in table ~base:(Region.base region));
-  Memsim.store64 machine.Machine.mem (Vaddr.add meta 24) 0;
+  Machine.store64_fast machine (Vaddr.add meta 24) 0;
   for i = 0 to buckets - 1 do
     store_slot_raw t (bucket_holder t i) Vaddr.null
   done;
@@ -91,15 +89,14 @@ let attach os ~repr ~name =
   match Region.root region name with
   | None -> failwith (Printf.sprintf "Kvstore.attach: no root %S" name)
   | Some meta ->
-      if Memsim.load64 machine.Machine.mem meta <> kind_tag then
+      if Machine.load64_fast machine meta <> kind_tag then
         failwith "Kvstore.attach: root is not a key-value store";
-      let buckets = Memsim.load64 machine.Machine.mem (Vaddr.add meta 8) in
+      let buckets = Machine.load64_fast machine (Vaddr.add meta 8) in
       let table =
         Vaddr.add (Region.base region)
-          (Memsim.load64 machine.Machine.mem (Vaddr.add meta 16))
+          (Machine.load64_fast machine (Vaddr.add meta 16))
       in
-      let (module P) = Repr.m repr in
-      { os; tx = Tx.create os; repr = (module P); meta; table; buckets }
+      { os; tx = Tx.create os; repr; meta; table; buckets }
 
 (* Locate the entry for [key]: [`Found (prev_holder, entry)] or
    [`Missing last_holder]. *)
@@ -109,7 +106,8 @@ let locate t ~key =
     if Vaddr.is_null entry then `Missing holder
     else begin
       Objstore.touch_read t.os;
-      if Memsim.load64 (memory t) (Vaddr.add entry (key_off t)) = key then
+      if Machine.load64_fast (machine t) (Vaddr.add entry (key_off t)) = key
+      then
         `Found (holder, entry)
       else go (Vaddr.add entry next_off)
     end
@@ -120,7 +118,7 @@ let read_value t entry =
   let v = load_slot t (Vaddr.add entry (val_off t)) in
   if Vaddr.is_null v then ""
   else
-    let len = Memsim.load64 (memory t) v in
+    let len = Machine.load64_fast (machine t) v in
     Bytes.to_string
       (Memsim.blit_to_bytes (memory t) ~addr:(Vaddr.add v 8) ~len)
 
@@ -128,7 +126,7 @@ let alloc_value t data =
   let len = String.length data in
   let v = Objstore.alloc t.os ~tag:kind_tag ~size:(8 + len) () in
   tx_fresh t v ~size:(8 + len);
-  Memsim.store64 (memory t) v len;
+  Machine.store64_fast (machine t) v len;
   if len > 0 then
     Memsim.blit_from_bytes (memory t) ~addr:(Vaddr.add v 8)
       (Bytes.of_string data);
@@ -145,7 +143,7 @@ let put_body t ~key data =
       let entry = Objstore.alloc t.os ~tag:kind_tag ~size:(entry_size t) () in
       tx_fresh t entry ~size:(entry_size t);
       store_slot_raw t (Vaddr.add entry next_off) Vaddr.null;
-      Memsim.store64 (memory t) (Vaddr.add entry (key_off t)) key;
+      Machine.store64_fast (machine t) (Vaddr.add entry (key_off t)) key;
       store_slot_raw t (Vaddr.add entry (val_off t)) fresh_value;
       store_slot_tx t holder entry;
       Vaddr.null
@@ -188,7 +186,7 @@ let iter t f =
       let entry = load_slot t holder in
       if Vaddr.is_null entry then ()
       else begin
-        f ~key:(Memsim.load64 (memory t) (Vaddr.add entry (key_off t)))
+        f ~key:(Machine.load64_fast (machine t) (Vaddr.add entry (key_off t)))
           ~value:(read_value t entry);
         go (Vaddr.add entry next_off)
       end

@@ -167,6 +167,15 @@ let access_l1 t ~addr ~write =
     access_l2 t ~addr ~write:false
   end
 
+(* Fused single-line entry (staged engine): a naturally aligned
+   power-of-two access of at most a line never crosses a line boundary,
+   so the general [access] below always takes its [first = last] branch
+   and charges [access_l1 ~addr:(addr land line_mask)]. This entry is
+   that branch, callable directly from a fused Memsim access with no
+   size loop and no observer closure in between. *)
+let[@inline] access_line t ~addr ~write =
+  access_l1 t ~addr:(addr land t.line_mask) ~write
+
 let access t ~addr ~size ~write =
   let first = addr land t.line_mask in
   let last = (addr + size - 1) land t.line_mask in

@@ -54,6 +54,14 @@ val clock : t -> Clock.t
 val access : t -> addr:int -> size:int -> write:bool -> unit
 (** Charge one access explicitly (the observer calls this). *)
 
+val access_line : t -> addr:int -> write:bool -> unit
+(** Charge a single-line access: exactly what {!access} does for any
+    naturally aligned power-of-two access of at most a cache line (such
+    an access never straddles a line). The staged engine's fused deref
+    path calls this directly after a [Memsim.*_fused] data access,
+    bypassing the observer closure; using it for an access that could
+    span lines would undercharge. *)
+
 val alu : t -> int -> unit
 (** [alu t n] charges [n] cycles of register-only computation. *)
 

@@ -101,7 +101,7 @@ let compare_pairwise results group =
         rest
 
 let run_exec ?obs_metrics kind tr =
-  Exec.run ?obs_metrics ~repr:(Repr.m kind) ~kind tr
+  Exec.run ?obs_metrics ~kind tr
 
 (** Checks one trace against the oracle and pairwise; failures carry
     already-shrunk traces. Exposed for tests and [--replay]. *)

@@ -64,11 +64,18 @@ type shandle = {
 
 let struct_name st = "c-" ^ Trace.structure_name st
 
-let make_shandle (module P : Core.Repr_sig.S) node st ~create =
+(* The structure-handle constructor for one representation, applied
+   statically to all nine representations below (the staged engine's
+   pre-instantiated set) and dynamically to [(val Repr.m kind)] when
+   the dispatch engine is selected. *)
+module Shandle_of (P : Core.Repr_sig.S) = struct
+  module SP = Nvmpi_structures.Specialized.Spec (P)
+
+  let make node st ~create =
   let name = struct_name st in
   match (st : Trace.structure) with
   | Slist ->
-      let module L = Nvmpi_structures.Linked_list.Make (P) in
+      let module L = SP.List in
       let t = if create then L.create node ~name else L.attach node ~name in
       {
         s_ins = (fun k -> L.append t ~key:k; true);
@@ -79,7 +86,7 @@ let make_shandle (module P : Core.Repr_sig.S) node st ~create =
         s_unswz = (fun () -> L.unswizzle t);
       }
   | Sbtree ->
-      let module B = Nvmpi_structures.Bstree.Make (P) in
+      let module B = SP.Btree in
       let t = if create then B.create node ~name else B.attach node ~name in
       {
         s_ins = (fun k -> B.insert t ~key:k);
@@ -90,7 +97,7 @@ let make_shandle (module P : Core.Repr_sig.S) node st ~create =
         s_unswz = (fun () -> B.unswizzle t);
       }
   | Shash ->
-      let module H = Nvmpi_structures.Hashset.Make (P) in
+      let module H = SP.Hashset in
       let t =
         if create then H.create node ~name ~buckets else H.attach node ~name
       in
@@ -103,7 +110,7 @@ let make_shandle (module P : Core.Repr_sig.S) node st ~create =
         s_unswz = (fun () -> H.unswizzle t);
       }
   | Strie ->
-      let module T = Nvmpi_structures.Trie.Make (P) in
+      let module T = SP.Trie in
       let t = if create then T.create node ~name else T.attach node ~name in
       {
         s_ins = (fun k -> T.insert t (Trace.word_of_key k));
@@ -113,9 +120,55 @@ let make_shandle (module P : Core.Repr_sig.S) node st ~create =
         s_swz = (fun () -> T.swizzle t);
         s_unswz = (fun () -> T.unswizzle t);
       }
+end
 
-let run ?obs_metrics ~repr:(module P : Core.Repr_sig.S)
-    ~kind (tr : Trace.t) : result =
+module H_normal = Shandle_of (Core.Normal_ptr)
+module H_off_holder = Shandle_of (Core.Off_holder)
+module H_riv = Shandle_of (Core.Riv)
+module H_fat = Shandle_of (Core.Fat)
+module H_fat_cached = Shandle_of (Core.Fat_cached)
+module H_based = Shandle_of (Core.Based_ptr)
+module H_swizzle = Shandle_of (Core.Swizzle)
+module H_packed_fat = Shandle_of (Core.Packed_fat)
+module H_hw_oid = Shandle_of (Core.Hw_oid)
+
+let make_shandle_staged kind node st ~create =
+  match (kind : Core.Repr.kind) with
+  | Normal -> H_normal.make node st ~create
+  | Off_holder -> H_off_holder.make node st ~create
+  | Riv -> H_riv.make node st ~create
+  | Fat -> H_fat.make node st ~create
+  | Fat_cached -> H_fat_cached.make node st ~create
+  | Based -> H_based.make node st ~create
+  | Swizzle -> H_swizzle.make node st ~create
+  | Packed_fat -> H_packed_fat.make node st ~create
+  | Hw_oid -> H_hw_oid.make node st ~create
+
+let run ?obs_metrics ?repr ~kind (tr : Trace.t) : result =
+  (* Engine selection, bound once per trace: the staged path goes
+     through the pre-instantiated handles and per-kind direct dispatch;
+     the dispatch path reproduces the historical behaviour — unpack a
+     first-class module once and apply the structure functors at
+     runtime. [?repr] forces the dispatch path with an arbitrary module
+     standing in for [kind] — the harness self-test injects a
+     deliberately buggy representation through it. *)
+  let dispatch (module P : Core.Repr_sig.S) =
+    let module H = Shandle_of (P) in
+    ( H.make,
+      (fun m ~holder v -> P.store m ~holder v),
+      fun m ~holder -> P.load m ~holder )
+  in
+  let make_shandle, pstore, pload =
+    match repr with
+    | Some p -> dispatch p
+    | None -> (
+        match Core.Engine.mode () with
+        | Core.Engine.Staged ->
+            ( make_shandle_staged kind,
+              (fun m ~holder v -> Core.Engine.store kind m ~holder v),
+              fun m ~holder -> Core.Engine.load kind m ~holder )
+        | Core.Engine.Dispatch -> dispatch (Core.Repr.m kind))
+  in
   let nops = List.length tr.ops in
   let obs = Array.make nops Skipped in
   let snaps = ref [] in
@@ -152,14 +205,14 @@ let run ?obs_metrics ~repr:(module P : Core.Repr_sig.S)
       else Region.addr_of_offset !r1 obj_off.(o)
     in
     for i = 0 to tr.slots - 1 do
-      P.store m ~holder:(slot_addr i) Vaddr.null
+      pstore m ~holder:(slot_addr i) Vaddr.null
     done;
     let fresh_node () = Node.make m ~mode:(Plain [| !r0 |]) ~payload in
     let structs = ref [] in
     let build ~create =
       let node = fresh_node () in
       structs :=
-        List.map (fun st -> (st, make_shandle (module P) node st ~create))
+        List.map (fun st -> (st, make_shandle node st ~create))
           tr.structures
     in
     build ~create:true;
@@ -178,7 +231,7 @@ let run ?obs_metrics ~repr:(module P : Core.Repr_sig.S)
       let b = Buffer.create 64 in
       for i = 0 to tr.slots - 1 do
         Printf.bprintf b "slot%d=%s " i
-          (obs_to_string (decode (P.load m ~holder:(slot_addr i))))
+          (obs_to_string (decode (pload m ~holder:(slot_addr i))))
       done;
       List.iter
         (fun st ->
@@ -216,12 +269,12 @@ let run ?obs_metrics ~repr:(module P : Core.Repr_sig.S)
           snaps := (i, snapshot ()) :: !snaps;
           Good Model.Done
       | Pstore (sl, None) ->
-          P.store m ~holder:(slot_addr sl) Vaddr.null;
+          pstore m ~holder:(slot_addr sl) Vaddr.null;
           Good Model.Done
       | Pstore (sl, Some o) ->
-          P.store m ~holder:(slot_addr sl) (obj_addr o);
+          pstore m ~holder:(slot_addr sl) (obj_addr o);
           Good Model.Done
-      | Pload sl -> decode (P.load m ~holder:(slot_addr sl))
+      | Pload sl -> decode (pload m ~holder:(slot_addr sl))
       | Ins (st, k) -> Good (Model.Bool ((shandle st).s_ins k))
       | Del (st, k) -> Good (Model.Bool ((shandle st).s_del k))
       | Mem (st, k) -> Good (Model.Bool ((shandle st).s_mem k))

@@ -11,6 +11,38 @@ module Region = Nvmpi_nvregion.Region
 module Store = Nvmpi_nvregion.Store
 module Metrics = Nvmpi_obs.Metrics
 
+(* Per-machine counter cells for the staged engines: one slot per
+   hot-path counter, indexed by the constants below. Slots start as the
+   [Metrics.Handle.unresolved] sentinel and are resolved on first bump,
+   so a counter registers (and appears in snapshots) at exactly the
+   moment the string-keyed [count] path would have registered it. *)
+module Cell = struct
+  let normal_stores = 0
+  let normal_loads = 1
+  let off_holder_stores = 2
+  let off_holder_loads = 3
+  let riv_stores = 4
+  let riv_loads = 5
+  let fat_stores = 6
+  let fat_loads = 7
+  let fat_cached_stores = 8
+  let fat_cached_loads = 9
+  let fat_cache_hits = 10
+  let fat_cache_misses = 11
+  let based_stores = 12
+  let based_loads = 13
+  let swizzle_stores = 14
+  let swizzle_loads = 15
+  let swizzle_packed_stores = 16
+  let swizzle_swizzled = 17
+  let swizzle_unswizzled = 18
+  let packed_fat_stores = 19
+  let packed_fat_loads = 20
+  let hw_oid_stores = 21
+  let hw_oid_loads = 22
+  let slots = 23
+end
+
 type t = {
   layout : Layout.t;
   mem : Memsim.t;
@@ -20,6 +52,7 @@ type t = {
   nvspace : Nvspace.t;
   fat : Fat_table.t;
   metrics : Metrics.t;
+  cells : Metrics.Handle.t array;
   mutable based_base : Vaddr.t;
       (* Vaddr.null = unset; the data area never contains address 0 *)
   mutable crash_hook : (unit -> unit) option;
@@ -71,6 +104,7 @@ let create ?(layout = Layout.default) ?cfg ?metrics ?seed ~store () =
     nvspace;
     fat;
     metrics;
+    cells = Array.make Cell.slots Metrics.Handle.unresolved;
     based_base = Vaddr.null;
     crash_hook = None;
     dram_cursor = dram_base + heap_off;
@@ -177,3 +211,38 @@ let cycles t = Clock.cycles t.clock
 let is_nvm t a = K.in_nv_space t.layout a
 let metrics t = t.metrics
 let count ?by t name = Metrics.incr ?by t.metrics name
+
+(* Staged fast paths. [create] attaches the timing model as observer 0
+   before anything else can register, so whenever [Memsim.solo_observed]
+   holds, the sole observer *is* [t.timing] and the fused data access
+   plus a direct [Timing.access_line] charge is exactly what the generic
+   path's observer dispatch would have done. Any second observer (the
+   fault-injection tracker) or [Memsim.observed false] window makes the
+   guard false and falls back to the generic path, preserving observer
+   semantics and event order bit-for-bit. *)
+
+let[@inline never] resolve_cell t i name =
+  let c = Metrics.handle t.metrics name in
+  t.cells.(i) <- c;
+  c
+
+let[@inline] cell t i name =
+  let c = Array.unsafe_get t.cells i in
+  if Metrics.Handle.resolved c then c else resolve_cell t i name
+
+let[@inline] bump t i name = Metrics.Handle.bump (cell t i name)
+
+let[@inline] load64_fast t a =
+  if Memsim.solo_observed t.mem then begin
+    let v = Memsim.load64_fused t.mem a in
+    Timing.access_line t.timing ~addr:(a : Vaddr.t :> int) ~write:false;
+    v
+  end
+  else Memsim.load64 t.mem a
+
+let[@inline] store64_fast t a v =
+  if Memsim.solo_observed t.mem then begin
+    Memsim.store64_fused t.mem a v;
+    Timing.access_line t.timing ~addr:(a : Vaddr.t :> int) ~write:true
+  end
+  else Memsim.store64 t.mem a v

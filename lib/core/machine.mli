@@ -18,6 +18,35 @@
     regions models a new run in which every region lands at a different
     virtual address. *)
 
+(** Indices into the machine's staged counter-cell table; see {!cell}.
+    One constant per hot-path counter name. *)
+module Cell : sig
+  val normal_stores : int
+  val normal_loads : int
+  val off_holder_stores : int
+  val off_holder_loads : int
+  val riv_stores : int
+  val riv_loads : int
+  val fat_stores : int
+  val fat_loads : int
+  val fat_cached_stores : int
+  val fat_cached_loads : int
+  val fat_cache_hits : int
+  val fat_cache_misses : int
+  val based_stores : int
+  val based_loads : int
+  val swizzle_stores : int
+  val swizzle_loads : int
+  val swizzle_packed_stores : int
+  val swizzle_swizzled : int
+  val swizzle_unswizzled : int
+  val packed_fat_stores : int
+  val packed_fat_loads : int
+  val hw_oid_stores : int
+  val hw_oid_loads : int
+  val slots : int
+end
+
 type t = {
   layout : Nvmpi_addr.Layout.t;
   mem : Nvmpi_memsim.Memsim.t;
@@ -29,6 +58,9 @@ type t = {
   metrics : Nvmpi_obs.Metrics.t;
       (** the machine-wide counter registry every layer reports into;
           catalogue in [docs/METRICS.md] *)
+  cells : Nvmpi_obs.Metrics.Handle.t array;
+      (** lazily resolved counter handles, indexed by {!Cell} constants;
+          use {!bump}/{!cell}, never index directly *)
   mutable based_base : Nvmpi_addr.Kinds.Vaddr.t;
       (** base register for based pointers; {!Nvmpi_addr.Kinds.Vaddr.null}
           = unset *)
@@ -144,3 +176,32 @@ val count : ?by:int -> t -> string -> unit
 (** [count t name] bumps counter [name] in the machine's registry —
     the hook the pointer representations use to report events at the
     point of cost. *)
+
+(** {1 Staged fast paths}
+
+    The pre-resolved-counter and fused-access machinery behind the
+    staged per-representation engines ({!Engine}). Observational
+    contract: every entry point here is bit-for-bit equivalent to its
+    generic counterpart ([count] / [load64] / [store64]) — same
+    counters registered at the same moments, same cycles charged in the
+    same order — it only skips host-side indirections (the string
+    lookup, the observer closure). *)
+
+val cell : t -> int -> string -> Nvmpi_obs.Metrics.Handle.t
+(** [cell t i name] is the handle for counter [name] cached in cell
+    slot [i] (a {!Cell} constant), resolving and registering it on
+    first use. *)
+
+val bump : t -> int -> string -> unit
+(** [bump t i name] increments the counter behind cell slot [i] —
+    the staged equivalent of [count t name]. *)
+
+val load64_fast : t -> Nvmpi_addr.Kinds.Vaddr.t -> int
+val store64_fast : t -> Nvmpi_addr.Kinds.Vaddr.t -> int -> unit
+(** Fused 64-bit accesses: when the machine's timing model is the sole
+    enabled observer (the steady state — [create] attaches it as
+    observer 0), the data access and the single-line cache charge are
+    made directly, skipping the observer closure. Otherwise (durability
+    tracker attached, or an [observed false] bookkeeping window) they
+    fall back to the generic [load64]/[store64], so observer semantics
+    and event order are preserved exactly. *)

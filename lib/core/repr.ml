@@ -54,9 +54,22 @@ let m : kind -> (module Repr_sig.S) = function
   | Packed_fat -> (module Packed_fat)
   | Hw_oid -> (module Hw_oid)
 
-let slot_size k = let (module R) = m k in R.slot_size
-let cross_region k = let (module R) = m k in R.cross_region
-let position_independent k = let (module R) = m k in R.position_independent
+(* Per-kind attribute tables: direct matches compiling to constant
+   loads, so callers that size slots or filter kinds per element (the
+   experiment runner, the structures) never unpack a first-class module
+   just to read a constant. Values restate each module's constants and
+   are pinned to them by test_engine's registry check. *)
+let slot_size = function
+  | Fat | Fat_cached -> 16
+  | Normal | Off_holder | Riv | Based | Swizzle | Packed_fat | Hw_oid -> 8
+
+let cross_region = function
+  | Off_holder | Based -> false
+  | Normal | Riv | Fat | Fat_cached | Swizzle | Packed_fat | Hw_oid -> true
+
+let position_independent = function
+  | Normal | Swizzle -> false
+  | Off_holder | Riv | Fat | Fat_cached | Based | Packed_fat | Hw_oid -> true
 
 (** Representations whose persisted image survives remapping without any
     load-time pass. *)

@@ -64,7 +64,7 @@ let params_to_json p =
       ("wordcount_full", Json.Bool p.wordcount_full);
     ]
 
-let snapshot_of ?(wall = false) p results =
+let snapshot_of ?(wall = false) ?(deref_ns = []) p results =
   let base =
     [
       ("schema_version", Json.Int schema_version);
@@ -90,21 +90,32 @@ let snapshot_of ?(wall = false) p results =
       [
         ( "wall",
           Json.Obj
-            [
-              ( "total_ns",
-                Json.Int
-                  (List.fold_left (fun a r -> a + r.wall_ns) 0 results) );
-              ( "experiments",
-                Json.List
-                  (List.map
-                     (fun r ->
-                       Json.Obj
-                         [
-                           ("name", Json.String r.name);
-                           ("wall_ns", Json.Int r.wall_ns);
-                         ])
-                     results) );
-            ] );
+            ([
+               ( "engine",
+                 Json.String
+                   (Core.Engine.mode_to_string (Core.Engine.mode ())) );
+               ( "total_ns",
+                 Json.Int
+                   (List.fold_left (fun a r -> a + r.wall_ns) 0 results) );
+               ( "experiments",
+                 Json.List
+                   (List.map
+                      (fun r ->
+                        Json.Obj
+                          [
+                            ("name", Json.String r.name);
+                            ("wall_ns", Json.Int r.wall_ns);
+                          ])
+                      results) );
+             ]
+            @
+            if deref_ns = [] then []
+            else
+              [
+                ( "deref_ns_per_op",
+                  Json.Obj
+                    (List.map (fun (n, v) -> (n, Json.Float v)) deref_ns) );
+              ]) );
       ]
   in
   Json.Obj (base @ wall_section)

@@ -51,11 +51,17 @@ val run_all : ?jobs:int -> params -> string list -> result list
     and returns results in request order, identical to the serial run
     except for [wall_ns]. *)
 
-val snapshot_of : ?wall:bool -> params -> result list -> Nvmpi_obs.Json.t
+val snapshot_of :
+  ?wall:bool ->
+  ?deref_ns:(string * float) list ->
+  params -> result list -> Nvmpi_obs.Json.t
 (** The schema-versioned snapshot document for a set of results.
-    [~wall:true] (default false) appends a ["wall"] section with
-    per-experiment and total [wall_ns]; {!check} ignores it, and
-    determinism tests compare snapshots without it. *)
+    [~wall:true] (default false) appends a ["wall"] section with the
+    active engine name, per-experiment and total [wall_ns], and — when
+    [deref_ns] is non-empty — a ["deref_ns_per_op"] object mapping each
+    representation to its measured host-nanosecond single-dereference
+    cost. {!check} ignores the whole section, and determinism tests
+    compare snapshots without it. *)
 
 val params_of_json :
   Nvmpi_obs.Json.t -> (params, string) Stdlib.result

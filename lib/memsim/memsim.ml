@@ -248,6 +248,65 @@ let store_sized t ~size a v =
   | 8 -> store64 t a v
   | _ -> invalid_arg "Memsim.store_sized"
 
+(* Fused entry points (staged engine): the full access pipeline minus
+   observer dispatch. A caller that *is* the sole observer — the staged
+   per-representation engines hold the machine's timing model directly —
+   performs the data access here and charges the cache model itself,
+   skipping one closure indirection per access. [solo_observed] is the
+   guard: it holds exactly when generic [load64] would have made a
+   single direct [obs0] call, so fused + caller-side charge is
+   observationally identical to the generic path. *)
+
+let[@inline] solo_observed t = t.notify && t.n_obs = 1
+
+let[@inline] note t write =
+  if write then begin
+    t.stats.stores <- t.stats.stores + 1;
+    incr t.c_stores
+  end
+  else begin
+    t.stats.loads <- t.stats.loads + 1;
+    incr t.c_loads
+  end
+
+let load8_fused t a =
+  if a < 0 then fault a 1 "negative address";
+  let page = get_page t a 1 in
+  note t false;
+  Char.code (Bytes.get page (a land t.page_mask))
+
+let load16_fused t a =
+  check_align a 2;
+  let page = get_page t a 2 in
+  note t false;
+  Bytes.get_uint16_le page (a land t.page_mask)
+
+let load32_fused t a =
+  check_align a 4;
+  let page = get_page t a 4 in
+  note t false;
+  Int32.to_int (Bytes.get_int32_le page (a land t.page_mask)) land 0xFFFFFFFF
+
+let load64_fused t a =
+  check_align a 8;
+  let page = get_page t a 8 in
+  note t false;
+  Int64.to_int (Bytes.get_int64_le page (a land t.page_mask))
+
+let store64_fused t a v =
+  check_align a 8;
+  let page = get_page t a 8 in
+  note t true;
+  Bytes.set_int64_le page (a land t.page_mask) (Int64.of_int v)
+
+let load_sized_fused t ~size a =
+  match size with
+  | 1 -> load8_fused t a
+  | 2 -> load16_fused t a
+  | 4 -> load32_fused t a
+  | 8 -> load64_fused t a
+  | _ -> invalid_arg "Memsim.load_sized_fused"
+
 (* Bulk transfers copy raw page chunks (so arbitrary byte patterns
    roundtrip exactly, including 64-bit words that would overflow a native
    int) and report one observer access per chunk; the timing model
@@ -341,6 +400,9 @@ let store32 t (a : Vaddr.t) v = store32 t (a :> int) v
 let store64 t (a : Vaddr.t) v = store64 t (a :> int) v
 let load_sized t ~size (a : Vaddr.t) = load_sized t ~size (a :> int)
 let store_sized t ~size (a : Vaddr.t) v = store_sized t ~size (a :> int) v
+let load64_fused t (a : Vaddr.t) = load64_fused t (a :> int)
+let store64_fused t (a : Vaddr.t) v = store64_fused t (a :> int) v
+let load_sized_fused t ~size (a : Vaddr.t) = load_sized_fused t ~size (a :> int)
 let blit_from_bytes t ~addr:(a : Vaddr.t) b = blit_from_bytes t ~addr:(a :> int) b
 let blit_to_bytes t ~addr:(a : Vaddr.t) ~len = blit_to_bytes t ~addr:(a :> int) ~len
 let fill t ~addr:(a : Vaddr.t) ~len c = fill t ~addr:(a :> int) ~len c

@@ -87,6 +87,28 @@ val load_sized : t -> size:int -> Nvmpi_addr.Kinds.Vaddr.t -> int
 
 val store_sized : t -> size:int -> Nvmpi_addr.Kinds.Vaddr.t -> int -> unit
 
+(** {1 Fused entry points (staged engine)}
+
+    The full access pipeline — alignment check, page walk through the
+    single-entry TLB, statistics and counter-cell bumps — minus observer
+    dispatch. Contract: call these only when {!solo_observed} holds and
+    you hold that sole observer's model (in practice: the machine's
+    timing model, attached as observer 0 at creation), and charge it
+    yourself via [Timing.access_line]. Under that contract the fused
+    path is observationally identical to the generic one: the generic
+    path would have made exactly one direct [obs0] call with the same
+    [(write, addr, size)], and every naturally aligned power-of-two
+    access of at most a cache line reduces observer-side to a single
+    line charge. *)
+
+val solo_observed : t -> bool
+(** True iff notification is on and exactly one observer is registered —
+    the precondition for the fused entry points. *)
+
+val load64_fused : t -> Nvmpi_addr.Kinds.Vaddr.t -> int
+val store64_fused : t -> Nvmpi_addr.Kinds.Vaddr.t -> int -> unit
+val load_sized_fused : t -> size:int -> Nvmpi_addr.Kinds.Vaddr.t -> int
+
 (** {1 Bulk transfers}
 
     Bulk transfers are observed as a sequence of 8-byte (then byte-sized)

@@ -1,4 +1,5 @@
 module Memsim = Nvmpi_memsim.Memsim
+module Machine = Core.Machine
 module Swizzle = Core.Swizzle
 module Vaddr = Nvmpi_addr.Kinds.Vaddr
 
@@ -13,7 +14,6 @@ module Make (P : Core.Repr_sig.S) = struct
   let key_off = 2 * slot
   let payload_off = (2 * slot) + 8
   let node_size t = payload_off + t.node.Node.payload
-  let mem t = t.node.Node.machine.Core.Machine.mem
   let m t = t.node.Node.machine
   let head_holder t = Vaddr.add t.meta Node.head_slot_off
 
@@ -34,7 +34,7 @@ module Make (P : Core.Repr_sig.S) = struct
     let a = Node.alloc_node t.node (node_size t) in
     P.store (m t) ~holder:(Vaddr.add a left_off) Vaddr.null;
     P.store (m t) ~holder:(Vaddr.add a right_off) Vaddr.null;
-    Memsim.store64 (mem t) (Vaddr.add a key_off) key;
+    Machine.store64_fast (m t) (Vaddr.add a key_off) key;
     Node.write_payload t.node ~addr:(Vaddr.add a payload_off) ~seed:key;
     a
 
@@ -46,7 +46,7 @@ module Make (P : Core.Repr_sig.S) = struct
       if Vaddr.is_null cur then `Slot holder
       else begin
         Node.touch t.node;
-        let k = Memsim.load64 (mem t) (Vaddr.add cur key_off) in
+        let k = Machine.load64_fast (m t) (Vaddr.add cur key_off) in
         if key = k then `Found cur
         else if key < k then go (Vaddr.add cur left_off)
         else go (Vaddr.add cur right_off)
@@ -66,16 +66,16 @@ module Make (P : Core.Repr_sig.S) = struct
       invalid_arg "Bstree.insert_count: payload too small for a counter";
     match locate t ~key with
     | `Found cur ->
-        let c = Memsim.load64 (mem t) (Vaddr.add cur payload_off) in
-        Memsim.store64 (mem t) (Vaddr.add cur payload_off) (c + 1)
+        let c = Machine.load64_fast (m t) (Vaddr.add cur payload_off) in
+        Machine.store64_fast (m t) (Vaddr.add cur payload_off) (c + 1)
     | `Slot holder ->
         let a = new_node t ~key in
-        Memsim.store64 (mem t) (Vaddr.add a payload_off) 1;
+        Machine.store64_fast (m t) (Vaddr.add a payload_off) 1;
         P.store (m t) ~holder a
 
   let count t ~key =
     match locate t ~key with
-    | `Found cur -> Memsim.load64 (mem t) (Vaddr.add cur payload_off)
+    | `Found cur -> Machine.load64_fast (m t) (Vaddr.add cur payload_off)
     | `Slot _ -> 0
 
   let search t ~key =
@@ -85,7 +85,7 @@ module Make (P : Core.Repr_sig.S) = struct
     let rec go cur =
       if not (Vaddr.is_null cur) then begin
         Node.touch t.node;
-        f ~addr:cur ~key:(Memsim.load64 (mem t) (Vaddr.add cur key_off));
+        f ~addr:cur ~key:(Machine.load64_fast (m t) (Vaddr.add cur key_off));
         go (P.load (m t) ~holder:(Vaddr.add cur left_off));
         go (P.load (m t) ~holder:(Vaddr.add cur right_off))
       end
@@ -114,7 +114,7 @@ module Make (P : Core.Repr_sig.S) = struct
       if not (Vaddr.is_null cur) then begin
         Node.touch t.node;
         incr n;
-        sum := !sum + Memsim.load64 (mem t) (Vaddr.add cur key_off);
+        sum := !sum + Machine.load64_fast (m t) (Vaddr.add cur key_off);
         sum := !sum + Node.read_payload t.node ~addr:(Vaddr.add cur payload_off);
         go (P.load (m t) ~holder:(Vaddr.add cur left_off));
         go (P.load (m t) ~holder:(Vaddr.add cur right_off))

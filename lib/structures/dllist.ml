@@ -1,4 +1,5 @@
 module Memsim = Nvmpi_memsim.Memsim
+module Machine = Core.Machine
 module Swizzle = Core.Swizzle
 module Vaddr = Nvmpi_addr.Kinds.Vaddr
 
@@ -15,7 +16,6 @@ module Make (P : Core.Repr_sig.S) = struct
   let key_off = 2 * slot
   let payload_off = (2 * slot) + 8
   let node_size t = payload_off + t.node.Node.payload
-  let mem t = t.node.Node.machine.Core.Machine.mem
   let m t = t.node.Node.machine
   let head_holder t = t.anchor
   let tail_holder t = Vaddr.add t.anchor slot
@@ -26,7 +26,7 @@ module Make (P : Core.Repr_sig.S) = struct
     let t = { node; meta; anchor } in
     P.store t.node.Node.machine ~holder:anchor Vaddr.null;
     P.store t.node.Node.machine ~holder:(Vaddr.add anchor slot) Vaddr.null;
-    Memsim.store64 t.node.Node.machine.Core.Machine.mem
+    Machine.store64_fast t.node.Node.machine
       (Vaddr.add meta Node.head_slot_off) (Vaddr.offset_in anchor ~base:meta);
     t
 
@@ -39,7 +39,7 @@ module Make (P : Core.Repr_sig.S) = struct
       failwith "Dllist.attach: payload size mismatch";
     let anchor =
       Vaddr.add meta
-        (Memsim.load64 node.Node.machine.Core.Machine.mem
+        (Machine.load64_fast node.Node.machine
            (Vaddr.add meta Node.head_slot_off))
     in
     { node; meta; anchor }
@@ -48,7 +48,7 @@ module Make (P : Core.Repr_sig.S) = struct
     let a = Node.alloc_node t.node (node_size t) in
     P.store (m t) ~holder:(Vaddr.add a next_off) Vaddr.null;
     P.store (m t) ~holder:(Vaddr.add a prev_off) Vaddr.null;
-    Memsim.store64 (mem t) (Vaddr.add a key_off) key;
+    Machine.store64_fast (m t) (Vaddr.add a key_off) key;
     Node.write_payload t.node ~addr:(Vaddr.add a payload_off) ~seed:key;
     a
 
@@ -73,7 +73,7 @@ module Make (P : Core.Repr_sig.S) = struct
       if Vaddr.is_null cur then Vaddr.null
       else begin
         Node.touch t.node;
-        if Memsim.load64 (mem t) (Vaddr.add cur key_off) = key then cur
+        if Machine.load64_fast (m t) (Vaddr.add cur key_off) = key then cur
         else go (P.load (m t) ~holder:(Vaddr.add cur next_off))
       end
     in
@@ -99,7 +99,7 @@ module Make (P : Core.Repr_sig.S) = struct
         Node.touch t.node;
         go
           (P.load (m t) ~holder:(Vaddr.add cur next_off))
-          (f acc cur (Memsim.load64 (mem t) (Vaddr.add cur key_off)))
+          (f acc cur (Machine.load64_fast (m t) (Vaddr.add cur key_off)))
       end
     in
     go (P.load (m t) ~holder:(head_holder t)) acc
@@ -117,7 +117,7 @@ module Make (P : Core.Repr_sig.S) = struct
         Node.touch t.node;
         go
           (P.load (m t) ~holder:(Vaddr.add cur prev_off))
-          (Memsim.load64 (mem t) (Vaddr.add cur key_off) :: acc)
+          (Machine.load64_fast (m t) (Vaddr.add cur key_off) :: acc)
       end
     in
     go (P.load (m t) ~holder:(tail_holder t)) []
@@ -127,7 +127,7 @@ module Make (P : Core.Repr_sig.S) = struct
     fold_forward t
       (fun () cur _ ->
         incr n;
-        sum := !sum + Memsim.load64 (mem t) (Vaddr.add cur key_off);
+        sum := !sum + Machine.load64_fast (m t) (Vaddr.add cur key_off);
         sum := !sum + Node.read_payload t.node ~addr:(Vaddr.add cur payload_off))
       ();
     (!n, !sum)

@@ -12,7 +12,6 @@ module Make (P : Core.Repr_sig.S) = struct
   let key_off = slot
   let payload_off = slot + 8
   let node_size t = payload_off + t.node.Node.payload
-  let mem t = t.node.Node.machine.Machine.mem
   let m t = t.node.Node.machine
   let table_holder t = Vaddr.add t.meta Node.head_slot_off
 
@@ -54,7 +53,7 @@ module Make (P : Core.Repr_sig.S) = struct
       if Vaddr.is_null cur then `Slot holder
       else begin
         Node.touch t.node;
-        if Memsim.load64 (mem t) (Vaddr.add cur key_off) = key then `Found cur
+        if Machine.load64_fast (m t) (Vaddr.add cur key_off) = key then `Found cur
         else go cur
       end
     in
@@ -66,7 +65,7 @@ module Make (P : Core.Repr_sig.S) = struct
     | `Slot holder ->
         let a = Node.alloc_node t.node (node_size t) in
         P.store (m t) ~holder:a Vaddr.null;
-        Memsim.store64 (mem t) (Vaddr.add a key_off) key;
+        Machine.store64_fast (m t) (Vaddr.add a key_off) key;
         Node.write_payload t.node ~addr:(Vaddr.add a payload_off) ~seed:key;
         P.store (m t) ~holder a;
         true
@@ -81,7 +80,7 @@ module Make (P : Core.Repr_sig.S) = struct
       if Vaddr.is_null cur then false
       else begin
         Node.touch t.node;
-        if Memsim.load64 (mem t) (Vaddr.add cur key_off) = key then begin
+        if Machine.load64_fast (m t) (Vaddr.add cur key_off) = key then begin
           P.store (m t) ~holder (P.load (m t) ~holder:cur);
           (* Node storage is leaked: region heaps are bump allocators. *)
           true
@@ -97,7 +96,7 @@ module Make (P : Core.Repr_sig.S) = struct
       let rec go cur =
         if not (Vaddr.is_null cur) then begin
           Node.touch t.node;
-          f ~addr:cur ~key:(Memsim.load64 (mem t) (Vaddr.add cur key_off));
+          f ~addr:cur ~key:(Machine.load64_fast (m t) (Vaddr.add cur key_off));
           go (P.load (m t) ~holder:cur)
         end
       in
@@ -119,7 +118,7 @@ module Make (P : Core.Repr_sig.S) = struct
         if not (Vaddr.is_null cur) then begin
           Node.touch t.node;
           incr n;
-          sum := !sum + Memsim.load64 (mem t) (Vaddr.add cur key_off);
+          sum := !sum + Machine.load64_fast (m t) (Vaddr.add cur key_off);
           sum := !sum + Node.read_payload t.node ~addr:(Vaddr.add cur payload_off);
           go (P.load (m t) ~holder:cur)
         end

@@ -1,0 +1,21 @@
+(** Pre-instantiated (structure × representation) bundles.
+
+    [Spec (P)] applies every structure functor in this library to one
+    pointer representation, yielding the full specialized structure set
+    for that representation in a single application. The staged
+    instance layer ([Nvmpi_experiments.Instance]) applies it statically
+    to each of the nine representations at program start, so steady-state
+    instance construction selects a pre-built module by kind instead of
+    running a functor application (and unpacking a first-class module)
+    per instance. The dynamic path still exists: applying [Spec] to
+    [(val Repr.m kind)] is exactly the historical dispatch behaviour. *)
+
+module Spec (P : Core.Repr_sig.S) = struct
+  module List = Linked_list.Make (P)
+  module Btree = Bstree.Make (P)
+  module Hashset = Hashset.Make (P)
+  module Trie = Trie.Make (P)
+  module Dllist = Dllist.Make (P)
+  module Graph = Graph.Make (P)
+  module Bplus = Bplus.Make (P)
+end

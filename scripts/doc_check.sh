@@ -29,10 +29,11 @@ done
 # --- 2. counter prefixes ----------------------------------------------
 
 # Counter names are dotted lowercase string literals at the registration
-# / increment idioms (Metrics.counter, Metrics.incr, Machine.count, and
-# the local `c "..."` alias). Dynamic names (repr.<name>.loads, built
-# with sprintf) still expose their prefix in the format literal.
-prefixes=$(grep -rhE 'Metrics\.(counter|incr)|Machine\.count| c "[a-z]' \
+# / increment idioms (Metrics.counter, Metrics.incr, Metrics.handle,
+# Machine.count, the staged Machine.bump/Machine.cell, and the local
+# `c "..."` alias). Dynamic names (repr.<name>.loads, built with
+# sprintf) still expose their prefix in the format literal.
+prefixes=$(grep -rhE 'Metrics\.(counter|incr|handle)|Machine\.(count|bump|cell)| c "[a-z]' \
              --include='*.ml' lib/ \
            | grep -oE '"[a-z][a-z0-9_-]*\.[a-z0-9_.%<>-]*"' \
            | cut -d'"' -f2 | cut -d. -f1 | sort -u)
