@@ -256,7 +256,15 @@ let crash_cmd =
                    as a separate JSON document. Kept apart from --json, \
                    which stays deterministic.")
   in
-  let run engine seed exhaustive sample json skip_selftest jobs wall_json =
+  let only =
+    Arg.(value & opt (some string) None
+         & info [ "only" ] ~docv:"SUBSTR"
+             ~doc:"Sweep only scenarios whose name contains SUBSTR (e.g. \
+                   'palloc' for the allocator oracles). Selftest doubles \
+                   are filtered too.")
+  in
+  let run engine seed exhaustive sample json skip_selftest jobs wall_json only
+      =
     Core.Engine.set_default_mode engine;
     let open Nvmpi_faultsim in
     let mode =
@@ -267,6 +275,24 @@ let crash_cmd =
     let scenarios =
       Scenario.defaults ()
       @ (if skip_selftest then [] else Scenario.selftests ())
+    in
+    let scenarios =
+      match only with
+      | None -> scenarios
+      | Some substr ->
+          let matches s =
+            let n = String.length substr and m = String.length s.Scenario.name in
+            let rec at i =
+              i + n <= m && (String.sub s.Scenario.name i n = substr || at (i + 1))
+            in
+            at 0
+          in
+          (match List.filter matches scenarios with
+          | [] ->
+              Printf.eprintf "nvmpi crash: no scenario matches --only %s\n"
+                substr;
+              exit 2
+          | l -> l)
     in
     let metrics = Core.Metrics.create () in
     let report = Sweep.run ~jobs ~mode ~metrics ~seed scenarios in
@@ -290,7 +316,7 @@ let crash_cmd =
              and verify recovery invariants for every pointer \
              representation.")
     Term.(const run $ engine $ seed $ exhaustive $ sample $ json
-          $ skip_selftest $ jobs $ wall_json)
+          $ skip_selftest $ jobs $ wall_json $ only)
 
 (* fuzz *)
 
@@ -403,8 +429,16 @@ let serve_cmd =
     Arg.(value & opt string "b"
          & info [ "mix" ]
              ~doc:"Operation mix: a preset (a = 50/50 read/update, \
-                   b = 95/5, c = read-only, insert = 50/25/25) or an \
-                   explicit read:F,update:F,insert:F triple.")
+                   b = 95/5, c = read-only, insert = 50/25/25, churn = \
+                   30/40/15/15 with deletes) or an explicit \
+                   read:F,update:F,insert:F[,delete:F] list.")
+  in
+  let churn =
+    Arg.(value & flag
+         & info [ "churn" ]
+             ~doc:"Shorthand for --mix churn: overwrite- and \
+                   delete-heavy traffic with value-size churn, driving \
+                   the allocator's free/reuse paths.")
   in
   let ops =
     Arg.(value & opt int d.Server.ops
@@ -458,13 +492,14 @@ let serve_cmd =
                    domains. The report (and its JSON) is identical to a \
                    serial run; only wall-clock changes.")
   in
-  let run engine tenants theta mix ops seed shards resident keys value_bytes
-      reprs json jobs =
+  let run engine tenants theta mix churn ops seed shards resident keys
+      value_bytes reprs json jobs =
     Core.Engine.set_default_mode engine;
     let fail msg =
       Printf.eprintf "serve: %s\n" msg;
       exit 2
     in
+    let mix = if churn then "churn" else mix in
     let mix =
       match Server.mix_of_string mix with Ok m -> m | Error msg -> fail msg
     in
@@ -500,7 +535,8 @@ let serve_cmd =
              deterministic request loop and drive a YCSB-style zipfian \
              workload across every pointer representation, with LRU \
              map/unmap residency churn.")
-    Term.(const run $ engine $ tenants $ theta $ mix $ ops $ seed $ shards
+    Term.(const run $ engine $ tenants $ theta $ mix $ churn $ ops $ seed
+          $ shards
           $ resident $ keys $ value_bytes $ reprs $ json $ jobs)
 
 (* inspect *)

@@ -32,6 +32,8 @@ let experiments =
       fun p -> [ Figures.breakdown ~scale:p.scale ?seed:p.seed () ] );
     ( "ablations",
       fun p -> Ablations.all ~scale:p.scale ?seed:p.seed () );
+    ( "churn",
+      fun p -> [ Churn.table ~scale:p.scale ?seed:p.seed () ] );
   ]
 
 let names = List.map fst experiments

@@ -9,6 +9,8 @@ module Vaddr = Nvmpi_addr.Kinds.Vaddr
 module Node = Nvmpi_structures.Node
 module Instance = Nvmpi_experiments.Instance
 module Workload = Nvmpi_experiments.Workload
+module Palloc = Nvmpi_palloc.Palloc
+module Timing = Nvmpi_cachesim.Timing
 module Objstore = Nvmpi_tx.Objstore
 module Tx = Nvmpi_tx.Tx
 module Kvstore = Nvmpi_apps.Kvstore
@@ -429,6 +431,105 @@ let swizzle_window_scenario ?(keys = 8) () =
   in
   { name; expect_fail = false; run }
 
+(* {1 Allocator churn}
+
+   Seeded alloc/free churn straight on a palloc heap carved from the
+   boot region, every allocation published through a root cell. The
+   oracle at every crash point, after [Palloc.recover]:
+
+   - [Palloc.check]: the headers tile the heap (no byte owned by two
+     blocks), no block is both free-listed and reachable, lists are
+     exact;
+   - the allocated set equals the root set: every non-empty root
+     references a live block (nothing reachable is unbacked) and every
+     live block is referenced by exactly one root (nothing leaked) —
+     [alloc_into]/[free_from] promise exactly this atomicity. *)
+
+let palloc_heap_off region =
+  Nvmpi_addr.Bitops.align_up (Region.heap_top region) 16
+
+let palloc_over machine region ~fresh =
+  let heap_off = palloc_heap_off region in
+  let lo = Region.addr_of_offset region heap_off in
+  let hi = Vaddr.add (Region.base region) (Region.size region) in
+  (if fresh then Palloc.init else Palloc.recover)
+    ~mem:machine.Machine.mem ~timing:machine.Machine.timing
+    ~metrics:(Machine.metrics machine) ~lo ~hi
+
+let verify_palloc machine' region' =
+  match palloc_over machine' region' ~fresh:false with
+  | exception Palloc.Corrupted msg ->
+      Error ("allocator recovery failed: " ^ msg)
+  | t' -> (
+      match Palloc.check t' with
+      | exception Palloc.Corrupted msg ->
+          Error ("allocator invariant violated: " ^ msg)
+      | () ->
+          let rooted =
+            List.init Palloc.roots (fun i -> Palloc.root_get t' i)
+            |> List.filter (fun p -> p <> 0)
+            |> List.sort compare
+          in
+          let live = Palloc.allocated_payloads t' in
+          if live = rooted then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "allocator leak/double-map: %d live blocks vs %d rooted \
+                  offsets"
+                 (List.length live) (List.length rooted)))
+
+let alloc_scenario ?(ops = 14) () =
+  let name = "palloc-churn" in
+  let run ~metrics ~seed =
+    let machine, rid, region = boot ~metrics ~seed in
+    let t = palloc_over machine region ~fresh:true in
+    (* A little pre-arm history so the churn frees real blocks. *)
+    ignore (Palloc.alloc_into t ~root:0 24);
+    ignore (Palloc.alloc_into t ~root:1 5000);
+    let tracker = Tracker.attach machine in
+    Tracker.arm tracker;
+    let rng = Random.State.make [| seed; 0xA110C |] in
+    let sizes = [| 16; 4000; 200; 9000; 24; 120; 4096; 48; 1500; 600 |] in
+    for i = 1 to ops do
+      let root = i mod 6 in
+      if Palloc.root_get t root <> 0 then Palloc.free_from t ~root
+      else
+        ignore
+          (Palloc.alloc_into t ~root
+             sizes.(Random.State.int rng (Array.length sizes)))
+    done;
+    let verify ~seq:_ machine' regions' =
+      verify_palloc machine' (find_region rid regions')
+    in
+    { tracker; verify }
+  in
+  { name; expect_fail = false; run }
+
+(* Selftest double: clear a root cell durably {e before} freeing the
+   block it referenced. Every crash point between those two fences has
+   a live block no root references — a leak the sweep must call out. *)
+let alloc_leak_selftest () =
+  let name = "selftest-leak-palloc" in
+  let run ~metrics ~seed =
+    let machine, rid, region = boot ~metrics ~seed in
+    let t = palloc_over machine region ~fresh:true in
+    let p = Palloc.alloc_into t ~root:2 160 in
+    let tracker = Tracker.attach machine in
+    Tracker.arm tracker;
+    let timing = machine.Machine.timing in
+    Memsim.store64 machine.Machine.mem (Palloc.root_addr t 2) 0;
+    Timing.flush timing ~addr:((Palloc.root_addr t 2 :> int));
+    Timing.fence timing;
+    (* The block is now unreachable but still allocated: leaked. *)
+    Palloc.free t p;
+    let verify ~seq:_ machine' regions' =
+      verify_palloc machine' (find_region rid regions')
+    in
+    { tracker; verify }
+  in
+  { name; expect_fail = true; run }
+
 (* {1 Catalogues} *)
 
 let paper_structures =
@@ -456,7 +557,11 @@ let defaults () =
       tx_cells_scenario ();
       swizzle_window_scenario ();
       structure_scenario ~pinned_dependent:true Instance.List Repr.Normal;
+      alloc_scenario ();
     ]
 
 let selftests () =
-  [ structure_scenario ~fence:false Instance.List Repr.Riv ]
+  [
+    structure_scenario ~fence:false Instance.List Repr.Riv;
+    alloc_leak_selftest ();
+  ]

@@ -59,6 +59,18 @@ val swizzle_window_scenario : ?keys:int -> unit -> t
     image is position dependent, and recovery at a fresh segment must
     detectably fail; outside the window it must succeed exactly. *)
 
+val alloc_scenario : ?ops:int -> unit -> t
+(** Seeded alloc/free churn on a {!Nvmpi_palloc.Palloc} heap, every
+    allocation published through a root cell. At every crash point
+    recovery must yield a heap whose [check] passes and whose allocated
+    set equals the rooted set — no leaked block, no double-mapped byte,
+    no reachable-but-unbacked object. *)
+
+val alloc_leak_selftest : unit -> t
+(** Selftest double: durably clears a root before freeing its block,
+    opening a window where a live block is unreachable. The sweep must
+    report the leak ([expect_fail]). *)
+
 val defaults : unit -> t list
 (** The full sweep: the paper's four structures under every
     position-independent representation, the kvstore under the core

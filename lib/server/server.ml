@@ -8,19 +8,28 @@ module Pool = Nvmpi_parsweep.Pool
 
 (* Operation mixes ---------------------------------------------------- *)
 
-type mix = { read : float; update : float; insert : float }
+type mix = { read : float; update : float; insert : float; delete : float }
 
-let mix_a = { read = 0.5; update = 0.5; insert = 0.0 }
-let mix_b = { read = 0.95; update = 0.05; insert = 0.0 }
-let mix_c = { read = 1.0; update = 0.0; insert = 0.0 }
-let mix_insert = { read = 0.5; update = 0.25; insert = 0.25 }
+let mix_a = { read = 0.5; update = 0.5; insert = 0.0; delete = 0.0 }
+let mix_b = { read = 0.95; update = 0.05; insert = 0.0; delete = 0.0 }
+let mix_c = { read = 1.0; update = 0.0; insert = 0.0; delete = 0.0 }
+let mix_insert = { read = 0.5; update = 0.25; insert = 0.25; delete = 0.0 }
+
+(* Allocator-churn mix: heavy overwrites plus real deletes, so value
+   blocks are freed and reallocated all run long. Deleting mixes also
+   churn the value {e size} (see [value_for]), exercising every size
+   class of the palloc heap behind the tenants' object stores. *)
+let mix_churn = { read = 0.3; update = 0.4; insert = 0.15; delete = 0.15 }
 
 let mix_valid m =
-  m.read >= 0.0 && m.update >= 0.0 && m.insert >= 0.0
-  && Float.abs (m.read +. m.update +. m.insert -. 1.0) < 1e-9
+  m.read >= 0.0 && m.update >= 0.0 && m.insert >= 0.0 && m.delete >= 0.0
+  && Float.abs (m.read +. m.update +. m.insert +. m.delete -. 1.0) < 1e-9
 
 let mix_to_string m =
+  (* The delete component is omitted when zero so reports from
+     pre-delete configurations render byte-identically. *)
   Printf.sprintf "read:%g,update:%g,insert:%g" m.read m.update m.insert
+  ^ (if m.delete > 0.0 then Printf.sprintf ",delete:%g" m.delete else "")
 
 let mix_of_string s =
   match String.lowercase_ascii (String.trim s) with
@@ -28,6 +37,7 @@ let mix_of_string s =
   | "b" -> Ok mix_b
   | "c" -> Ok mix_c
   | "insert" -> Ok mix_insert
+  | "churn" -> Ok mix_churn
   | s -> (
       (* read:F,update:F,insert:F — order-insensitive, all parts required *)
       let parts = String.split_on_char ',' s in
@@ -42,13 +52,14 @@ let mix_of_string s =
                 | "read" -> Ok { m with read = f }
                 | "update" -> Ok { m with update = f }
                 | "insert" -> Ok { m with insert = f }
+                | "delete" -> Ok { m with delete = f }
                 | k -> Error (Printf.sprintf "mix: unknown op class %S" k)))
         | Ok _, _ ->
             Error (Printf.sprintf "mix: expected class:prob, got %S" part)
       in
       match
         List.fold_left parse_part
-          (Ok { read = 0.0; update = 0.0; insert = 0.0 })
+          (Ok { read = 0.0; update = 0.0; insert = 0.0; delete = 0.0 })
           parts
       with
       | Error _ as e -> e
@@ -132,10 +143,17 @@ type shard_out = {
 }
 
 let value_for c ~tenant ~key ~version =
+  (* Under a deleting (churn) mix the value size itself churns —
+     deterministically per (key, version) — so overwrites move blocks
+     across allocator size classes instead of reusing one class. *)
+  let len =
+    if c.mix.delete > 0.0 then 1 + (((version * 37) + (key * 11)) mod c.value_bytes)
+    else c.value_bytes
+  in
   let base = Printf.sprintf "t%d.k%d.v%d." tenant key version in
   let n = String.length base in
-  if n >= c.value_bytes then String.sub base 0 c.value_bytes
-  else base ^ String.make (c.value_bytes - n) 'x'
+  if n >= len then String.sub base 0 len
+  else base ^ String.make (len - n) 'x'
 
 let run_shard c ~repr ~sh () =
   let n_sh = shard_tenants c sh in
@@ -158,6 +176,8 @@ let run_shard c ~repr ~sh () =
   let c_read_misses = Metrics.counter metrics "server.read_misses" in
   let c_updates = Metrics.counter metrics "server.updates" in
   let c_inserts = Metrics.counter metrics "server.inserts" in
+  let c_deletes = Metrics.counter metrics "server.deletes" in
+  let c_delete_misses = Metrics.counter metrics "server.delete_misses" in
   let zt = Zipf.v ~n:n_sh ~theta:c.theta in
   let zk = Zipf.v ~n:c.keys_per_tenant ~theta:c.theta in
   let insert_cursor = Hashtbl.create 64 in
@@ -186,6 +206,17 @@ let run_shard c ~repr ~sh () =
       in
       Hashtbl.replace versions (tenant, key) v;
       Kvstore.put kv ~key (value_for c ~tenant ~key ~version:v)
+    end
+    else if
+      c.mix.delete > 0.0 && r >= c.mix.read +. c.mix.update +. c.mix.insert
+    then begin
+      (* Delete: zipfian key from the base keyspace; misses count. The
+         guard keeps delete-free mixes on exactly the pre-delete branch
+         structure (float sums need not hit 1.0 exactly). *)
+      let key = 1 + Zipf.next zk st in
+      incr c_deletes;
+      if not (Kvstore.delete kv ~key) then incr c_delete_misses
+      else Hashtbl.remove versions (tenant, key)
     end
     else begin
       (* Insert: fresh keys from an extension window of the keyspace's

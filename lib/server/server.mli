@@ -22,11 +22,15 @@
 
 (** {1 Operation mixes} *)
 
-type mix = { read : float; update : float; insert : float }
+type mix = { read : float; update : float; insert : float; delete : float }
 (** Probabilities of each op class; must be non-negative and sum to 1
     (within 1e-9). Reads are [get]s; updates are [put]s over the
     tenant's base keyspace; inserts are [put]s of fresh keys from an
-    extension window of the same size (see [docs/WORKLOADS.md]). *)
+    extension window of the same size; deletes remove zipfian keys from
+    the base keyspace, releasing their value blocks back to the
+    allocator (see [docs/WORKLOADS.md]). Deleting mixes also churn the
+    value size per (key, version) so overwrites cross allocator size
+    classes. *)
 
 val mix_a : mix
 (** YCSB A, update-heavy: 50% read / 50% update. *)
@@ -40,12 +44,18 @@ val mix_c : mix
 val mix_insert : mix
 (** Insert-heavy: 50% read / 25% update / 25% insert. *)
 
+val mix_churn : mix
+(** Allocator churn: 30% read / 40% update / 15% insert / 15% delete,
+    with value-size churn — the [nvmpi serve --churn] mix. *)
+
 val mix_of_string : string -> (mix, string) result
-(** Accepts a preset name ([a], [b], [c], [insert]) or an explicit
-    [read:F,update:F,insert:F] triple. *)
+(** Accepts a preset name ([a], [b], [c], [insert], [churn]) or an
+    explicit [read:F,update:F,insert:F\[,delete:F\]] list. *)
 
 val mix_to_string : mix -> string
-(** Canonical [read:F,update:F,insert:F] form (what JSON records). *)
+(** Canonical [read:F,update:F,insert:F\[,delete:F\]] form (what JSON
+    records); the delete part is omitted when zero, so delete-free
+    reports render exactly as before. *)
 
 (** {1 Configuration} *)
 

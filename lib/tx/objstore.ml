@@ -3,14 +3,23 @@ module Region = Nvmpi_nvregion.Region
 module Memsim = Nvmpi_memsim.Memsim
 module Timing = Nvmpi_cachesim.Timing
 module Freelist = Nvmpi_alloc.Freelist
+module Palloc = Nvmpi_palloc.Palloc
 module Bitops = Nvmpi_addr.Bitops
 module Vaddr = Nvmpi_addr.Kinds.Vaddr
+
+(* Two heap backends share the [heap_lo, heap_hi) window recorded in
+   the metadata block: the legacy first-fit freelist and the
+   recoverable size-class palloc. Which one a region uses is
+   self-describing — palloc heaps start with their superblock magic —
+   so the metadata layout (and with it the pinned placement of every
+   object in the committed bench baseline) never changed. *)
+type heap = Fl of Freelist.t | Pa of Palloc.t
 
 type t = {
   machine : Machine.t;
   region : Region.t;
   meta : Vaddr.t; (* absolute address of the store's metadata block *)
-  heap : Freelist.t;
+  heap : heap;
 }
 
 let wrap_unit = 128
@@ -38,7 +47,7 @@ let mem t = t.machine.Machine.mem
 let meta_get t field = Memsim.load64 (mem t) (Vaddr.add t.meta field)
 let meta_set t field v = Memsim.store64 (mem t) (Vaddr.add t.meta field) v
 
-let create machine region ?(log_cap = 256 * 1024) () =
+let create machine region ?(log_cap = 256 * 1024) ?(heap = `Palloc) () =
   let mem = machine.Machine.mem in
   let meta = Region.alloc region meta_bytes in
   let log = Region.alloc region log_cap in
@@ -49,7 +58,16 @@ let create machine region ?(log_cap = 256 * 1024) () =
   let heap_hi = base + Region.size region in
   let heap_hi = heap_hi land lnot 7 in
   Region.set_heap_top region (heap_hi - base);
-  let heap = Freelist.init mem ~lo:(Vaddr.v heap_lo) ~hi:(Vaddr.v heap_hi) in
+  let heap =
+    match heap with
+    | `Freelist ->
+        Fl (Freelist.init mem ~lo:(Vaddr.v heap_lo) ~hi:(Vaddr.v heap_hi))
+    | `Palloc ->
+        Pa
+          (Palloc.init ~mem ~timing:machine.Machine.timing
+             ~metrics:(Machine.metrics machine) ~lo:(Vaddr.v heap_lo)
+             ~hi:(Vaddr.v heap_hi))
+  in
   let t = { machine; region; meta; heap } in
   Memsim.store64 mem (Vaddr.add meta m_magic) magic;
   meta_set t m_log_off (Vaddr.offset_in log ~base:(Region.base region));
@@ -115,7 +133,16 @@ let attach machine region =
       let base = Region.base region in
       let heap_lo = Vaddr.add base (Memsim.load64 mem (Vaddr.add meta m_heap_lo)) in
       let heap_hi = Vaddr.add base (Memsim.load64 mem (Vaddr.add meta m_heap_hi)) in
-      let heap = Freelist.attach mem ~lo:heap_lo ~hi:heap_hi in
+      (* The heap window self-describes its backend. Palloc heaps go
+         through [recover] — a no-op resolve plus list rebuild on a
+         clean image, and the only correct entry after a crash. *)
+      let heap =
+        if Palloc.is_formatted mem ~lo:heap_lo then
+          Pa
+            (Palloc.recover ~mem ~timing:machine.Machine.timing
+               ~metrics:(Machine.metrics machine) ~lo:heap_lo ~hi:heap_hi)
+        else Fl (Freelist.attach mem ~lo:heap_lo ~hi:heap_hi)
+      in
       let t = { machine; region; meta; heap } in
       (* A non-empty persisted log means a transaction was interrupted:
          roll it back before anyone reads torn data. *)
@@ -151,10 +178,26 @@ let log_append t ~addr ~len =
 (* Objects: [header | payload], allocated from the freelist in
    multiples of [wrap_unit]. Header: tag, payload size, version, flags. *)
 
+let heap_kind t = match t.heap with Fl _ -> `Freelist | Pa _ -> `Palloc
+
+let heap_alloc t n =
+  match t.heap with Fl h -> Freelist.alloc h n | Pa h -> Palloc.alloc h n
+
+let heap_free t addr =
+  match t.heap with Fl h -> Freelist.free h addr | Pa h -> Palloc.free h addr
+
+let heap_block_count t =
+  match t.heap with
+  | Fl h -> Freelist.block_count h
+  | Pa h -> Palloc.block_count h
+
+let heap_check t =
+  match t.heap with Fl h -> Freelist.check h | Pa h -> Palloc.check h
+
 let alloc t ?(tag = 0) ~size () =
   if size <= 0 then invalid_arg "Objstore.alloc: non-positive size";
   let total = Bitops.align_up (header_bytes + size) wrap_unit in
-  let block = Freelist.alloc t.heap total in
+  let block = heap_alloc t total in
   Memsim.store64 (mem t) block tag;
   Memsim.store64 (mem t) (Vaddr.add block 8) size;
   Memsim.store64 (mem t) (Vaddr.add block 16) 1;
@@ -163,7 +206,7 @@ let alloc t ?(tag = 0) ~size () =
   Vaddr.add block header_bytes
 
 let free t payload =
-  Freelist.free t.heap (Vaddr.add payload (-header_bytes));
+  heap_free t (Vaddr.add payload (-header_bytes));
   meta_set t m_alive (meta_get t m_alive - 1)
 
 let obj_tag t payload = Memsim.load64 (mem t) (Vaddr.add payload (-header_bytes))

@@ -24,16 +24,35 @@ val read_overhead_cycles : int
 (** ALU cycles charged per {!touch_read} (library accessor cost). *)
 
 val create : Core.Machine.t -> Nvmpi_nvregion.Region.t -> ?log_cap:int ->
-  unit -> t
+  ?heap:[ `Palloc | `Freelist ] -> unit -> t
 (** Formats the region's remaining free space as an object heap with a
     [log_cap]-byte undo-log buffer (default 256 KiB). The region must be
-    freshly created (or at least have enough free space). *)
+    freshly created (or at least have enough free space). [heap] picks
+    the allocator backend: the recoverable size-class
+    {!Nvmpi_palloc.Palloc} (default) or the legacy first-fit
+    {!Nvmpi_alloc.Freelist} (used by the bench runner to keep the
+    committed cycle baseline's object placement). *)
 
 val attach : Core.Machine.t -> Nvmpi_nvregion.Region.t -> t
 (** Re-attaches to a formatted region (after a remap or in a new run).
-    If the persisted undo log is non-empty — a crash interrupted a
-    transaction — it is rolled back first.
+    The heap backend is self-describing (palloc heaps start with their
+    superblock magic); palloc heaps are re-opened through
+    {!Nvmpi_palloc.Palloc.recover}, so attaching a post-crash image
+    yields a consistent heap. If the persisted undo log is non-empty —
+    a crash interrupted a transaction — it is rolled back after the
+    heap recovery.
     @raise Failure if the region holds no object store. *)
+
+val heap_kind : t -> [ `Palloc | `Freelist ]
+
+val heap_block_count : t -> int * int
+(** [(allocated, free)] wrapped-block counts straight from the heap
+    backend — the leak oracle behind the kvstore overwrite-storm test. *)
+
+val heap_check : t -> unit
+(** Runs the backend's full invariant check.
+    @raise Nvmpi_palloc.Palloc.Corrupted (or
+    [Nvmpi_alloc.Freelist.Corrupted]) on violation. *)
 
 val machine : t -> Core.Machine.t
 val region : t -> Nvmpi_nvregion.Region.t

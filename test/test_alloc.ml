@@ -151,6 +151,63 @@ let prop_random_ops =
       Freelist.check fl;
       fst (Freelist.block_count fl) = 0)
 
+(* Differential property: drive the freelist and a pure reference model
+   with the same operation trace and demand they agree after every step.
+   The model is just the set of live (payload address, usable size)
+   pairs plus its own disjointness/bounds judgement — it shares no code
+   with the allocator, so any divergence (a lost block, a double-mapped
+   byte, a block leaking past the heap) fails the property, and QCheck2's
+   integrated shrinking reduces the trace to a minimal counterexample. *)
+let heap_lo = 0x1000
+let heap_size = 256 * 1024
+
+let model_ok live =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) live in
+  let in_bounds (a, s) = a >= heap_lo && a + s <= heap_lo + heap_size in
+  let rec disjoint = function
+    | (a, s) :: ((b, _) :: _ as rest) -> a + s <= b && disjoint rest
+    | _ -> true
+  in
+  List.for_all in_bounds sorted && disjoint sorted
+
+let fl_allocated fl =
+  let out = ref [] in
+  Freelist.iter_blocks fl (fun ~addr ~size ~free ->
+      if not free then out := (ia addr, size) :: !out);
+  List.sort compare !out
+
+let prop_differential_model =
+  QCheck2.Test.make ~name:"freelist agrees with pure reference model"
+    ~count:80
+    QCheck2.Gen.(list_size (int_range 1 150) (int_range 0 2000))
+    (fun trace ->
+      let _, fl = fresh ~size:heap_size () in
+      let live = ref [] in
+      let step n =
+        (if n mod 4 = 0 && !live <> [] then begin
+           (* Free the (n/4 mod live)-th live block, model first. *)
+           let i = n / 4 mod List.length !live in
+           let a, _ = List.nth !live i in
+           live := List.filteri (fun j _ -> j <> i) !live;
+           Freelist.free fl (va a)
+         end
+         else
+           let sz = 1 + (n mod 500) in
+           let a = Freelist.alloc fl sz in
+           let us = Freelist.usable_size fl a in
+           if us < sz then failwith "usable_size below request";
+           live := (ia a, us) :: !live);
+        Freelist.check fl;
+        if not (model_ok !live) then failwith "model invariant broken";
+        (* The heap's allocated set must be exactly the model's. *)
+        fl_allocated fl = List.sort compare !live
+      in
+      List.for_all step trace
+      &&
+      (List.iter (fun (a, _) -> Freelist.free fl (va a)) !live;
+       Freelist.check fl;
+       fl_allocated fl = []))
+
 let prop_no_overlap =
   QCheck2.Test.make ~name:"live blocks never overlap" ~count:60
     QCheck2.Gen.(list_size (int_range 5 60) (int_range 1 300))
@@ -191,6 +248,7 @@ let () =
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_random_ops;
+          QCheck_alcotest.to_alcotest prop_differential_model;
           QCheck_alcotest.to_alcotest prop_no_overlap;
         ] );
     ]

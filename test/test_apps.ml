@@ -216,6 +216,48 @@ let test_kv_collisions () =
   Alcotest.(check (option string)) "neighbours intact" (Some "24")
     (Kvstore.get kv ~key:24)
 
+let test_kv_overwrite_storm () =
+  (* The store's free path must actually reclaim: after a storm of
+     overwrites, deletes and re-inserts that leaves the same live keys
+     behind, the heap holds exactly as many allocated blocks as it did
+     at the baseline — nothing leaked, nothing double-freed. *)
+  let store = Store.create () in
+  let m = Machine.create ~seed:7 ~store () in
+  let r = Machine.open_region m (Machine.create_region m ~size:(1 lsl 22)) in
+  let os = Objstore.create m r () in
+  let kv = Kvstore.create os ~repr:Repr.Riv ~name:"kv" ~buckets:16 () in
+  let keys = 32 in
+  let value ~key ~len = String.make len (Char.chr (Char.code 'a' + (key mod 26))) in
+  for key = 1 to keys do
+    Kvstore.put kv ~key (value ~key ~len:24)
+  done;
+  let baseline = fst (Objstore.heap_block_count os) in
+  let sizes = [| 8; 120; 480; 1500; 6000; 24 |] in
+  for op = 1 to 600 do
+    let key = 1 + (op mod keys) in
+    if op mod 13 = 0 then begin
+      ignore (Kvstore.delete kv ~key);
+      Kvstore.put kv ~key (value ~key ~len:24)
+    end
+    else Kvstore.put kv ~key (value ~key ~len:sizes.(op mod Array.length sizes))
+  done;
+  (* Settle every key back onto its baseline-sized value. *)
+  for key = 1 to keys do
+    Kvstore.put kv ~key (value ~key ~len:24)
+  done;
+  Objstore.heap_check os;
+  check "live blocks back to baseline" baseline
+    (fst (Objstore.heap_block_count os));
+  check "all keys survive the storm" keys (Kvstore.size kv);
+  (* Dropping every key must release every value and entry block: the
+     allocated count falls strictly below baseline. *)
+  for key = 1 to keys do
+    ignore (Kvstore.delete kv ~key)
+  done;
+  Objstore.heap_check os;
+  check_bool "deletes reclaim below baseline" true
+    (fst (Objstore.heap_block_count os) < baseline)
+
 let test_kv_survives_remap () =
   let store = Store.create () in
   let m1 = Machine.create ~seed:90 ~store () in
@@ -365,6 +407,8 @@ let () =
           Alcotest.test_case "empty + large values" `Quick
             test_kv_empty_and_large_values;
           Alcotest.test_case "collisions" `Quick test_kv_collisions;
+          Alcotest.test_case "overwrite storm reclaims" `Quick
+            test_kv_overwrite_storm;
           Alcotest.test_case "survives remap" `Quick test_kv_survives_remap;
           Alcotest.test_case "crash recovery" `Quick test_kv_crash_recovery;
           Alcotest.test_case "all representations" `Quick test_kv_all_reprs;

@@ -241,6 +241,34 @@ let test_sweep_kv_sampled () =
   check "kvstore read-your-writes holds at sampled points" 0
     (List.length r.Sweep.failures)
 
+let test_sweep_alloc_exhaustive () =
+  (* Satellite: crash at every persistence event of the palloc churn
+     scenario. Recovery must always produce a heap whose walk passes and
+     whose allocated set equals the rooted set — the allocator's no-leak
+     / no-double-map invariants hold at every single crash point. *)
+  let metrics = Metrics.create () in
+  let r =
+    Sweep.run_scenario ~metrics ~seed:31 ~mode:Sweep.Exhaustive
+      (Scenario.alloc_scenario ~ops:8 ())
+  in
+  check_bool "allocator churn generates many crash points" true
+    (r.Sweep.points > 50);
+  check "allocator invariants hold at every crash point" 0
+    (List.length r.Sweep.failures)
+
+let test_sweep_alloc_leak_caught () =
+  (* The leak double durably unroots a live block before freeing it; the
+     sweep must observe the leak at some crash point, proving the oracle
+     can actually see allocator bugs. *)
+  let metrics = Metrics.create () in
+  let r =
+    Sweep.run_scenario ~metrics ~seed:31 ~mode:Sweep.After_fences
+      (Scenario.alloc_leak_selftest ())
+  in
+  check_bool "double is marked expect_fail" true r.Sweep.expect_fail;
+  check_bool "leak observed at some crash point" true (r.Sweep.failures <> []);
+  check_bool "inverted verdict passes" true (Sweep.scenario_ok r)
+
 let test_report_json_roundtrip () =
   let metrics = Metrics.create () in
   let report =
@@ -301,6 +329,10 @@ let () =
             test_swizzle_midwalk_crash_pinned;
           Alcotest.test_case "kvstore sampled points" `Quick
             test_sweep_kv_sampled;
+          Alcotest.test_case "allocator exhaustive" `Quick
+            test_sweep_alloc_exhaustive;
+          Alcotest.test_case "allocator leak double caught" `Quick
+            test_sweep_alloc_leak_caught;
           Alcotest.test_case "json report" `Quick test_report_json_roundtrip;
         ] );
     ]

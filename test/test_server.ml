@@ -113,6 +113,34 @@ let test_mix_parsing () =
   bad "read:0.5,scan:0.5" (* unknown class *);
   bad "frobnicate"
 
+let test_churn_mix () =
+  let ok s = match Server.mix_of_string s with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "mix %S rejected: %s" s e
+  in
+  let m = ok "churn" in
+  check (Alcotest.float 0.0) "churn read" 0.3 m.Server.read;
+  check (Alcotest.float 0.0) "churn delete" 0.15 m.Server.delete;
+  check_bool "churn preset = mix_churn" true (m = Server.mix_churn);
+  (* Explicit four-class form parses and round-trips with delete kept. *)
+  let e = ok "read:0.3,update:0.4,insert:0.15,delete:0.15" in
+  check_bool "explicit churn" true (e = Server.mix_churn);
+  check_bool "round-trip keeps delete" true (ok (Server.mix_to_string e) = e);
+  (* Delete-free mixes render exactly as before the delete class
+     existed, so pre-churn reports stay byte-identical. *)
+  let contains s sub =
+    let n = String.length s and k = String.length sub in
+    let rec has i = i + k <= n && (String.sub s i k = sub || has (i + 1)) in
+    has 0
+  in
+  check_bool "delete:0 omitted" false
+    (contains (Server.mix_to_string (ok "a")) "delete");
+  check_bool "delete rendered when set" true
+    (contains (Server.mix_to_string e) "delete:0.15");
+  match Server.mix_of_string "read:0.3,update:0.4,insert:0.15,delete:0.2" with
+  | Ok _ -> Alcotest.fail "over-unity churn mix accepted"
+  | Error _ -> ()
+
 let test_validate () =
   let d = Server.default in
   check_bool "default valid" true (Server.validate d = Ok ());
@@ -141,6 +169,24 @@ let small_config =
     reprs = Repr.[ Normal; Riv; Fat_cached ] }
 
 let report_string ~jobs c = Json.to_string (Server.report_to_json (Server.run ~jobs c))
+
+let test_churn_run () =
+  (* A churn run must actually exercise the delete path — and stay
+     deterministic across --jobs like every other mix. *)
+  let c = { small_config with Server.mix = Server.mix_churn } in
+  let r = Server.run ~jobs:1 c in
+  List.iter
+    (fun res ->
+      let get name =
+        Option.value ~default:0 (List.assoc_opt name res.Server.counters)
+      in
+      let name = Repr.to_string res.Server.repr in
+      check_bool (name ^ ": deletes happened") true (get "server.deletes" > 0);
+      check_bool (name ^ ": misses bounded") true
+        (get "server.delete_misses" <= get "server.deletes"))
+    r.Server.results;
+  check_bool "churn jobs byte-identical" true
+    (report_string ~jobs:1 c = report_string ~jobs:2 c)
 
 let test_jobs_byte_identical () =
   let serial = report_string ~jobs:1 small_config in
@@ -288,10 +334,12 @@ let () =
       ( "config",
         [
           Alcotest.test_case "mix parsing" `Quick test_mix_parsing;
+          Alcotest.test_case "churn mix" `Quick test_churn_mix;
           Alcotest.test_case "validate" `Quick test_validate;
         ] );
       ( "determinism",
         [
+          Alcotest.test_case "churn run" `Quick test_churn_run;
           Alcotest.test_case "jobs byte-identical" `Quick
             test_jobs_byte_identical;
           Alcotest.test_case "seed changes report" `Quick
