@@ -23,12 +23,13 @@ open Nvmpi_experiments
 
 let usage_text =
   "usage: main.exe [--scale F] [--seed N] [--full-wordcount] [--json FILE] \
-   [--jobs N] [--wall] [--engine staged|dispatch] [experiment ...]\n\
+   [--jobs N] [--wall] [--engine staged|dispatch] [--durability \
+   eager|traverse] [experiment ...]\n\
   \       main.exe check BASELINE.json [--tolerance F] [--jobs N] [--engine \
-   staged|dispatch]\n\
+   staged|dispatch] [--durability eager|traverse]\n\
   \       main.exe perf [--ops N]\n\
    experiments: fig12 payload table1 fig13 fig14 regions fig15 breakdown \
-   ablations bechamel faultsim conform server all\n\
+   ablations churn durset bechamel faultsim conform server all\n\
    check re-runs the experiments recorded in BASELINE.json with its own \
    parameters\n\
    and fails on per-cell cycle deviations beyond the tolerance (default \
@@ -39,6 +40,8 @@ let usage_text =
    ns) to the JSON snapshot;\n\
    --engine selects the staged (pre-instantiated, default) or dispatch \
    (first-class-module) call graph;\n\
+   --durability selects the structures' persistence discipline: eager \
+   (legacy, default) or traverse (link-and-persist, docs/DURABLE.md);\n\
    perf prints a host-nanosecond profile of the simulator's access hot \
    path."
 
@@ -528,6 +531,13 @@ let () =
             strip_engine acc rest
         | None -> fail "--engine needs staged or dispatch, got %S" v)
     | [ "--engine" ] -> fail "option --engine needs a value"
+    | "--durability" :: v :: rest ->
+        (match Nvmpi_structures.Durable.mode_of_string v with
+        | Some m ->
+            Nvmpi_structures.Durable.set_default_mode m;
+            strip_engine acc rest
+        | None -> fail "--durability needs eager or traverse, got %S" v)
+    | [ "--durability" ] -> fail "option --durability needs a value"
     | a :: rest -> strip_engine (a :: acc) rest
   in
   match strip_engine [] (List.tl (Array.to_list Sys.argv)) with

@@ -36,6 +36,29 @@ let engine =
                  $(b,dispatch) (first-class-module dispatch). Results \
                  are identical; only host time differs.")
 
+(* --durability: which persistence discipline the structures use —
+   eager (the legacy behaviour: structure code issues no persistence
+   actions, the default) or traverse (link-and-persist: flush-free
+   traversals, clwb+fence confined to the modification window;
+   docs/DURABLE.md). Process-global like --engine, set at command start
+   before any domains spawn. Only hashset and bstree under 8-byte-slot
+   representations change behaviour; the committed BENCH_seed.json is
+   recorded (and checked) under the eager default. *)
+let durability =
+  let durability_conv =
+    Arg.enum
+      [
+        ("eager", Nvmpi_structures.Durable.Eager);
+        ("traverse", Nvmpi_structures.Durable.Traverse);
+      ]
+  in
+  Arg.(value & opt durability_conv Nvmpi_structures.Durable.Eager
+       & info [ "durability" ] ~docv:"MODE"
+           ~doc:"Structure persistence discipline: $(b,eager) (legacy, \
+                 the default) or $(b,traverse) (link-and-persist \
+                 flush-minimized durability for hashset/bstree; see \
+                 docs/DURABLE.md).")
+
 (* bench *)
 
 let bench_cmd =
@@ -72,8 +95,9 @@ let bench_cmd =
                    snapshot) are identical to a serial run; only \
                    wall-clock changes.")
   in
-  let run engine names scale seed full json jobs =
+  let run engine durability names scale seed full json jobs =
     Core.Engine.set_default_mode engine;
+    Nvmpi_structures.Durable.set_default_mode durability;
     let open Nvmpi_experiments in
     let params = { Suite.scale; seed; wordcount_full = full } in
     let names =
@@ -105,7 +129,8 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate the paper's evaluation tables/figures.")
-    Term.(const run $ engine $ names $ scale $ seed $ full $ json $ jobs)
+    Term.(const run $ engine $ durability $ names $ scale $ seed $ full
+          $ json $ jobs)
 
 (* check *)
 
@@ -120,8 +145,9 @@ let check_cmd =
          & info [ "tolerance" ]
              ~doc:"Allowed relative deviation per cycle count.")
   in
-  let run engine path tolerance =
+  let run engine durability path tolerance =
     Core.Engine.set_default_mode engine;
+    Nvmpi_structures.Durable.set_default_mode durability;
     let open Nvmpi_experiments in
     let ( let* ) r f =
       match r with
@@ -149,7 +175,7 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Re-run the experiments a benchmark snapshot records and fail \
              on cycle-count regressions beyond the tolerance.")
-    Term.(const run $ engine $ baseline $ tolerance)
+    Term.(const run $ engine $ durability $ baseline $ tolerance)
 
 (* run *)
 
@@ -263,9 +289,17 @@ let crash_cmd =
                    'palloc' for the allocator oracles). Selftest doubles \
                    are filtered too.")
   in
-  let run engine seed exhaustive sample json skip_selftest jobs wall_json only
-      =
+  let list_names =
+    Arg.(value & flag
+         & info [ "list" ]
+             ~doc:"Print the scenario names the sweep would run (after \
+                   --only/--skip-selftest filtering), one per line, and \
+                   exit without sweeping.")
+  in
+  let run engine durability seed exhaustive sample json skip_selftest jobs
+      wall_json only list_names =
     Core.Engine.set_default_mode engine;
+    Nvmpi_structures.Durable.set_default_mode durability;
     let open Nvmpi_faultsim in
     let mode =
       match sample with
@@ -294,6 +328,10 @@ let crash_cmd =
               exit 2
           | l -> l)
     in
+    if list_names then begin
+      List.iter (fun s -> print_endline s.Scenario.name) scenarios;
+      exit 0
+    end;
     let metrics = Core.Metrics.create () in
     let report = Sweep.run ~jobs ~mode ~metrics ~seed scenarios in
     Format.printf "%a" Sweep.pp_report report;
@@ -315,8 +353,8 @@ let crash_cmd =
              the durable image at each point, reopen it at fresh segments \
              and verify recovery invariants for every pointer \
              representation.")
-    Term.(const run $ engine $ seed $ exhaustive $ sample $ json
-          $ skip_selftest $ jobs $ wall_json $ only)
+    Term.(const run $ engine $ durability $ seed $ exhaustive $ sample
+          $ json $ skip_selftest $ jobs $ wall_json $ only $ list_names)
 
 (* fuzz *)
 
@@ -352,8 +390,9 @@ let fuzz_cmd =
                    s-expression (as printed in a failure report) against \
                    every applicable representation.")
   in
-  let run engine seed traces json jobs replay =
+  let run engine durability seed traces json jobs replay =
     Core.Engine.set_default_mode engine;
+    Nvmpi_structures.Durable.set_default_mode durability;
     let open Nvmpi_conform in
     match replay with
     | Some path -> (
@@ -408,7 +447,8 @@ let fuzz_cmd =
              simulated machine, cross-check the position-independent \
              representations pairwise after each remap, and shrink any \
              divergence to a replayable s-expression.")
-    Term.(const run $ engine $ seed $ traces $ json $ jobs $ replay)
+    Term.(const run $ engine $ durability $ seed $ traces $ json $ jobs
+          $ replay)
 
 (* serve *)
 
@@ -492,9 +532,10 @@ let serve_cmd =
                    domains. The report (and its JSON) is identical to a \
                    serial run; only wall-clock changes.")
   in
-  let run engine tenants theta mix churn ops seed shards resident keys
-      value_bytes reprs json jobs =
+  let run engine durability tenants theta mix churn ops seed shards resident
+      keys value_bytes reprs json jobs =
     Core.Engine.set_default_mode engine;
+    Nvmpi_structures.Durable.set_default_mode durability;
     let fail msg =
       Printf.eprintf "serve: %s\n" msg;
       exit 2
@@ -535,8 +576,8 @@ let serve_cmd =
              deterministic request loop and drive a YCSB-style zipfian \
              workload across every pointer representation, with LRU \
              map/unmap residency churn.")
-    Term.(const run $ engine $ tenants $ theta $ mix $ churn $ ops $ seed
-          $ shards
+    Term.(const run $ engine $ durability $ tenants $ theta $ mix $ churn
+          $ ops $ seed $ shards
           $ resident $ keys $ value_bytes $ reprs $ json $ jobs)
 
 (* inspect *)

@@ -90,7 +90,7 @@ module Shandle_of (P : Core.Repr_sig.S) = struct
       let t = if create then B.create node ~name else B.attach node ~name in
       {
         s_ins = (fun k -> B.insert t ~key:k);
-        s_del = (fun _ -> false);
+        s_del = (fun k -> B.remove t ~key:k);
         s_mem = (fun k -> B.search t ~key:k);
         s_dig = (fun () -> B.digest t);
         s_swz = (fun () -> B.swizzle t);

@@ -54,7 +54,9 @@ let trace_rand ?(structures = true) st =
     else List.filter (fun _ -> Random.State.bool st) Trace.all_structures
   in
   let deletable =
-    List.filter (fun s -> s = Trace.Slist || s = Trace.Shash) structures
+    List.filter
+      (fun s -> s = Trace.Slist || s = Trace.Shash || s = Trace.Sbtree)
+      structures
   in
   let with_remap = Random.State.int st 4 > 0 in
   let nops = 5 + Random.State.int st 30 in

@@ -134,7 +134,11 @@ let exec_op ~payload ~caps (tr : Trace.t) s (op : Trace.op) : obs =
       let present = IntSet.mem k s.hash in
       s.hash <- IntSet.remove k s.hash;
       Bool present
-  | Del ((Sbtree | Strie), _) -> Bool false (* ungenerated; no removal *)
+  | Del (Sbtree, k) ->
+      let present = IntSet.mem k s.btree in
+      s.btree <- IntSet.remove k s.btree;
+      Bool present
+  | Del (Strie, _) -> Bool false (* ungenerated; tries have no removal *)
   | Mem (Slist, k) -> Bool (List.mem k s.list)
   | Mem (Sbtree, k) -> Bool (IntSet.mem k s.btree)
   | Mem (Shash, k) -> Bool (IntSet.mem k s.hash)

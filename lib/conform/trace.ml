@@ -44,7 +44,7 @@ type op =
   | Pstore of int * int option  (** slot, target object (None = null) *)
   | Pload of int  (** slot: decode and observe the target *)
   | Ins of structure * int
-  | Del of structure * int  (** list and hash only *)
+  | Del of structure * int  (** list, hash and btree *)
   | Mem of structure * int
   | Dig of structure  (** full-walk digest *)
 
@@ -187,6 +187,7 @@ let valid t =
                 | Some o -> o >= 0 && o < t.objs0 + t.objs1)
          | Pload sl -> sl >= 0 && sl < t.slots
          | Del (st, _) ->
-             (st = Slist || st = Shash) && List.mem st t.structures
+             (st = Slist || st = Shash || st = Sbtree)
+             && List.mem st t.structures
          | Ins (st, _) | Mem (st, _) | Dig st -> List.mem st t.structures)
        t.ops

@@ -40,7 +40,12 @@ module Cell = struct
   let packed_fat_loads = 20
   let hw_oid_stores = 21
   let hw_oid_loads = 22
-  let slots = 23
+  let dur_traversal_loads = 23
+  let dur_window_flushes = 24
+  let dur_helper_flushes = 25
+  let dur_marks_set = 26
+  let dur_marks_cleared = 27
+  let slots = 28
 end
 
 type t = {

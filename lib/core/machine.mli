@@ -44,6 +44,11 @@ module Cell : sig
   val packed_fat_loads : int
   val hw_oid_stores : int
   val hw_oid_loads : int
+  val dur_traversal_loads : int
+  val dur_window_flushes : int
+  val dur_helper_flushes : int
+  val dur_marks_set : int
+  val dur_marks_cleared : int
   val slots : int
 end
 

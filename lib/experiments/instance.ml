@@ -28,6 +28,10 @@ let structure_of_string = function
 
 type t = {
   insert : int -> unit;
+  remove : int -> bool;
+      (* [true] if the key was present; always [false] for structures
+         without a removal API (trie, graph) or with a value-oriented
+         one the integer workloads do not drive (b+tree's leaf delete) *)
   traverse : unit -> int * int;
   search : int -> bool;
   swizzle : unit -> unit;
@@ -63,6 +67,7 @@ module Of (P : Core.Repr_sig.S) = struct
         let t = if fresh then L.create node ~name else L.attach node ~name in
         {
           insert = (fun key -> L.append t ~key);
+          remove = (fun key -> L.remove t ~key);
           traverse = (fun () -> L.traverse t);
           search = (fun key -> L.find t ~key);
           swizzle = (fun () -> L.swizzle t);
@@ -73,6 +78,7 @@ module Of (P : Core.Repr_sig.S) = struct
         let t = if fresh then B.create node ~name else B.attach node ~name in
         {
           insert = (fun key -> ignore (B.insert t ~key));
+          remove = (fun key -> B.remove t ~key);
           traverse = (fun () -> B.traverse t);
           search = (fun key -> B.search t ~key);
           swizzle = (fun () -> B.swizzle t);
@@ -86,6 +92,7 @@ module Of (P : Core.Repr_sig.S) = struct
         in
         {
           insert = (fun key -> ignore (H.add t ~key));
+          remove = (fun key -> H.remove t ~key);
           traverse = (fun () -> H.traverse t);
           search = (fun key -> H.contains t ~key);
           swizzle = (fun () -> H.swizzle t);
@@ -96,6 +103,7 @@ module Of (P : Core.Repr_sig.S) = struct
         let t = if fresh then T.create node ~name else T.attach node ~name in
         {
           insert = (fun key -> ignore (T.insert t (trie_word key)));
+          remove = (fun _ -> false);
           traverse = (fun () -> T.traverse t);
           search = (fun key -> T.contains t (trie_word key));
           swizzle = (fun () -> T.swizzle t);
@@ -106,6 +114,7 @@ module Of (P : Core.Repr_sig.S) = struct
         let t = if fresh then D.create node ~name else D.attach node ~name in
         {
           insert = (fun key -> D.push_back t ~key);
+          remove = (fun key -> D.remove t ~key);
           traverse = (fun () -> D.traverse t);
           search = (fun key -> D.find t ~key);
           swizzle = (fun () -> D.swizzle t);
@@ -123,6 +132,7 @@ module Of (P : Core.Repr_sig.S) = struct
               ignore (G.add_vertex t ~key);
               if !prev <> 0 then G.add_edge t ~src:key ~dst:!prev;
               prev := key);
+          remove = (fun _ -> false);
           traverse = (fun () -> G.traverse t);
           search = (fun key -> G.mem_vertex t ~key);
           swizzle = (fun () -> G.swizzle t);
@@ -135,6 +145,7 @@ module Of (P : Core.Repr_sig.S) = struct
         in
         {
           insert = (fun key -> B.insert t ~key ~value:(key * 3));
+          remove = (fun key -> B.delete t ~key);
           traverse = (fun () -> B.traverse t);
           search = (fun key -> B.lookup t ~key <> None);
           swizzle = (fun () -> B.swizzle t);

@@ -22,6 +22,9 @@ val default_buckets : int
 
 type t = {
   insert : int -> unit;
+  remove : int -> bool;
+      (** [true] if the key was present; always [false] for structures
+          without an integer-keyed removal API (trie, graph) *)
   traverse : unit -> int * int;  (** (nodes visited, checksum) *)
   search : int -> bool;
   swizzle : unit -> unit;  (** swizzle-representation instances only *)

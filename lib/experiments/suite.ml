@@ -34,6 +34,8 @@ let experiments =
       fun p -> Ablations.all ~scale:p.scale ?seed:p.seed () );
     ( "churn",
       fun p -> [ Churn.table ~scale:p.scale ?seed:p.seed () ] );
+    ( "durset",
+      fun p -> [ Durset.table ~scale:p.scale ?seed:p.seed () ] );
   ]
 
 let names = List.map fst experiments

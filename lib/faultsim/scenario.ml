@@ -530,6 +530,151 @@ let alloc_leak_selftest () =
   in
   { name; expect_fail = true; run }
 
+(* {1 Durable sets (link-and-persist)}
+
+   Hashset/bstree under [Durable.Traverse] (docs/DURABLE.md): traversals
+   flush nothing, each insert/remove persists exactly one modification
+   window (fresh-node lines + one marked link flush + fence). The oracle
+   at every crash point: the recovered set equals the durable commit
+   prefix of the op log, except the single in-flight op may be either
+   fully applied or fully absent — never torn. Count, checksum and
+   per-key membership are all probed through a traverse-mode attach, so
+   recovery also exercises the marked-link repair path (the final
+   mark-clearing store is deliberately never flushed). *)
+
+module Durable = Nvmpi_structures.Durable
+module IntSet = Set.Make (Int)
+
+type durable_op = {
+  d_before : int;
+  d_after : int;
+  d_key : int;
+  d_insert : bool;
+}
+
+(* The 8-byte-slot encodings the mark bit fits ([Durable.applicable]);
+   Fat/Fat_cached keep the eager discipline and are covered by the
+   plain-mode structure scenarios above. *)
+let durable_reprs =
+  [ Repr.Off_holder; Repr.Riv; Repr.Based; Repr.Packed_fat; Repr.Hw_oid ]
+
+let durable_structures = [ Instance.Hashset; Instance.Btree ]
+
+let durable_scenario ?(ops = 14) ?(drop_flushes = false) structure repr =
+  let name =
+    let base =
+      Printf.sprintf "durable-%s/%s"
+        (Instance.structure_name structure)
+        (Repr.to_string repr)
+    in
+    if drop_flushes then "selftest-dropflush-" ^ base else base
+  in
+  let run ~metrics ~seed =
+    let machine, rid, region = boot ~metrics ~seed in
+    if repr = Repr.Based then Machine.set_based_region machine rid;
+    let node =
+      Node.make ~durability:Durable.Traverse machine
+        ~mode:(Node.Plain [| region |]) ~payload
+    in
+    let root = "durset" in
+    let inst = Instance.create structure repr node ~name:root in
+    (* A small key universe so removals keep biting; the pre-arm subset
+       is durable via the tracker's attach-time baseline. *)
+    let universe = Workload.keys ~n:9 ~seed:(seed + 29) in
+    let model = ref IntSet.empty in
+    Array.iteri
+      (fun i k ->
+        if i < 4 then begin
+          inst.Instance.insert k;
+          model := IntSet.add k !model
+        end)
+      universe;
+    let tracker = Tracker.attach machine in
+    Tracker.arm tracker;
+    let initial = !model in
+    let rng = Random.State.make [| seed; 0xD5E7 |] in
+    let log = ref [] in
+    if drop_flushes then Durable.drop_window_flushes := true;
+    Fun.protect
+      ~finally:(fun () -> Durable.drop_window_flushes := false)
+      (fun () ->
+        for _ = 1 to ops do
+          let k = universe.(Random.State.int rng (Array.length universe)) in
+          let before = Tracker.seq tracker in
+          let insert = not (IntSet.mem k !model) in
+          if insert then inst.Instance.insert k
+          else ignore (inst.Instance.remove k);
+          model := (if insert then IntSet.add else IntSet.remove) k !model;
+          let after = Tracker.seq tracker in
+          log :=
+            { d_before = before; d_after = after; d_key = k; d_insert = insert }
+            :: !log
+        done);
+    let log = List.rev !log in
+    let apply op set =
+      (if op.d_insert then IntSet.add else IntSet.remove) op.d_key set
+    in
+    let expected_of set =
+      ( IntSet.cardinal set,
+        IntSet.fold
+          (fun k acc -> acc + k + Node.payload_checksum ~payload ~seed:k)
+          set 0 )
+    in
+    let describe set =
+      "{"
+      ^ String.concat ";" (List.map string_of_int (IntSet.elements set))
+      ^ "}"
+    in
+    let verify ~seq machine' regions' =
+      let region' = find_region rid regions' in
+      if repr = Repr.Based then
+        Machine.set_based_region machine' (Region.rid region');
+      let node' =
+        Node.make ~durability:Durable.Traverse machine'
+          ~mode:(Node.Plain [| region' |]) ~payload
+      in
+      let inst' = Instance.attach structure repr node' ~name:root in
+      let committed =
+        List.fold_left
+          (fun acc op -> if op.d_after <= seq then apply op acc else acc)
+          initial log
+      in
+      let candidates =
+        committed
+        ::
+        (match
+           List.find_opt (fun op -> op.d_before < seq && seq < op.d_after) log
+         with
+        | Some op -> [ apply op committed ]
+        | None -> [])
+      in
+      let count, checksum = inst'.Instance.traverse () in
+      match
+        List.find_opt (fun s -> expected_of s = (count, checksum)) candidates
+      with
+      | None ->
+          Error
+            (Printf.sprintf
+               "recovered set has %d nodes (0x%x), expected %s — a completed \
+                op was lost or a partial node is reachable"
+               count checksum
+               (String.concat " or " (List.map describe candidates)))
+      | Some set -> (
+          match
+            Array.to_list universe
+            |> List.find_opt (fun k ->
+                   inst'.Instance.search k <> IntSet.mem k set)
+          with
+          | Some k ->
+              Error
+                (Printf.sprintf "key %d %s after recovery" k
+                   (if IntSet.mem k set then "missing" else "present"))
+          | None -> Ok ())
+    in
+    { tracker; verify }
+  in
+  { name; expect_fail = drop_flushes; run }
+
 (* {1 Catalogues} *)
 
 let paper_structures =
@@ -553,6 +698,9 @@ let defaults () =
     (fun s -> List.map (fun r -> structure_scenario s r) pi_reprs)
     paper_structures
   @ List.map (fun r -> kv_scenario r) core_reprs
+  @ List.concat_map
+      (fun s -> List.map (fun r -> durable_scenario s r) durable_reprs)
+      durable_structures
   @ [
       tx_cells_scenario ();
       swizzle_window_scenario ();
@@ -564,4 +712,6 @@ let selftests () =
   [
     structure_scenario ~fence:false Instance.List Repr.Riv;
     alloc_leak_selftest ();
+    durable_scenario ~drop_flushes:true Instance.Hashset Repr.Riv;
+    durable_scenario ~drop_flushes:true Instance.Btree Repr.Off_holder;
   ]

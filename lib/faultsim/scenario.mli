@@ -71,6 +71,30 @@ val alloc_leak_selftest : unit -> t
     opening a window where a live block is unreachable. The sweep must
     report the leak ([expect_fail]). *)
 
+val durable_reprs : Core.Repr.kind list
+(** The 8-byte-slot representations the link-and-persist mark bit fits
+    ([Nvmpi_structures.Durable.applicable]). *)
+
+val durable_structures : Nvmpi_experiments.Instance.structure list
+(** Hashset and bstree — the structures ported to the durable
+    discipline. *)
+
+val durable_scenario :
+  ?ops:int ->
+  ?drop_flushes:bool ->
+  Nvmpi_experiments.Instance.structure ->
+  Core.Repr.kind ->
+  t
+(** Insert/remove churn on a hashset or bstree under
+    [Durable.Traverse] (docs/DURABLE.md). Oracle at every crash point:
+    the recovered set equals the durable commit prefix of the op log
+    (count, checksum and per-key membership, probed through a
+    traverse-mode attach so marked-link repair is exercised), with the
+    single in-flight op either fully applied or fully absent.
+    [~drop_flushes:true] is the selftest double ([expect_fail]): every
+    window flush/fence is suppressed, so completed ops never become
+    durable and the oracle must flag the loss. *)
+
 val defaults : unit -> t list
 (** The full sweep: the paper's four structures under every
     position-independent representation, the kvstore under the core

@@ -22,6 +22,15 @@ module Make (P : Core.Repr_sig.S) : sig
   val count : t -> key:int -> int
   (** Counter value stored at [key] (0 if absent). *)
 
+  val remove : t -> key:int -> bool
+  (** Unlinks [key]'s node; returns [false] if it was absent. Leaf and
+      one-child nodes are spliced out with a single link store; a
+      two-child node is replaced by a copy of its in-order successor
+      over a path-copied right-subtree spine, so the whole rewrite is
+      published by one link switch (failure-atomic under the durable
+      discipline, docs/DURABLE.md). Displaced nodes are leaked: region
+      heaps are bump allocators. *)
+
   val search : t -> key:int -> bool
   val size : t -> int
   val depth : t -> int

@@ -22,6 +22,23 @@ module Make (P : Core.Repr_sig.S) = struct
 
   let bucket_holder table i = Vaddr.add table (i * slot)
 
+  (* Link-and-persist discipline (docs/DURABLE.md): chain links — bucket
+     slots and node next-slots — go through [load_link]/[store_link].
+     Under [Durable.Traverse] (and an 8-byte slot encoding) stores are
+     published with a marked flush+fence window and loads repair marked
+     links; under [Eager] both are exactly the legacy plain accesses. *)
+  let durable t =
+    t.node.Node.durability = Durable.Traverse
+    && Durable.applicable ~slot_size:P.slot_size
+
+  let load_link t ~holder =
+    if durable t then Durable.check_mark (m t) ~holder;
+    P.load (m t) ~holder
+
+  let store_link t ~holder target =
+    P.store (m t) ~holder target;
+    if durable t then Durable.persist_link (m t) ~holder
+
   let create node ~name ~buckets =
     if buckets <= 0 then invalid_arg "Hashset.create: buckets";
     let meta = Node.write_meta node ~name ~kind:kind_tag ~aux:buckets in
@@ -49,7 +66,7 @@ module Make (P : Core.Repr_sig.S) = struct
   let locate t ~key =
     let tbl = table t in
     let rec go holder =
-      let cur = P.load (m t) ~holder in
+      let cur = load_link t ~holder in
       if Vaddr.is_null cur then `Slot holder
       else begin
         Node.touch t.node;
@@ -67,7 +84,14 @@ module Make (P : Core.Repr_sig.S) = struct
         P.store (m t) ~holder:a Vaddr.null;
         Machine.store64_fast (m t) (Vaddr.add a key_off) key;
         Node.write_payload t.node ~addr:(Vaddr.add a payload_off) ~seed:key;
-        P.store (m t) ~holder a;
+        (* Modification window: the fresh node must be durable before it
+           becomes reachable, so its lines are flushed (and fenced) ahead
+           of the single link-and-persist store below. *)
+        if durable t then begin
+          Durable.flush_range (m t) ~addr:a ~len:(node_size t);
+          Durable.fence (m t)
+        end;
+        store_link t ~holder a;
         true
 
   let contains t ~key =
@@ -76,12 +100,12 @@ module Make (P : Core.Repr_sig.S) = struct
   let remove t ~key =
     let tbl = table t in
     let rec go holder =
-      let cur = P.load (m t) ~holder in
+      let cur = load_link t ~holder in
       if Vaddr.is_null cur then false
       else begin
         Node.touch t.node;
         if Machine.load64_fast (m t) (Vaddr.add cur key_off) = key then begin
-          P.store (m t) ~holder (P.load (m t) ~holder:cur);
+          store_link t ~holder (load_link t ~holder:cur);
           (* Node storage is leaked: region heaps are bump allocators. *)
           true
         end
@@ -97,10 +121,10 @@ module Make (P : Core.Repr_sig.S) = struct
         if not (Vaddr.is_null cur) then begin
           Node.touch t.node;
           f ~addr:cur ~key:(Machine.load64_fast (m t) (Vaddr.add cur key_off));
-          go (P.load (m t) ~holder:cur)
+          go (load_link t ~holder:cur)
         end
       in
-      go (P.load (m t) ~holder:(bucket_holder tbl i))
+      go (load_link t ~holder:(bucket_holder tbl i))
     done
 
   let size t =
@@ -120,10 +144,10 @@ module Make (P : Core.Repr_sig.S) = struct
           incr n;
           sum := !sum + Machine.load64_fast (m t) (Vaddr.add cur key_off);
           sum := !sum + Node.read_payload t.node ~addr:(Vaddr.add cur payload_off);
-          go (P.load (m t) ~holder:cur)
+          go (load_link t ~holder:cur)
         end
       in
-      go (P.load (m t) ~holder:(bucket_holder tbl i))
+      go (load_link t ~holder:(bucket_holder tbl i))
     done;
     (!n, !sum)
 

@@ -10,15 +10,19 @@ type t = {
   machine : Machine.t;
   mode : alloc_mode;
   payload : int;
+  durability : Durable.mode;
   mutable next_region : int;
 }
 
-let make machine ~mode ~payload =
+let make ?durability machine ~mode ~payload =
   (match mode with
   | Plain [||] | Wrapped [||] -> invalid_arg "Node.make: no regions"
   | _ -> ());
   if payload < 0 then invalid_arg "Node.make: negative payload";
-  { machine; mode; payload; next_region = 0 }
+  let durability =
+    match durability with Some d -> d | None -> Durable.mode ()
+  in
+  { machine; mode; payload; durability; next_region = 0 }
 
 let regions t =
   match t.mode with
@@ -75,6 +79,21 @@ let read_payload t ~addr =
     sum := !sum + Memsim.load8 (mem t) (Vaddr.add addr j)
   done;
   !sum
+
+(* Byte-for-byte payload copy, for node-replacing operations (bstree's
+   two-child remove builds replacement nodes): payloads may have been
+   mutated since [write_payload] (e.g. [insert_count]'s word 0), so the
+   copy preserves bytes rather than regenerating from a seed. *)
+let copy_payload t ~src ~dst =
+  let words = t.payload / 8 in
+  for i = 0 to words - 1 do
+    Machine.store64_fast t.machine
+      (Vaddr.add dst (i * 8))
+      (Machine.load64_fast t.machine (Vaddr.add src (i * 8)))
+  done;
+  for j = words * 8 to t.payload - 1 do
+    Memsim.store8 (mem t) (Vaddr.add dst j) (Memsim.load8 (mem t) (Vaddr.add src j))
+  done
 
 let payload_checksum ~payload ~seed =
   let words = payload / 8 in

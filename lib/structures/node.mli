@@ -15,10 +15,22 @@ type t = {
   machine : Core.Machine.t;
   mode : alloc_mode;
   payload : int;  (** payload bytes carried by each node *)
+  durability : Durable.mode;
+      (** persistence discipline for structures over this node source:
+          [Eager] (the legacy behaviour — no persistence actions in
+          structure code) or [Traverse] (link-and-persist; see
+          {!Durable} and docs/DURABLE.md) *)
   mutable next_region : int;  (** round-robin cursor *)
 }
 
-val make : Core.Machine.t -> mode:alloc_mode -> payload:int -> t
+val make :
+  ?durability:Durable.mode ->
+  Core.Machine.t ->
+  mode:alloc_mode ->
+  payload:int ->
+  t
+(** [durability] defaults to the process-wide {!Durable.mode} (set by
+    the front-ends' [--durability] flag; [Eager] out of the box). *)
 
 val regions : t -> Nvmpi_nvregion.Region.t array
 (** The regions underlying either mode, in round-robin order. *)
@@ -51,6 +63,11 @@ val read_payload : t -> addr:Nvmpi_addr.Kinds.Vaddr.t -> int
 val payload_checksum : payload:int -> seed:int -> int
 (** The checksum {!read_payload} returns for an intact payload written
     with [seed]. *)
+
+val copy_payload :
+  t -> src:Nvmpi_addr.Kinds.Vaddr.t -> dst:Nvmpi_addr.Kinds.Vaddr.t -> unit
+(** Byte-for-byte copy of a payload area (node-replacing operations);
+    preserves in-place mutations that [write_payload] would not. *)
 
 (** {1 Structure metadata blocks}
 

@@ -88,6 +88,23 @@ let test_engine_deterministic_across_jobs () =
   check_str "jobs 1 = jobs 2" r1 r2;
   check_str "rerun is byte-identical" r1 (render (report_jobs 1))
 
+let test_engine_clean_under_traverse () =
+  (* Satellite: the whole conformance sweep — structure inserts and
+     removes included — re-run with link-and-persist durability as the
+     process default (docs/DURABLE.md). Durability actions must never
+     change an observable, so the report is as clean as the eager one. *)
+  let module Durable = Nvmpi_structures.Durable in
+  let saved = Durable.mode () in
+  Fun.protect
+    ~finally:(fun () -> Durable.set_default_mode saved)
+    (fun () ->
+      Durable.set_default_mode Durable.Traverse;
+      let r = report_jobs 1 in
+      check "no divergences under traverse durability" 0
+        (List.length r.Engine.failures);
+      check "conform.traces counter" engine_traces
+        (List.assoc "conform.traces" r.Engine.counters))
+
 let test_check_trace_replay () =
   (* A handwritten repro through the same entry --replay uses. *)
   let src =
@@ -311,6 +328,8 @@ let () =
         [
           Alcotest.test_case "clean and covering" `Quick
             test_engine_clean_and_covering;
+          Alcotest.test_case "clean under traverse durability" `Quick
+            test_engine_clean_under_traverse;
           Alcotest.test_case "deterministic across jobs" `Quick
             test_engine_deterministic_across_jobs;
           Alcotest.test_case "replay a handwritten repro" `Quick

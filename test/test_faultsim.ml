@@ -269,6 +269,42 @@ let test_sweep_alloc_leak_caught () =
   check_bool "leak observed at some crash point" true (r.Sweep.failures <> []);
   check_bool "inverted verdict passes" true (Sweep.scenario_ok r)
 
+let test_sweep_durable_sets_clean () =
+  (* Link-and-persist hashset/bstree (docs/DURABLE.md): at every crash
+     point the recovered set must equal the durable commit prefix of the
+     op log, with the single in-flight op all-or-nothing. The recovery
+     attach runs in traverse mode, so marked-link repair is exercised at
+     the points that crash inside a modification window. *)
+  let metrics = Metrics.create () in
+  List.iter
+    (fun (structure, repr) ->
+      let r =
+        Sweep.run_scenario ~metrics ~seed:37 ~mode:Sweep.Exhaustive
+          (Scenario.durable_scenario ~ops:8 structure repr)
+      in
+      check_bool "durable churn generates many crash points" true
+        (r.Sweep.points > 20);
+      check "durable prefix holds at every crash point" 0
+        (List.length r.Sweep.failures))
+    [
+      (Nvmpi_experiments.Instance.Hashset, Core.Repr.Riv);
+      (Nvmpi_experiments.Instance.Btree, Core.Repr.Off_holder);
+    ]
+
+let test_sweep_durable_dropflush_caught () =
+  (* The double suppresses every window flush/fence, so completed ops
+     never become durable; the oracle must flag the loss somewhere. *)
+  let metrics = Metrics.create () in
+  let r =
+    Sweep.run_scenario ~metrics ~seed:37 ~mode:Sweep.After_fences
+      (Scenario.durable_scenario ~ops:8 ~drop_flushes:true
+         Nvmpi_experiments.Instance.Hashset Core.Repr.Riv)
+  in
+  check_bool "double is marked expect_fail" true r.Sweep.expect_fail;
+  check_bool "dropped windows observed at some crash point" true
+    (r.Sweep.failures <> []);
+  check_bool "inverted verdict passes" true (Sweep.scenario_ok r)
+
 let test_report_json_roundtrip () =
   let metrics = Metrics.create () in
   let report =
@@ -333,6 +369,10 @@ let () =
             test_sweep_alloc_exhaustive;
           Alcotest.test_case "allocator leak double caught" `Quick
             test_sweep_alloc_leak_caught;
+          Alcotest.test_case "durable sets exhaustive" `Quick
+            test_sweep_durable_sets_clean;
+          Alcotest.test_case "durable drop-flush double caught" `Quick
+            test_sweep_durable_dropflush_caught;
           Alcotest.test_case "json report" `Quick test_report_json_roundtrip;
         ] );
     ]

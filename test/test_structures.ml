@@ -4,6 +4,8 @@ module Store = Core.Store
 module Repr = Core.Repr
 module Node = Nvmpi_structures.Node
 module Objstore = Nvmpi_tx.Objstore
+module Durable = Nvmpi_structures.Durable
+module Metrics = Nvmpi_obs.Metrics
 
 module L_norm = Nvmpi_structures.Linked_list.Make (Core.Normal_ptr)
 module L_offh = Nvmpi_structures.Linked_list.Make (Core.Off_holder)
@@ -18,7 +20,7 @@ let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
 let node ?(seed = 1) ?(payload = 32) ?(regions = 1) ?(size = 1 lsl 22)
-    ?(tx = false) () =
+    ?(tx = false) ?durability () =
   let store = Store.create () in
   let m = Machine.create ~seed ~store () in
   let rs =
@@ -29,7 +31,7 @@ let node ?(seed = 1) ?(payload = 32) ?(regions = 1) ?(size = 1 lsl 22)
     if tx then Node.Wrapped (Array.map (fun r -> Objstore.create m r ()) rs)
     else Node.Plain rs
   in
-  (store, m, Node.make m ~mode ~payload)
+  (store, m, Node.make ?durability m ~mode ~payload)
 
 (* Linked list *)
 
@@ -794,6 +796,130 @@ let test_corrupt_payload_changes_checksum () =
 
 (* Properties *)
 
+(* Bstree removal: leaf, one-child, two-child (root and interior). *)
+
+let expected_checksum ?(payload = 32) keys =
+  List.fold_left
+    (fun acc k -> acc + k + Node.payload_checksum ~payload ~seed:k)
+    0 keys
+
+let test_bst_remove_cases () =
+  let _, _, nd = node () in
+  let t = B_riv.create nd ~name:"t" in
+  let keys = [ 50; 30; 70; 20; 40; 60; 80; 35; 45 ] in
+  List.iter (fun k -> ignore (B_riv.insert t ~key:k)) keys;
+  check_bool "absent" false (B_riv.remove t ~key:99);
+  check_bool "leaf" true (B_riv.remove t ~key:20);
+  check_bool "two children (interior)" true (B_riv.remove t ~key:40);
+  check_bool "one child" true (B_riv.remove t ~key:30);
+  check_bool "two children (root)" true (B_riv.remove t ~key:50);
+  check_bool "removed gone" false (B_riv.search t ~key:50);
+  let live = [ 35; 45; 60; 70; 80 ] in
+  List.iter (fun k -> check_bool "survivor" true (B_riv.search t ~key:k)) live;
+  check "size" 5 (B_riv.size t);
+  let n, sum = B_riv.traverse t in
+  check "traverse count" 5 n;
+  check "traverse checksum" (expected_checksum live) sum;
+  check_bool "re-insert after remove" true (B_riv.insert t ~key:50);
+  check "size after re-insert" 6 (B_riv.size t)
+
+let prop_bst_remove_matches_set =
+  QCheck2.Test.make ~name:"bst insert/remove matches a reference set"
+    ~count:40
+    QCheck2.Gen.(list_size (int_range 1 150) (int_range 1 40))
+    (fun keys ->
+      let _, _, nd = node () in
+      let t = B_offh.create nd ~name:"t" in
+      let reference = Hashtbl.create 64 in
+      List.iteri
+        (fun i k ->
+          if i mod 3 = 2 then begin
+            let present = Hashtbl.mem reference k in
+            Hashtbl.remove reference k;
+            if B_offh.remove t ~key:k <> present then
+              failwith "remove result mismatch"
+          end
+          else begin
+            let fresh = not (Hashtbl.mem reference k) in
+            Hashtbl.replace reference k ();
+            if B_offh.insert t ~key:k <> fresh then
+              failwith "insert result mismatch"
+          end)
+        keys;
+      B_offh.size t = Hashtbl.length reference
+      && Hashtbl.fold
+           (fun k () acc -> acc && B_offh.search t ~key:k)
+           reference true
+      && not (B_offh.search t ~key:0))
+
+(* Durable (link-and-persist) mode: docs/DURABLE.md. *)
+
+(* The same insert/remove history must yield identical observable state
+   under both disciplines — durability actions never change contents. *)
+let test_durable_matches_eager () =
+  let drive_bst nd =
+    let t = B_riv.create nd ~name:"t" in
+    List.iter (fun k -> ignore (B_riv.insert t ~key:k)) [ 5; 3; 9; 1; 4; 7 ];
+    List.iter (fun k -> ignore (B_riv.remove t ~key:k)) [ 3; 9 ];
+    B_riv.traverse t
+  in
+  let drive_hash nd =
+    let h = H_riv.create nd ~name:"h" ~buckets:4 in
+    List.iter (fun k -> ignore (H_riv.add h ~key:k)) [ 2; 6; 10; 14; 18 ];
+    List.iter (fun k -> ignore (H_riv.remove h ~key:k)) [ 6; 18 ];
+    H_riv.traverse h
+  in
+  let _, _, nd_e = node ~durability:Durable.Eager () in
+  let _, _, nd_t = node ~durability:Durable.Traverse () in
+  Alcotest.(check (pair int int))
+    "bstree digests equal" (drive_bst nd_e) (drive_bst nd_t);
+  let _, _, nd_e = node ~durability:Durable.Eager () in
+  let _, _, nd_t = node ~durability:Durable.Traverse () in
+  Alcotest.(check (pair int int))
+    "hashset digests equal" (drive_hash nd_e) (drive_hash nd_t)
+
+(* Traversal freedom + window accounting: reads flush nothing; each
+   mutation pays a bounded window; marks never stay set. *)
+let test_durable_flush_accounting () =
+  let _, m, nd = node ~durability:Durable.Traverse () in
+  let h = H_riv.create nd ~name:"h" ~buckets:4 in
+  List.iter (fun k -> ignore (H_riv.add h ~key:k)) [ 1; 5; 9; 13; 17; 21 ];
+  let counter name snap = Option.value ~default:0 (List.assoc_opt name snap) in
+  let metrics = Machine.metrics m in
+  let before = Metrics.snapshot metrics in
+  for k = 1 to 24 do
+    ignore (H_riv.contains h ~key:k)
+  done;
+  let reads = Metrics.diff ~before ~after:(Metrics.snapshot metrics) in
+  check "reads flush nothing" 0 (counter "timing.flushes" reads);
+  check "reads fence nothing" 0 (counter "timing.fences" reads);
+  check_bool "traversal loads counted" true
+    (counter "dur.traversal_loads" reads > 0);
+  let before = Metrics.snapshot metrics in
+  ignore (H_riv.add h ~key:2);
+  ignore (H_riv.remove h ~key:2);
+  let writes = Metrics.diff ~before ~after:(Metrics.snapshot metrics) in
+  check_bool "windows flush" true (counter "dur.window_flushes" writes > 0);
+  check_bool "windows fence" true (counter "timing.fences" writes > 0);
+  let snap = Metrics.snapshot metrics in
+  check "marks all cleared" (counter "dur.marks_set" snap)
+    (counter "dur.marks_cleared" snap);
+  check "no helper flush without a crash" 0 (counter "dur.helper_flushes" snap)
+
+(* Eager-mode structures must not even register the dur.* counters —
+   the guarantee that keeps BENCH_seed.json byte-identical. *)
+let test_eager_registers_no_dur_counters () =
+  let _, m, nd = node ~durability:Durable.Eager () in
+  let h = H_riv.create nd ~name:"h" ~buckets:4 in
+  List.iter (fun k -> ignore (H_riv.add h ~key:k)) [ 1; 5; 9 ];
+  ignore (H_riv.remove h ~key:5);
+  ignore (H_riv.contains h ~key:1);
+  let snap = Metrics.snapshot (Machine.metrics m) in
+  check_bool "no dur.* counter registered" true
+    (List.for_all
+       (fun (name, _) -> not (String.length name >= 4 && String.sub name 0 4 = "dur."))
+       snap)
+
 let prop_bst_matches_set_semantics =
   QCheck2.Test.make ~name:"bst matches a reference set" ~count:40
     QCheck2.Gen.(list_size (int_range 1 150) (int_range 1 80))
@@ -861,6 +987,16 @@ let () =
           Alcotest.test_case "insert + search" `Quick test_bst_insert_search;
           Alcotest.test_case "traverse counts" `Quick test_bst_traverse_counts;
           Alcotest.test_case "insert_count" `Quick test_bst_insert_count;
+          Alcotest.test_case "remove" `Quick test_bst_remove_cases;
+        ] );
+      ( "durable",
+        [
+          Alcotest.test_case "traverse matches eager" `Quick
+            test_durable_matches_eager;
+          Alcotest.test_case "flush accounting" `Quick
+            test_durable_flush_accounting;
+          Alcotest.test_case "eager registers no dur counters" `Quick
+            test_eager_registers_no_dur_counters;
         ] );
       ( "hashset",
         [
@@ -948,6 +1084,7 @@ let () =
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_bst_matches_set_semantics;
+          QCheck_alcotest.to_alcotest prop_bst_remove_matches_set;
           QCheck_alcotest.to_alcotest prop_hashset_matches_set_semantics;
           QCheck_alcotest.to_alcotest prop_trie_matches_reference;
         ] );
