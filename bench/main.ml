@@ -24,12 +24,12 @@ open Nvmpi_experiments
 let usage_text =
   "usage: main.exe [--scale F] [--seed N] [--full-wordcount] [--json FILE] \
    [--jobs N] [--wall] [--engine staged|dispatch] [--durability \
-   eager|traverse] [experiment ...]\n\
+   eager|traverse|snapshot|snapshot-page] [experiment ...]\n\
   \       main.exe check BASELINE.json [--tolerance F] [--jobs N] [--engine \
-   staged|dispatch] [--durability eager|traverse]\n\
+   staged|dispatch] [--durability eager|traverse|snapshot|snapshot-page]\n\
   \       main.exe perf [--ops N]\n\
    experiments: fig12 payload table1 fig13 fig14 regions fig15 breakdown \
-   ablations churn durset bechamel faultsim conform server all\n\
+   ablations churn durset snapshot bechamel faultsim conform server all\n\
    check re-runs the experiments recorded in BASELINE.json with its own \
    parameters\n\
    and fails on per-cell cycle deviations beyond the tolerance (default \
@@ -40,8 +40,9 @@ let usage_text =
    ns) to the JSON snapshot;\n\
    --engine selects the staged (pre-instantiated, default) or dispatch \
    (first-class-module) call graph;\n\
-   --durability selects the structures' persistence discipline: eager \
-   (legacy, default) or traverse (link-and-persist, docs/DURABLE.md);\n\
+   --durability selects the persistence discipline: eager (legacy, \
+   default), traverse (link-and-persist, docs/DURABLE.md) or \
+   snapshot/snapshot-page (failure-atomic sync epochs, docs/SNAPSHOT.md);\n\
    perf prints a host-nanosecond profile of the simulator's access hot \
    path."
 
@@ -531,12 +532,29 @@ let () =
             strip_engine acc rest
         | None -> fail "--engine needs staged or dispatch, got %S" v)
     | [ "--engine" ] -> fail "option --engine needs a value"
-    | "--durability" :: v :: rest ->
-        (match Nvmpi_structures.Durable.mode_of_string v with
-        | Some m ->
-            Nvmpi_structures.Durable.set_default_mode m;
+    | "--durability" :: v :: rest -> (
+        match v with
+        | "snapshot" | "snapshot-page" ->
+            (* Failure-atomic sync epochs (docs/SNAPSHOT.md): structure
+               code runs flush-free, durability moves to Snapshot.sync. *)
+            Nvmpi_structures.Durable.set_default_mode
+              Nvmpi_structures.Durable.Eager;
+            Nvmpi_snapshot.Snapshot.set_default
+              (Some
+                 (if v = "snapshot" then Nvmpi_snapshot.Snapshot.Line
+                  else Nvmpi_snapshot.Snapshot.Page));
             strip_engine acc rest
-        | None -> fail "--durability needs eager or traverse, got %S" v)
+        | _ -> (
+            match Nvmpi_structures.Durable.mode_of_string v with
+            | Some m ->
+                Nvmpi_structures.Durable.set_default_mode m;
+                Nvmpi_snapshot.Snapshot.set_default None;
+                strip_engine acc rest
+            | None ->
+                fail
+                  "--durability needs eager, traverse, snapshot or \
+                   snapshot-page, got %S"
+                  v))
     | [ "--durability" ] -> fail "option --durability needs a value"
     | a :: rest -> strip_engine (a :: acc) rest
   in

@@ -44,20 +44,42 @@ let engine =
    before any domains spawn. Only hashset and bstree under 8-byte-slot
    representations change behaviour; the committed BENCH_seed.json is
    recorded (and checked) under the eager default. *)
+type durability_choice =
+  | Structure of Nvmpi_structures.Durable.mode
+  | Snapshot_epochs of Nvmpi_snapshot.Snapshot.granularity
+
+(* Applied at command start, before any domains spawn. The snapshot
+   modes run structure code flush-free (Eager) and move all durability
+   to explicit sync epochs; components that know about the process-wide
+   default (kvstore write path, residency heap choice, conform exec)
+   pick it up through [Snapshot.enabled]. *)
+let set_durability = function
+  | Structure m ->
+      Nvmpi_structures.Durable.set_default_mode m;
+      Nvmpi_snapshot.Snapshot.set_default None
+  | Snapshot_epochs g ->
+      Nvmpi_structures.Durable.set_default_mode Nvmpi_structures.Durable.Eager;
+      Nvmpi_snapshot.Snapshot.set_default (Some g)
+
 let durability =
   let durability_conv =
     Arg.enum
       [
-        ("eager", Nvmpi_structures.Durable.Eager);
-        ("traverse", Nvmpi_structures.Durable.Traverse);
+        ("eager", Structure Nvmpi_structures.Durable.Eager);
+        ("traverse", Structure Nvmpi_structures.Durable.Traverse);
+        ("snapshot", Snapshot_epochs Nvmpi_snapshot.Snapshot.Line);
+        ("snapshot-page", Snapshot_epochs Nvmpi_snapshot.Snapshot.Page);
       ]
   in
-  Arg.(value & opt durability_conv Nvmpi_structures.Durable.Eager
+  Arg.(value & opt durability_conv (Structure Nvmpi_structures.Durable.Eager)
        & info [ "durability" ] ~docv:"MODE"
-           ~doc:"Structure persistence discipline: $(b,eager) (legacy, \
-                 the default) or $(b,traverse) (link-and-persist \
-                 flush-minimized durability for hashset/bstree; see \
-                 docs/DURABLE.md).")
+           ~doc:"Persistence discipline: $(b,eager) (legacy, the \
+                 default), $(b,traverse) (link-and-persist \
+                 flush-minimized durability for hashset/bstree; \
+                 docs/DURABLE.md), $(b,snapshot) (failure-atomic \
+                 sync epochs, line-granular WAL) or \
+                 $(b,snapshot-page) (the same at page granularity; \
+                 docs/SNAPSHOT.md).")
 
 (* bench *)
 
@@ -97,7 +119,7 @@ let bench_cmd =
   in
   let run engine durability names scale seed full json jobs =
     Core.Engine.set_default_mode engine;
-    Nvmpi_structures.Durable.set_default_mode durability;
+    set_durability durability;
     let open Nvmpi_experiments in
     let params = { Suite.scale; seed; wordcount_full = full } in
     let names =
@@ -147,7 +169,7 @@ let check_cmd =
   in
   let run engine durability path tolerance =
     Core.Engine.set_default_mode engine;
-    Nvmpi_structures.Durable.set_default_mode durability;
+    set_durability durability;
     let open Nvmpi_experiments in
     let ( let* ) r f =
       match r with
@@ -299,7 +321,7 @@ let crash_cmd =
   let run engine durability seed exhaustive sample json skip_selftest jobs
       wall_json only list_names =
     Core.Engine.set_default_mode engine;
-    Nvmpi_structures.Durable.set_default_mode durability;
+    set_durability durability;
     let open Nvmpi_faultsim in
     let mode =
       match sample with
@@ -392,7 +414,7 @@ let fuzz_cmd =
   in
   let run engine durability seed traces json jobs replay =
     Core.Engine.set_default_mode engine;
-    Nvmpi_structures.Durable.set_default_mode durability;
+    set_durability durability;
     let open Nvmpi_conform in
     match replay with
     | Some path -> (
@@ -535,7 +557,7 @@ let serve_cmd =
   let run engine durability tenants theta mix churn ops seed shards resident
       keys value_bytes reprs json jobs =
     Core.Engine.set_default_mode engine;
-    Nvmpi_structures.Durable.set_default_mode durability;
+    set_durability durability;
     let fail msg =
       Printf.eprintf "serve: %s\n" msg;
       exit 2

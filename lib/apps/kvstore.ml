@@ -21,6 +21,7 @@ type t = {
   meta : Vaddr.t;
   table : Vaddr.t;
   buckets : int;
+  write_path : [ `Tx | `Plain ];
 }
 
 let machine t = Objstore.machine t.os
@@ -33,9 +34,11 @@ let load_slot t holder = Engine.load t.repr (machine t) ~holder
 
 (* Index mutations are undo-logged before the representation writes the
    slot, so an interrupted transaction restores the previous encoding
-   whatever the representation. *)
+   whatever the representation. Under the [`Plain] write path (snapshot
+   durability, docs/SNAPSHOT.md) the store is un-instrumented: epochs
+   are made durable wholesale by [Snapshot.sync], not per mutation. *)
 let store_slot_tx t holder target =
-  Tx.add_range t.tx ~addr:holder ~len:(slot t);
+  if t.write_path = `Tx then Tx.add_range t.tx ~addr:holder ~len:(slot t);
   Engine.store t.repr (machine t) ~holder target
 
 let store_slot_raw t holder target =
@@ -63,15 +66,23 @@ let hash t ~key =
   let h = key * 0x2545F4914F6CDD1 in
   (h lxor (h lsr 31)) land max_int mod t.buckets
 
-let create os ~repr ~name ?(buckets = 256) () =
+(* The process default follows the selected durability discipline:
+   [--durability snapshot] flips every store to the plain path. *)
+let default_write_path () =
+  if Nvmpi_snapshot.Snapshot.enabled () then `Plain else `Tx
+
+let create os ~repr ~name ?(buckets = 256) ?write_path () =
   if buckets <= 0 then invalid_arg "Kvstore.create: buckets";
+  let write_path =
+    match write_path with Some w -> w | None -> default_write_path ()
+  in
   let machine = Objstore.machine os in
   let region = Objstore.region os in
   let meta = Objstore.alloc os ~tag:kind_tag ~size:32 () in
   let table =
     Objstore.alloc os ~tag:kind_tag ~size:(buckets * Repr.slot_size repr) ()
   in
-  let t = { os; tx = Tx.create os; repr; meta; table; buckets } in
+  let t = { os; tx = Tx.create os; repr; meta; table; buckets; write_path } in
   Machine.store64_fast machine meta kind_tag;
   Machine.store64_fast machine (Vaddr.add meta 8) buckets;
   Machine.store64_fast machine (Vaddr.add meta 16)
@@ -83,7 +94,10 @@ let create os ~repr ~name ?(buckets = 256) () =
   Region.set_root region ~tag:kind_tag name meta;
   t
 
-let attach os ~repr ~name =
+let attach ?write_path os ~repr ~name =
+  let write_path =
+    match write_path with Some w -> w | None -> default_write_path ()
+  in
   let machine = Objstore.machine os in
   let region = Objstore.region os in
   match Region.root region name with
@@ -96,7 +110,7 @@ let attach os ~repr ~name =
         Vaddr.add (Region.base region)
           (Machine.load64_fast machine (Vaddr.add meta 16))
       in
-      { os; tx = Tx.create os; repr; meta; table; buckets }
+      { os; tx = Tx.create os; repr; meta; table; buckets; write_path }
 
 (* Locate the entry for [key]: [`Found (prev_holder, entry)] or
    [`Missing last_holder]. *)
@@ -149,13 +163,26 @@ let put_body t ~key data =
       Vaddr.null
 
 let put t ~key data =
-  Tx.begin_tx t.tx;
-  let old = put_body t ~key data in
-  Tx.commit t.tx;
-  (* Reclaim the replaced value only after the commit is durable. *)
-  if not (Vaddr.is_null old) then Objstore.free t.os old
+  match t.write_path with
+  | `Tx ->
+      Tx.begin_tx t.tx;
+      let old = put_body t ~key data in
+      Tx.commit t.tx;
+      (* Reclaim the replaced value only after the commit is durable. *)
+      if not (Vaddr.is_null old) then Objstore.free t.os old
+  | `Plain ->
+      (* Snapshot mode: plain stores throughout, immediate reclamation —
+         the whole epoch (index, values, allocator words) becomes
+         durable atomically at the next sync, so intra-epoch ordering
+         carries no durability obligations. *)
+      let old = put_body t ~key data in
+      if not (Vaddr.is_null old) then Objstore.free t.os old
+
+let write_path t = t.write_path
 
 let simulate_crash_during_put t ~key data =
+  if t.write_path <> `Tx then
+    invalid_arg "Kvstore.simulate_crash_during_put: plain write path";
   Tx.begin_tx t.tx;
   ignore (put_body t ~key data);
   Tx.simulate_crash t.tx
@@ -164,10 +191,10 @@ let delete t ~key =
   match locate t ~key with
   | `Missing _ -> false
   | `Found (prev_holder, entry) ->
-      Tx.begin_tx t.tx;
+      if t.write_path = `Tx then Tx.begin_tx t.tx;
       let next = load_slot t (Vaddr.add entry next_off) in
       store_slot_tx t prev_holder next;
-      Tx.commit t.tx;
+      if t.write_path = `Tx then Tx.commit t.tx;
       let v = load_slot t (Vaddr.add entry (val_off t)) in
       if not (Vaddr.is_null v) then Objstore.free t.os v;
       Objstore.free t.os entry;

@@ -5,11 +5,21 @@
 
     Layout: a chained hash index whose pointer slots use the chosen
     representation; values are variable-length byte objects
-    ([length | bytes]) in the same object store. Updates run inside
-    undo-logged transactions, so a crash mid-[put]/[delete] rolls back
-    to the previous state on the next {!attach}; replaced values are
-    reclaimed only after commit (a crash can leak an object but never
-    corrupt the index — the usual deferred-reclamation trade-off).
+    ([length | bytes]) in the same object store.
+
+    Two write paths ({!write_path}):
+    - [`Tx] (the default): updates run inside undo-logged
+      transactions, so a crash mid-[put]/[delete] rolls back to the
+      previous state on the next {!attach}; replaced values are
+      reclaimed only after commit (a crash can leak an object but
+      never corrupt the index — the usual deferred-reclamation
+      trade-off).
+    - [`Plain] (snapshot durability, docs/SNAPSHOT.md): every store is
+      un-instrumented — no undo logging, no flush, no fence — and the
+      caller makes whole epochs durable with
+      {!Nvmpi_snapshot.Snapshot.sync}. The default flips to [`Plain]
+      when [Nvmpi_snapshot.Snapshot.enabled ()] (the [--durability
+      snapshot] flag).
 
     The whole store is anchored at a named NVRoot and survives region
     remaps. *)
@@ -18,13 +28,17 @@ type t
 
 val create :
   Nvmpi_tx.Objstore.t -> repr:Core.Repr.kind -> name:string ->
-  ?buckets:int -> unit -> t
+  ?buckets:int -> ?write_path:[ `Tx | `Plain ] -> unit -> t
 (** Formats a fresh store (default 256 buckets) in the object store's
     region. *)
 
-val attach : Nvmpi_tx.Objstore.t -> repr:Core.Repr.kind -> name:string -> t
+val attach :
+  ?write_path:[ `Tx | `Plain ] -> Nvmpi_tx.Objstore.t ->
+  repr:Core.Repr.kind -> name:string -> t
 (** Re-opens a store (possibly after a remap/crash).
     @raise Failure if the root is missing or of the wrong kind. *)
+
+val write_path : t -> [ `Tx | `Plain ]
 
 val put : t -> key:int -> string -> unit
 (** Inserts or replaces, atomically w.r.t. crashes. *)
@@ -44,4 +58,5 @@ val iter : t -> (key:int -> value:string -> unit) -> unit
 val simulate_crash_during_put : t -> key:int -> string -> unit
 (** Starts a [put] and drops power before commit (test/demo hook): the
     persisted undo log still holds the records, and the next
-    {!attach} rolls back. *)
+    {!attach} rolls back. [`Tx] write path only
+    (@raise Invalid_argument under [`Plain]). *)

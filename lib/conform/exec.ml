@@ -22,6 +22,7 @@ module Swizzle = Core.Swizzle
 module Node = Nvmpi_structures.Node
 module Digest_obs = Nvmpi_structures.Digest_obs
 module Metrics = Nvmpi_obs.Metrics
+module Snapshot = Nvmpi_snapshot.Snapshot
 
 let payload = 16
 (** Node payload bytes; {!Model} must use the same value. *)
@@ -198,6 +199,36 @@ let run ?obs_metrics ?repr ~kind (tr : Trace.t) : result =
     for i = 0 to tr.slots - 1 do
       slot_off.(i) <- Region.offset_of_addr !r0 (Region.alloc !r0 slot_stride)
     done;
+    (* Snapshot-bearing traces get a dirty tracker + WAL per region
+       (docs/SNAPSHOT.md), created after the repr-independent offsets so
+       object identities match snapshot-free traces. Epochs then cover
+       everything from slot init onward; [Sync] closes them. Traces
+       without [Sync] skip the observers entirely and stay on the
+       solo-observed fused path. *)
+    let snapshots =
+      if List.exists (function Trace.Sync -> true | _ -> false) tr.ops then
+        Some
+          ( Snapshot.create m !r0 ~log_cap:(64 * 1024) (),
+            Snapshot.create m !r1 ~log_cap:(64 * 1024) () )
+      else None
+    in
+    (* Pressure-relief valve: an epoch's log records must fit the WAL,
+       so close the epoch early when the dirty set approaches capacity.
+       Identical across representations in effect (sync has no
+       observable) and across engines (both issue bit-identical access
+       streams, hence identical dirty sets). *)
+    let relieve s =
+      if
+        Snapshot.pending_log_bytes s + 12288 > Snapshot.log_capacity s
+      then Snapshot.sync s
+    in
+    let relieve_all () =
+      match snapshots with
+      | Some (s0, s1) ->
+          relieve s0;
+          relieve s1
+      | None -> ()
+    in
     if kind = Core.Repr.Based then Machine.set_based_region m rid0;
     let slot_addr i = Region.addr_of_offset !r0 slot_off.(i) in
     let obj_addr o =
@@ -250,6 +281,10 @@ let run ?obs_metrics ?repr ~kind (tr : Trace.t) : result =
       let rid = if idx = 0 then rid0 else rid1 in
       let r = Machine.remap_region m rid in
       if idx = 0 then r0 := r else r1 := r;
+      (* The dirty set is region-relative; only the watched base moves. *)
+      (match snapshots with
+      | Some (s0, s1) -> Snapshot.retarget (if idx = 0 then s0 else s1) r
+      | None -> ());
       (* Region 0 moved (or might have): every host-side handle caching
          absolute addresses — structure metas, list tails — is rebuilt
          from the named roots, which is what attach is for. *)
@@ -263,6 +298,7 @@ let run ?obs_metrics ?repr ~kind (tr : Trace.t) : result =
     in
     let exec_op i (op : Trace.op) =
       record_ops 1;
+      relieve_all ();
       match op with
       | Remap idx ->
           do_remap idx;
@@ -281,6 +317,13 @@ let run ?obs_metrics ?repr ~kind (tr : Trace.t) : result =
       | Dig st ->
           let d = (shandle st).s_dig () in
           Good (Model.Digest (d.Digest_obs.nodes, d.Digest_obs.checksum))
+      | Sync ->
+          (match snapshots with
+          | Some (s0, s1) ->
+              Snapshot.sync s0;
+              Snapshot.sync s1
+          | None -> ());
+          Good Model.Done
     in
     (* A crash (anything but the sanctioned cross-region raise) aborts
        the trace: later ops stay [Skipped] — the machine state can no

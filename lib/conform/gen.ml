@@ -22,6 +22,7 @@ let gen_op st ~with_remap ~slots ~nobjs ~structures ~deletable =
       ((if deletable <> [] then 2 else 0), `Del);
       ((if has_structs then 3 else 0), `Mem);
       ((if has_structs then 2 else 0), `Dig);
+      (2, `Sync);
     ]
   in
   let total = List.fold_left (fun a (w, _) -> a + w) 0 weighted in
@@ -43,6 +44,7 @@ let gen_op st ~with_remap ~slots ~nobjs ~structures ~deletable =
   | `Del -> Trace.Del (pick st deletable, key ())
   | `Mem -> Trace.Mem (pick st structures, key ())
   | `Dig -> Trace.Dig (pick st structures)
+  | `Sync -> Trace.Sync
 
 let trace_rand ?(structures = true) st =
   let mseed = Random.State.bits st in

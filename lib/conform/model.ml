@@ -95,6 +95,10 @@ let add_prefixes s word =
 let exec_op ~payload ~caps (tr : Trace.t) s (op : Trace.op) : obs =
   match op with
   | Remap _ -> Done
+  (* A sync is pure durability: by the discipline's contract it changes
+     no observable (the conformance sweep under snapshot mode is what
+     enforces this, docs/SNAPSHOT.md). *)
+  | Sync -> Done
   | Pstore (sl, target) -> (
       match target with
       | None ->

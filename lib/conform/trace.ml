@@ -47,6 +47,10 @@ type op =
   | Del of structure * int  (** list, hash and btree *)
   | Mem of structure * int
   | Dig of structure  (** full-walk digest *)
+  | Sync
+      (** snapshot-epoch boundary: [Nvmpi_snapshot.Snapshot.sync] on
+          both regions (docs/SNAPSHOT.md). Durability only — no
+          observable may change. *)
 
 type t = {
   mseed : int;  (** machine placement seed — part of the repro *)
@@ -74,6 +78,7 @@ let sexp_of_op op =
   | Del (st, k) -> List [ Atom "del"; s st; i k ]
   | Mem (st, k) -> List [ Atom "mem"; s st; i k ]
   | Dig st -> List [ Atom "dig"; s st ]
+  | Sync -> Atom "sync"
 
 let to_sexp t =
   let open Sexp in
@@ -132,6 +137,7 @@ let op_of_sexp = function
   | Sexp.List [ Sexp.Atom "dig"; st ] ->
       let* st = structure_of_atom st in
       Ok (Dig st)
+  | Sexp.Atom "sync" -> Ok Sync
   | x -> Error ("unrecognized op: " ^ Sexp.to_string x)
 
 let rec ops_of_sexps = function
@@ -186,6 +192,7 @@ let valid t =
                 | None -> true
                 | Some o -> o >= 0 && o < t.objs0 + t.objs1)
          | Pload sl -> sl >= 0 && sl < t.slots
+         | Sync -> true
          | Del (st, _) ->
              (st = Slist || st = Shash || st = Sbtree)
              && List.mem st t.structures

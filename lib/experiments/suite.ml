@@ -36,6 +36,8 @@ let experiments =
       fun p -> [ Churn.table ~scale:p.scale ?seed:p.seed () ] );
     ( "durset",
       fun p -> [ Durset.table ~scale:p.scale ?seed:p.seed () ] );
+    ( "snapshot",
+      fun p -> [ Snapexp.table ~scale:p.scale ?seed:p.seed () ] );
   ]
 
 let names = List.map fst experiments

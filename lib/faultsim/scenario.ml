@@ -675,6 +675,226 @@ let durable_scenario ?(ops = 14) ?(drop_flushes = false) structure repr =
   in
   { name; expect_fail = drop_flushes; run }
 
+(* {1 Failure-atomic snapshots (FAMS/WAL)}
+
+   Epochs of plain (un-instrumented) stores closed by [Snapshot.sync]
+   (docs/SNAPSHOT.md). The oracle at every crash point: the recovered
+   state — after [Snapshot.attach] replays any committed-but-untruncated
+   log — equals the last epoch whose sync completed before the crash,
+   except that the single in-flight sync may already be fully applied
+   (its commit fence is the all-or-nothing pivot); never anything torn.
+   Crash points land mid-log-append, post-commit pre-writeback and
+   pre-truncate organically; one epoch runs [sync ~stop_after:`Commit]
+   followed by an explicit [replay] so the replay path itself is part
+   of the tracked event stream and gets mid-replay crash points. *)
+
+module Snapshot = Nvmpi_snapshot.Snapshot
+
+type snap_epoch = { s_before : int; s_after : int; s_cells : int array }
+
+let snapshot_cells_scenario ?(epochs = 5) ?(cells = 16)
+    ?(granularity = Snapshot.Line) ?(drop_writeback = false) () =
+  let name =
+    let base =
+      Printf.sprintf "snapshot-cells/%s"
+        (Snapshot.granularity_to_string granularity)
+    in
+    if drop_writeback then "selftest-snapshot-nowb-" ^ base else base
+  in
+  let run ~metrics ~seed =
+    let machine, rid, region = boot ~metrics ~seed in
+    (* Cells at a 520-byte stride: one epoch's writes scatter over many
+       lines and several pages, so a torn epoch is observable and the
+       line-vs-page log shapes differ. *)
+    let stride = 520 in
+    let block = Region.alloc region (cells * stride) in
+    Region.set_root region "snapcells" block;
+    let cell i = Vaddr.add block (i * stride) in
+    let mem = machine.Machine.mem in
+    let model = Array.init cells (fun i -> 1000 + i) in
+    Array.iteri (fun i v -> Memsim.store64 mem (cell i) v) model;
+    let snap = Snapshot.create machine region ~granularity () in
+    Snapshot.sync snap;
+    let tracker = Tracker.attach machine in
+    Tracker.arm tracker;
+    let log = ref [] in
+    if drop_writeback then Snapshot.drop_writeback := true;
+    Fun.protect
+      ~finally:(fun () -> Snapshot.drop_writeback := false)
+      (fun () ->
+        for e = 1 to epochs do
+          let before = Tracker.seq tracker in
+          for i = 0 to cells - 1 do
+            if ((i * 7) + e) mod 3 <> 2 then begin
+              model.(i) <- (e * 1000) + i;
+              Memsim.store64 mem (cell i) model.(i)
+            end
+          done;
+          (* The middle epoch commits, then replays as workload: its
+             write-back happens via the recovery path, under the
+             tracker, so the sweep crashes mid-replay too. *)
+          if e = (epochs / 2) + 1 then begin
+            Snapshot.sync ~stop_after:`Commit snap;
+            Snapshot.replay snap
+          end
+          else Snapshot.sync snap;
+          let after = Tracker.seq tracker in
+          log :=
+            { s_before = before; s_after = after; s_cells = Array.copy model }
+            :: !log
+        done);
+    let log = List.rev !log in
+    let initial = Array.init cells (fun i -> 1000 + i) in
+    let show a =
+      String.concat "," (Array.to_list (Array.map string_of_int a))
+    in
+    let verify ~seq machine' regions' =
+      let region' = find_region rid regions' in
+      (* Recovery order matters: replay the snapshot log first, then
+         read the (possibly just-reinstalled) cells. *)
+      let snap' = Snapshot.attach machine' region' in
+      if Snapshot.committed_bytes snap' <> 0 then
+        Error "snapshot log still committed after recovery"
+      else begin
+        let block' =
+          match Region.root region' "snapcells" with
+          | Some a -> a
+          | None -> failwith "snapcells root lost"
+        in
+        let actual =
+          Array.init cells (fun i ->
+              Memsim.load64 machine'.Machine.mem
+                (Vaddr.add block' (i * stride)))
+        in
+        let committed =
+          List.fold_left
+            (fun acc ep -> if ep.s_after <= seq then ep.s_cells else acc)
+            initial log
+        in
+        let candidates =
+          committed
+          ::
+          (match
+             List.find_opt
+               (fun ep -> ep.s_before < seq && seq < ep.s_after)
+               log
+           with
+          | Some ep -> [ ep.s_cells ]
+          | None -> [])
+        in
+        if List.exists (fun c -> c = actual) candidates then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "epoch torn or lost: recovered [%s], expected [%s]"
+               (show actual)
+               (String.concat "] or [" (List.map show candidates)))
+      end
+    in
+    { tracker; verify }
+  in
+  { name; expect_fail = drop_writeback; run }
+
+(* Kvstore over the plain (snapshot) write path: batches of
+   un-instrumented puts/deletes on a freelist-heap object store, each
+   batch closed by a sync. The oracle is read-your-writes at epoch
+   granularity — the whole batch (index, values, allocator words)
+   appears atomically or not at all. *)
+let snapshot_kv_scenario ?(epochs = 5) ?(granularity = Snapshot.Line) repr =
+  let name =
+    Printf.sprintf "snapshot-kv/%s/%s" (Repr.to_string repr)
+      (Snapshot.granularity_to_string granularity)
+  in
+  let run ~metrics ~seed =
+    let machine, rid, region = boot ~metrics ~seed in
+    if repr = Repr.Based then Machine.set_based_region machine rid;
+    (* The flush-free freelist heap: under snapshot durability nothing
+       but sync may move the durable cut (palloc's logged allocations
+       would persist allocator state mid-epoch, docs/SNAPSHOT.md). *)
+    (* The snapshot's meta/log pages must be carved out before the
+       object store claims the whole remaining region as its heap. *)
+    let snap = Snapshot.create machine region ~granularity () in
+    let os = Objstore.create machine region ~heap:`Freelist () in
+    let kv = Kvstore.create os ~repr ~name:"kv" ~buckets:8 ~write_path:`Plain () in
+    let model = ref [] in
+    for k = 1 to 3 do
+      let v = Printf.sprintf "init-%d" k in
+      Kvstore.put kv ~key:k v;
+      model := model_put k v !model
+    done;
+    Snapshot.sync snap;
+    let tracker = Tracker.attach machine in
+    Tracker.arm tracker;
+    let initial = !model in
+    let log = ref [] in
+    for e = 1 to epochs do
+      let before = Tracker.seq tracker in
+      for j = 0 to 2 do
+        let key = (((e * 3) + j) mod 5) + 1 in
+        if (e + j) mod 4 = 0 then begin
+          ignore (Kvstore.delete kv ~key);
+          model := model_del key !model
+        end
+        else begin
+          let v = Printf.sprintf "v%d-%d" e key in
+          Kvstore.put kv ~key v;
+          model := model_put key v !model
+        end
+      done;
+      Snapshot.sync snap;
+      let after = Tracker.seq tracker in
+      log := (before, after, canon !model) :: !log
+    done;
+    let log = List.rev !log in
+    let universe = [ 1; 2; 3; 4; 5; 6 ] in
+    let verify ~seq machine' regions' =
+      let region' = find_region rid regions' in
+      if repr = Repr.Based then
+        Machine.set_based_region machine' (Region.rid region');
+      (* Replay first: the object store's metadata and heap words are
+         themselves part of the epoch being reinstalled. *)
+      let snap' = Snapshot.attach machine' region' in
+      if Snapshot.committed_bytes snap' <> 0 then
+        Error "snapshot log still committed after recovery"
+      else begin
+        let os' = Objstore.attach machine' region' in
+        let kv' = Kvstore.attach os' ~write_path:`Plain ~repr ~name:"kv" in
+        let committed =
+          List.fold_left
+            (fun acc (_, after, state) -> if after <= seq then state else acc)
+            (canon initial) log
+        in
+        let candidates =
+          committed
+          ::
+          (match
+             List.find_opt (fun (b, a, _) -> b < seq && seq < a) log
+           with
+          | Some (_, _, state) -> [ state ]
+          | None -> [])
+        in
+        let actual =
+          List.filter_map
+            (fun k ->
+              match Kvstore.get kv' ~key:k with
+              | Some v -> Some (k, v)
+              | None -> None)
+            universe
+          |> canon
+        in
+        if List.mem actual candidates then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "epoch read-your-writes: recovered %s, expected %s"
+               (describe_map actual)
+               (String.concat " or " (List.map describe_map candidates)))
+      end
+    in
+    { tracker; verify }
+  in
+  { name; expect_fail = false; run }
+
 (* {1 Catalogues} *)
 
 let paper_structures =
@@ -706,6 +926,10 @@ let defaults () =
       swizzle_window_scenario ();
       structure_scenario ~pinned_dependent:true Instance.List Repr.Normal;
       alloc_scenario ();
+      snapshot_cells_scenario ~granularity:Snapshot.Line ();
+      snapshot_cells_scenario ~granularity:Snapshot.Page ();
+      snapshot_kv_scenario Repr.Riv;
+      snapshot_kv_scenario Repr.Off_holder;
     ]
 
 let selftests () =
@@ -714,4 +938,5 @@ let selftests () =
     alloc_leak_selftest ();
     durable_scenario ~drop_flushes:true Instance.Hashset Repr.Riv;
     durable_scenario ~drop_flushes:true Instance.Btree Repr.Off_holder;
+    snapshot_cells_scenario ~drop_writeback:true ();
   ]

@@ -95,6 +95,35 @@ val durable_scenario :
     window flush/fence is suppressed, so completed ops never become
     durable and the oracle must flag the loss. *)
 
+val snapshot_cells_scenario :
+  ?epochs:int ->
+  ?cells:int ->
+  ?granularity:Nvmpi_snapshot.Snapshot.granularity ->
+  ?drop_writeback:bool ->
+  unit ->
+  t
+(** Failure-atomic snapshot epochs (docs/SNAPSHOT.md) over a strided
+    cell array: plain un-instrumented stores between [Snapshot.sync]
+    calls. Oracle at every crash point — including mid-log-append,
+    post-commit pre-writeback, mid-replay (one epoch commits then
+    replays explicitly) and pre-truncate: the recovered image, after
+    [Snapshot.attach] replays any committed log, equals exactly the
+    last synced epoch, with the in-flight sync all-or-nothing.
+    [~drop_writeback:true] is the selftest double ([expect_fail]): the
+    in-place write-back is suppressed while the truncate still runs,
+    so a committed epoch is durably discarded and must be flagged. *)
+
+val snapshot_kv_scenario :
+  ?epochs:int ->
+  ?granularity:Nvmpi_snapshot.Snapshot.granularity ->
+  Core.Repr.kind ->
+  t
+(** Kvstore on the plain (snapshot) write path over a flush-free
+    freelist heap: batches of puts/deletes closed by a sync. Epoch
+    read-your-writes — every crash point recovers to the whole last
+    synced batch (index, values and allocator state together) or, for
+    the one in-flight sync, the next batch in full. *)
+
 val defaults : unit -> t list
 (** The full sweep: the paper's four structures under every
     position-independent representation, the kvstore under the core

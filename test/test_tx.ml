@@ -188,6 +188,85 @@ let test_tx_state_errors () =
      with Tx.Already_in_transaction -> true);
   Tx.abort tx
 
+(* Abort midway through relinking a pointer chain: every link — however
+   many objects deep the partial update got — must roll back to the
+   original chain, and a traversal must still terminate on the old
+   topology. *)
+let test_abort_partial_pointer_chain () =
+  let _, m, _, os = with_store () in
+  let mem = m.Machine.mem in
+  let node v =
+    let n = Objstore.alloc os ~size:16 () in
+    Memsim.store64 mem n v;
+    n
+  in
+  let a = node 1 and b = node 2 and c = node 3 and d = node 4 in
+  let link x y = Memsim.store64 mem (Vaddr.add x 8) (ia y) in
+  (* Durable chain a -> b -> c, d detached. *)
+  link a b;
+  link b c;
+  link c Vaddr.null;
+  let tx = Tx.create os in
+  Tx.begin_tx tx;
+  (* Partial splice of d between a and b: the first link is redirected
+     and d's next written, but b's side never happens. *)
+  Tx.store64 tx (Vaddr.add a 8) (ia d);
+  Tx.store64 tx (Vaddr.add d 8) (ia b);
+  Tx.abort tx;
+  let next x = Vaddr.v (Memsim.load64 mem (Vaddr.add x 8)) in
+  check "a.next restored" (ia b) (ia (next a));
+  check "b.next untouched" (ia c) (ia (next b));
+  let rec walk x acc =
+    if Vaddr.is_null x then List.rev acc
+    else walk (next x) (Memsim.load64 mem x :: acc)
+  in
+  Alcotest.(check (list int)) "old topology traverses" [ 1; 2; 3 ] (walk a [])
+
+(* Nested begin must be rejected through the run wrapper too, and the
+   outer transaction must survive the rejection intact. *)
+let test_nested_run_rejected () =
+  let _, m, _, os = with_store () in
+  let a = Objstore.alloc os ~size:16 () in
+  Memsim.store64 m.Machine.mem a 1;
+  let tx = Tx.create os in
+  Tx.begin_tx tx;
+  Tx.store64 tx a 2;
+  check_bool "nested run rejected" true
+    (try
+       Tx.run tx (fun () -> ());
+       false
+     with Tx.Already_in_transaction -> true);
+  check_bool "outer tx still open" true (Tx.active tx);
+  Tx.commit tx;
+  check "outer commit lands" 2 (Memsim.load64 m.Machine.mem a)
+
+(* A crash with an open but empty undo log: recovery must be a no-op
+   that still leaves the store attachable and consistent. *)
+let test_empty_undo_log_recovery () =
+  let store = Store.create () in
+  let m1 = Machine.create ~seed:40 ~store () in
+  let rid = Machine.create_region m1 ~size:(1 lsl 20) in
+  let r1 = Machine.open_region m1 rid in
+  let os1 = Objstore.create m1 r1 () in
+  let a = Objstore.alloc os1 ~size:16 () in
+  Memsim.store64 m1.Machine.mem a 55;
+  Region.set_root r1 "x" a;
+  let tx = Tx.create os1 in
+  Tx.begin_tx tx;
+  (* Crash before the first tracked store: nothing was logged. *)
+  Tx.simulate_crash tx;
+  Machine.close_region m1 rid;
+  let m2 = Machine.create ~seed:41 ~store () in
+  let r2 = Machine.open_region m2 rid in
+  let os2 = Objstore.attach m2 r2 in
+  check "log empty after recovery" 0 (Objstore.log_entries os2);
+  let a' = Option.get (Region.root r2 "x") in
+  check "value untouched by empty rollback" 55 (Memsim.load64 m2.Machine.mem a');
+  (* The recovered store is fully usable. *)
+  let tx2 = Tx.create os2 in
+  Tx.run tx2 (fun () -> Tx.store64 tx2 a' 56);
+  check "post-recovery tx commits" 56 (Memsim.load64 m2.Machine.mem a')
+
 let test_persist_costs_charged () =
   let _, m, _, os = with_store () in
   let a = Objstore.alloc os ~size:16 () in
@@ -265,6 +344,12 @@ let () =
             test_crash_after_commit_durable;
           Alcotest.test_case "add_range" `Quick test_add_range;
           Alcotest.test_case "state errors" `Quick test_tx_state_errors;
+          Alcotest.test_case "abort after partial pointer chain" `Quick
+            test_abort_partial_pointer_chain;
+          Alcotest.test_case "nested run rejected" `Quick
+            test_nested_run_rejected;
+          Alcotest.test_case "empty undo log recovery" `Quick
+            test_empty_undo_log_recovery;
           Alcotest.test_case "persist costs charged" `Quick
             test_persist_costs_charged;
           Alcotest.test_case "log overflow detected" `Quick
